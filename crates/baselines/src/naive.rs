@@ -1,0 +1,203 @@
+//! A Henglein-style *rewriting* normaliser for λC coercions — the
+//! "easy to understand, hard to compute" baseline (Herman et al.
+//! 2007/2010).
+//!
+//! Compositions are flattened into sequences (this is where the
+//! associativity juggling the paper complains about gets paid: the
+//! rewrite rules only fire on *adjacent* coercions, so sequences must
+//! be reassociated/rescanned until a fixed point). Contrast with λS,
+//! where the canonical grammar makes composition a single structural
+//! recursion.
+
+use std::rc::Rc;
+
+use bc_lambda_c::coercion::Coercion;
+
+/// Normalises a coercion by Henglein's rewrite rules:
+///
+/// ```text
+/// id ; c        ⇒ c                 c ; id        ⇒ c
+/// G! ; G?p      ⇒ id_G              G! ; H?p      ⇒ ⊥GpH   (G ≠ H)
+/// (c→d);(c'→d') ⇒ (c';c) → (d;d')   ⊥GpH ; c      ⇒ ⊥GpH
+/// c ; ⊥GpH      ⇒ ⊥GpH              (c a ground-type coercion)
+/// ```
+///
+/// applied under reassociation until no rule fires. The result is
+/// equal (as a canonical form) to `|c|CS`, but computed the slow way —
+/// this function is the ablation baseline of the `compose` benchmark.
+pub fn normalize(c: &Coercion) -> Coercion {
+    let mut atoms = Vec::new();
+    flatten(c, &mut atoms);
+    simplify(&mut atoms);
+    rebuild(atoms, c)
+}
+
+/// Flattens nested compositions into a sequence of non-`Seq` atoms,
+/// recursively normalising under function coercions.
+fn flatten(c: &Coercion, out: &mut Vec<Coercion>) {
+    match c {
+        Coercion::Seq(a, b) => {
+            flatten(a, out);
+            flatten(b, out);
+        }
+        Coercion::Fun(a, b) => out.push(Coercion::Fun(
+            Rc::new(normalize(a)),
+            Rc::new(normalize(b)),
+        )),
+        other => out.push(other.clone()),
+    }
+}
+
+/// Rewrites adjacent atoms until a fixed point.
+fn simplify(atoms: &mut Vec<Coercion>) {
+    loop {
+        // Drop identities.
+        let before = atoms.len();
+        atoms.retain(|a| !matches!(a, Coercion::Id(_)));
+        let mut changed = atoms.len() != before;
+
+        let mut i = 0;
+        while i + 1 < atoms.len() {
+            let replacement: Option<Vec<Coercion>> = match (&atoms[i], &atoms[i + 1]) {
+                // G! ; G?p ⇒ id (dropped)  /  G! ; H?p ⇒ ⊥GpH.
+                (Coercion::Inj(g), Coercion::Proj(h, p)) => {
+                    if g == h {
+                        Some(vec![])
+                    } else {
+                        Some(vec![Coercion::Fail(*g, *p, *h)])
+                    }
+                }
+                // (c→d) ; (c'→d') ⇒ (c';c) → (d;d').
+                (Coercion::Fun(c1, d1), Coercion::Fun(c2, d2)) => Some(vec![Coercion::Fun(
+                    Rc::new(normalize(&Coercion::Seq(c2.clone(), c1.clone()))),
+                    Rc::new(normalize(&Coercion::Seq(d1.clone(), d2.clone()))),
+                )]),
+                // ⊥ absorbs whatever follows.
+                (Coercion::Fail(g, p, h), _) => Some(vec![Coercion::Fail(*g, *p, *h)]),
+                // A ground-type coercion before ⊥ is absorbed.
+                (Coercion::Fun(_, _), Coercion::Fail(g, p, h)) => {
+                    Some(vec![Coercion::Fail(*g, *p, *h)])
+                }
+                _ => None,
+            };
+            if let Some(rep) = replacement {
+                atoms.splice(i..i + 2, rep);
+                changed = true;
+                i = i.saturating_sub(1);
+            } else {
+                i += 1;
+            }
+        }
+        if !changed {
+            return;
+        }
+    }
+}
+
+/// Rebuilds a sequence into a right-nested composition; an empty
+/// sequence is the identity at the original coercion's (necessarily
+/// equal) endpoints.
+fn rebuild(atoms: Vec<Coercion>, original: &Coercion) -> Coercion {
+    atoms
+        .into_iter()
+        .reduce(|acc, next| acc.seq(next))
+        .unwrap_or_else(|| {
+            let ty = original
+                .synthesize()
+                .map(|(a, _)| a)
+                .unwrap_or(bc_syntax::Type::Dyn);
+            Coercion::id(ty)
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bc_syntax::{BaseType, Ground, Label, Type};
+    use bc_translate::coercion_to_space;
+
+    fn gi() -> Ground {
+        Ground::Base(BaseType::Int)
+    }
+    fn p(n: u32) -> Label {
+        Label::new(n)
+    }
+
+    /// The naive normal form agrees with the λS canonical form.
+    fn agrees(c: &Coercion) {
+        assert_eq!(
+            coercion_to_space(&normalize(c)),
+            coercion_to_space(c),
+            "naive normalisation of {c}"
+        );
+    }
+
+    #[test]
+    fn identity_elimination() {
+        let c = Coercion::id(Type::INT).seq(Coercion::inj(gi()));
+        assert_eq!(normalize(&c), Coercion::inj(gi()));
+        agrees(&c);
+    }
+
+    #[test]
+    fn round_trip_cancels() {
+        let c = Coercion::inj(gi()).seq(Coercion::proj(gi(), p(0)));
+        assert_eq!(normalize(&c), Coercion::id(Type::INT));
+        agrees(&c);
+    }
+
+    #[test]
+    fn mismatch_fails() {
+        let c = Coercion::inj(gi()).seq(Coercion::proj(Ground::Base(BaseType::Bool), p(0)));
+        assert_eq!(
+            normalize(&c),
+            Coercion::fail(gi(), p(0), Ground::Base(BaseType::Bool))
+        );
+    }
+
+    #[test]
+    fn function_fusion_is_contravariant() {
+        let f1 = Coercion::fun(Coercion::proj(gi(), p(0)), Coercion::inj(gi()));
+        let f2 = Coercion::fun(Coercion::inj(gi()), Coercion::proj(gi(), p(1)));
+        let c = f1.seq(f2);
+        agrees(&c);
+        match normalize(&c) {
+            Coercion::Fun(dom, _) => {
+                // Domain: inj ; proj — cancels to the identity.
+                assert_eq!(*dom, Coercion::id(Type::INT));
+            }
+            other => panic!("expected function coercion, got {other}"),
+        }
+    }
+
+    #[test]
+    fn deep_reassociation() {
+        // ((Int! ; Int?p) ; Int!) ; Int?q needs two cancellation
+        // rounds across the reassociated sequence.
+        let c = Coercion::inj(gi())
+            .seq(Coercion::proj(gi(), p(0)))
+            .seq(Coercion::inj(gi()))
+            .seq(Coercion::proj(gi(), p(1)));
+        assert_eq!(normalize(&c), Coercion::id(Type::INT));
+        agrees(&c);
+    }
+
+    #[test]
+    fn failure_absorbs_right_and_left() {
+        let fail = Coercion::fail(gi(), p(0), Ground::Fun);
+        let c = fail.clone().seq(Coercion::id(Type::BOOL));
+        assert_eq!(normalize(&c), fail);
+        let f = Coercion::fun(Coercion::id(Type::DYN), Coercion::id(Type::DYN));
+        let c2 = f.seq(Coercion::fail(Ground::Fun, p(1), gi()));
+        assert_eq!(normalize(&c2), Coercion::fail(Ground::Fun, p(1), gi()));
+    }
+
+    #[test]
+    fn normalisation_is_idempotent() {
+        let c = Coercion::inj(gi())
+            .seq(Coercion::proj(gi(), p(0)))
+            .seq(Coercion::inj(gi()));
+        let once = normalize(&c);
+        assert_eq!(normalize(&once), once);
+    }
+}

@@ -1,0 +1,62 @@
+//! E17/E18: the baseline algebras — threesome erasure/composition and
+//! supercoercion interpretation — against λS primitives.
+
+use bc_baselines::supercoercion::{AtomicType, Supercoercion};
+use bc_baselines::threesome;
+use bc_bench::composable_batch;
+use bc_core::compose::compose;
+use bc_syntax::{BaseType, Ground, Label};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::rc::Rc;
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(20);
+    let pairs = composable_batch(11, 3, 64);
+
+    group.bench_function("erase_to_threesome", |b| {
+        b.iter(|| {
+            for (s, t) in &pairs {
+                black_box(threesome::from_space(black_box(s)));
+                black_box(threesome::from_space(black_box(t)));
+            }
+        })
+    });
+
+    group.bench_function("homomorphism_check", |b| {
+        b.iter(|| {
+            for (s, t) in &pairs {
+                let lhs = threesome::from_space(&compose(s, t));
+                let rhs =
+                    threesome::compose_labeled(&threesome::from_space(t), &threesome::from_space(s));
+                assert_eq!(lhs, rhs);
+            }
+        })
+    });
+
+    // Supercoercion composition through normalisation.
+    let id_dyn = Rc::new(Supercoercion::IdAtomic(AtomicType::Dyn));
+    let samples = [
+        Supercoercion::ProjInj(Ground::Base(BaseType::Int), Label::new(0)),
+        Supercoercion::FunProjInj(Label::new(1), id_dyn.clone(), id_dyn.clone()),
+        Supercoercion::FunInj(id_dyn.clone(), id_dyn),
+    ];
+    group.bench_function("supercoercion_compose", |b| {
+        b.iter(|| {
+            for c1 in &samples {
+                for c2 in &samples {
+                    if c1.to_coercion().synthesize().map(|x| x.1)
+                        == c2.to_coercion().synthesize().map(|x| x.0)
+                    {
+                        black_box(c1.compose_via_space(black_box(c2)));
+                    }
+                }
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

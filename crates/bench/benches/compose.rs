@@ -1,0 +1,68 @@
+//! E16: the composition algebra microbenchmark.
+//!
+//! Compares, over random canonical coercions of growing height:
+//! * λS `s # t` (this paper, ten-line structural recursion),
+//! * Siek–Wadler threesome composition `Q ∘ P` (on erased labeled
+//!   types),
+//! * naive Henglein rewriting of the λC composite (the Herman et al.
+//!   representation).
+
+use bc_baselines::naive;
+use bc_baselines::threesome;
+use bc_bench::composable_batch;
+use bc_core::compose::compose;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_compose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compose");
+    group.sample_size(20);
+    for height in [1usize, 2, 3, 4, 5] {
+        let pairs = composable_batch(42, height, 64);
+        group.bench_with_input(
+            BenchmarkId::new("lambda_s_sharp", height),
+            &pairs,
+            |b, pairs| {
+                b.iter(|| {
+                    for (s, t) in pairs {
+                        black_box(compose(black_box(s), black_box(t)));
+                    }
+                })
+            },
+        );
+        let labeled: Vec<_> = pairs
+            .iter()
+            .map(|(s, t)| (threesome::from_space(s), threesome::from_space(t)))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("threesome_meet", height),
+            &labeled,
+            |b, labeled| {
+                b.iter(|| {
+                    for (p, q) in labeled {
+                        black_box(threesome::compose_labeled(black_box(q), black_box(p)));
+                    }
+                })
+            },
+        );
+        let coercions: Vec<_> = pairs
+            .iter()
+            .map(|(s, t)| s.to_coercion().seq(t.to_coercion()))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("naive_rewriting", height),
+            &coercions,
+            |b, coercions| {
+                b.iter(|| {
+                    for c in coercions {
+                        black_box(naive::normalize(black_box(c)));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compose);
+criterion_main!(benches);

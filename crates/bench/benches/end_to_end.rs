@@ -1,0 +1,36 @@
+//! E20: the full pipeline — parse, gradually type check, insert casts,
+//! translate twice, and execute — on static and boundary-heavy
+//! sources.
+
+use bc_bench::{boundary_source, static_source};
+use blame_coercion::{Compiled, Engine};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    for (name, source) in [
+        ("static", static_source(256)),
+        ("boundary", boundary_source(256)),
+    ] {
+        group.bench_with_input(BenchmarkId::new("compile", name), &source, |b, src| {
+            b.iter(|| black_box(Compiled::compile(black_box(src)).expect("compiles")))
+        });
+        let compiled = Compiled::compile(&source).expect("compiles");
+        group.bench_with_input(
+            BenchmarkId::new("run_machine_s", name),
+            &compiled,
+            |b, p| b.iter(|| black_box(p.run(Engine::MachineS, u64::MAX))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("run_machine_b", name),
+            &compiled,
+            |b, p| b.iter(|| black_box(p.run(Engine::MachineB, u64::MAX))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

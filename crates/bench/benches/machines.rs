@@ -1,0 +1,35 @@
+//! Machine throughput on three workload classes: fully typed (no
+//! casts), fully untyped (casts at every operation), and
+//! boundary-heavy (casts at every call). The λS machine's merging
+//! should cost little on cast-free code and win on boundary-heavy
+//! code.
+
+use bc_lambda_b::programs;
+use bc_machine::{cek_b, cek_s};
+use bc_translate::{term_b_to_c, term_c_to_s};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_machines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machines");
+    group.sample_size(10);
+    let n = 256i64;
+    let workloads = [
+        ("typed", programs::even_typed(n)),
+        ("untyped", programs::even_untyped(n)),
+        ("boundary", programs::even_odd_mixed(n)),
+    ];
+    for (name, b) in &workloads {
+        let s = term_c_to_s(&term_b_to_c(b));
+        group.bench_with_input(BenchmarkId::new("machine_b", name), b, |bench, t| {
+            bench.iter(|| black_box(cek_b::run(black_box(t), u64::MAX)))
+        });
+        group.bench_with_input(BenchmarkId::new("machine_s", name), &s, |bench, t| {
+            bench.iter(|| black_box(cek_s::run(black_box(t), u64::MAX)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_machines);
+criterion_main!(benches);

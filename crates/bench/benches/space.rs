@@ -1,0 +1,36 @@
+//! E15: time cost of the space leak.
+//!
+//! Runs the paper's even/odd boundary workload on the three machines.
+//! The λB/λC machines allocate Θ(n) continuation frames; the λS
+//! machine merges them. (The *space* series itself is printed by
+//! `cargo run -p bc-bench --bin report`.)
+
+use bc_lambda_b::programs;
+use bc_machine::{cek_b, cek_c, cek_s};
+use bc_translate::{term_b_to_c, term_c_to_s};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_space_workload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("space/even_odd_mixed");
+    group.sample_size(10);
+    for n in [64i64, 256, 1024] {
+        let b = programs::even_odd_mixed(n);
+        let cc = term_b_to_c(&b);
+        let s = term_c_to_s(&cc);
+        let fuel = u64::MAX;
+        group.bench_with_input(BenchmarkId::new("machine_b", n), &b, |bench, t| {
+            bench.iter(|| black_box(cek_b::run(black_box(t), fuel)))
+        });
+        group.bench_with_input(BenchmarkId::new("machine_c", n), &cc, |bench, t| {
+            bench.iter(|| black_box(cek_c::run(black_box(t), fuel)))
+        });
+        group.bench_with_input(BenchmarkId::new("machine_s", n), &s, |bench, t| {
+            bench.iter(|| black_box(cek_s::run(black_box(t), fuel)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_space_workload);
+criterion_main!(benches);

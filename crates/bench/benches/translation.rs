@@ -1,0 +1,39 @@
+//! Cost of the translations of Figures 4 and 6 (`|·|BC`, `|·|CB`,
+//! `|·|CS`) over random well-typed programs.
+
+use bc_bench::random_programs;
+use bc_translate::{term_b_to_c, term_c_to_b, term_c_to_s};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_translation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("translation");
+    group.sample_size(20);
+    let programs = random_programs(7, 32);
+    let in_c: Vec<_> = programs.iter().map(term_b_to_c).collect();
+    group.bench_function("b_to_c", |b| {
+        b.iter(|| {
+            for m in &programs {
+                black_box(term_b_to_c(black_box(m)));
+            }
+        })
+    });
+    group.bench_function("c_to_s", |b| {
+        b.iter(|| {
+            for m in &in_c {
+                black_box(term_c_to_s(black_box(m)));
+            }
+        })
+    });
+    group.bench_function("c_to_b", |b| {
+        b.iter(|| {
+            for m in &in_c {
+                black_box(term_c_to_b(black_box(m)).expect("well typed"));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_translation);
+criterion_main!(benches);

@@ -1,0 +1,174 @@
+//! Regenerates the measurement tables recorded in EXPERIMENTS.md.
+//!
+//! ```sh
+//! cargo run -p bc-bench --bin report --release
+//! ```
+
+use std::time::Instant;
+
+use bc_baselines::{naive, threesome};
+use bc_bench::{boundary_source, composable_batch};
+use bc_core::compose::compose;
+use bc_lambda_b::programs;
+use bc_machine::{cek_b, cek_c, cek_s};
+use bc_translate::bisim::{aligned_cs, lockstep_bc};
+use bc_translate::{term_b_to_c, term_c_to_s};
+use blame_coercion::{Compiled, Engine};
+
+fn main() {
+    space_table();
+    compose_table();
+    steps_table();
+    height_table();
+    end_to_end_table();
+}
+
+/// E15: the space series — peak cast/coercion frames versus n.
+fn space_table() {
+    println!("## E15 — machine space on even/odd across a typed/untyped boundary");
+    println!();
+    println!("| n | λB peak cast frames | λC peak coercion frames | λS peak coercion frames | λS peak coercion size |");
+    println!("|---|---------------------|--------------------------|--------------------------|------------------------|");
+    for n in [4i64, 16, 64, 256, 1024, 4096] {
+        let b = programs::even_odd_mixed(n);
+        let c = term_b_to_c(&b);
+        let s = term_c_to_s(&c);
+        let rb = cek_b::run(&b, u64::MAX);
+        let rc = cek_c::run(&c, u64::MAX);
+        let rs = cek_s::run(&s, u64::MAX);
+        assert_eq!(rb.outcome.to_observation(), rs.outcome.to_observation());
+        println!(
+            "| {n} | {} | {} | {} | {} |",
+            rb.metrics.peak_cast_frames,
+            rc.metrics.peak_cast_frames,
+            rs.metrics.peak_cast_frames,
+            rs.metrics.peak_cast_size
+        );
+    }
+    println!();
+}
+
+/// E16: composition throughput, λS `#` vs threesome meet vs naive
+/// rewriting, by coercion height.
+fn compose_table() {
+    println!("## E16 — composition microbenchmark (64 pairs, ns/pair)");
+    println!();
+    println!("| height | λS `s # t` | threesome `Q ∘ P` | naive rewriting |");
+    println!("|--------|------------|--------------------|------------------|");
+    for height in [1usize, 2, 3, 4, 5] {
+        let pairs = composable_batch(42, height, 64);
+        let labeled: Vec<_> = pairs
+            .iter()
+            .map(|(s, t)| (threesome::from_space(s), threesome::from_space(t)))
+            .collect();
+        let seqs: Vec<_> = pairs
+            .iter()
+            .map(|(s, t)| s.to_coercion().seq(t.to_coercion()))
+            .collect();
+        let reps = 2_000usize;
+
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            for (s, t) in &pairs {
+                std::hint::black_box(compose(s, t));
+            }
+        }
+        let sharp = t0.elapsed().as_nanos() / (reps * pairs.len()) as u128;
+
+        let t1 = Instant::now();
+        for _ in 0..reps {
+            for (p, q) in &labeled {
+                std::hint::black_box(threesome::compose_labeled(q, p));
+            }
+        }
+        let meet = t1.elapsed().as_nanos() / (reps * labeled.len()) as u128;
+
+        let t2 = Instant::now();
+        for _ in 0..reps {
+            for c in &seqs {
+                std::hint::black_box(naive::normalize(c));
+            }
+        }
+        let rewriting = t2.elapsed().as_nanos() / (reps * seqs.len()) as u128;
+
+        println!("| {height} | {sharp} | {meet} | {rewriting} |");
+    }
+    println!();
+}
+
+/// E10/E19: step counts — λB:λC is exactly 1:1 (lockstep), λC:λS is
+/// within a constant factor.
+fn steps_table() {
+    println!("## E10/E19 — step counts per workload (lockstep and alignment)");
+    println!();
+    println!("| workload | λB steps | λC steps | λS steps | λB:λC | λC:λS |");
+    println!("|----------|----------|----------|----------|-------|-------|");
+    for (name, m) in [
+        ("boundary_loop(64)", programs::boundary_loop(64)),
+        ("even_odd_mixed(33)", programs::even_odd_mixed(33)),
+        ("even_typed(64)", programs::even_typed(64)),
+        ("even_untyped(16)", programs::even_untyped(16)),
+        ("wrapped_identity(16)", programs::wrapped_identity(16)),
+    ] {
+        let lock = lockstep_bc(&m, 10_000_000).expect("lockstep");
+        let mc = term_b_to_c(&m);
+        let align = aligned_cs(&mc, 10_000_000).expect("aligned");
+        println!(
+            "| {name} | {} | {} | {} | 1.00 | {:.2} |",
+            lock.steps,
+            align.steps_c,
+            align.steps_s,
+            align.steps_c as f64 / align.steps_s as f64
+        );
+    }
+    println!();
+}
+
+/// E11: observed height/size bounds under composition.
+fn height_table() {
+    println!("## E11 — height preservation and size bounds under `#`");
+    println!();
+    println!("| height bound | pairs | max ‖s#t‖ | max size(s#t) | 3·(2^h − 1) |");
+    println!("|--------------|-------|------------|----------------|--------------|");
+    for height in [2usize, 3, 4, 5, 6] {
+        let pairs = composable_batch(7, height, 256);
+        let mut max_h = 0usize;
+        let mut max_size = 0usize;
+        let mut input_h = 0usize;
+        for (s, t) in &pairs {
+            let st = compose(s, t);
+            max_h = max_h.max(st.height());
+            max_size = max_size.max(st.size());
+            input_h = input_h.max(s.height().max(t.height()));
+        }
+        assert!(max_h <= input_h, "height grew!");
+        println!(
+            "| {input_h} | {} | {max_h} | {max_size} | {} |",
+            pairs.len(),
+            3 * (2usize.pow(input_h as u32) - 1)
+        );
+    }
+    println!();
+}
+
+/// E20: end-to-end wall-clock per engine on the compiled boundary
+/// loop.
+fn end_to_end_table() {
+    println!("## E20 — end-to-end pipeline (compiled boundary loop, n = 512)");
+    println!();
+    let source = boundary_source(512);
+    let compiled = Compiled::compile(&source).expect("compiles");
+    println!("| engine | steps | peak frames | peak coercion frames | µs |");
+    println!("|--------|-------|-------------|----------------------|-----|");
+    for engine in [Engine::MachineB, Engine::MachineC, Engine::MachineS] {
+        let t0 = Instant::now();
+        let report = compiled.run(engine, u64::MAX);
+        let us = t0.elapsed().as_micros();
+        let metrics = report.metrics.expect("machine engines report metrics");
+        println!(
+            "| {engine} | {} | {} | {} | {us} |",
+            report.steps, metrics.peak_frames, metrics.peak_cast_frames
+        );
+    }
+    println!();
+}

@@ -1,0 +1,65 @@
+//! Shared workload builders for the benchmark suite and the
+//! table-generating `report` binary (see EXPERIMENTS.md).
+
+#![forbid(unsafe_code)]
+
+use bc_core::coercion::SpaceCoercion;
+use bc_syntax::Type;
+use bc_testkit::Gen;
+
+/// A pair of composable canonical coercions whose heights are close to
+/// the requested bound (for the composition microbenchmarks, E16).
+pub fn composable_pair_of_height(seed: u64, height: usize) -> (SpaceCoercion, SpaceCoercion) {
+    let mut gen = Gen::new(seed);
+    // Grow the source type tall enough to admit tall coercions.
+    let mut attempt = 0u64;
+    loop {
+        let src = gen.ty(height);
+        let (s, mid) = gen.space_from(&src, height + 1);
+        let (t, _) = gen.space_from(&mid, height + 1);
+        if s.height().max(t.height()) >= height || attempt > 200 {
+            return (s, t);
+        }
+        attempt += 1;
+    }
+}
+
+/// A batch of composable pairs for averaging.
+pub fn composable_batch(seed: u64, height: usize, n: usize) -> Vec<(SpaceCoercion, SpaceCoercion)> {
+    (0..n as u64)
+        .map(|i| composable_pair_of_height(seed.wrapping_add(i), height))
+        .collect()
+}
+
+/// Random well-typed λB programs for throughput benchmarks.
+pub fn random_programs(seed: u64, n: usize) -> Vec<bc_lambda_b::Term> {
+    let mut gen = Gen::new(seed);
+    (0..n)
+        .map(|_| {
+            let ty = gen.ty(1);
+            gen.term_b(&ty, 4)
+        })
+        .collect()
+}
+
+/// The GTLC source of the boundary-crossing loop (compiled end to end
+/// by the `end_to_end` bench).
+pub fn boundary_source(n: i64) -> String {
+    format!(
+        "letrec loop (n : Int) : Bool = \
+           if n = 0 then true else ((loop : ?) : Int -> Bool) (n - 1) \
+         in loop {n}"
+    )
+}
+
+/// A cast-free, fully static GTLC source (the no-overhead baseline).
+pub fn static_source(n: i64) -> String {
+    format!(
+        "letrec loop (n : Int) : Bool = \
+           if n = 0 then true else loop (n - 1) \
+         in loop {n}"
+    )
+}
+
+/// Checks a type is exported (keeps the facade crates linked in).
+pub fn _touch(_: &Type) {}

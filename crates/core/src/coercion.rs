@@ -1,0 +1,505 @@
+//! Space-efficient coercions: the canonical-form grammar of Figure 5.
+//!
+//! ```text
+//! s, t ::= id? | (G?p ; i) | i          (space-efficient coercions)
+//! i    ::= (g ; G!) | g | ⊥GpH          (intermediate coercions)
+//! g, h ::= idι | (s → t)                (ground coercions)
+//! ```
+//!
+//! There is exactly one space-efficient coercion per equivalence class
+//! of λC coercions with respect to Henglein's equational theory; the
+//! grammar is chosen so that composition ([`crate::compose::compose`])
+//! is a short structural recursion.
+
+use std::fmt;
+use std::rc::Rc;
+
+use bc_lambda_c::coercion::Coercion;
+use bc_syntax::{BaseType, Ground, Label, Type};
+
+/// Space-efficient coercions `s, t`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpaceCoercion {
+    /// The identity at the dynamic type, `id?`.
+    IdDyn,
+    /// A projection followed by an intermediate coercion, `G?p ; i`.
+    Proj(Ground, Label, Intermediate),
+    /// Just an intermediate coercion `i`.
+    Mid(Intermediate),
+}
+
+/// Intermediate coercions `i`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Intermediate {
+    /// A ground coercion followed by an injection, `g ; G!`.
+    Inj(GroundCoercion, Ground),
+    /// Just a ground coercion `g`.
+    Ground(GroundCoercion),
+    /// The failure coercion `⊥GpH`.
+    Fail(Ground, Label, Ground),
+}
+
+/// Ground coercions `g, h`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GroundCoercion {
+    /// The identity at a base type, `idι`.
+    IdBase(BaseType),
+    /// A function coercion `s → t` between space-efficient coercions.
+    Fun(Rc<SpaceCoercion>, Rc<SpaceCoercion>),
+}
+
+impl SpaceCoercion {
+    /// The identity coercion at a base type, `idι`.
+    pub fn id_base(b: BaseType) -> SpaceCoercion {
+        SpaceCoercion::Mid(Intermediate::Ground(GroundCoercion::IdBase(b)))
+    }
+
+    /// The canonical identity coercion at an arbitrary type: `id?` at
+    /// `?`, `idι` at base types, and `id_A → id_B` at function types.
+    pub fn id(ty: &Type) -> SpaceCoercion {
+        match ty {
+            Type::Dyn => SpaceCoercion::IdDyn,
+            Type::Base(b) => SpaceCoercion::id_base(*b),
+            Type::Fun(a, b) => SpaceCoercion::fun(SpaceCoercion::id(a), SpaceCoercion::id(b)),
+        }
+    }
+
+    /// The function coercion `dom → cod` as a space-efficient coercion.
+    pub fn fun(dom: SpaceCoercion, cod: SpaceCoercion) -> SpaceCoercion {
+        SpaceCoercion::Mid(Intermediate::Ground(GroundCoercion::Fun(
+            Rc::new(dom),
+            Rc::new(cod),
+        )))
+    }
+
+    /// `g ; G!` — a ground coercion followed by an injection.
+    pub fn inj(g: GroundCoercion, ground: Ground) -> SpaceCoercion {
+        SpaceCoercion::Mid(Intermediate::Inj(g, ground))
+    }
+
+    /// `G?p ; i` — a projection followed by an intermediate coercion.
+    pub fn proj(ground: Ground, label: Label, i: Intermediate) -> SpaceCoercion {
+        SpaceCoercion::Proj(ground, label, i)
+    }
+
+    /// The failure `⊥GpH`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `G = H`.
+    pub fn fail(g: Ground, p: Label, h: Ground) -> SpaceCoercion {
+        assert_ne!(g, h, "⊥GpH requires G ≠ H");
+        SpaceCoercion::Mid(Intermediate::Fail(g, p, h))
+    }
+
+    /// Whether this is an identity coercion (`id?` or `idι`); the
+    /// non-identities are the paper's *identity-free* coercions `f`,
+    /// which may decorate evaluation contexts.
+    pub fn is_identity(&self) -> bool {
+        matches!(
+            self,
+            SpaceCoercion::IdDyn
+                | SpaceCoercion::Mid(Intermediate::Ground(GroundCoercion::IdBase(_)))
+        )
+    }
+
+    /// Synthesises `s : A ⇒ B` when the coercion contains no failure.
+    pub fn synthesize(&self) -> Option<(Type, Type)> {
+        match self {
+            SpaceCoercion::IdDyn => Some((Type::Dyn, Type::Dyn)),
+            SpaceCoercion::Proj(g, _, i) => {
+                let (src, tgt) = i.synthesize()?;
+                if src == g.ty() {
+                    Some((Type::Dyn, tgt))
+                } else {
+                    None
+                }
+            }
+            SpaceCoercion::Mid(i) => i.synthesize(),
+        }
+    }
+
+    /// Checks the typing judgment `s : A ⇒ B`.
+    pub fn check(&self, source: &Type, target: &Type) -> bool {
+        match self {
+            SpaceCoercion::IdDyn => source.is_dyn() && target.is_dyn(),
+            SpaceCoercion::Proj(g, _, i) => source.is_dyn() && i.check(&g.ty(), target),
+            SpaceCoercion::Mid(i) => i.check(source, target),
+        }
+    }
+
+    /// A *representative* source type: a type `A` with `s : A ⇒ B`
+    /// for some `B`. `⊥GpH` contributes its named ground `G` where the
+    /// true source is unconstrained.
+    pub fn source_representative(&self) -> Type {
+        match self {
+            SpaceCoercion::IdDyn | SpaceCoercion::Proj(_, _, _) => Type::Dyn,
+            SpaceCoercion::Mid(i) => i.source_representative(),
+        }
+    }
+
+    /// A *representative* target type (see
+    /// [`SpaceCoercion::source_representative`]).
+    pub fn target_representative(&self) -> Type {
+        match self {
+            SpaceCoercion::IdDyn => Type::Dyn,
+            SpaceCoercion::Proj(_, _, i) | SpaceCoercion::Mid(i) => i.target_representative(),
+        }
+    }
+
+    /// The height `‖s‖`, matching the λC height of the corresponding
+    /// coercion: compositions take the max, function coercions add
+    /// one.
+    pub fn height(&self) -> usize {
+        match self {
+            SpaceCoercion::IdDyn => 1,
+            SpaceCoercion::Proj(_, _, i) => i.height(),
+            SpaceCoercion::Mid(i) => i.height(),
+        }
+    }
+
+    /// The number of syntax nodes. A space-efficient coercion contains
+    /// at most two compositions per layer, so size is bounded by a
+    /// function of height: `size(s) ≤ 3·(2^height − 1)` (validated by
+    /// property test).
+    pub fn size(&self) -> usize {
+        match self {
+            SpaceCoercion::IdDyn => 1,
+            SpaceCoercion::Proj(_, _, i) => 1 + i.size(),
+            SpaceCoercion::Mid(i) => i.size(),
+        }
+    }
+
+    /// Whether `s safeS q`: as in λC, the coercion is safe for `q` iff
+    /// it does not mention `q`.
+    pub fn safe_for(&self, q: Label) -> bool {
+        match self {
+            SpaceCoercion::IdDyn => true,
+            SpaceCoercion::Proj(_, p, i) => *p != q && i.safe_for(q),
+            SpaceCoercion::Mid(i) => i.safe_for(q),
+        }
+    }
+
+    /// Every blame label mentioned, in syntactic order.
+    pub fn labels(&self) -> Vec<Label> {
+        let mut out = Vec::new();
+        self.collect_labels(&mut out);
+        out
+    }
+
+    fn collect_labels(&self, out: &mut Vec<Label>) {
+        match self {
+            SpaceCoercion::IdDyn => {}
+            SpaceCoercion::Proj(_, p, i) => {
+                out.push(*p);
+                i.collect_labels(out);
+            }
+            SpaceCoercion::Mid(i) => i.collect_labels(out),
+        }
+    }
+
+    /// The inclusion `|s|SC` of space-efficient coercions into λC
+    /// coercions — "trivial, since each space-efficient coercion is a
+    /// coercion" (§4.1).
+    pub fn to_coercion(&self) -> Coercion {
+        match self {
+            SpaceCoercion::IdDyn => Coercion::id(Type::Dyn),
+            SpaceCoercion::Proj(g, p, i) => {
+                Coercion::proj(*g, *p).seq(i.to_coercion())
+            }
+            SpaceCoercion::Mid(i) => i.to_coercion(),
+        }
+    }
+}
+
+impl Intermediate {
+    fn synthesize(&self) -> Option<(Type, Type)> {
+        match self {
+            Intermediate::Inj(g, ground) => {
+                let (src, tgt) = g.synthesize()?;
+                if tgt == ground.ty() {
+                    Some((src, Type::Dyn))
+                } else {
+                    None
+                }
+            }
+            Intermediate::Ground(g) => g.synthesize(),
+            Intermediate::Fail(_, _, _) => None,
+        }
+    }
+
+    fn check(&self, source: &Type, target: &Type) -> bool {
+        match self {
+            Intermediate::Inj(g, ground) => target.is_dyn() && g.check(source, &ground.ty()),
+            Intermediate::Ground(g) => g.check(source, target),
+            Intermediate::Fail(g, _, h) => {
+                g != h && !source.is_dyn() && source.compatible(&g.ty())
+            }
+        }
+    }
+
+    fn height(&self) -> usize {
+        match self {
+            Intermediate::Inj(g, _) => g.height(),
+            Intermediate::Ground(g) => g.height(),
+            Intermediate::Fail(_, _, _) => 1,
+        }
+    }
+
+    fn size(&self) -> usize {
+        match self {
+            Intermediate::Inj(g, _) => 1 + g.size(),
+            Intermediate::Ground(g) => g.size(),
+            Intermediate::Fail(_, _, _) => 1,
+        }
+    }
+
+    fn safe_for(&self, q: Label) -> bool {
+        match self {
+            Intermediate::Inj(g, _) => g.safe_for(q),
+            Intermediate::Ground(g) => g.safe_for(q),
+            Intermediate::Fail(_, p, _) => *p != q,
+        }
+    }
+
+    fn collect_labels(&self, out: &mut Vec<Label>) {
+        match self {
+            Intermediate::Inj(g, _) => g.collect_labels(out),
+            Intermediate::Ground(g) => g.collect_labels(out),
+            Intermediate::Fail(_, p, _) => out.push(*p),
+        }
+    }
+
+    fn source_representative(&self) -> Type {
+        match self {
+            Intermediate::Inj(g, _) | Intermediate::Ground(g) => g.source_representative(),
+            Intermediate::Fail(g, _, _) => g.ty(),
+        }
+    }
+
+    fn target_representative(&self) -> Type {
+        match self {
+            Intermediate::Inj(_, _) => Type::Dyn,
+            Intermediate::Ground(g) => g.target_representative(),
+            Intermediate::Fail(_, _, h) => h.ty(),
+        }
+    }
+
+    /// The inclusion into λC coercions.
+    pub fn to_coercion(&self) -> Coercion {
+        match self {
+            Intermediate::Inj(g, ground) => g.to_coercion().seq(Coercion::inj(*ground)),
+            Intermediate::Ground(g) => g.to_coercion(),
+            Intermediate::Fail(g, p, h) => Coercion::fail(*g, *p, *h),
+        }
+    }
+}
+
+impl GroundCoercion {
+    fn synthesize(&self) -> Option<(Type, Type)> {
+        match self {
+            GroundCoercion::IdBase(b) => Some((b.ty(), b.ty())),
+            GroundCoercion::Fun(s, t) => {
+                let (a_prime, a) = s.synthesize()?;
+                let (b, b_prime) = t.synthesize()?;
+                Some((Type::fun(a, b), Type::fun(a_prime, b_prime)))
+            }
+        }
+    }
+
+    fn check(&self, source: &Type, target: &Type) -> bool {
+        match self {
+            GroundCoercion::IdBase(b) => *source == b.ty() && *target == b.ty(),
+            GroundCoercion::Fun(s, t) => match (source, target) {
+                (Type::Fun(a, b), Type::Fun(a2, b2)) => s.check(a2, a) && t.check(b, b2),
+                _ => false,
+            },
+        }
+    }
+
+    fn height(&self) -> usize {
+        match self {
+            GroundCoercion::IdBase(_) => 1,
+            GroundCoercion::Fun(s, t) => 1 + s.height().max(t.height()),
+        }
+    }
+
+    fn size(&self) -> usize {
+        match self {
+            GroundCoercion::IdBase(_) => 1,
+            GroundCoercion::Fun(s, t) => 1 + s.size() + t.size(),
+        }
+    }
+
+    fn safe_for(&self, q: Label) -> bool {
+        match self {
+            GroundCoercion::IdBase(_) => true,
+            GroundCoercion::Fun(s, t) => s.safe_for(q) && t.safe_for(q),
+        }
+    }
+
+    fn collect_labels(&self, out: &mut Vec<Label>) {
+        match self {
+            GroundCoercion::IdBase(_) => {}
+            GroundCoercion::Fun(s, t) => {
+                s.collect_labels(out);
+                t.collect_labels(out);
+            }
+        }
+    }
+
+    fn source_representative(&self) -> Type {
+        match self {
+            GroundCoercion::IdBase(b) => b.ty(),
+            GroundCoercion::Fun(s, t) => Type::fun(
+                s.target_representative(),
+                t.source_representative(),
+            ),
+        }
+    }
+
+    fn target_representative(&self) -> Type {
+        match self {
+            GroundCoercion::IdBase(b) => b.ty(),
+            GroundCoercion::Fun(s, t) => Type::fun(
+                s.source_representative(),
+                t.target_representative(),
+            ),
+        }
+    }
+
+    /// The inclusion into λC coercions.
+    pub fn to_coercion(&self) -> Coercion {
+        match self {
+            GroundCoercion::IdBase(b) => Coercion::id(b.ty()),
+            GroundCoercion::Fun(s, t) => Coercion::fun(s.to_coercion(), t.to_coercion()),
+        }
+    }
+}
+
+impl fmt::Display for SpaceCoercion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpaceCoercion::IdDyn => f.write_str("id?"),
+            SpaceCoercion::Proj(g, p, i) => write!(f, "(({g})?{p} ; {i})"),
+            SpaceCoercion::Mid(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+impl fmt::Display for Intermediate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Intermediate::Inj(g, ground) => write!(f, "({g} ; ({ground})!)"),
+            Intermediate::Ground(g) => write!(f, "{g}"),
+            Intermediate::Fail(g, p, h) => write!(f, "⊥[{g},{p},{h}]"),
+        }
+    }
+}
+
+impl fmt::Display for GroundCoercion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroundCoercion::IdBase(b) => write!(f, "id{b}"),
+            GroundCoercion::Fun(s, t) => write!(f, "({s} -> {t})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gi() -> Ground {
+        Ground::Base(BaseType::Int)
+    }
+    fn p(n: u32) -> Label {
+        Label::new(n)
+    }
+
+    #[test]
+    fn canonical_identities() {
+        assert_eq!(SpaceCoercion::id(&Type::DYN), SpaceCoercion::IdDyn);
+        assert!(SpaceCoercion::id(&Type::INT).check(&Type::INT, &Type::INT));
+        let ii = Type::fun(Type::INT, Type::INT);
+        assert!(SpaceCoercion::id(&ii).check(&ii, &ii));
+        assert!(SpaceCoercion::id(&ii).is_identity() == false);
+        assert!(SpaceCoercion::IdDyn.is_identity());
+        assert!(SpaceCoercion::id_base(BaseType::Int).is_identity());
+    }
+
+    #[test]
+    fn source_and_target_lemma() {
+        // Lemma 13: an intermediate coercion's source is never ?;
+        // a ground coercion's source and target are never ? and both
+        // are compatible with the same unique ground type.
+        let samples: Vec<SpaceCoercion> = vec![
+            SpaceCoercion::id_base(BaseType::Int),
+            SpaceCoercion::inj(GroundCoercion::IdBase(BaseType::Bool), Ground::Base(BaseType::Bool)),
+            SpaceCoercion::fun(SpaceCoercion::IdDyn, SpaceCoercion::IdDyn),
+        ];
+        for s in &samples {
+            if let SpaceCoercion::Mid(i) = s {
+                let (src, _) = i.synthesize().expect("no failures in samples");
+                assert!(!src.is_dyn(), "{s}");
+            }
+        }
+        // Ground coercion endpoints share their ground type.
+        let g = GroundCoercion::Fun(
+            Rc::new(SpaceCoercion::IdDyn),
+            Rc::new(SpaceCoercion::IdDyn),
+        );
+        let (src, tgt) = g.synthesize().unwrap();
+        assert_eq!(src.ground_of(), tgt.ground_of());
+    }
+
+    #[test]
+    fn typing_of_projection_form() {
+        // Int?p ; idInt : ? ⇒ Int
+        let s = SpaceCoercion::proj(
+            gi(),
+            p(0),
+            Intermediate::Ground(GroundCoercion::IdBase(BaseType::Int)),
+        );
+        assert!(s.check(&Type::DYN, &Type::INT));
+        assert_eq!(s.synthesize(), Some((Type::DYN, Type::INT)));
+        // idInt ; Int! : Int ⇒ ?
+        let t = SpaceCoercion::inj(GroundCoercion::IdBase(BaseType::Int), gi());
+        assert!(t.check(&Type::INT, &Type::DYN));
+    }
+
+    #[test]
+    fn height_and_size() {
+        let s = SpaceCoercion::fun(
+            SpaceCoercion::IdDyn,
+            SpaceCoercion::fun(SpaceCoercion::IdDyn, SpaceCoercion::IdDyn),
+        );
+        assert_eq!(s.height(), 3);
+        assert!(s.size() <= 3 * (2usize.pow(3) - 1));
+    }
+
+    #[test]
+    fn inclusion_into_lambda_c_types_the_same() {
+        let s = SpaceCoercion::proj(
+            gi(),
+            p(0),
+            Intermediate::Inj(GroundCoercion::IdBase(BaseType::Int), gi()),
+        );
+        let c = s.to_coercion();
+        assert!(c.check(&Type::DYN, &Type::DYN));
+        assert!(s.check(&Type::DYN, &Type::DYN));
+    }
+
+    #[test]
+    fn safety_matches_label_mention() {
+        let s = SpaceCoercion::proj(
+            gi(),
+            p(3),
+            Intermediate::Fail(gi(), p(4), Ground::Fun),
+        );
+        assert!(!s.safe_for(p(3)));
+        assert!(!s.safe_for(p(4)));
+        assert!(s.safe_for(p(5)));
+        assert_eq!(s.labels(), vec![p(3), p(4)]);
+    }
+}

@@ -1,0 +1,424 @@
+//! Small-step reduction `M ⟶S N` for λS (Figure 5).
+//!
+//! The key idea (after Herman et al. and Siek–Wadler 2010) is to
+//! *combine adjacent coercions before anything else*:
+//!
+//! ```text
+//! E[(U⟨s→t⟩) V]  ⟶ E[(U (V⟨s⟩))⟨t⟩]
+//! F[U⟨idι⟩]      ⟶ F[U]
+//! F[U⟨id?⟩]      ⟶ F[U]
+//! F[M⟨s⟩⟨t⟩]     ⟶ F[M⟨s # t⟩]        (M need not be a value!)
+//! F[U⟨⊥GpH⟩]     ⟶ blame p
+//! E[blame p]     ⟶ blame p             (E ≠ □)
+//! ```
+//!
+//! The merge rule fires on arbitrary `M`, and evaluation contexts
+//! never stack two coercion frames, so at any moment each evaluation-
+//! context layer carries at most one coercion whose size is bounded by
+//! its height (which composition preserves, Proposition 14). That is
+//! the entire space-efficiency argument, made operational.
+//!
+//! One liberalisation relative to the paper's context grammar: Figure
+//! 5 only decorates contexts with *identity-free* coercions `f`, but
+//! the term translation `|·|CS` can place `id?`/`idι` on non-values
+//! (e.g. `|M⟨id_A⟩|CS`), and such terms must keep evaluating for
+//! progress and for the bisimulation of §4.1 to work. We therefore
+//! evaluate under any *single* coercion frame; the merge rule still
+//! takes priority, so determinism and the space bound are unaffected
+//! (see DESIGN.md §3).
+
+use bc_syntax::{Constant, Label, Type};
+
+use crate::coercion::{GroundCoercion, Intermediate, SpaceCoercion};
+use crate::compose::compose;
+use crate::subst::subst;
+use crate::term::Term;
+use crate::typing::{type_of, TypeError};
+
+/// The result of attempting one reduction step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Step {
+    /// `M ⟶S N`.
+    Next(Term),
+    /// The term is a value.
+    Value,
+    /// The term is `blame p`.
+    Blame(Label),
+}
+
+/// The final outcome of evaluating a term.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Evaluation converged to a value.
+    Value(Term),
+    /// Evaluation allocated blame.
+    Blame(Label),
+    /// Fuel was exhausted.
+    Timeout,
+}
+
+/// Metrics and result of a fueled run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Run {
+    /// The final outcome.
+    pub outcome: Outcome,
+    /// Number of reduction steps taken.
+    pub steps: u64,
+    /// Peak term size observed.
+    pub peak_size: usize,
+    /// Peak total coercion size observed — bounded in λS.
+    pub peak_coercion_size: usize,
+}
+
+enum Sub {
+    Stepped(Term),
+    Value,
+    Raise(Label),
+}
+
+/// Performs one reduction step on a closed, well-typed λS term.
+///
+/// # Panics
+///
+/// Panics if the term is open or ill-typed.
+pub fn step(term: &Term, program_ty: &Type) -> Step {
+    if let Term::Blame(p, _) = term {
+        return Step::Blame(*p);
+    }
+    if term.is_value() {
+        return Step::Value;
+    }
+    match step_sub(term) {
+        Sub::Stepped(t) => Step::Next(t),
+        Sub::Raise(p) => Step::Next(Term::Blame(p, program_ty.clone())),
+        Sub::Value => unreachable!("non-value term did not step: {term}"),
+    }
+}
+
+fn step_sub(term: &Term) -> Sub {
+    if term.is_value() {
+        return Sub::Value;
+    }
+    match term {
+        Term::Const(_) | Term::Lam(_, _, _) | Term::Fix(_, _, _, _, _) => Sub::Value,
+        Term::Var(x) => panic!("evaluation reached a free variable `{x}`"),
+        Term::Blame(p, _) => Sub::Raise(*p),
+        Term::Op(op, args) => {
+            for (i, arg) in args.iter().enumerate() {
+                match step_sub(arg) {
+                    Sub::Stepped(a2) => {
+                        let mut args2 = args.clone();
+                        args2[i] = a2;
+                        return Sub::Stepped(Term::Op(*op, args2));
+                    }
+                    Sub::Raise(p) => return Sub::Raise(p),
+                    Sub::Value => continue,
+                }
+            }
+            let consts: Vec<Constant> = args
+                .iter()
+                .map(|a| match a {
+                    Term::Const(k) => *k,
+                    other => panic!("operator argument is not a constant: {other}"),
+                })
+                .collect();
+            Sub::Stepped(Term::Const(op.apply(&consts)))
+        }
+        Term::If(cond, then_, else_) => match step_sub(cond) {
+            Sub::Stepped(c2) => Sub::Stepped(Term::If(c2.into(), then_.clone(), else_.clone())),
+            Sub::Raise(p) => Sub::Raise(p),
+            Sub::Value => match &**cond {
+                Term::Const(Constant::Bool(true)) => Sub::Stepped((**then_).clone()),
+                Term::Const(Constant::Bool(false)) => Sub::Stepped((**else_).clone()),
+                other => panic!("if condition is not a boolean: {other}"),
+            },
+        },
+        Term::Let(x, m, n) => match step_sub(m) {
+            Sub::Stepped(m2) => Sub::Stepped(Term::Let(x.clone(), m2.into(), n.clone())),
+            Sub::Raise(p) => Sub::Raise(p),
+            Sub::Value => Sub::Stepped(subst(n, x, m)),
+        },
+        Term::App(l, m) => match step_sub(l) {
+            Sub::Stepped(l2) => Sub::Stepped(Term::App(l2.into(), m.clone())),
+            Sub::Raise(p) => Sub::Raise(p),
+            Sub::Value => match step_sub(m) {
+                Sub::Stepped(m2) => Sub::Stepped(Term::App(l.clone(), m2.into())),
+                Sub::Raise(p) => Sub::Raise(p),
+                Sub::Value => apply(l, m),
+            },
+        },
+        Term::Coerce(m, t) => {
+            // Merge FIRST: F[M⟨s⟩⟨t⟩] ⟶ F[M⟨s # t⟩], for any M.
+            if let Term::Coerce(inner, s) = &**m {
+                return Sub::Stepped(Term::Coerce(inner.clone(), compose(s, t)));
+            }
+            match step_sub(m) {
+                Sub::Stepped(m2) => Sub::Stepped(Term::Coerce(m2.into(), t.clone())),
+                Sub::Raise(p) => Sub::Raise(p),
+                Sub::Value => coerce_value(m, t),
+            }
+        }
+    }
+}
+
+/// Contracts an application of values.
+fn apply(fun: &Term, arg: &Term) -> Sub {
+    match fun {
+        Term::Lam(x, _, body) => Sub::Stepped(subst(body, x, arg)),
+        Term::Fix(f, x, _, _, body) => {
+            let unrolled = subst(body, f, fun);
+            Sub::Stepped(subst(&unrolled, x, arg))
+        }
+        // (U⟨s→t⟩) V ⟶ (U (V⟨s⟩))⟨t⟩
+        Term::Coerce(u, SpaceCoercion::Mid(Intermediate::Ground(GroundCoercion::Fun(s, t)))) => {
+            let coerced_arg = arg.clone().coerce((**s).clone());
+            Sub::Stepped(
+                Term::App(u.clone(), coerced_arg.into()).coerce((**t).clone()),
+            )
+        }
+        other => panic!("applied a non-function value: {other}"),
+    }
+}
+
+/// Reduces `U⟨s⟩` where `U` is an uncoerced value and the whole term
+/// is not a value.
+fn coerce_value(value: &Term, s: &SpaceCoercion) -> Sub {
+    debug_assert!(value.is_uncoerced_value());
+    match s {
+        // F[U⟨id?⟩] ⟶ F[U]
+        SpaceCoercion::IdDyn => Sub::Stepped(value.clone()),
+        SpaceCoercion::Mid(i) => match i {
+            // F[U⟨idι⟩] ⟶ F[U]
+            Intermediate::Ground(GroundCoercion::IdBase(_)) => Sub::Stepped(value.clone()),
+            // F[U⟨⊥GpH⟩] ⟶ blame p
+            Intermediate::Fail(_, p, _) => Sub::Raise(*p),
+            Intermediate::Ground(GroundCoercion::Fun(_, _)) | Intermediate::Inj(_, _) => {
+                unreachable!("function coercions and injections of values are values")
+            }
+        },
+        SpaceCoercion::Proj(_, _, _) => {
+            unreachable!("an uncoerced value cannot have type ? (so no projection applies)")
+        }
+    }
+}
+
+/// Evaluates a closed, well-typed λS term for at most `fuel` steps.
+///
+/// # Errors
+///
+/// Returns the [`TypeError`] if the term is not closed and well typed.
+pub fn run(term: &Term, fuel: u64) -> Result<Run, TypeError> {
+    let ty = type_of(term)?;
+    let mut current = term.clone();
+    let mut steps = 0u64;
+    let mut peak_size = current.size();
+    let mut peak_coercion_size = current.coercion_size();
+    loop {
+        match step(&current, &ty) {
+            Step::Value => {
+                return Ok(Run {
+                    outcome: Outcome::Value(current),
+                    steps,
+                    peak_size,
+                    peak_coercion_size,
+                })
+            }
+            Step::Blame(p) => {
+                return Ok(Run {
+                    outcome: Outcome::Blame(p),
+                    steps,
+                    peak_size,
+                    peak_coercion_size,
+                })
+            }
+            Step::Next(next) => {
+                steps += 1;
+                peak_size = peak_size.max(next.size());
+                peak_coercion_size = peak_coercion_size.max(next.coercion_size());
+                current = next;
+                if steps >= fuel {
+                    return Ok(Run {
+                        outcome: Outcome::Timeout,
+                        steps,
+                        peak_size,
+                        peak_coercion_size,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bc_syntax::{BaseType, Ground, Label, Op};
+
+    fn gi() -> Ground {
+        Ground::Base(BaseType::Int)
+    }
+    fn gb() -> Ground {
+        Ground::Base(BaseType::Bool)
+    }
+    fn p(n: u32) -> Label {
+        Label::new(n)
+    }
+    fn id_int() -> GroundCoercion {
+        GroundCoercion::IdBase(BaseType::Int)
+    }
+
+    fn eval_value(term: &Term) -> Term {
+        match run(term, 10_000).expect("well typed").outcome {
+            Outcome::Value(v) => v,
+            other => panic!("expected value, got {other:?}"),
+        }
+    }
+
+    fn eval_blame(term: &Term) -> Label {
+        match run(term, 10_000).expect("well typed").outcome {
+            Outcome::Blame(l) => l,
+            other => panic!("expected blame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_fires_before_evaluation() {
+        // (1+1)⟨idInt;Int!⟩⟨Int?p;idInt⟩ first merges the coercions to
+        // idInt, *then* evaluates the sum.
+        let m = Term::op2(Op::Add, Term::int(1), Term::int(1))
+            .coerce(SpaceCoercion::inj(id_int(), gi()))
+            .coerce(SpaceCoercion::proj(
+                gi(),
+                p(0),
+                Intermediate::Ground(id_int()),
+            ));
+        let ty = type_of(&m).unwrap();
+        match step(&m, &ty) {
+            Step::Next(n) => {
+                assert_eq!(
+                    n,
+                    Term::op2(Op::Add, Term::int(1), Term::int(1))
+                        .coerce(SpaceCoercion::id_base(BaseType::Int))
+                );
+            }
+            other => panic!("expected merge step, got {other:?}"),
+        }
+        assert_eq!(eval_value(&m), Term::int(2));
+    }
+
+    #[test]
+    fn round_trip_collapses() {
+        let m = Term::int(7)
+            .coerce(SpaceCoercion::inj(id_int(), gi()))
+            .coerce(SpaceCoercion::proj(
+                gi(),
+                p(0),
+                Intermediate::Ground(id_int()),
+            ));
+        assert_eq!(eval_value(&m), Term::int(7));
+    }
+
+    #[test]
+    fn mismatch_produces_failure_then_blame() {
+        let m = Term::int(7)
+            .coerce(SpaceCoercion::inj(id_int(), gi()))
+            .coerce(SpaceCoercion::proj(
+                gb(),
+                p(1),
+                Intermediate::Ground(GroundCoercion::IdBase(BaseType::Bool)),
+            ));
+        assert_eq!(eval_blame(&m), p(1));
+    }
+
+    #[test]
+    fn function_coercion_application() {
+        let inc = Term::lam(
+            "x",
+            Type::INT,
+            Term::op2(Op::Add, Term::var("x"), Term::int(1)),
+        );
+        let s = SpaceCoercion::proj(gi(), p(0), Intermediate::Ground(id_int()));
+        let t = SpaceCoercion::inj(id_int(), gi());
+        let wrapped = inc.coerce(SpaceCoercion::fun(s, t));
+        let m = wrapped.app(Term::int(1).coerce(SpaceCoercion::inj(id_int(), gi())));
+        assert_eq!(
+            eval_value(&m),
+            Term::int(2).coerce(SpaceCoercion::inj(id_int(), gi()))
+        );
+    }
+
+    #[test]
+    fn identity_on_non_value_still_progresses() {
+        // The liberalised context: (1+1)⟨idInt⟩ evaluates under the
+        // identity coercion, then unwraps.
+        let m = Term::op2(Op::Add, Term::int(1), Term::int(1))
+            .coerce(SpaceCoercion::id_base(BaseType::Int));
+        assert_eq!(eval_value(&m), Term::int(2));
+    }
+
+    #[test]
+    fn bounded_coercions_under_stacking() {
+        // Stacking n round-trip coercions on a value merges them pair
+        // by pair; the peak coercion size stays constant.
+        fn stacked(n: usize) -> Term {
+            let mut m = Term::int(1);
+            for k in 0..n {
+                m = m
+                    .coerce(SpaceCoercion::inj(id_int(), gi()))
+                    .coerce(SpaceCoercion::proj(
+                        gi(),
+                        p(k as u32),
+                        Intermediate::Ground(id_int()),
+                    ));
+            }
+            m
+        }
+        let r8 = run(&stacked(8), 10_000).unwrap();
+        let r64 = run(&stacked(64), 10_000).unwrap();
+        assert_eq!(r8.outcome, Outcome::Value(Term::int(1)));
+        assert_eq!(r64.outcome, Outcome::Value(Term::int(1)));
+        // The initial term itself is linear in n, but merging keeps
+        // the *growth* nil: peak equals the initial size.
+        assert_eq!(r64.peak_coercion_size, stacked(64).coercion_size());
+    }
+
+    #[test]
+    fn failure_blames() {
+        let m = Term::int(1).coerce(SpaceCoercion::fail(gi(), p(3), gb()));
+        assert_eq!(eval_blame(&m), p(3));
+    }
+
+    #[test]
+    fn preservation_along_a_run() {
+        let inc = Term::lam(
+            "x",
+            Type::INT,
+            Term::op2(Op::Add, Term::var("x"), Term::int(1)),
+        );
+        let s = SpaceCoercion::proj(gi(), p(0), Intermediate::Ground(id_int()));
+        let t = SpaceCoercion::inj(id_int(), gi());
+        let m = inc
+            .coerce(SpaceCoercion::fun(s, t))
+            .app(Term::int(1).coerce(SpaceCoercion::inj(id_int(), gi())))
+            .coerce(SpaceCoercion::proj(
+                gi(),
+                p(4),
+                Intermediate::Ground(id_int()),
+            ));
+        let ty = type_of(&m).unwrap();
+        let mut cur = m;
+        loop {
+            match step(&cur, &ty) {
+                Step::Next(n) => {
+                    assert_eq!(type_of(&n), Ok(ty.clone()), "preservation at {n}");
+                    cur = n;
+                }
+                Step::Value => {
+                    assert_eq!(cur, Term::int(2));
+                    break;
+                }
+                Step::Blame(l) => panic!("unexpected blame {l}"),
+            }
+        }
+    }
+}

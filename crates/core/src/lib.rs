@@ -1,0 +1,46 @@
+//! The space-efficient coercion calculus λS — the primary contribution
+//! of Siek, Thiemann, and Wadler, *Blame and Coercion: Together Again
+//! for the First Time* (PLDI 2015), Figure 5.
+//!
+//! λS restricts coercions to a *canonical form* — a three-part grammar
+//! with one canonical coercion per equivalence class of Henglein's
+//! equational theory — and equips them with a ten-line structural
+//! recursion [`compose`] (`s # t`) that composes two canonical
+//! coercions into a canonical coercion. Because composition preserves
+//! height (Proposition 14) and canonical coercions of bounded height
+//! have bounded size, a program's coercions can be merged eagerly at
+//! run time without ever growing: gradually-typed programs run in
+//! bounded space.
+//!
+//! The dynamics merge adjacent coercions *before* anything else
+//! (`F[M⟨s⟩⟨t⟩] ⟶ F[M⟨s # t⟩]`), which is what restores proper tail
+//! calls across typed/untyped boundaries.
+//!
+//! ```
+//! use bc_core::coercion::{GroundCoercion, Intermediate, SpaceCoercion};
+//! use bc_core::compose::compose;
+//! use bc_syntax::{BaseType, Ground, Label};
+//!
+//! // (idInt ; Int!) # (Int?p ; idInt) = idInt — a round trip through ?
+//! // collapses to the identity, in one composition step.
+//! let g = Ground::Base(BaseType::Int);
+//! let inj = SpaceCoercion::inj(GroundCoercion::IdBase(BaseType::Int), g);
+//! let proj = SpaceCoercion::proj(g, Label::new(0), Intermediate::Ground(GroundCoercion::IdBase(BaseType::Int)));
+//! assert_eq!(compose(&inj, &proj), SpaceCoercion::id_base(BaseType::Int));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coercion;
+pub mod compose;
+pub mod eval;
+pub mod safety;
+pub mod subst;
+pub mod term;
+pub mod typing;
+
+pub use coercion::{GroundCoercion, Intermediate, SpaceCoercion};
+pub use compose::compose;
+pub use term::Term;
+pub use typing::type_of;

@@ -1,0 +1,63 @@
+//! Blame safety `M safeS q` for λS — as λC, a term is safe for `q`
+//! iff none of its coercions mention `q` (Figure 3, applied mutatis
+//! mutandis per §4).
+
+use bc_syntax::Label;
+
+use crate::term::Term;
+
+/// Whether `M safeS q`.
+pub fn term_safe_for(term: &Term, q: Label) -> bool {
+    match term {
+        Term::Const(_) | Term::Var(_) => true,
+        Term::Blame(p, _) => *p != q,
+        Term::Op(_, args) => args.iter().all(|a| term_safe_for(a, q)),
+        Term::Lam(_, _, b) | Term::Fix(_, _, _, _, b) => term_safe_for(b, q),
+        Term::Coerce(m, s) => term_safe_for(m, q) && s.safe_for(q),
+        Term::App(a, b) | Term::Let(_, a, b) => term_safe_for(a, q) && term_safe_for(b, q),
+        Term::If(a, b, c) => term_safe_for(a, q) && term_safe_for(b, q) && term_safe_for(c, q),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coercion::{GroundCoercion, Intermediate, SpaceCoercion};
+    use crate::eval;
+    use crate::typing::type_of;
+    use bc_syntax::{BaseType, Ground, Label};
+
+    #[test]
+    fn safety_is_preserved_by_merging() {
+        // Composition can only *lose* labels, never invent them, so
+        // safety is preserved by the merge rule.
+        let gi = Ground::Base(BaseType::Int);
+        let gb = Ground::Base(BaseType::Bool);
+        let q = Label::new(1);
+        let r = Label::new(2);
+        let m = Term::int(7)
+            .coerce(SpaceCoercion::inj(GroundCoercion::IdBase(BaseType::Int), gi))
+            .coerce(SpaceCoercion::proj(
+                gb,
+                q,
+                Intermediate::Ground(GroundCoercion::IdBase(BaseType::Bool)),
+            ));
+        assert!(!term_safe_for(&m, q));
+        assert!(term_safe_for(&m, r));
+        let ty = type_of(&m).unwrap();
+        let mut cur = m;
+        loop {
+            match eval::step(&cur, &ty) {
+                eval::Step::Next(n) => {
+                    assert!(term_safe_for(&n, r), "safety preserved at {n}");
+                    cur = n;
+                }
+                eval::Step::Blame(l) => {
+                    assert_eq!(l, q);
+                    break;
+                }
+                eval::Step::Value => panic!("expected blame"),
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the λS composition operator `#`
+//! (experiment E11 of DESIGN.md): Proposition 14 (height preservation),
+//! the size-bounded-by-height corollary, associativity, identity laws,
+//! typing, and canonicity — all over randomly generated canonical
+//! coercions.
+
+use bc_core::coercion::SpaceCoercion;
+use bc_core::compose::compose;
+use bc_syntax::Type;
+use bc_testkit::Gen;
+use proptest::prelude::*;
+
+/// Generates a composable pair `s : A ⇒ B`, `t : B ⇒ C`.
+fn composable_pair(gen: &mut Gen) -> (SpaceCoercion, Type, SpaceCoercion, Type, Type) {
+    let src = gen.ty(2);
+    let (s, mid) = gen.space_from(&src, 3);
+    let (t, tgt) = gen.space_from(&mid, 3);
+    (s, src, t, mid, tgt)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Proposition 14: ‖s # t‖ ≤ max(‖s‖, ‖t‖).
+    #[test]
+    fn height_bound(seed in any::<u64>()) {
+        let mut gen = Gen::new(seed);
+        let (s, _, t, _, _) = composable_pair(&mut gen);
+        let st = compose(&s, &t);
+        prop_assert!(
+            st.height() <= s.height().max(t.height()),
+            "‖{s} # {t}‖ = {} > max({}, {})",
+            st.height(), s.height(), t.height()
+        );
+    }
+
+    /// A space-efficient coercion of height h has size ≤ 3·(2^h − 1):
+    /// bounded height implies bounded size, the other half of the
+    /// space-efficiency argument.
+    #[test]
+    fn size_bounded_by_height(seed in any::<u64>()) {
+        let mut gen = Gen::new(seed);
+        let src = gen.ty(2);
+        let (s, _) = gen.space_from(&src, 4);
+        let h = s.height() as u32;
+        prop_assert!(
+            s.size() <= 3 * (2usize.pow(h) - 1),
+            "size({s}) = {} exceeds the bound for height {h}",
+            s.size()
+        );
+    }
+
+    /// Composition is associative — the property whose absence makes
+    /// naive coercion normalisation painful, and which canonical forms
+    /// get for free.
+    #[test]
+    fn associativity(seed in any::<u64>()) {
+        let mut gen = Gen::new(seed);
+        let src = gen.ty(2);
+        let (s, mid1) = gen.space_from(&src, 3);
+        let (t, mid2) = gen.space_from(&mid1, 3);
+        let (u, _) = gen.space_from(&mid2, 3);
+        let left = compose(&compose(&s, &t), &u);
+        let right = compose(&s, &compose(&t, &u));
+        prop_assert_eq!(left, right);
+    }
+
+    /// `id # s = s = s # id` at the appropriate types.
+    #[test]
+    fn identity_laws(seed in any::<u64>()) {
+        let mut gen = Gen::new(seed);
+        let src = gen.ty(2);
+        let (s, tgt) = gen.space_from(&src, 3);
+        prop_assert_eq!(compose(&SpaceCoercion::id(&src), &s), s.clone());
+        prop_assert_eq!(compose(&s, &SpaceCoercion::id(&tgt)), s);
+    }
+
+    /// `s : A ⇒ B` and `t : B ⇒ C` give `s # t : A ⇒ C`.
+    #[test]
+    fn composition_preserves_typing(seed in any::<u64>()) {
+        let mut gen = Gen::new(seed);
+        let (s, src, t, _, tgt) = composable_pair(&mut gen);
+        let st = compose(&s, &t);
+        prop_assert!(st.check(&src, &tgt), "{} at {} => {}", st, src, tgt);
+    }
+
+    /// Composition of canonical forms is canonical: including the
+    /// result into λC and re-normalising is the identity.
+    #[test]
+    fn composition_is_canonical(seed in any::<u64>()) {
+        let mut gen = Gen::new(seed);
+        let (s, _, t, _, _) = composable_pair(&mut gen);
+        let st = compose(&s, &t);
+        prop_assert_eq!(bc_translate::coercion_to_space(&st.to_coercion()), st);
+    }
+
+    /// Labels of the composite are a subset of the operands' labels:
+    /// composition never invents blame (safety preservation).
+    #[test]
+    fn no_new_labels(seed in any::<u64>()) {
+        let mut gen = Gen::new(seed);
+        let (s, _, t, _, _) = composable_pair(&mut gen);
+        let st = compose(&s, &t);
+        let mut allowed = s.labels();
+        allowed.extend(t.labels());
+        for l in st.labels() {
+            prop_assert!(allowed.contains(&l), "label {} appeared from nowhere", l);
+        }
+    }
+
+    /// `#` agrees with λC composition under normalisation:
+    /// `|  |s|SC ; |t|SC  |CS = s # t`.
+    #[test]
+    fn agrees_with_lambda_c_composition(seed in any::<u64>()) {
+        let mut gen = Gen::new(seed);
+        let (s, _, t, _, _) = composable_pair(&mut gen);
+        let via_c = bc_translate::coercion_to_space(
+            &s.to_coercion().seq(t.to_coercion()),
+        );
+        prop_assert_eq!(via_c, compose(&s, &t));
+    }
+}

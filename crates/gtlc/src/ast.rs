@@ -1,0 +1,89 @@
+//! The surface abstract syntax of the GTLC.
+
+use bc_syntax::{Op, Type};
+
+use crate::diagnostics::Span;
+
+/// A surface expression, carrying the source span it was parsed from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// The expression proper.
+    pub kind: ExprKind,
+    /// Where it appears in the source.
+    pub span: Span,
+}
+
+impl Expr {
+    /// Creates an expression node.
+    pub fn new(kind: ExprKind, span: Span) -> Expr {
+        Expr { kind, span }
+    }
+}
+
+/// Expression shapes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// An integer literal.
+    Int(i64),
+    /// A boolean literal.
+    Bool(bool),
+    /// A variable reference.
+    Var(String),
+    /// `fun (x : T) => e` — the annotation defaults to `?` when
+    /// omitted (`fun x => e`), which is what makes the language
+    /// gradual.
+    Lam {
+        /// Parameter name.
+        param: String,
+        /// Parameter type (`?` if unannotated).
+        ty: Type,
+        /// Function body.
+        body: Box<Expr>,
+    },
+    /// Application `e1 e2`.
+    App(Box<Expr>, Box<Expr>),
+    /// A primitive operator application (from `+`, `and`, `not`, …).
+    Prim(Op, Vec<Expr>),
+    /// `if c then t else e`.
+    If(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `let x = e1 in e2` with optional annotation on `x`.
+    Let {
+        /// Bound name.
+        name: String,
+        /// Optional annotation.
+        ty: Option<Type>,
+        /// Bound expression.
+        bound: Box<Expr>,
+        /// Body.
+        body: Box<Expr>,
+    },
+    /// `letrec f (x : T1) : T2 = e1 in e2` — a recursive function.
+    Letrec {
+        /// Function name.
+        name: String,
+        /// Parameter name.
+        param: String,
+        /// Parameter type.
+        param_ty: Type,
+        /// Result type.
+        result_ty: Type,
+        /// Function body.
+        fun_body: Box<Expr>,
+        /// Continuation.
+        body: Box<Expr>,
+    },
+    /// A type ascription `(e : T)`.
+    Ascribe(Box<Expr>, Type),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let e = Expr::new(ExprKind::Int(1), Span::new(0, 1));
+        assert_eq!(e.span.end, 1);
+        assert!(matches!(e.kind, ExprKind::Int(1)));
+    }
+}

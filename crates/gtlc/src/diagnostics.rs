@@ -1,0 +1,134 @@
+//! Source spans and diagnostics for the GTLC front end.
+
+use std::fmt;
+
+/// A half-open byte range into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span from byte offsets.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// The span covering both operands.
+    #[must_use]
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// A zero-width span (used for end-of-input diagnostics).
+    pub fn point(at: usize) -> Span {
+        Span { start: at, end: at }
+    }
+}
+
+/// A compiler diagnostic: a message attached to a source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Human-readable message (lowercase, no trailing period).
+    pub message: String,
+    /// Where in the source the problem lies.
+    pub span: Span,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic.
+    pub fn new(message: impl Into<String>, span: Span) -> Diagnostic {
+        Diagnostic {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Renders the diagnostic against the source text, with a caret
+    /// line pointing at the offending span:
+    ///
+    /// ```text
+    /// error: expected `then`
+    ///   |
+    /// 2 | if x els y
+    ///   |      ^^^
+    /// ```
+    pub fn render(&self, source: &str) -> String {
+        let (line_no, col, line) = locate(source, self.span.start);
+        let width = self.span.end.saturating_sub(self.span.start).max(1);
+        let width = width.min(line.len().saturating_sub(col).max(1));
+        let gutter = format!("{line_no}");
+        let pad = " ".repeat(gutter.len());
+        format!(
+            "error: {}\n{pad} |\n{gutter} | {line}\n{pad} | {}{}",
+            self.message,
+            " ".repeat(col),
+            "^".repeat(width),
+        )
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "error at {}..{}: {}",
+            self.span.start, self.span.end, self.message
+        )
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+/// Finds the 1-based line number, 0-based column, and line text
+/// containing a byte offset.
+fn locate(source: &str, offset: usize) -> (usize, usize, &str) {
+    let mut line_start = 0usize;
+    let mut line_no = 1usize;
+    for (i, ch) in source.char_indices() {
+        if i >= offset {
+            break;
+        }
+        if ch == '\n' {
+            line_start = i + 1;
+            line_no += 1;
+        }
+    }
+    let line_end = source[line_start..]
+        .find('\n')
+        .map_or(source.len(), |k| line_start + k);
+    (line_no, offset - line_start, &source[line_start..line_end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_merge() {
+        let s = Span::new(2, 5).merge(Span::new(4, 9));
+        assert_eq!(s, Span::new(2, 9));
+    }
+
+    #[test]
+    fn render_points_at_the_span() {
+        let src = "let x = 1 in\nif x els y";
+        let d = Diagnostic::new("expected `then`", Span::new(18, 21));
+        let rendered = d.render(src);
+        assert!(rendered.contains("error: expected `then`"));
+        assert!(rendered.contains("2 | if x els y"));
+        assert!(rendered.contains("^^^"));
+    }
+
+    #[test]
+    fn locate_handles_first_line() {
+        let (line, col, text) = locate("abc def", 4);
+        assert_eq!((line, col, text), (1, 4, "abc def"));
+    }
+}

@@ -1,0 +1,204 @@
+//! Hand-written lexer for the GTLC surface syntax.
+//!
+//! Comments run from `--` to the end of the line. Identifiers are
+//! ASCII `[a-zA-Z_][a-zA-Z0-9_']*`; keywords are carved out of the
+//! identifier space.
+
+use crate::diagnostics::{Diagnostic, Span};
+use crate::token::{Token, TokenKind};
+
+/// Lexes a source string into tokens (ending with an `Eof` token).
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] on unrecognised characters or malformed
+/// integer literals.
+pub fn lex(source: &str) -> Result<Vec<Token>, Diagnostic> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments: -- to end of line.
+        if c == '-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        // Integer literals.
+        if c.is_ascii_digit() {
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            let text = &source[start..i];
+            let value: i64 = text.parse().map_err(|_| {
+                Diagnostic::new(
+                    format!("integer literal `{text}` is out of range"),
+                    Span::new(start, i),
+                )
+            })?;
+            tokens.push(Token {
+                kind: TokenKind::Int(value),
+                span: Span::new(start, i),
+            });
+            continue;
+        }
+        // Identifiers and keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            while i < bytes.len() {
+                let ch = bytes[i] as char;
+                if ch.is_ascii_alphanumeric() || ch == '_' || ch == '\'' {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            let text = &source[start..i];
+            let kind = match text {
+                "fun" => TokenKind::Fun,
+                "let" => TokenKind::Let,
+                "letrec" => TokenKind::Letrec,
+                "in" => TokenKind::In,
+                "if" => TokenKind::If,
+                "then" => TokenKind::Then,
+                "else" => TokenKind::Else,
+                "true" => TokenKind::True,
+                "false" => TokenKind::False,
+                "not" => TokenKind::Not,
+                "and" => TokenKind::And,
+                "or" => TokenKind::Or,
+                "quot" => TokenKind::Quot,
+                "rem" => TokenKind::Rem,
+                "Int" => TokenKind::TyInt,
+                "Bool" => TokenKind::TyBool,
+                _ => TokenKind::Ident(text.to_owned()),
+            };
+            tokens.push(Token {
+                kind,
+                span: Span::new(start, i),
+            });
+            continue;
+        }
+        // Symbols.
+        let (kind, len) = match c {
+            '?' => (TokenKind::Question, 1),
+            '(' => (TokenKind::LParen, 1),
+            ')' => (TokenKind::RParen, 1),
+            ':' => (TokenKind::Colon, 1),
+            '+' => (TokenKind::Plus, 1),
+            '*' => (TokenKind::Star, 1),
+            '=' if bytes.get(i + 1) == Some(&b'>') => (TokenKind::FatArrow, 2),
+            '=' => (TokenKind::Equals, 1),
+            '-' if bytes.get(i + 1) == Some(&b'>') => (TokenKind::Arrow, 2),
+            '-' => (TokenKind::Minus, 1),
+            '<' if bytes.get(i + 1) == Some(&b'=') => (TokenKind::LessEq, 2),
+            '<' => (TokenKind::Less, 1),
+            other => {
+                return Err(Diagnostic::new(
+                    format!("unrecognised character `{other}`"),
+                    Span::new(start, start + other.len_utf8()),
+                ))
+            }
+        };
+        i += len;
+        tokens.push(Token {
+            kind,
+            span: Span::new(start, i),
+        });
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        span: Span::point(source.len()),
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_a_lambda() {
+        assert_eq!(
+            kinds("fun (x : Int) => x + 1"),
+            vec![
+                TokenKind::Fun,
+                TokenKind::LParen,
+                TokenKind::Ident("x".into()),
+                TokenKind::Colon,
+                TokenKind::TyInt,
+                TokenKind::RParen,
+                TokenKind::FatArrow,
+                TokenKind::Ident("x".into()),
+                TokenKind::Plus,
+                TokenKind::Int(1),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn distinguishes_arrows() {
+        assert_eq!(
+            kinds("-> => - ="),
+            vec![
+                TokenKind::Arrow,
+                TokenKind::FatArrow,
+                TokenKind::Minus,
+                TokenKind::Equals,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("1 -- the loneliest number\n2"),
+            vec![TokenKind::Int(1), TokenKind::Int(2), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("< <="),
+            vec![TokenKind::Less, TokenKind::LessEq, TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn primes_in_identifiers() {
+        assert_eq!(
+            kinds("even'"),
+            vec![TokenKind::Ident("even'".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("1 # 2").is_err());
+    }
+
+    #[test]
+    fn rejects_huge_literals() {
+        assert!(lex("99999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn spans_are_accurate() {
+        let toks = lex("let x = 10").unwrap();
+        assert_eq!(toks[3].span, Span::new(8, 10));
+    }
+}

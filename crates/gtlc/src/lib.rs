@@ -1,0 +1,57 @@
+//! A gradually-typed λ-calculus (GTLC) front end for the blame
+//! calculus.
+//!
+//! The PLDI 2015 paper (like the gradual-typing literature it builds
+//! on: Siek–Taha 2006, Wadler–Findler 2009) assumes a source language
+//! whose type checker admits the dynamic type `?` and whose compiler
+//! inserts casts at the boundaries where precision changes, producing
+//! λB terms. This crate is that front end:
+//!
+//! * [`lexer`]/[`parser`] — a hand-written lexer and recursive-descent
+//!   parser with source spans;
+//! * [`ast`] — the surface syntax;
+//! * [`elaborate`] — the gradual type checker *and* cast-insertion
+//!   pass: it checks consistency (`∼`) where a static checker would
+//!   require equality, and emits a λB cast (with a fresh blame label)
+//!   at every implicit conversion. Each label is mapped back to the
+//!   source span that introduced it, so blame can be reported as a
+//!   source diagnostic;
+//! * [`diagnostics`] — error and blame rendering against the source.
+//!
+//! # Example
+//!
+//! ```
+//! use bc_gtlc::compile;
+//!
+//! let program = bc_gtlc::compile("let f = fun x => x + 1 in f true").unwrap();
+//! // The program type-checks gradually (x : ? is cast to Int), but
+//! // running it blames the implicit cast at `x + 1`... unless the
+//! // argument is an Int.
+//! let out = bc_lambda_b::eval::run(&program.term, 1_000).unwrap();
+//! assert!(matches!(out.outcome, bc_lambda_b::eval::Outcome::Blame(_)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod diagnostics;
+pub mod elaborate;
+pub mod lexer;
+pub mod parser;
+pub mod token;
+
+pub use diagnostics::{Diagnostic, Span};
+pub use elaborate::{elaborate, Program};
+
+/// Parses and elaborates a GTLC source program into a λB term.
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] (with source span) on lexical, syntactic,
+/// or type errors.
+pub fn compile(source: &str) -> Result<Program, Diagnostic> {
+    let tokens = lexer::lex(source)?;
+    let expr = parser::parse(&tokens)?;
+    elaborate(&expr)
+}

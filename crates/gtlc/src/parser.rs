@@ -1,0 +1,474 @@
+//! Recursive-descent parser for the GTLC surface syntax.
+//!
+//! ```text
+//! expr     := lambda | let | letrec | if | or
+//! lambda   := "fun" (ident | "(" ident ":" type ")") "=>" expr
+//! let      := "let" ident (":" type)? "=" expr "in" expr
+//! letrec   := "letrec" ident "(" ident ":" type ")" ":" type "=" expr "in" expr
+//! if       := "if" expr "then" expr "else" expr
+//! or       := and ("or" and)*
+//! and      := cmp ("and" cmp)*
+//! cmp      := add (("=" | "<" | "<=") add)?
+//! add      := mul (("+" | "-") mul)*
+//! mul      := unary (("*" | "quot" | "rem") unary)*
+//! unary    := "not" unary | "-" unary | app
+//! app      := atom atom*
+//! atom     := int | "true" | "false" | ident | "(" expr (":" type)? ")"
+//! type     := tyatom ("->" type)?
+//! tyatom   := "Int" | "Bool" | "?" | "(" type ")"
+//! ```
+
+use bc_syntax::{Op, Type};
+
+use crate::ast::{Expr, ExprKind};
+use crate::diagnostics::{Diagnostic, Span};
+use crate::token::{Token, TokenKind};
+
+/// Parses a token stream (as produced by [`crate::lexer::lex`]) into
+/// an expression.
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] at the first syntax error.
+pub fn parse(tokens: &[Token]) -> Result<Expr, Diagnostic> {
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr()?;
+    p.expect(&TokenKind::Eof, "expected end of input")?;
+    Ok(e)
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if &self.peek().kind == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, message: &str) -> Result<Token, Diagnostic> {
+        if &self.peek().kind == kind {
+            Ok(self.bump())
+        } else {
+            Err(Diagnostic::new(
+                format!("{message}, found `{}`", self.peek().kind),
+                self.peek().span,
+            ))
+        }
+    }
+
+    fn ident(&mut self, message: &str) -> Result<(String, Span), Diagnostic> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                let span = self.peek().span;
+                self.bump();
+                Ok((s, span))
+            }
+            other => Err(Diagnostic::new(
+                format!("{message}, found `{other}`"),
+                self.peek().span,
+            )),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, Diagnostic> {
+        match self.peek().kind {
+            TokenKind::Fun => self.lambda(),
+            TokenKind::Let => self.let_(),
+            TokenKind::Letrec => self.letrec(),
+            TokenKind::If => self.if_(),
+            _ => self.or(),
+        }
+    }
+
+    fn lambda(&mut self) -> Result<Expr, Diagnostic> {
+        let start = self.expect(&TokenKind::Fun, "expected `fun`")?.span;
+        let (param, ty) = if self.eat(&TokenKind::LParen) {
+            let (name, _) = self.ident("expected a parameter name")?;
+            self.expect(&TokenKind::Colon, "expected `:` after parameter name")?;
+            let ty = self.ty()?;
+            self.expect(&TokenKind::RParen, "expected `)` after parameter type")?;
+            (name, ty)
+        } else {
+            // Unannotated parameter: dynamically typed.
+            let (name, _) = self.ident("expected a parameter")?;
+            (name, Type::DYN)
+        };
+        self.expect(&TokenKind::FatArrow, "expected `=>` after parameter")?;
+        let body = self.expr()?;
+        let span = start.merge(body.span);
+        Ok(Expr::new(
+            ExprKind::Lam {
+                param,
+                ty,
+                body: Box::new(body),
+            },
+            span,
+        ))
+    }
+
+    fn let_(&mut self) -> Result<Expr, Diagnostic> {
+        let start = self.expect(&TokenKind::Let, "expected `let`")?.span;
+        let (name, _) = self.ident("expected a name after `let`")?;
+        let ty = if self.eat(&TokenKind::Colon) {
+            Some(self.ty()?)
+        } else {
+            None
+        };
+        self.expect(&TokenKind::Equals, "expected `=` in let binding")?;
+        let bound = self.expr()?;
+        self.expect(&TokenKind::In, "expected `in` after let binding")?;
+        let body = self.expr()?;
+        let span = start.merge(body.span);
+        Ok(Expr::new(
+            ExprKind::Let {
+                name,
+                ty,
+                bound: Box::new(bound),
+                body: Box::new(body),
+            },
+            span,
+        ))
+    }
+
+    fn letrec(&mut self) -> Result<Expr, Diagnostic> {
+        let start = self.expect(&TokenKind::Letrec, "expected `letrec`")?.span;
+        let (name, _) = self.ident("expected a function name after `letrec`")?;
+        self.expect(&TokenKind::LParen, "expected `(` after function name")?;
+        let (param, _) = self.ident("expected a parameter name")?;
+        self.expect(&TokenKind::Colon, "expected `:` after parameter name")?;
+        let param_ty = self.ty()?;
+        self.expect(&TokenKind::RParen, "expected `)` after parameter type")?;
+        self.expect(&TokenKind::Colon, "expected `:` before the result type")?;
+        let result_ty = self.ty()?;
+        self.expect(&TokenKind::Equals, "expected `=` in letrec binding")?;
+        let fun_body = self.expr()?;
+        self.expect(&TokenKind::In, "expected `in` after letrec binding")?;
+        let body = self.expr()?;
+        let span = start.merge(body.span);
+        Ok(Expr::new(
+            ExprKind::Letrec {
+                name,
+                param,
+                param_ty,
+                result_ty,
+                fun_body: Box::new(fun_body),
+                body: Box::new(body),
+            },
+            span,
+        ))
+    }
+
+    fn if_(&mut self) -> Result<Expr, Diagnostic> {
+        let start = self.expect(&TokenKind::If, "expected `if`")?.span;
+        let cond = self.expr()?;
+        self.expect(&TokenKind::Then, "expected `then`")?;
+        let then_ = self.expr()?;
+        self.expect(&TokenKind::Else, "expected `else`")?;
+        let else_ = self.expr()?;
+        let span = start.merge(else_.span);
+        Ok(Expr::new(
+            ExprKind::If(Box::new(cond), Box::new(then_), Box::new(else_)),
+            span,
+        ))
+    }
+
+    fn or(&mut self) -> Result<Expr, Diagnostic> {
+        let mut lhs = self.and()?;
+        while self.eat(&TokenKind::Or) {
+            let rhs = self.and()?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = Expr::new(ExprKind::Prim(Op::Or, vec![lhs, rhs]), span);
+        }
+        Ok(lhs)
+    }
+
+    fn and(&mut self) -> Result<Expr, Diagnostic> {
+        let mut lhs = self.cmp()?;
+        while self.eat(&TokenKind::And) {
+            let rhs = self.cmp()?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = Expr::new(ExprKind::Prim(Op::And, vec![lhs, rhs]), span);
+        }
+        Ok(lhs)
+    }
+
+    fn cmp(&mut self) -> Result<Expr, Diagnostic> {
+        let lhs = self.add()?;
+        let op = match self.peek().kind {
+            TokenKind::Equals => Some(Op::Eq),
+            TokenKind::Less => Some(Op::Lt),
+            TokenKind::LessEq => Some(Op::Leq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.add()?;
+            let span = lhs.span.merge(rhs.span);
+            Ok(Expr::new(ExprKind::Prim(op, vec![lhs, rhs]), span))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn add(&mut self) -> Result<Expr, Diagnostic> {
+        let mut lhs = self.mul()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Plus => Op::Add,
+                TokenKind::Minus => Op::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul()?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = Expr::new(ExprKind::Prim(op, vec![lhs, rhs]), span);
+        }
+        Ok(lhs)
+    }
+
+    fn mul(&mut self) -> Result<Expr, Diagnostic> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Star => Op::Mul,
+                TokenKind::Quot => Op::Quot,
+                TokenKind::Rem => Op::Rem,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary()?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = Expr::new(ExprKind::Prim(op, vec![lhs, rhs]), span);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, Diagnostic> {
+        match self.peek().kind {
+            TokenKind::Not => {
+                let start = self.bump().span;
+                let e = self.unary()?;
+                let span = start.merge(e.span);
+                Ok(Expr::new(ExprKind::Prim(Op::Not, vec![e]), span))
+            }
+            TokenKind::Minus => {
+                let start = self.bump().span;
+                let e = self.unary()?;
+                let span = start.merge(e.span);
+                Ok(Expr::new(ExprKind::Prim(Op::Neg, vec![e]), span))
+            }
+            _ => self.app(),
+        }
+    }
+
+    fn app(&mut self) -> Result<Expr, Diagnostic> {
+        let mut fun = self.atom()?;
+        while self.starts_atom() {
+            let arg = self.atom()?;
+            let span = fun.span.merge(arg.span);
+            fun = Expr::new(ExprKind::App(Box::new(fun), Box::new(arg)), span);
+        }
+        Ok(fun)
+    }
+
+    fn starts_atom(&self) -> bool {
+        matches!(
+            self.peek().kind,
+            TokenKind::Int(_)
+                | TokenKind::Ident(_)
+                | TokenKind::True
+                | TokenKind::False
+                | TokenKind::LParen
+        )
+    }
+
+    fn atom(&mut self) -> Result<Expr, Diagnostic> {
+        let tok = self.peek().clone();
+        match tok.kind {
+            TokenKind::Int(n) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Int(n), tok.span))
+            }
+            TokenKind::True => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Bool(true), tok.span))
+            }
+            TokenKind::False => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Bool(false), tok.span))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Var(name), tok.span))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let inner = self.expr()?;
+                if self.eat(&TokenKind::Colon) {
+                    let ty = self.ty()?;
+                    let close =
+                        self.expect(&TokenKind::RParen, "expected `)` after ascription")?;
+                    let span = tok.span.merge(close.span);
+                    Ok(Expr::new(ExprKind::Ascribe(Box::new(inner), ty), span))
+                } else {
+                    let close = self.expect(&TokenKind::RParen, "expected `)`")?;
+                    let span = tok.span.merge(close.span);
+                    Ok(Expr::new(inner.kind, span))
+                }
+            }
+            other => Err(Diagnostic::new(
+                format!("expected an expression, found `{other}`"),
+                tok.span,
+            )),
+        }
+    }
+
+    fn ty(&mut self) -> Result<Type, Diagnostic> {
+        let lhs = self.ty_atom()?;
+        if self.eat(&TokenKind::Arrow) {
+            let rhs = self.ty()?;
+            Ok(Type::fun(lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn ty_atom(&mut self) -> Result<Type, Diagnostic> {
+        let tok = self.peek().clone();
+        match tok.kind {
+            TokenKind::TyInt => {
+                self.bump();
+                Ok(Type::INT)
+            }
+            TokenKind::TyBool => {
+                self.bump();
+                Ok(Type::BOOL)
+            }
+            TokenKind::Question => {
+                self.bump();
+                Ok(Type::DYN)
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let t = self.ty()?;
+                self.expect(&TokenKind::RParen, "expected `)` in type")?;
+                Ok(t)
+            }
+            other => Err(Diagnostic::new(
+                format!("expected a type, found `{other}`"),
+                tok.span,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_str(src: &str) -> Expr {
+        parse(&lex(src).unwrap()).unwrap_or_else(|e| panic!("parse error: {}", e.render(src)))
+    }
+
+    #[test]
+    fn application_is_left_associative() {
+        let e = parse_str("f x y");
+        match e.kind {
+            ExprKind::App(fx, y) => {
+                assert!(matches!(y.kind, ExprKind::Var(ref n) if n == "y"));
+                assert!(matches!(fx.kind, ExprKind::App(_, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let e = parse_str("1 + 2 * 3");
+        match e.kind {
+            ExprKind::Prim(Op::Add, args) => {
+                assert!(matches!(args[1].kind, ExprKind::Prim(Op::Mul, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arrow_types_are_right_associative() {
+        let e = parse_str("fun (f : Int -> Int -> Bool) => f");
+        match e.kind {
+            ExprKind::Lam { ty, .. } => {
+                assert_eq!(
+                    ty,
+                    Type::fun(Type::INT, Type::fun(Type::INT, Type::BOOL))
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unannotated_parameters_are_dynamic() {
+        let e = parse_str("fun x => x");
+        match e.kind {
+            ExprKind::Lam { ty, .. } => assert_eq!(ty, Type::DYN),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ascription() {
+        let e = parse_str("(1 : ?)");
+        assert!(matches!(e.kind, ExprKind::Ascribe(_, Type::Dyn)));
+    }
+
+    #[test]
+    fn letrec_form() {
+        let e = parse_str("letrec f (n : Int) : Int = f (n - 1) in f 3");
+        assert!(matches!(e.kind, ExprKind::Letrec { .. }));
+    }
+
+    #[test]
+    fn comparison_is_non_associative() {
+        assert!(parse(&lex("1 < 2 < 3").unwrap()).is_err());
+    }
+
+    #[test]
+    fn unary_minus_and_not() {
+        let e = parse_str("not (- 1 < 2)");
+        assert!(matches!(e.kind, ExprKind::Prim(Op::Not, _)));
+    }
+
+    #[test]
+    fn error_mentions_the_found_token() {
+        let err = parse(&lex("if 1 els 2").unwrap()).unwrap_err();
+        assert!(err.message.contains("expected `then`"), "{}", err.message);
+    }
+
+    #[test]
+    fn if_and_or_nest() {
+        let e = parse_str("if true and false or true then 1 else 2");
+        assert!(matches!(e.kind, ExprKind::If(_, _, _)));
+    }
+}

@@ -1,0 +1,387 @@
+//! A CEK machine for λC.
+//!
+//! Coercions become continuation frames, pushed and never merged — the
+//! same leak as the λB machine, expressed in coercion syntax. Compare
+//! with [`crate::cek_s`], which differs *only* in merging adjacent
+//! coercion frames.
+
+use std::rc::Rc;
+
+use bc_lambda_c::coercion::Coercion;
+use bc_lambda_c::term::Term;
+use bc_syntax::{Constant, Label, Name, Op};
+use bc_translate::bisim::Observation;
+
+use crate::metrics::{MachineOutcome, MachineRun, Metrics};
+
+/// Run-time values of the λC machine.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// A constant.
+    Const(Constant),
+    /// A closure.
+    Closure {
+        /// Parameter name.
+        param: Name,
+        /// Function body.
+        body: Rc<Term>,
+        /// Captured environment.
+        env: Env,
+    },
+    /// A recursive closure.
+    FixClosure {
+        /// Function name.
+        fun: Name,
+        /// Parameter name.
+        param: Name,
+        /// Function body.
+        body: Rc<Term>,
+        /// Captured environment.
+        env: Env,
+    },
+    /// A value under a function coercion or injection.
+    Coerced {
+        /// The underlying value.
+        value: Rc<Value>,
+        /// The wrapping coercion (`c → d` or `G!`).
+        coercion: Coercion,
+    },
+}
+
+impl Value {
+    /// The calculus-agnostic observation of this value.
+    pub fn observe(&self) -> Observation {
+        match self {
+            Value::Const(k) => Observation::Constant(*k),
+            Value::Closure { .. } | Value::FixClosure { .. } => Observation::Function,
+            Value::Coerced { value, coercion } => match coercion {
+                Coercion::Fun(_, _) => Observation::Function,
+                Coercion::Inj(g) => Observation::Injected(*g, Box::new(value.observe())),
+                other => unreachable!("coerced value with non-value coercion {other}"),
+            },
+        }
+    }
+}
+
+/// A persistent environment.
+#[derive(Debug, Clone, Default)]
+pub struct Env(Option<Rc<EnvNode>>);
+
+#[derive(Debug)]
+struct EnvNode {
+    name: Name,
+    value: Value,
+    rest: Env,
+}
+
+impl Env {
+    /// The empty environment.
+    pub fn new() -> Env {
+        Env(None)
+    }
+
+    /// Extends the environment with a binding.
+    #[must_use]
+    pub fn bind(&self, name: Name, value: Value) -> Env {
+        Env(Some(Rc::new(EnvNode {
+            name,
+            value,
+            rest: self.clone(),
+        })))
+    }
+
+    fn lookup(&self, name: &Name) -> Option<&Value> {
+        let mut cur = self;
+        while let Some(node) = &cur.0 {
+            if &node.name == name {
+                return Some(&node.value);
+            }
+            cur = &node.rest;
+        }
+        None
+    }
+}
+
+enum Frame {
+    AppArg { arg: Term, env: Env },
+    AppCall { fun: Value },
+    OpFrame { op: Op, done: Vec<Value>, rest: Vec<Term>, env: Env },
+    If { then_: Term, else_: Term, env: Env },
+    Let { name: Name, body: Term, env: Env },
+    CoerceFrame(Coercion),
+}
+
+enum Control {
+    Eval(Term, Env),
+    Ret(Value),
+}
+
+struct Machine {
+    stack: Vec<Frame>,
+    metrics: Metrics,
+    coercion_frames: usize,
+    coercion_size: usize,
+}
+
+impl Machine {
+    fn push(&mut self, f: Frame) {
+        if let Frame::CoerceFrame(c) = &f {
+            self.coercion_frames += 1;
+            self.coercion_size += c.size();
+        }
+        self.stack.push(f);
+        self.metrics
+            .observe(self.stack.len(), self.coercion_frames, self.coercion_size);
+    }
+
+    fn pop(&mut self) -> Option<Frame> {
+        let f = self.stack.pop();
+        if let Some(Frame::CoerceFrame(c)) = &f {
+            self.coercion_frames -= 1;
+            self.coercion_size -= c.size();
+        }
+        f
+    }
+}
+
+/// Applies a coercion to a value immediately.
+fn coerce_value(v: Value, c: &Coercion) -> Result<Value, Label> {
+    match c {
+        Coercion::Id(_) => Ok(v),
+        Coercion::Seq(c1, c2) => coerce_value(coerce_value(v, c1)?, c2),
+        Coercion::Inj(_) | Coercion::Fun(_, _) => Ok(Value::Coerced {
+            value: Rc::new(v),
+            coercion: c.clone(),
+        }),
+        Coercion::Proj(h, p) => match v {
+            Value::Coerced {
+                value,
+                coercion: Coercion::Inj(g),
+            } => {
+                if g == *h {
+                    Ok((*value).clone())
+                } else {
+                    Err(*p)
+                }
+            }
+            other => unreachable!("projected a non-injection {other:?}"),
+        },
+        Coercion::Fail(_, p, _) => Err(*p),
+    }
+}
+
+/// Runs a closed, well-typed λC term on the CEK machine.
+///
+/// # Panics
+///
+/// Panics on open or ill-typed input.
+pub fn run(term: &Term, fuel: u64) -> MachineRun {
+    let mut m = Machine {
+        stack: Vec::new(),
+        metrics: Metrics::default(),
+        coercion_frames: 0,
+        coercion_size: 0,
+    };
+    let mut control = Control::Eval(term.clone(), Env::new());
+    loop {
+        if m.metrics.steps >= fuel {
+            return MachineRun {
+                outcome: MachineOutcome::Timeout,
+                metrics: m.metrics,
+            };
+        }
+        m.metrics.steps += 1;
+        control = match control {
+            Control::Eval(t, env) => match t {
+                Term::Const(k) => Control::Ret(Value::Const(k)),
+                Term::Var(x) => Control::Ret(
+                    env.lookup(&x)
+                        .unwrap_or_else(|| panic!("unbound variable `{x}`"))
+                        .clone(),
+                ),
+                Term::Lam(param, _, body) => Control::Ret(Value::Closure { param, body, env }),
+                Term::Fix(fun, param, _, _, body) => {
+                    Control::Ret(Value::FixClosure { fun, param, body, env })
+                }
+                Term::App(l, r) => {
+                    m.push(Frame::AppArg {
+                        arg: (*r).clone(),
+                        env: env.clone(),
+                    });
+                    Control::Eval((*l).clone(), env)
+                }
+                Term::Op(op, mut args) => {
+                    let rest = args.split_off(1);
+                    let first = args.pop().expect("operators have at least one argument");
+                    m.push(Frame::OpFrame {
+                        op,
+                        done: Vec::new(),
+                        rest,
+                        env: env.clone(),
+                    });
+                    Control::Eval(first, env)
+                }
+                Term::Coerce(inner, c) => {
+                    m.push(Frame::CoerceFrame(c));
+                    Control::Eval((*inner).clone(), env)
+                }
+                Term::Blame(p, _) => {
+                    return MachineRun {
+                        outcome: MachineOutcome::Blame(p),
+                        metrics: m.metrics,
+                    }
+                }
+                Term::If(c, t2, e) => {
+                    m.push(Frame::If {
+                        then_: (*t2).clone(),
+                        else_: (*e).clone(),
+                        env: env.clone(),
+                    });
+                    Control::Eval((*c).clone(), env)
+                }
+                Term::Let(x, bound, body) => {
+                    m.push(Frame::Let {
+                        name: x,
+                        body: (*body).clone(),
+                        env: env.clone(),
+                    });
+                    Control::Eval((*bound).clone(), env)
+                }
+            },
+            Control::Ret(v) => match m.pop() {
+                None => {
+                    return MachineRun {
+                        outcome: MachineOutcome::Value(v.observe()),
+                        metrics: m.metrics,
+                    }
+                }
+                Some(Frame::AppArg { arg, env }) => {
+                    m.push(Frame::AppCall { fun: v });
+                    Control::Eval(arg, env)
+                }
+                Some(Frame::AppCall { fun }) => match apply(&mut m, fun, v) {
+                    Ok(c) => c,
+                    Err(p) => {
+                        return MachineRun {
+                            outcome: MachineOutcome::Blame(p),
+                            metrics: m.metrics,
+                        }
+                    }
+                },
+                Some(Frame::OpFrame {
+                    op,
+                    mut done,
+                    mut rest,
+                    env,
+                }) => {
+                    done.push(v);
+                    if rest.is_empty() {
+                        let consts: Vec<Constant> = done
+                            .iter()
+                            .map(|v| match v {
+                                Value::Const(k) => *k,
+                                other => unreachable!("operator got non-constant {other:?}"),
+                            })
+                            .collect();
+                        Control::Ret(Value::Const(op.apply(&consts)))
+                    } else {
+                        let next = rest.remove(0);
+                        m.push(Frame::OpFrame {
+                            op,
+                            done,
+                            rest,
+                            env: env.clone(),
+                        });
+                        Control::Eval(next, env)
+                    }
+                }
+                Some(Frame::If { then_, else_, env }) => match v {
+                    Value::Const(Constant::Bool(true)) => Control::Eval(then_, env),
+                    Value::Const(Constant::Bool(false)) => Control::Eval(else_, env),
+                    other => unreachable!("if condition returned {other:?}"),
+                },
+                Some(Frame::Let { name, body, env }) => {
+                    let env = env.bind(name, v);
+                    Control::Eval(body, env)
+                }
+                Some(Frame::CoerceFrame(c)) => match coerce_value(v, &c) {
+                    Ok(v2) => Control::Ret(v2),
+                    Err(p) => {
+                        return MachineRun {
+                            outcome: MachineOutcome::Blame(p),
+                            metrics: m.metrics,
+                        }
+                    }
+                },
+            },
+        };
+    }
+}
+
+fn apply(m: &mut Machine, fun: Value, arg: Value) -> Result<Control, Label> {
+    match fun {
+        Value::Closure { param, body, env } => {
+            let env = env.bind(param, arg);
+            Ok(Control::Eval((*body).clone(), env))
+        }
+        Value::FixClosure {
+            fun: f,
+            param,
+            body,
+            env,
+        } => {
+            let self_val = Value::FixClosure {
+                fun: f.clone(),
+                param: param.clone(),
+                body: body.clone(),
+                env: env.clone(),
+            };
+            let env = env.bind(f, self_val).bind(param, arg);
+            Ok(Control::Eval((*body).clone(), env))
+        }
+        Value::Coerced {
+            value,
+            coercion: Coercion::Fun(c, d),
+        } => {
+            let arg2 = coerce_value(arg, &c)?;
+            m.push(Frame::CoerceFrame((*d).clone()));
+            apply(m, (*value).clone(), arg2)
+        }
+        other => unreachable!("applied a non-function value {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bc_lambda_b::programs;
+    use bc_translate::term_b_to_c;
+
+    #[test]
+    fn machine_agrees_with_small_step() {
+        use bc_lambda_c::eval;
+        use bc_translate::bisim::observe_c;
+        for (name, t) in [
+            ("boundary_loop", programs::boundary_loop(6)),
+            ("even_odd_mixed", programs::even_odd_mixed(5)),
+            ("even_untyped", programs::even_untyped(4)),
+        ] {
+            let tc = term_b_to_c(&t);
+            let small = observe_c(&eval::run(&tc, 1_000_000).unwrap().outcome);
+            let machine = run(&tc, 1_000_000).outcome.to_observation();
+            assert_eq!(small, machine, "{name}");
+        }
+    }
+
+    #[test]
+    fn the_leak_persists_in_coercion_form() {
+        let m8 = run(&term_b_to_c(&programs::boundary_loop(8)), 1_000_000);
+        let m64 = run(&term_b_to_c(&programs::boundary_loop(64)), 1_000_000);
+        assert!(
+            m64.metrics.peak_cast_frames >= m8.metrics.peak_cast_frames + 56,
+            "expected linear frame growth: {} vs {}",
+            m8.metrics.peak_cast_frames,
+            m64.metrics.peak_cast_frames
+        );
+    }
+}

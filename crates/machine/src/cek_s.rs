@@ -1,0 +1,457 @@
+//! The CEK machine for λS — the space-efficient machine (in the style
+//! of Siek–Garcia 2012).
+//!
+//! It differs from [`crate::cek_c`] in exactly one way: **pushing a
+//! coercion frame onto a continuation whose top frame is already a
+//! coercion frame composes the two with `s # t`** instead of stacking
+//! them. Since composition preserves height (Proposition 14) and
+//! canonical coercions of bounded height have bounded size, the
+//! continuation never holds more than one bounded coercion per
+//! non-coercion frame: tail calls across typed/untyped boundaries run
+//! in constant space.
+//!
+//! The same merging is applied to values: coercing an already-coerced
+//! value composes the coercions, so proxy chains never grow either.
+
+use std::rc::Rc;
+
+use bc_core::coercion::{GroundCoercion, Intermediate, SpaceCoercion};
+use bc_core::compose::compose;
+use bc_core::term::Term;
+use bc_syntax::{Constant, Label, Name, Op};
+use bc_translate::bisim::Observation;
+
+use crate::metrics::{MachineOutcome, MachineRun, Metrics};
+
+/// Run-time values of the λS machine.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// A constant.
+    Const(Constant),
+    /// A closure.
+    Closure {
+        /// Parameter name.
+        param: Name,
+        /// Function body.
+        body: Rc<Term>,
+        /// Captured environment.
+        env: Env,
+    },
+    /// A recursive closure.
+    FixClosure {
+        /// Function name.
+        fun: Name,
+        /// Parameter name.
+        param: Name,
+        /// Function body.
+        body: Rc<Term>,
+        /// Captured environment.
+        env: Env,
+    },
+    /// An uncoerced value under a *single* coercion (`U⟨s→t⟩` or
+    /// `U⟨g;G!⟩`); the machine maintains the invariant that coerced
+    /// values never nest.
+    Coerced {
+        /// The underlying (uncoerced) value.
+        value: Rc<Value>,
+        /// The single, merged coercion.
+        coercion: SpaceCoercion,
+    },
+}
+
+impl Value {
+    /// The calculus-agnostic observation of this value.
+    pub fn observe(&self) -> Observation {
+        match self {
+            Value::Const(k) => Observation::Constant(*k),
+            Value::Closure { .. } | Value::FixClosure { .. } => Observation::Function,
+            Value::Coerced { value, coercion } => match coercion {
+                SpaceCoercion::Mid(Intermediate::Inj(g, ground)) => {
+                    let payload = match g {
+                        GroundCoercion::IdBase(_) => value.observe(),
+                        GroundCoercion::Fun(_, _) => Observation::Function,
+                    };
+                    Observation::Injected(*ground, Box::new(payload))
+                }
+                SpaceCoercion::Mid(Intermediate::Ground(GroundCoercion::Fun(_, _))) => {
+                    Observation::Function
+                }
+                other => unreachable!("coerced value with non-value coercion {other}"),
+            },
+        }
+    }
+}
+
+/// A persistent environment.
+#[derive(Debug, Clone, Default)]
+pub struct Env(Option<Rc<EnvNode>>);
+
+#[derive(Debug)]
+struct EnvNode {
+    name: Name,
+    value: Value,
+    rest: Env,
+}
+
+impl Env {
+    /// The empty environment.
+    pub fn new() -> Env {
+        Env(None)
+    }
+
+    /// Extends the environment with a binding.
+    #[must_use]
+    pub fn bind(&self, name: Name, value: Value) -> Env {
+        Env(Some(Rc::new(EnvNode {
+            name,
+            value,
+            rest: self.clone(),
+        })))
+    }
+
+    fn lookup(&self, name: &Name) -> Option<&Value> {
+        let mut cur = self;
+        while let Some(node) = &cur.0 {
+            if &node.name == name {
+                return Some(&node.value);
+            }
+            cur = &node.rest;
+        }
+        None
+    }
+}
+
+enum Frame {
+    AppArg { arg: Term, env: Env },
+    AppCall { fun: Value },
+    OpFrame { op: Op, done: Vec<Value>, rest: Vec<Term>, env: Env },
+    If { then_: Term, else_: Term, env: Env },
+    Let { name: Name, body: Term, env: Env },
+    CoerceFrame(SpaceCoercion),
+}
+
+enum Control {
+    Eval(Term, Env),
+    Ret(Value),
+}
+
+struct Machine {
+    stack: Vec<Frame>,
+    metrics: Metrics,
+    coercion_frames: usize,
+    coercion_size: usize,
+}
+
+impl Machine {
+    fn push(&mut self, f: Frame) {
+        if let Frame::CoerceFrame(c) = &f {
+            self.coercion_frames += 1;
+            self.coercion_size += c.size();
+        }
+        self.stack.push(f);
+        self.metrics
+            .observe(self.stack.len(), self.coercion_frames, self.coercion_size);
+    }
+
+    /// Pushes a coercion frame, *merging* with an existing top
+    /// coercion frame — the one-line change that makes the machine
+    /// space-efficient.
+    fn push_coercion(&mut self, s: SpaceCoercion) {
+        if let Some(Frame::CoerceFrame(t)) = self.stack.last() {
+            // The value will meet `s` first and `t` second: replace
+            // the top frame with `s # t`.
+            let merged = compose(&s, t);
+            self.coercion_size = self.coercion_size - t.size() + merged.size();
+            let top = self.stack.len() - 1;
+            self.stack[top] = Frame::CoerceFrame(merged);
+            self.metrics
+                .observe(self.stack.len(), self.coercion_frames, self.coercion_size);
+        } else {
+            self.push(Frame::CoerceFrame(s));
+        }
+    }
+
+    fn pop(&mut self) -> Option<Frame> {
+        let f = self.stack.pop();
+        if let Some(Frame::CoerceFrame(c)) = &f {
+            self.coercion_frames -= 1;
+            self.coercion_size -= c.size();
+        }
+        f
+    }
+}
+
+/// Applies a coercion to a value immediately, merging with any
+/// existing proxy coercion.
+fn coerce_value(v: Value, s: &SpaceCoercion) -> Result<Value, Label> {
+    if let Value::Coerced { value, coercion } = &v {
+        // Never nest: compose with the existing proxy.
+        return coerce_value((**value).clone(), &compose(coercion, s));
+    }
+    match s {
+        SpaceCoercion::IdDyn => Ok(v),
+        SpaceCoercion::Mid(Intermediate::Ground(GroundCoercion::IdBase(_))) => Ok(v),
+        SpaceCoercion::Mid(Intermediate::Fail(_, p, _)) => Err(*p),
+        SpaceCoercion::Mid(Intermediate::Inj(_, _))
+        | SpaceCoercion::Mid(Intermediate::Ground(GroundCoercion::Fun(_, _))) => {
+            Ok(Value::Coerced {
+                value: Rc::new(v),
+                coercion: s.clone(),
+            })
+        }
+        SpaceCoercion::Proj(_, _, _) => {
+            unreachable!("projection applied to an uncoerced value (which cannot have type ?)")
+        }
+    }
+}
+
+/// Runs a closed, well-typed λS term on the space-efficient CEK
+/// machine.
+///
+/// # Panics
+///
+/// Panics on open or ill-typed input.
+pub fn run(term: &Term, fuel: u64) -> MachineRun {
+    let mut m = Machine {
+        stack: Vec::new(),
+        metrics: Metrics::default(),
+        coercion_frames: 0,
+        coercion_size: 0,
+    };
+    let mut control = Control::Eval(term.clone(), Env::new());
+    loop {
+        if m.metrics.steps >= fuel {
+            return MachineRun {
+                outcome: MachineOutcome::Timeout,
+                metrics: m.metrics,
+            };
+        }
+        m.metrics.steps += 1;
+        control = match control {
+            Control::Eval(t, env) => match t {
+                Term::Const(k) => Control::Ret(Value::Const(k)),
+                Term::Var(x) => Control::Ret(
+                    env.lookup(&x)
+                        .unwrap_or_else(|| panic!("unbound variable `{x}`"))
+                        .clone(),
+                ),
+                Term::Lam(param, _, body) => Control::Ret(Value::Closure { param, body, env }),
+                Term::Fix(fun, param, _, _, body) => {
+                    Control::Ret(Value::FixClosure { fun, param, body, env })
+                }
+                Term::App(l, r) => {
+                    m.push(Frame::AppArg {
+                        arg: (*r).clone(),
+                        env: env.clone(),
+                    });
+                    Control::Eval((*l).clone(), env)
+                }
+                Term::Op(op, mut args) => {
+                    let rest = args.split_off(1);
+                    let first = args.pop().expect("operators have at least one argument");
+                    m.push(Frame::OpFrame {
+                        op,
+                        done: Vec::new(),
+                        rest,
+                        env: env.clone(),
+                    });
+                    Control::Eval(first, env)
+                }
+                Term::Coerce(inner, s) => {
+                    m.push_coercion(s);
+                    Control::Eval((*inner).clone(), env)
+                }
+                Term::Blame(p, _) => {
+                    return MachineRun {
+                        outcome: MachineOutcome::Blame(p),
+                        metrics: m.metrics,
+                    }
+                }
+                Term::If(c, t2, e) => {
+                    m.push(Frame::If {
+                        then_: (*t2).clone(),
+                        else_: (*e).clone(),
+                        env: env.clone(),
+                    });
+                    Control::Eval((*c).clone(), env)
+                }
+                Term::Let(x, bound, body) => {
+                    m.push(Frame::Let {
+                        name: x,
+                        body: (*body).clone(),
+                        env: env.clone(),
+                    });
+                    Control::Eval((*bound).clone(), env)
+                }
+            },
+            Control::Ret(v) => match m.pop() {
+                None => {
+                    return MachineRun {
+                        outcome: MachineOutcome::Value(v.observe()),
+                        metrics: m.metrics,
+                    }
+                }
+                Some(Frame::AppArg { arg, env }) => {
+                    m.push(Frame::AppCall { fun: v });
+                    Control::Eval(arg, env)
+                }
+                Some(Frame::AppCall { fun }) => match apply(&mut m, fun, v) {
+                    Ok(c) => c,
+                    Err(p) => {
+                        return MachineRun {
+                            outcome: MachineOutcome::Blame(p),
+                            metrics: m.metrics,
+                        }
+                    }
+                },
+                Some(Frame::OpFrame {
+                    op,
+                    mut done,
+                    mut rest,
+                    env,
+                }) => {
+                    done.push(v);
+                    if rest.is_empty() {
+                        let consts: Vec<Constant> = done
+                            .iter()
+                            .map(|v| match v {
+                                Value::Const(k) => *k,
+                                other => unreachable!("operator got non-constant {other:?}"),
+                            })
+                            .collect();
+                        Control::Ret(Value::Const(op.apply(&consts)))
+                    } else {
+                        let next = rest.remove(0);
+                        m.push(Frame::OpFrame {
+                            op,
+                            done,
+                            rest,
+                            env: env.clone(),
+                        });
+                        Control::Eval(next, env)
+                    }
+                }
+                Some(Frame::If { then_, else_, env }) => match v {
+                    Value::Const(Constant::Bool(true)) => Control::Eval(then_, env),
+                    Value::Const(Constant::Bool(false)) => Control::Eval(else_, env),
+                    other => unreachable!("if condition returned {other:?}"),
+                },
+                Some(Frame::Let { name, body, env }) => {
+                    let env = env.bind(name, v);
+                    Control::Eval(body, env)
+                }
+                Some(Frame::CoerceFrame(s)) => match coerce_value(v, &s) {
+                    Ok(v2) => Control::Ret(v2),
+                    Err(p) => {
+                        return MachineRun {
+                            outcome: MachineOutcome::Blame(p),
+                            metrics: m.metrics,
+                        }
+                    }
+                },
+            },
+        };
+    }
+}
+
+fn apply(m: &mut Machine, fun: Value, arg: Value) -> Result<Control, Label> {
+    match fun {
+        Value::Closure { param, body, env } => {
+            let env = env.bind(param, arg);
+            Ok(Control::Eval((*body).clone(), env))
+        }
+        Value::FixClosure {
+            fun: f,
+            param,
+            body,
+            env,
+        } => {
+            let self_val = Value::FixClosure {
+                fun: f.clone(),
+                param: param.clone(),
+                body: body.clone(),
+                env: env.clone(),
+            };
+            let env = env.bind(f, self_val).bind(param, arg);
+            Ok(Control::Eval((*body).clone(), env))
+        }
+        Value::Coerced { value, coercion } => match coercion {
+            SpaceCoercion::Mid(Intermediate::Ground(GroundCoercion::Fun(s, t))) => {
+                // (U⟨s→t⟩) V: coerce the argument by s, push (merging!)
+                // the result coercion t, apply the proxied function.
+                let arg2 = coerce_value(arg, &s)?;
+                m.push_coercion((*t).clone());
+                apply(m, (*value).clone(), arg2)
+            }
+            other => unreachable!("applied a non-function coercion {other}"),
+        },
+        other => unreachable!("applied a non-function value {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bc_lambda_b::programs;
+    use bc_translate::{term_b_to_c, term_c_to_s};
+
+    fn to_s(t: &bc_lambda_b::Term) -> Term {
+        term_c_to_s(&term_b_to_c(t))
+    }
+
+    #[test]
+    fn machine_agrees_with_small_step() {
+        use bc_core::eval;
+        use bc_translate::bisim::observe_s;
+        for (name, t) in [
+            ("boundary_loop", programs::boundary_loop(6)),
+            ("even_odd_mixed", programs::even_odd_mixed(5)),
+            ("even_untyped", programs::even_untyped(4)),
+            ("wrapped_identity", programs::wrapped_identity(4)),
+        ] {
+            let ts = to_s(&t);
+            let small = observe_s(&eval::run(&ts, 1_000_000).unwrap().outcome);
+            let machine = run(&ts, 1_000_000).outcome.to_observation();
+            assert_eq!(small, machine, "{name}");
+        }
+    }
+
+    #[test]
+    fn tail_calls_run_in_constant_space() {
+        // THE headline claim: peak frames and peak coercion size are
+        // the same for 16 and 256 iterations.
+        let m16 = run(&to_s(&programs::boundary_loop(16)), 10_000_000);
+        let m256 = run(&to_s(&programs::boundary_loop(256)), 10_000_000);
+        assert_eq!(
+            m16.metrics.peak_frames, m256.metrics.peak_frames,
+            "λS continuation must not grow with n"
+        );
+        assert_eq!(m16.metrics.peak_cast_size, m256.metrics.peak_cast_size);
+        assert!(m16.metrics.peak_cast_frames <= 2);
+    }
+
+    #[test]
+    fn mixed_even_odd_is_space_bounded_too() {
+        let m8 = run(&to_s(&programs::even_odd_mixed(8)), 10_000_000);
+        let m128 = run(&to_s(&programs::even_odd_mixed(128)), 10_000_000);
+        assert_eq!(m8.metrics.peak_frames, m128.metrics.peak_frames);
+    }
+
+    #[test]
+    fn blame_labels_survive_merging() {
+        use bc_syntax::{Label, Type};
+        let t = bc_lambda_b::Term::int(1)
+            .cast(Type::INT, Label::new(0), Type::DYN)
+            .cast(Type::DYN, Label::new(1), Type::BOOL);
+        let out = run(&to_s(&t), 100).outcome;
+        assert_eq!(out, MachineOutcome::Blame(Label::new(1)));
+    }
+
+    #[test]
+    fn proxies_do_not_accumulate_on_values() {
+        // Wrapping a function 2·n times merges into one proxy.
+        let t = to_s(&programs::wrapped_identity(64));
+        let m = run(&t, 1_000_000);
+        assert!(matches!(m.outcome, MachineOutcome::Value(_)));
+    }
+}

@@ -1,0 +1,61 @@
+//! Shared instrumentation types for the abstract machines.
+
+use bc_syntax::Label;
+use bc_translate::bisim::Observation;
+
+/// The final outcome of a machine run, reported as the
+/// calculus-agnostic [`Observation`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineOutcome {
+    /// The machine halted with a value (observed shape).
+    Value(Observation),
+    /// The machine allocated blame.
+    Blame(Label),
+    /// Fuel was exhausted.
+    Timeout,
+}
+
+impl MachineOutcome {
+    /// Converts to a plain observation (merging the `Blame`/`Timeout`
+    /// constructors with their `Observation` counterparts).
+    pub fn to_observation(&self) -> Observation {
+        match self {
+            MachineOutcome::Value(o) => o.clone(),
+            MachineOutcome::Blame(p) => Observation::Blame(*p),
+            MachineOutcome::Timeout => Observation::Timeout,
+        }
+    }
+}
+
+/// Space/time instrumentation collected during a machine run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Machine transitions taken.
+    pub steps: u64,
+    /// Peak continuation depth (total frames).
+    pub peak_frames: usize,
+    /// Peak number of cast/coercion frames on the continuation — the
+    /// quantity that leaks in λB/λC and stays O(1) in λS.
+    pub peak_cast_frames: usize,
+    /// Peak total size (syntax nodes) of all casts/coercions held by
+    /// the continuation.
+    pub peak_cast_size: usize,
+}
+
+impl Metrics {
+    /// Records a snapshot of the continuation.
+    pub fn observe(&mut self, frames: usize, cast_frames: usize, cast_size: usize) {
+        self.peak_frames = self.peak_frames.max(frames);
+        self.peak_cast_frames = self.peak_cast_frames.max(cast_frames);
+        self.peak_cast_size = self.peak_cast_size.max(cast_size);
+    }
+}
+
+/// Result of a machine run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineRun {
+    /// The outcome.
+    pub outcome: MachineOutcome,
+    /// The collected metrics.
+    pub metrics: Metrics,
+}

@@ -1,0 +1,79 @@
+//! Property tests for the abstract machines: agreement with the
+//! substitution-based small-step semantics on random well-typed
+//! programs, and the space bound of the λS machine (E15/E21).
+
+use bc_machine::{cek_b, cek_c, cek_s};
+use bc_testkit::Gen;
+use bc_translate::bisim::{observe_b, observe_c, observe_s, Observation};
+use bc_translate::{term_b_to_c, term_c_to_s};
+use proptest::prelude::*;
+
+const FUEL: u64 = 20_000;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every machine agrees with its calculus' small-step semantics.
+    #[test]
+    fn machines_agree_with_small_step(seed in any::<u64>()) {
+        let mut gen = Gen::new(seed);
+        let ty = gen.ty(1);
+        let m = gen.term_b(&ty, 4);
+
+        let small_b = observe_b(&bc_lambda_b::eval::run(&m, FUEL).unwrap().outcome);
+        let mach_b = cek_b::run(&m, FUEL).outcome.to_observation();
+
+        let mc = term_b_to_c(&m);
+        let small_c = observe_c(&bc_lambda_c::eval::run(&mc, FUEL).unwrap().outcome);
+        let mach_c = cek_c::run(&mc, FUEL).outcome.to_observation();
+
+        let ms = term_c_to_s(&mc);
+        let small_s = observe_s(&bc_core::eval::run(&ms, FUEL).unwrap().outcome);
+        let mach_s = cek_s::run(&ms, FUEL).outcome.to_observation();
+
+        // Timeouts may land at different step counts between a
+        // machine and a term rewriter; all decisive outcomes agree.
+        let outcomes = [small_b, mach_b, small_c, mach_c, small_s, mach_s];
+        let decisive: Vec<_> = outcomes
+            .iter()
+            .filter(|o| **o != Observation::Timeout)
+            .collect();
+        for pair in decisive.windows(2) {
+            prop_assert_eq!(pair[0], pair[1]);
+        }
+    }
+
+    /// The λS machine never holds two adjacent coercion frames: its
+    /// peak coercion frame count is bounded by half the peak frame
+    /// count plus one.
+    #[test]
+    fn lambda_s_machine_merges_adjacent_frames(seed in any::<u64>()) {
+        let mut gen = Gen::new(seed);
+        let ty = gen.ty(1);
+        let m = gen.term_b(&ty, 4);
+        let ms = term_c_to_s(&term_b_to_c(&m));
+        let run = cek_s::run(&ms, FUEL);
+        prop_assert!(
+            run.metrics.peak_cast_frames <= run.metrics.peak_frames / 2 + 1,
+            "adjacent coercion frames survived: {} of {}",
+            run.metrics.peak_cast_frames,
+            run.metrics.peak_frames
+        );
+    }
+}
+
+/// The headline bound, swept: λS machine space is flat in n while the
+/// λB machine grows linearly.
+#[test]
+fn space_series() {
+    let mut b_frames = Vec::new();
+    let mut s_frames = Vec::new();
+    for n in [8i64, 32, 128] {
+        let m = bc_lambda_b::programs::even_odd_mixed(n);
+        let ms = term_c_to_s(&term_b_to_c(&m));
+        b_frames.push(cek_b::run(&m, u64::MAX).metrics.peak_cast_frames);
+        s_frames.push(cek_s::run(&ms, u64::MAX).metrics.peak_cast_frames);
+    }
+    assert!(b_frames[2] > b_frames[0] + 100, "λB leak missing: {b_frames:?}");
+    assert_eq!(s_frames[0], s_frames[2], "λS space grew: {s_frames:?}");
+}

@@ -1,0 +1,77 @@
+//! Constants `k` of base type.
+
+use std::fmt;
+
+use crate::types::BaseType;
+
+/// A constant `k`. Every constant has a base type `ι`
+/// ([`Constant::base_type`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Constant {
+    /// An integer constant.
+    Int(i64),
+    /// A boolean constant.
+    Bool(bool),
+}
+
+impl Constant {
+    /// The base type `ι` of this constant (`k : ι`).
+    pub fn base_type(&self) -> BaseType {
+        match self {
+            Constant::Int(_) => BaseType::Int,
+            Constant::Bool(_) => BaseType::Bool,
+        }
+    }
+
+    /// Extracts the integer value, if this is an [`Constant::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Constant::Int(n) => Some(*n),
+            Constant::Bool(_) => None,
+        }
+    }
+
+    /// Extracts the boolean value, if this is a [`Constant::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Constant::Bool(b) => Some(*b),
+            Constant::Int(_) => None,
+        }
+    }
+}
+
+impl From<i64> for Constant {
+    fn from(n: i64) -> Constant {
+        Constant::Int(n)
+    }
+}
+
+impl From<bool> for Constant {
+    fn from(b: bool) -> Constant {
+        Constant::Bool(b)
+    }
+}
+
+impl fmt::Display for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constant::Int(n) => write!(f, "{n}"),
+            Constant::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typing_and_accessors() {
+        assert_eq!(Constant::Int(3).base_type(), BaseType::Int);
+        assert_eq!(Constant::Bool(true).base_type(), BaseType::Bool);
+        assert_eq!(Constant::Int(3).as_int(), Some(3));
+        assert_eq!(Constant::Int(3).as_bool(), None);
+        assert_eq!(Constant::from(false), Constant::Bool(false));
+        assert_eq!(Constant::from(9i64).to_string(), "9");
+    }
+}

@@ -1,0 +1,91 @@
+//! Fresh-name generation for capture-avoiding substitution.
+
+use std::collections::HashSet;
+
+use crate::Name;
+
+/// A supply of fresh variable names.
+///
+/// Generated names have the shape `base%n`; `%` is not a valid
+/// identifier character in the GTLC front end, so generated names can
+/// never collide with source-program names.
+///
+/// ```
+/// use bc_syntax::NameSupply;
+/// let mut supply = NameSupply::new();
+/// let x1 = supply.fresh("x");
+/// let x2 = supply.fresh("x");
+/// assert_ne!(x1, x2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NameSupply {
+    counter: u64,
+}
+
+impl NameSupply {
+    /// Creates a new supply starting at zero.
+    pub fn new() -> NameSupply {
+        NameSupply::default()
+    }
+
+    /// Returns a name based on `base` that has not been returned
+    /// before by this supply.
+    pub fn fresh(&mut self, base: &str) -> Name {
+        let base = base.split('%').next().unwrap_or(base);
+        let name = format!("{base}%{}", self.counter);
+        self.counter += 1;
+        Name::from(name)
+    }
+}
+
+/// Returns a name based on `base` that is not in `avoid`.
+///
+/// Used for one-off freshening during capture-avoiding substitution,
+/// where the set of names to avoid is known.
+pub fn fresh_avoiding(base: &str, avoid: &HashSet<Name>) -> Name {
+    let stem = base.split('%').next().unwrap_or(base);
+    if !avoid.contains(base) {
+        return Name::from(base);
+    }
+    for i in 0u64.. {
+        let candidate = Name::from(format!("{stem}%{i}").as_str());
+        if !avoid.contains(&candidate) {
+            return candidate;
+        }
+    }
+    unreachable!("u64 name space exhausted")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn supply_never_repeats() {
+        let mut s = NameSupply::new();
+        let mut seen = HashSet::new();
+        for _ in 0..100 {
+            assert!(seen.insert(s.fresh("x")));
+        }
+    }
+
+    #[test]
+    fn fresh_avoiding_avoids() {
+        let mut avoid: HashSet<Name> = HashSet::new();
+        avoid.insert(Name::from("x"));
+        avoid.insert(Name::from("x%0"));
+        let n = fresh_avoiding("x", &avoid);
+        assert!(!avoid.contains(&n));
+        // If the base name is free it is returned unchanged.
+        assert_eq!(&*fresh_avoiding("y", &avoid), "y");
+    }
+
+    #[test]
+    fn freshening_a_generated_name_keeps_the_stem() {
+        let mut avoid: HashSet<Name> = HashSet::new();
+        avoid.insert(Name::from("x%0"));
+        let n = fresh_avoiding("x%0", &avoid);
+        assert!(n.starts_with("x%"));
+        assert!(!avoid.contains(&n));
+    }
+}

@@ -1,0 +1,223 @@
+//! Operators `op` on base types with their total meaning function
+//! `[[op]]`.
+//!
+//! The paper requires each operator to be specified by a *total*
+//! meaning function that preserves types: if `op : ~ι → ι` and
+//! `~k : ~ι` then `[[op]](~k) = k` with `k : ι`. We therefore make the
+//! partial integer operations total: `quot` and `rem` by zero yield
+//! `0`, and arithmetic wraps on overflow.
+
+use std::fmt;
+
+use crate::constant::Constant;
+use crate::types::BaseType;
+
+/// Primitive operators on base types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Integer addition (wrapping).
+    Add,
+    /// Integer subtraction (wrapping).
+    Sub,
+    /// Integer multiplication (wrapping).
+    Mul,
+    /// Integer quotient; division by zero yields `0`.
+    Quot,
+    /// Integer remainder; remainder by zero yields `0`.
+    Rem,
+    /// Integer equality.
+    Eq,
+    /// Integer strict ordering.
+    Lt,
+    /// Integer non-strict ordering.
+    Leq,
+    /// Boolean conjunction.
+    And,
+    /// Boolean disjunction.
+    Or,
+    /// Boolean negation.
+    Not,
+    /// Integer negation (wrapping).
+    Neg,
+}
+
+impl Op {
+    /// All operators, in a fixed order (useful for exhaustive tests and
+    /// generators).
+    pub const ALL: [Op; 12] = [
+        Op::Add,
+        Op::Sub,
+        Op::Mul,
+        Op::Quot,
+        Op::Rem,
+        Op::Eq,
+        Op::Lt,
+        Op::Leq,
+        Op::And,
+        Op::Or,
+        Op::Not,
+        Op::Neg,
+    ];
+
+    /// The operator's signature `~ι → ι`: argument base types and
+    /// result base type.
+    pub fn signature(self) -> (&'static [BaseType], BaseType) {
+        use BaseType::{Bool, Int};
+        match self {
+            Op::Add | Op::Sub | Op::Mul | Op::Quot | Op::Rem => (&[Int, Int], Int),
+            Op::Eq | Op::Lt | Op::Leq => (&[Int, Int], Bool),
+            Op::And | Op::Or => (&[Bool, Bool], Bool),
+            Op::Not => (&[Bool], Bool),
+            Op::Neg => (&[Int], Int),
+        }
+    }
+
+    /// The operator's arity.
+    pub fn arity(self) -> usize {
+        self.signature().0.len()
+    }
+
+    /// The total meaning function `[[op]]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arguments do not match [`Op::signature`]; the type
+    /// systems of the calculi guarantee this never happens for
+    /// well-typed programs.
+    pub fn apply(self, args: &[Constant]) -> Constant {
+        let int = |i: usize| {
+            args[i]
+                .as_int()
+                .unwrap_or_else(|| panic!("operator {self} expected Int argument, got {}", args[i]))
+        };
+        let boolean = |i: usize| {
+            args[i].as_bool().unwrap_or_else(|| {
+                panic!("operator {self} expected Bool argument, got {}", args[i])
+            })
+        };
+        assert_eq!(
+            args.len(),
+            self.arity(),
+            "operator {self} applied to {} arguments",
+            args.len()
+        );
+        match self {
+            Op::Add => Constant::Int(int(0).wrapping_add(int(1))),
+            Op::Sub => Constant::Int(int(0).wrapping_sub(int(1))),
+            Op::Mul => Constant::Int(int(0).wrapping_mul(int(1))),
+            Op::Quot => {
+                let d = int(1);
+                Constant::Int(if d == 0 { 0 } else { int(0).wrapping_div(d) })
+            }
+            Op::Rem => {
+                let d = int(1);
+                Constant::Int(if d == 0 { 0 } else { int(0).wrapping_rem(d) })
+            }
+            Op::Eq => Constant::Bool(int(0) == int(1)),
+            Op::Lt => Constant::Bool(int(0) < int(1)),
+            Op::Leq => Constant::Bool(int(0) <= int(1)),
+            Op::And => Constant::Bool(boolean(0) && boolean(1)),
+            Op::Or => Constant::Bool(boolean(0) || boolean(1)),
+            Op::Not => Constant::Bool(!boolean(0)),
+            Op::Neg => Constant::Int(int(0).wrapping_neg()),
+        }
+    }
+
+    /// The operator's concrete-syntax name, as recognised by the GTLC
+    /// front end.
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::Add => "+",
+            Op::Sub => "-",
+            Op::Mul => "*",
+            Op::Quot => "quot",
+            Op::Rem => "rem",
+            Op::Eq => "=",
+            Op::Lt => "<",
+            Op::Leq => "<=",
+            Op::And => "and",
+            Op::Or => "or",
+            Op::Not => "not",
+            Op::Neg => "neg",
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meaning_preserves_types() {
+        // If op : ~ι → ι and ~k : ~ι then [[op]](~k) : ι.
+        let samples = [Constant::Int(7), Constant::Int(-3), Constant::Int(0)];
+        let bools = [Constant::Bool(true), Constant::Bool(false)];
+        for op in Op::ALL {
+            let (params, result) = op.signature();
+            let args: Vec<Constant> = params
+                .iter()
+                .map(|p| match p {
+                    BaseType::Int => samples[0],
+                    BaseType::Bool => bools[0],
+                })
+                .collect();
+            assert_eq!(op.apply(&args).base_type(), result, "{op}");
+        }
+    }
+
+    #[test]
+    fn totality_on_division() {
+        assert_eq!(
+            Op::Quot.apply(&[Constant::Int(5), Constant::Int(0)]),
+            Constant::Int(0)
+        );
+        assert_eq!(
+            Op::Rem.apply(&[Constant::Int(5), Constant::Int(0)]),
+            Constant::Int(0)
+        );
+        assert_eq!(
+            Op::Quot.apply(&[Constant::Int(7), Constant::Int(2)]),
+            Constant::Int(3)
+        );
+    }
+
+    #[test]
+    fn arithmetic_wraps() {
+        assert_eq!(
+            Op::Add.apply(&[Constant::Int(i64::MAX), Constant::Int(1)]),
+            Constant::Int(i64::MIN)
+        );
+        assert_eq!(
+            Op::Neg.apply(&[Constant::Int(i64::MIN)]),
+            Constant::Int(i64::MIN)
+        );
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(
+            Op::Lt.apply(&[Constant::Int(1), Constant::Int(2)]),
+            Constant::Bool(true)
+        );
+        assert_eq!(
+            Op::Eq.apply(&[Constant::Int(2), Constant::Int(2)]),
+            Constant::Bool(true)
+        );
+        assert_eq!(
+            Op::Leq.apply(&[Constant::Int(3), Constant::Int(2)]),
+            Constant::Bool(false)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Int")]
+    fn ill_typed_application_panics() {
+        let _ = Op::Add.apply(&[Constant::Bool(true), Constant::Int(1)]);
+    }
+}

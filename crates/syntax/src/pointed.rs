@@ -1,0 +1,221 @@
+//! Pointed types and the type meet `A & B` (§5.2 of the paper).
+//!
+//! Pointed types extend ordinary types with a least element `⊥`:
+//!
+//! ```text
+//! S, T ::= ι | S → T | ? | ⊥
+//! ```
+//!
+//! Naive subtyping extends to pointed types by `⊥ <:n T` for all `T`.
+//! The *meet* of two types is their greatest lower bound with respect
+//! to naive subtyping; it always exists as a pointed type and is used
+//! to state the Fundamental Property of Casts (Lemma 21).
+
+use std::fmt;
+use std::rc::Rc;
+
+use crate::types::{BaseType, Type};
+
+/// Pointed types `S, T ::= ι | S → T | ? | ⊥`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PointedType {
+    /// The least element `⊥`, below every type.
+    Bottom,
+    /// A base type `ι`.
+    Base(BaseType),
+    /// The dynamic type `?` (the greatest element).
+    Dyn,
+    /// A function type `S → T` over pointed components.
+    Fun(Rc<PointedType>, Rc<PointedType>),
+}
+
+impl PointedType {
+    /// Builds the pointed function type `dom → cod`.
+    pub fn fun(dom: PointedType, cod: PointedType) -> PointedType {
+        PointedType::Fun(Rc::new(dom), Rc::new(cod))
+    }
+
+    /// Converts back to an ordinary [`Type`] if the pointed type does
+    /// not contain `⊥`.
+    pub fn to_type(&self) -> Option<Type> {
+        match self {
+            PointedType::Bottom => None,
+            PointedType::Base(b) => Some(Type::Base(*b)),
+            PointedType::Dyn => Some(Type::Dyn),
+            PointedType::Fun(a, b) => Some(Type::fun(a.to_type()?, b.to_type()?)),
+        }
+    }
+}
+
+impl From<&Type> for PointedType {
+    fn from(t: &Type) -> PointedType {
+        match t {
+            Type::Base(b) => PointedType::Base(*b),
+            Type::Dyn => PointedType::Dyn,
+            Type::Fun(a, b) => PointedType::fun(PointedType::from(&**a), PointedType::from(&**b)),
+        }
+    }
+}
+
+impl From<Type> for PointedType {
+    fn from(t: Type) -> PointedType {
+        PointedType::from(&t)
+    }
+}
+
+impl fmt::Display for PointedType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PointedType::Bottom => f.write_str("⊥"),
+            PointedType::Base(b) => write!(f, "{b}"),
+            PointedType::Dyn => f.write_str("?"),
+            PointedType::Fun(a, b) => match **a {
+                PointedType::Fun(_, _) => write!(f, "({a}) -> {b}"),
+                _ => write!(f, "{a} -> {b}"),
+            },
+        }
+    }
+}
+
+/// Naive subtyping on pointed types: `⊥ <:n T` for all `T`, plus the
+/// ordinary rules lifted pointwise.
+pub fn pointed_naive_subtype(a: &PointedType, b: &PointedType) -> bool {
+    match (a, b) {
+        (PointedType::Bottom, _) => true,
+        (_, PointedType::Dyn) => true,
+        (PointedType::Base(x), PointedType::Base(y)) => x == y,
+        (PointedType::Fun(a1, a2), PointedType::Fun(b1, b2)) => {
+            pointed_naive_subtype(a1, b1) && pointed_naive_subtype(a2, b2)
+        }
+        _ => false,
+    }
+}
+
+/// The meet `A & B` of two types: their greatest lower bound with
+/// respect to naive subtyping `<:n`, computed as a pointed type.
+///
+/// ```
+/// use bc_syntax::{meet, PointedType, Type};
+/// // Int & ? = Int
+/// assert_eq!(meet(&Type::INT, &Type::DYN), PointedType::Base(bc_syntax::BaseType::Int));
+/// // Int & Bool = ⊥
+/// assert_eq!(meet(&Type::INT, &Type::BOOL), PointedType::Bottom);
+/// ```
+pub fn meet(a: &Type, b: &Type) -> PointedType {
+    meet_pointed(&PointedType::from(a), &PointedType::from(b))
+}
+
+/// The meet of two pointed types.
+pub fn meet_pointed(a: &PointedType, b: &PointedType) -> PointedType {
+    match (a, b) {
+        (PointedType::Bottom, _) | (_, PointedType::Bottom) => PointedType::Bottom,
+        (PointedType::Dyn, t) => t.clone(),
+        (t, PointedType::Dyn) => t.clone(),
+        (PointedType::Base(x), PointedType::Base(y)) => {
+            if x == y {
+                PointedType::Base(*x)
+            } else {
+                PointedType::Bottom
+            }
+        }
+        (PointedType::Fun(a1, a2), PointedType::Fun(b1, b2)) => {
+            PointedType::fun(meet_pointed(a1, b1), meet_pointed(a2, b2))
+        }
+        _ => PointedType::Bottom,
+    }
+}
+
+/// Checks `A & B <:n C` for ordinary types, the hypothesis of the
+/// Fundamental Property of Casts (Lemma 21).
+pub fn meet_below(a: &Type, b: &Type, c: &Type) -> bool {
+    pointed_naive_subtype(&meet(a, b), &PointedType::from(c))
+}
+
+impl PointedType {
+    /// Whether this pointed type contains `⊥` anywhere.
+    pub fn has_bottom(&self) -> bool {
+        match self {
+            PointedType::Bottom => true,
+            PointedType::Base(_) | PointedType::Dyn => false,
+            PointedType::Fun(a, b) => a.has_bottom() || b.has_bottom(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subtype::{naive_subtype, sample_types};
+
+    #[test]
+    fn meet_is_glb() {
+        // For all A, B in a small universe: A&B <:n A, A&B <:n B, and
+        // for any C with C <:n A and C <:n B, C <:n A&B.
+        let u = sample_types(1);
+        for a in &u {
+            for b in &u {
+                let m = meet(a, b);
+                assert!(
+                    pointed_naive_subtype(&m, &PointedType::from(a)),
+                    "{a} & {b} = {m} must be <=n {a}"
+                );
+                assert!(pointed_naive_subtype(&m, &PointedType::from(b)));
+                for c in &u {
+                    let pc = PointedType::from(c);
+                    if pointed_naive_subtype(&pc, &PointedType::from(a))
+                        && pointed_naive_subtype(&pc, &PointedType::from(b))
+                    {
+                        assert!(
+                            pointed_naive_subtype(&pc, &m),
+                            "lower bound {c} must be below {a} & {b} = {m}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn meet_agrees_with_naive_subtype() {
+        // A <:n B implies A & B = A.
+        let u = sample_types(1);
+        for a in &u {
+            for b in &u {
+                if naive_subtype(a, b) {
+                    assert_eq!(meet(a, b), PointedType::from(a));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn meet_examples() {
+        let ii = Type::fun(Type::INT, Type::INT);
+        let di = Type::fun(Type::DYN, Type::INT);
+        assert_eq!(meet(&ii, &di), PointedType::from(&ii));
+        assert_eq!(
+            meet(&Type::fun(Type::BOOL, Type::INT), &ii),
+            PointedType::fun(PointedType::Bottom, PointedType::Base(BaseType::Int))
+        );
+        assert!(meet(&Type::INT, &Type::BOOL).has_bottom());
+    }
+
+    #[test]
+    fn to_type_round_trip() {
+        let t = Type::fun(Type::INT, Type::dyn_fun());
+        assert_eq!(PointedType::from(&t).to_type(), Some(t.clone()));
+        assert_eq!(PointedType::Bottom.to_type(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            meet(&Type::INT, &Type::BOOL).to_string(),
+            "⊥".to_string()
+        );
+        assert_eq!(
+            PointedType::fun(PointedType::Bottom, PointedType::Dyn).to_string(),
+            "⊥ -> ?"
+        );
+    }
+}

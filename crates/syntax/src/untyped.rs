@@ -1,0 +1,144 @@
+//! The dynamically-typed λ-calculus that Figure 1 embeds into λB via
+//! `⌈·⌉`.
+//!
+//! Untyped terms are ordinary λ-terms over the same constants and
+//! operators as the typed calculi, extended (like the calculi
+//! themselves) with `if`, `let`, and `fix` as standard constructs. The
+//! embedding itself lives in `bc_lambda_b::embed`, since its target is
+//! a λB term.
+
+use std::fmt;
+use std::rc::Rc;
+
+use crate::constant::Constant;
+use crate::op::Op;
+use crate::Name;
+
+/// Terms of the dynamically-typed λ-calculus.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UntypedTerm {
+    /// A constant `k`.
+    Const(Constant),
+    /// An operator application `op(M₁, …, Mₙ)`.
+    Op(Op, Vec<UntypedTerm>),
+    /// A variable `x`.
+    Var(Name),
+    /// An abstraction `λx. N` (the bound variable has type `?` after
+    /// embedding).
+    Lam(Name, Rc<UntypedTerm>),
+    /// An application `L M`.
+    App(Rc<UntypedTerm>, Rc<UntypedTerm>),
+    /// A conditional `if L then M else N`.
+    If(Rc<UntypedTerm>, Rc<UntypedTerm>, Rc<UntypedTerm>),
+    /// A let binding `let x = M in N`.
+    Let(Name, Rc<UntypedTerm>, Rc<UntypedTerm>),
+    /// A recursive function `fix f. λx. N`.
+    Fix(Name, Name, Rc<UntypedTerm>),
+}
+
+impl UntypedTerm {
+    /// An integer constant.
+    pub fn int(n: i64) -> UntypedTerm {
+        UntypedTerm::Const(Constant::Int(n))
+    }
+
+    /// A boolean constant.
+    pub fn bool(b: bool) -> UntypedTerm {
+        UntypedTerm::Const(Constant::Bool(b))
+    }
+
+    /// A variable.
+    pub fn var(name: &str) -> UntypedTerm {
+        UntypedTerm::Var(Name::from(name))
+    }
+
+    /// An abstraction `λx. body`.
+    pub fn lam(name: &str, body: UntypedTerm) -> UntypedTerm {
+        UntypedTerm::Lam(Name::from(name), Rc::new(body))
+    }
+
+    /// An application `fun arg`.
+    pub fn app(fun: UntypedTerm, arg: UntypedTerm) -> UntypedTerm {
+        UntypedTerm::App(Rc::new(fun), Rc::new(arg))
+    }
+
+    /// A binary operator application.
+    pub fn op2(op: Op, lhs: UntypedTerm, rhs: UntypedTerm) -> UntypedTerm {
+        UntypedTerm::Op(op, vec![lhs, rhs])
+    }
+
+    /// A conditional.
+    pub fn ite(c: UntypedTerm, t: UntypedTerm, e: UntypedTerm) -> UntypedTerm {
+        UntypedTerm::If(Rc::new(c), Rc::new(t), Rc::new(e))
+    }
+
+    /// A let binding.
+    pub fn let_(name: &str, bound: UntypedTerm, body: UntypedTerm) -> UntypedTerm {
+        UntypedTerm::Let(Name::from(name), Rc::new(bound), Rc::new(body))
+    }
+
+    /// A recursive function `fix f. λx. body`.
+    pub fn fix(fun: &str, arg: &str, body: UntypedTerm) -> UntypedTerm {
+        UntypedTerm::Fix(Name::from(fun), Name::from(arg), Rc::new(body))
+    }
+
+    /// The number of syntax nodes in the term.
+    pub fn size(&self) -> usize {
+        match self {
+            UntypedTerm::Const(_) | UntypedTerm::Var(_) => 1,
+            UntypedTerm::Op(_, args) => 1 + args.iter().map(UntypedTerm::size).sum::<usize>(),
+            UntypedTerm::Lam(_, b) | UntypedTerm::Fix(_, _, b) => 1 + b.size(),
+            UntypedTerm::App(a, b) | UntypedTerm::Let(_, a, b) => 1 + a.size() + b.size(),
+            UntypedTerm::If(a, b, c) => 1 + a.size() + b.size() + c.size(),
+        }
+    }
+}
+
+impl fmt::Display for UntypedTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UntypedTerm::Const(k) => write!(f, "{k}"),
+            UntypedTerm::Var(x) => write!(f, "{x}"),
+            UntypedTerm::Op(op, args) => {
+                write!(f, "{op}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")
+            }
+            UntypedTerm::Lam(x, b) => write!(f, "(fun {x} => {b})"),
+            UntypedTerm::App(a, b) => write!(f, "({a} {b})"),
+            UntypedTerm::If(c, t, e) => write!(f, "(if {c} then {t} else {e})"),
+            UntypedTerm::Let(x, m, n) => write!(f, "(let {x} = {m} in {n})"),
+            UntypedTerm::Fix(g, x, b) => write!(f, "(fix {g} {x} => {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_and_display() {
+        let id = UntypedTerm::lam("x", UntypedTerm::var("x"));
+        let t = UntypedTerm::app(id, UntypedTerm::int(1));
+        assert_eq!(t.to_string(), "((fun x => x) 1)");
+        assert_eq!(t.size(), 4);
+    }
+
+    #[test]
+    fn omega_is_expressible() {
+        // (λx. x x) (λx. x x) — the untyped calculus must be able to
+        // express divergence for the embedding tests.
+        let half = UntypedTerm::lam(
+            "x",
+            UntypedTerm::app(UntypedTerm::var("x"), UntypedTerm::var("x")),
+        );
+        let omega = UntypedTerm::app(half.clone(), half);
+        assert_eq!(omega.size(), 9);
+    }
+}

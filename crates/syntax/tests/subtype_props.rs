@@ -1,0 +1,119 @@
+//! Property tests for the subtyping lattice and type meets over
+//! randomly generated (deep) types — the randomised complement of the
+//! exhaustive small-universe tests in `bc_syntax::subtype` (E1, E4).
+
+use bc_syntax::pointed::{meet_pointed, pointed_naive_subtype, PointedType};
+use bc_syntax::{meet, naive_subtype, neg_subtype, pos_subtype, subtype, Ground, Type};
+use proptest::prelude::*;
+
+/// A random type of bounded height (proptest-native strategy, giving
+/// shrinking on failure).
+fn ty(depth: u32) -> BoxedStrategy<Type> {
+    let leaf = prop_oneof![Just(Type::INT), Just(Type::BOOL), Just(Type::DYN)];
+    leaf.prop_recursive(depth, 32, 2, |inner| {
+        (inner.clone(), inner).prop_map(|(a, b)| Type::fun(a, b))
+    })
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Lemma 1: every non-? type is compatible with exactly one
+    /// ground type.
+    #[test]
+    fn grounding_is_unique(a in ty(4)) {
+        match a.ground_of() {
+            None => prop_assert!(a.is_dyn()),
+            Some(g) => {
+                prop_assert!(a.compatible(&g.ty()));
+                for h in Ground::ALL {
+                    if h != g {
+                        prop_assert!(!a.compatible(&h.ty()));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Compatibility is reflexive and symmetric (it is famously *not*
+    /// transitive).
+    #[test]
+    fn compatibility_reflexive_symmetric(a in ty(4), b in ty(4)) {
+        prop_assert!(a.compatible(&a));
+        prop_assert_eq!(a.compatible(&b), b.compatible(&a));
+    }
+
+    /// All four subtyping relations are reflexive.
+    #[test]
+    fn subtyping_reflexive(a in ty(4)) {
+        prop_assert!(subtype(&a, &a));
+        prop_assert!(pos_subtype(&a, &a));
+        prop_assert!(neg_subtype(&a, &a));
+        prop_assert!(naive_subtype(&a, &a));
+    }
+
+    /// Lemma 4 (tangram), on random deep pairs:
+    /// `A <: B ⇔ A <:+ B ∧ A <:- B` and
+    /// `A <:n B ⇔ A <:+ B ∧ B <:- A`.
+    #[test]
+    fn tangram(a in ty(4), b in ty(4)) {
+        prop_assert_eq!(subtype(&a, &b), pos_subtype(&a, &b) && neg_subtype(&a, &b));
+        prop_assert_eq!(naive_subtype(&a, &b), pos_subtype(&a, &b) && neg_subtype(&b, &a));
+    }
+
+    /// `<:` implies `<:n`... does NOT hold in general; but `<:n` and
+    /// `<:` both imply compatibility-or-reflexivity facts we rely on:
+    /// naive subtyping implies compatibility.
+    #[test]
+    fn naive_subtype_implies_compatible(a in ty(4), b in ty(4)) {
+        if naive_subtype(&a, &b) {
+            prop_assert!(a.compatible(&b), "{} <:n {} but incompatible", a, b);
+        }
+    }
+
+    /// The meet is a greatest lower bound for `<:n` on pointed types.
+    #[test]
+    fn meet_is_glb(a in ty(3), b in ty(3), c in ty(3)) {
+        let m = meet(&a, &b);
+        prop_assert!(pointed_naive_subtype(&m, &PointedType::from(&a)));
+        prop_assert!(pointed_naive_subtype(&m, &PointedType::from(&b)));
+        let pc = PointedType::from(&c);
+        if pointed_naive_subtype(&pc, &PointedType::from(&a))
+            && pointed_naive_subtype(&pc, &PointedType::from(&b))
+        {
+            prop_assert!(pointed_naive_subtype(&pc, &m));
+        }
+    }
+
+    /// The meet is idempotent, commutative, and associative.
+    #[test]
+    fn meet_is_a_semilattice(a in ty(3), b in ty(3), c in ty(3)) {
+        let (pa, pb, pc) = (
+            PointedType::from(&a),
+            PointedType::from(&b),
+            PointedType::from(&c),
+        );
+        prop_assert_eq!(meet_pointed(&pa, &pa), pa.clone());
+        prop_assert_eq!(meet_pointed(&pa, &pb), meet_pointed(&pb, &pa));
+        prop_assert_eq!(
+            meet_pointed(&meet_pointed(&pa, &pb), &pc),
+            meet_pointed(&pa, &meet_pointed(&pb, &pc))
+        );
+    }
+
+    /// Height and size of types interact as expected with meets:
+    /// the meet's (pointed) structure never exceeds both arguments'
+    /// heights.
+    #[test]
+    fn meet_does_not_invent_structure(a in ty(3), b in ty(3)) {
+        fn pheight(p: &PointedType) -> usize {
+            match p {
+                PointedType::Fun(x, y) => 1 + pheight(x).max(pheight(y)),
+                _ => 1,
+            }
+        }
+        let m = meet(&a, &b);
+        prop_assert!(pheight(&m) <= a.height().max(b.height()));
+    }
+}

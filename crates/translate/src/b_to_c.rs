@@ -1,0 +1,194 @@
+//! The translation `|·|BC` from λB to λC (Figure 4).
+//!
+//! ```text
+//! |ι ⇒p ι|       = idι
+//! |A→B ⇒p A'→B'| = |A' ⇒p̄ A| → |B ⇒p B'|
+//! |? ⇒p ?|       = id?
+//! |G ⇒p ?|       = G!
+//! |A ⇒p ?|       = |A ⇒p G| ; G!      (A ≠ ?, A ≠ G, A ∼ G)
+//! |? ⇒p G|       = G?p
+//! |? ⇒p A|       = G?p ; |G ⇒p A|     (A ≠ ?, A ≠ G, A ∼ G)
+//! ```
+//!
+//! The domain of a function cast is translated with the *complemented*
+//! label, matching λB's contravariant function-cast rule; this is what
+//! makes the bisimulation of Proposition 11 lockstep.
+
+use bc_lambda_b as lb;
+use bc_lambda_c as lc;
+use bc_lambda_c::coercion::Coercion;
+use bc_syntax::{Label, Type};
+
+/// Translates a cast `A ⇒p B` to a coercion: `|A ⇒p B|BC`.
+///
+/// # Panics
+///
+/// Panics if `A ≁ B` (no cast exists between incompatible types).
+pub fn cast_to_coercion(source: &Type, p: Label, target: &Type) -> Coercion {
+    assert!(
+        source.compatible(target),
+        "no cast between incompatible types {source} and {target}"
+    );
+    match (source, target) {
+        (Type::Base(a), Type::Base(_)) => Coercion::id(Type::Base(*a)),
+        (Type::Fun(a, b), Type::Fun(a2, b2)) => Coercion::fun(
+            cast_to_coercion(a2, p.complement(), a),
+            cast_to_coercion(b, p, b2),
+        ),
+        (Type::Dyn, Type::Dyn) => Coercion::id(Type::Dyn),
+        (a, Type::Dyn) => {
+            let g = a.ground_of().expect("source is not ? in this branch");
+            if *a == g.ty() {
+                Coercion::inj(g)
+            } else {
+                cast_to_coercion(a, p, &g.ty()).seq(Coercion::inj(g))
+            }
+        }
+        (Type::Dyn, b) => {
+            let g = b.ground_of().expect("target is not ? in this branch");
+            if *b == g.ty() {
+                Coercion::proj(g, p)
+            } else {
+                Coercion::proj(g, p).seq(cast_to_coercion(&g.ty(), p, b))
+            }
+        }
+        _ => unreachable!("incompatible cast slipped past the guard"),
+    }
+}
+
+/// Translates a λB term to a λC term by replacing every cast with the
+/// corresponding coercion.
+pub fn term_b_to_c(term: &lb::Term) -> lc::Term {
+    match term {
+        lb::Term::Const(k) => lc::Term::Const(*k),
+        lb::Term::Op(op, args) => lc::Term::Op(*op, args.iter().map(term_b_to_c).collect()),
+        lb::Term::Var(x) => lc::Term::Var(x.clone()),
+        lb::Term::Lam(x, ty, b) => {
+            lc::Term::Lam(x.clone(), ty.clone(), term_b_to_c(b).into())
+        }
+        lb::Term::App(a, b) => lc::Term::App(term_b_to_c(a).into(), term_b_to_c(b).into()),
+        lb::Term::Cast(m, c) => lc::Term::Coerce(
+            term_b_to_c(m).into(),
+            cast_to_coercion(&c.source, c.label, &c.target),
+        ),
+        lb::Term::Blame(p, ty) => lc::Term::Blame(*p, ty.clone()),
+        lb::Term::If(c, t, e) => lc::Term::If(
+            term_b_to_c(c).into(),
+            term_b_to_c(t).into(),
+            term_b_to_c(e).into(),
+        ),
+        lb::Term::Let(x, m, n) => {
+            lc::Term::Let(x.clone(), term_b_to_c(m).into(), term_b_to_c(n).into())
+        }
+        lb::Term::Fix(f, x, dom, cod, b) => lc::Term::Fix(
+            f.clone(),
+            x.clone(),
+            dom.clone(),
+            cod.clone(),
+            term_b_to_c(b).into(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bc_syntax::{BaseType, Ground};
+
+    fn p(n: u32) -> Label {
+        Label::new(n)
+    }
+
+    #[test]
+    fn base_cases() {
+        assert_eq!(
+            cast_to_coercion(&Type::INT, p(0), &Type::INT),
+            Coercion::id(Type::INT)
+        );
+        assert_eq!(
+            cast_to_coercion(&Type::DYN, p(0), &Type::DYN),
+            Coercion::id(Type::DYN)
+        );
+        assert_eq!(
+            cast_to_coercion(&Type::INT, p(0), &Type::DYN),
+            Coercion::inj(Ground::Base(BaseType::Int))
+        );
+        assert_eq!(
+            cast_to_coercion(&Type::DYN, p(0), &Type::INT),
+            Coercion::proj(Ground::Base(BaseType::Int), p(0))
+        );
+    }
+
+    #[test]
+    fn function_cast_complements_the_domain() {
+        // |Int→Int ⇒p ?→?| = Int?p̄ → Int!
+        let ii = Type::fun(Type::INT, Type::INT);
+        let c = cast_to_coercion(&ii, p(0), &Type::dyn_fun());
+        assert_eq!(
+            c,
+            Coercion::fun(
+                Coercion::proj(Ground::Base(BaseType::Int), p(0).complement()),
+                Coercion::inj(Ground::Base(BaseType::Int)),
+            )
+        );
+    }
+
+    #[test]
+    fn non_ground_injection_factors() {
+        // |Int→Int ⇒p ?| = |Int→Int ⇒p ?→?| ; (?→?)!
+        let ii = Type::fun(Type::INT, Type::INT);
+        let c = cast_to_coercion(&ii, p(0), &Type::DYN);
+        let inner = cast_to_coercion(&ii, p(0), &Type::dyn_fun());
+        assert_eq!(c, inner.seq(Coercion::inj(Ground::Fun)));
+    }
+
+    #[test]
+    fn non_ground_projection_factors() {
+        // |? ⇒p Int→Int| = (?→?)?p ; |?→? ⇒p Int→Int|
+        let ii = Type::fun(Type::INT, Type::INT);
+        let c = cast_to_coercion(&Type::DYN, p(0), &ii);
+        let inner = cast_to_coercion(&Type::dyn_fun(), p(0), &ii);
+        assert_eq!(c, Coercion::proj(Ground::Fun, p(0)).seq(inner));
+    }
+
+    #[test]
+    fn translation_preserves_types() {
+        // Prop 10.1 on a representative cast: the coercion coerces
+        // exactly from A to B.
+        let samples = [
+            (Type::INT, Type::DYN),
+            (Type::DYN, Type::INT),
+            (Type::fun(Type::INT, Type::BOOL), Type::DYN),
+            (Type::DYN, Type::fun(Type::DYN, Type::BOOL)),
+            (
+                Type::fun(Type::INT, Type::BOOL),
+                Type::fun(Type::DYN, Type::DYN),
+            ),
+        ];
+        for (a, b) in &samples {
+            let c = cast_to_coercion(a, p(7), b);
+            assert!(c.check(a, b), "|{a} ⇒ {b}| = {c} must coerce {a} ⇒ {b}");
+        }
+    }
+
+    #[test]
+    fn safety_corresponds_to_label_polarity() {
+        // Lemma 9 on examples: A <:+ B iff |A ⇒p B| safe for p.
+        use bc_syntax::{pos_subtype, neg_subtype};
+        let samples = [
+            (Type::INT, Type::DYN),
+            (Type::DYN, Type::INT),
+            (Type::fun(Type::INT, Type::INT), Type::dyn_fun()),
+            (Type::dyn_fun(), Type::fun(Type::INT, Type::INT)),
+        ];
+        for (a, b) in &samples {
+            let c = cast_to_coercion(a, p(3), b);
+            assert_eq!(pos_subtype(a, b), c.safe_for(p(3)), "{a} ⇒ {b}");
+            assert_eq!(
+                neg_subtype(a, b),
+                c.safe_for(p(3).complement()),
+                "{a} ⇒ {b}"
+            );
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! The composite translation `|·|BS = |·|CS ∘ |·|BC` from λB straight
+//! to λS, used by the applications of §5 (Lemmas 20 and 21).
+
+use bc_core::coercion::SpaceCoercion;
+use bc_core::term::Term as STerm;
+use bc_lambda_b::term::Term as BTerm;
+use bc_syntax::{Label, Type};
+
+use crate::b_to_c::{cast_to_coercion, term_b_to_c};
+use crate::c_to_s::{coercion_to_space, term_c_to_s};
+
+/// Translates a cast directly to its canonical space-efficient
+/// coercion: `|A ⇒p B|BS`.
+///
+/// # Panics
+///
+/// Panics if `A ≁ B`.
+pub fn cast_to_space(source: &Type, p: Label, target: &Type) -> SpaceCoercion {
+    coercion_to_space(&cast_to_coercion(source, p, target))
+}
+
+/// Translates a λB term to a λS term.
+pub fn term_b_to_s(term: &BTerm) -> STerm {
+    term_c_to_s(&term_b_to_c(term))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_cast_normalises_to_identity() {
+        // |Int ⇒p ? ⇒q Int|BS = idInt when composed.
+        use bc_core::compose::compose;
+        let up = cast_to_space(&Type::INT, Label::new(0), &Type::DYN);
+        let down = cast_to_space(&Type::DYN, Label::new(1), &Type::INT);
+        assert_eq!(
+            compose(&up, &down),
+            SpaceCoercion::id_base(bc_syntax::BaseType::Int)
+        );
+    }
+
+    #[test]
+    fn translation_preserves_typing() {
+        let ii = Type::fun(Type::INT, Type::INT);
+        let s = cast_to_space(&ii, Label::new(0), &Type::DYN);
+        assert!(s.check(&ii, &Type::DYN));
+    }
+}

@@ -1,0 +1,456 @@
+//! Executable bisimulation checkers.
+//!
+//! * [`lockstep_bc`] — co-executes a λB term and its `|·|BC`
+//!   translation, checking that *every single step* commutes with the
+//!   translation (Proposition 11: the bisimulation is lockstep).
+//! * [`aligned_cs`] — co-executes a λC term and its `|·|CS`
+//!   translation. The bisimulation `≈` of Figure 6 is *not* lockstep:
+//!   one λC step corresponds to zero or more λS steps and vice versa.
+//!   We check it by comparing the two reduction traces after
+//!   *normalisation* (eagerly merging adjacent coercions and erasing
+//!   identity coercions — the closure of rules (i) and (ii) of
+//!   Figure 6): the λS trace's distinct normal forms must appear as a
+//!   subsequence of the λC trace's, and the outcomes must agree.
+//! * [`Observation`] — the common observable of final values across
+//!   all three calculi, used for Kleene-style outcome comparisons
+//!   (Definition 6).
+
+use bc_core as ls;
+use bc_core::coercion::{GroundCoercion, Intermediate, SpaceCoercion};
+use bc_core::compose::compose;
+use bc_lambda_b as lb;
+use bc_lambda_c as lc;
+use bc_syntax::{Constant, Ground, Label, Type};
+
+use crate::b_to_c::term_b_to_c;
+use crate::c_to_s::term_c_to_s;
+
+/// The observable shape of an evaluation outcome, shared by all three
+/// calculi: enough to compare results across translations without
+/// comparing function bodies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Observation {
+    /// A base-type constant.
+    Constant(Constant),
+    /// A function value (possibly wrapped in function casts/coercions).
+    Function,
+    /// A value injected into `?` at a ground type, with the
+    /// observation of its payload.
+    Injected(Ground, Box<Observation>),
+    /// Blame allocated to a label.
+    Blame(Label),
+    /// Fuel exhausted.
+    Timeout,
+}
+
+impl std::fmt::Display for Observation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Observation::Constant(k) => write!(f, "{k}"),
+            Observation::Function => f.write_str("<function>"),
+            Observation::Injected(g, payload) => write!(f, "{payload} (dynamic, tagged {g})"),
+            Observation::Blame(p) => write!(f, "blame {p}"),
+            Observation::Timeout => f.write_str("<timeout>"),
+        }
+    }
+}
+
+/// Observes a λB outcome.
+pub fn observe_b(outcome: &lb::eval::Outcome) -> Observation {
+    match outcome {
+        lb::eval::Outcome::Value(v) => observe_b_value(v),
+        lb::eval::Outcome::Blame(p) => Observation::Blame(*p),
+        lb::eval::Outcome::Timeout => Observation::Timeout,
+    }
+}
+
+fn observe_b_value(v: &lb::Term) -> Observation {
+    match v {
+        lb::Term::Const(k) => Observation::Constant(*k),
+        lb::Term::Lam(_, _, _) | lb::Term::Fix(_, _, _, _, _) => Observation::Function,
+        lb::Term::Cast(inner, c) => match (&c.source, &c.target) {
+            (Type::Fun(_, _), Type::Fun(_, _)) => Observation::Function,
+            (src, Type::Dyn) => {
+                let g = src.as_ground().expect("injection value from ground type");
+                Observation::Injected(g, Box::new(observe_b_value(inner)))
+            }
+            _ => unreachable!("not a λB value: {v}"),
+        },
+        other => unreachable!("not a λB value: {other}"),
+    }
+}
+
+/// Observes a λC outcome.
+pub fn observe_c(outcome: &lc::eval::Outcome) -> Observation {
+    match outcome {
+        lc::eval::Outcome::Value(v) => observe_c_value(v),
+        lc::eval::Outcome::Blame(p) => Observation::Blame(*p),
+        lc::eval::Outcome::Timeout => Observation::Timeout,
+    }
+}
+
+fn observe_c_value(v: &lc::Term) -> Observation {
+    match v {
+        lc::Term::Const(k) => Observation::Constant(*k),
+        lc::Term::Lam(_, _, _) | lc::Term::Fix(_, _, _, _, _) => Observation::Function,
+        lc::Term::Coerce(inner, lc::Coercion::Fun(_, _)) => {
+            let _ = inner;
+            Observation::Function
+        }
+        lc::Term::Coerce(inner, lc::Coercion::Inj(g)) => {
+            Observation::Injected(*g, Box::new(observe_c_value(inner)))
+        }
+        other => unreachable!("not a λC value: {other}"),
+    }
+}
+
+/// Observes a λS outcome.
+pub fn observe_s(outcome: &ls::eval::Outcome) -> Observation {
+    match outcome {
+        ls::eval::Outcome::Value(v) => observe_s_value(v),
+        ls::eval::Outcome::Blame(p) => Observation::Blame(*p),
+        ls::eval::Outcome::Timeout => Observation::Timeout,
+    }
+}
+
+fn observe_s_value(v: &ls::Term) -> Observation {
+    match v {
+        ls::Term::Const(k) => Observation::Constant(*k),
+        ls::Term::Lam(_, _, _) | ls::Term::Fix(_, _, _, _, _) => Observation::Function,
+        ls::Term::Coerce(u, SpaceCoercion::Mid(Intermediate::Inj(g, ground))) => {
+            // U⟨g ; G!⟩: the payload is U seen through g.
+            let payload = match g {
+                GroundCoercion::IdBase(_) => observe_s_value(u),
+                GroundCoercion::Fun(_, _) => Observation::Function,
+            };
+            Observation::Injected(*ground, Box::new(payload))
+        }
+        ls::Term::Coerce(_, SpaceCoercion::Mid(Intermediate::Ground(GroundCoercion::Fun(
+            _,
+            _,
+        )))) => Observation::Function,
+        other => unreachable!("not a λS value: {other}"),
+    }
+}
+
+/// Report of a successful lockstep co-execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockstepReport {
+    /// Number of steps taken (identical in both calculi by
+    /// Proposition 11).
+    pub steps: u64,
+    /// The common final observation.
+    pub observation: Observation,
+}
+
+/// Co-executes a λB term and its λC translation, verifying the
+/// lockstep bisimulation of Proposition 11: after every single step,
+/// the translation of the λB state equals the λC state.
+///
+/// # Errors
+///
+/// Returns a description of the first violation (or a type error).
+pub fn lockstep_bc(term: &lb::Term, fuel: u64) -> Result<LockstepReport, String> {
+    let ty = lb::type_of(term).map_err(|e| format!("λB type error: {e}"))?;
+    let mut mb = term.clone();
+    let mut mc = term_b_to_c(&mb);
+    let ty_c = lc::type_of(&mc).map_err(|e| format!("λC type error: {e}"))?;
+    if ty_c != ty {
+        return Err(format!(
+            "translation changed the type: {ty} became {ty_c}"
+        ));
+    }
+    let mut steps = 0u64;
+    loop {
+        let sb = lb::eval::step(&mb, &ty);
+        let sc = lc::eval::step(&mc, &ty);
+        match (sb, sc) {
+            (lb::eval::Step::Next(nb), lc::eval::Step::Next(nc)) => {
+                let translated = term_b_to_c(&nb);
+                if translated != nc {
+                    return Err(format!(
+                        "lockstep broken after {steps} steps:\n λB -> {nb}\n |·|BC = {translated}\n λC -> {nc}"
+                    ));
+                }
+                mb = nb;
+                mc = nc;
+                steps += 1;
+                if steps >= fuel {
+                    return Ok(LockstepReport {
+                        steps,
+                        observation: Observation::Timeout,
+                    });
+                }
+            }
+            (lb::eval::Step::Value, lc::eval::Step::Value) => {
+                let ob = observe_b_value(&mb);
+                let oc = observe_c_value(&mc);
+                if ob != oc {
+                    return Err(format!("final values differ: {ob:?} vs {oc:?}"));
+                }
+                return Ok(LockstepReport {
+                    steps,
+                    observation: ob,
+                });
+            }
+            (lb::eval::Step::Blame(p), lc::eval::Step::Blame(q)) => {
+                if p != q {
+                    return Err(format!("blamed different labels: {p} vs {q}"));
+                }
+                return Ok(LockstepReport {
+                    steps,
+                    observation: Observation::Blame(p),
+                });
+            }
+            (sb, sc) => {
+                return Err(format!(
+                    "calculi disagree after {steps} steps: λB {sb:?} vs λC {sc:?}"
+                ))
+            }
+        }
+    }
+}
+
+/// Whether a space-efficient coercion is a full identity (`id?`,
+/// `idι`, or `s → t` with both components full identities) — exactly
+/// the coercions erased by rule (i) of the bisimulation.
+pub fn is_full_identity(s: &SpaceCoercion) -> bool {
+    match s {
+        SpaceCoercion::IdDyn => true,
+        SpaceCoercion::Mid(Intermediate::Ground(GroundCoercion::IdBase(_))) => true,
+        SpaceCoercion::Mid(Intermediate::Ground(GroundCoercion::Fun(a, b))) => {
+            is_full_identity(a) && is_full_identity(b)
+        }
+        _ => false,
+    }
+}
+
+/// Normalises a λS term by merging adjacent coercions and erasing
+/// (full) identity coercions everywhere — the congruence closure of
+/// rules (i) and (ii) of Figure 6. Two terms related by `≈` modulo
+/// those rules have equal normal forms.
+pub fn normalize_s(term: &ls::Term) -> ls::Term {
+    match term {
+        ls::Term::Const(_) | ls::Term::Var(_) | ls::Term::Blame(_, _) => term.clone(),
+        ls::Term::Op(op, args) => ls::Term::Op(*op, args.iter().map(normalize_s).collect()),
+        ls::Term::Lam(x, ty, b) => ls::Term::Lam(x.clone(), ty.clone(), normalize_s(b).into()),
+        ls::Term::App(a, b) => ls::Term::App(normalize_s(a).into(), normalize_s(b).into()),
+        ls::Term::If(c, t, e) => ls::Term::If(
+            normalize_s(c).into(),
+            normalize_s(t).into(),
+            normalize_s(e).into(),
+        ),
+        ls::Term::Let(x, m, n) => {
+            ls::Term::Let(x.clone(), normalize_s(m).into(), normalize_s(n).into())
+        }
+        ls::Term::Fix(f, x, dom, cod, b) => ls::Term::Fix(
+            f.clone(),
+            x.clone(),
+            dom.clone(),
+            cod.clone(),
+            normalize_s(b).into(),
+        ),
+        ls::Term::Coerce(m, s) => {
+            let inner = normalize_s(m);
+            let (subject, merged) = match inner {
+                ls::Term::Coerce(mm, s2) => {
+                    let combined = compose(&s2, s);
+                    ((*mm).clone(), combined)
+                }
+                other => (other, s.clone()),
+            };
+            if is_full_identity(&merged) {
+                subject
+            } else {
+                subject.coerce(merged)
+            }
+        }
+    }
+}
+
+/// Report of a successful λC/λS trace alignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlignmentReport {
+    /// λC steps taken.
+    pub steps_c: u64,
+    /// λS steps taken.
+    pub steps_s: u64,
+    /// The common final observation.
+    pub observation: Observation,
+}
+
+/// Co-executes a λC term and its `|·|CS` translation and checks the
+/// non-lockstep bisimulation of Proposition 16 via normalised traces:
+/// every distinct normal form visited by λS must appear, in order,
+/// among the normal forms visited by λC (λC takes *more* steps because
+/// it splits compositions that λS merges in the relation), and both
+/// executions must produce the same observation.
+///
+/// # Errors
+///
+/// Returns a description of the first misalignment.
+pub fn aligned_cs(term: &lc::Term, fuel: u64) -> Result<AlignmentReport, String> {
+    let ty_c = lc::type_of(term).map_err(|e| format!("λC type error: {e}"))?;
+    let ms0 = term_c_to_s(term);
+    let ty_s = ls::type_of(&ms0).map_err(|e| format!("λS type error: {e}"))?;
+    if ty_s != ty_c {
+        return Err(format!("translation changed the type: {ty_c} became {ty_s}"));
+    }
+
+    // Collect normalised traces (consecutive duplicates collapsed).
+    let mut trace_c: Vec<ls::Term> = Vec::new();
+    let push_c = |t: ls::Term, out: &mut Vec<ls::Term>| {
+        if out.last() != Some(&t) {
+            out.push(t);
+        }
+    };
+    let mut mc = term.clone();
+    let mut steps_c = 0u64;
+    push_c(normalize_s(&term_c_to_s(&mc)), &mut trace_c);
+    let outcome_c = loop {
+        match lc::eval::step(&mc, &ty_c) {
+            lc::eval::Step::Next(n) => {
+                mc = n;
+                steps_c += 1;
+                push_c(normalize_s(&term_c_to_s(&mc)), &mut trace_c);
+                if steps_c >= fuel {
+                    break Observation::Timeout;
+                }
+            }
+            lc::eval::Step::Value => break observe_c_value(&mc),
+            lc::eval::Step::Blame(p) => break Observation::Blame(p),
+        }
+    };
+
+    let mut trace_s: Vec<ls::Term> = Vec::new();
+    let mut ms = ms0;
+    let mut steps_s = 0u64;
+    push_c(normalize_s(&ms), &mut trace_s);
+    let outcome_s = loop {
+        match ls::eval::step(&ms, &ty_s) {
+            ls::eval::Step::Next(n) => {
+                ms = n;
+                steps_s += 1;
+                push_c(normalize_s(&ms), &mut trace_s);
+                if steps_s >= fuel {
+                    break Observation::Timeout;
+                }
+            }
+            ls::eval::Step::Value => break observe_s_value(&ms),
+            ls::eval::Step::Blame(p) => break Observation::Blame(p),
+        }
+    };
+
+    if outcome_c != outcome_s {
+        return Err(format!(
+            "outcomes differ: λC {outcome_c:?} vs λS {outcome_s:?}"
+        ));
+    }
+
+    // On timeout the traces were truncated at unrelated points; the
+    // subsequence check is only meaningful for completed runs.
+    if outcome_c != Observation::Timeout && !is_subsequence(&trace_s, &trace_c) {
+        return Err(format!(
+            "λS trace is not a subsequence of the λC trace\n λC trace ({} states)\n λS trace ({} states)",
+            trace_c.len(),
+            trace_s.len()
+        ));
+    }
+
+    Ok(AlignmentReport {
+        steps_c,
+        steps_s,
+        observation: outcome_c,
+    })
+}
+
+/// Whether `needle` is a (not necessarily contiguous) subsequence of
+/// `haystack`.
+fn is_subsequence(needle: &[ls::Term], haystack: &[ls::Term]) -> bool {
+    let mut it = haystack.iter();
+    needle.iter().all(|n| it.any(|h| h == n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bc_lambda_b::programs;
+    use bc_syntax::{BaseType, Op};
+
+    #[test]
+    fn lockstep_on_programs() {
+        for (name, m) in [
+            ("boundary_loop", programs::boundary_loop(6)),
+            ("even_odd_mixed", programs::even_odd_mixed(5)),
+            ("even_typed", programs::even_typed(7)),
+            ("even_untyped", programs::even_untyped(4)),
+            ("wrapped_identity", programs::wrapped_identity(3)),
+        ] {
+            let report = lockstep_bc(&m, 100_000)
+                .unwrap_or_else(|e| panic!("lockstep failed on {name}: {e}"));
+            assert_ne!(report.observation, Observation::Timeout, "{name}");
+        }
+    }
+
+    #[test]
+    fn lockstep_on_a_blaming_program() {
+        use bc_syntax::{Label, Type};
+        let m = lb::Term::int(1)
+            .cast(Type::INT, Label::new(0), Type::DYN)
+            .cast(Type::DYN, Label::new(1), Type::BOOL);
+        let report = lockstep_bc(&m, 100).unwrap();
+        assert_eq!(report.observation, Observation::Blame(Label::new(1)));
+    }
+
+    #[test]
+    fn alignment_on_translated_programs() {
+        for (name, m) in [
+            ("boundary_loop", programs::boundary_loop(6)),
+            ("even_odd_mixed", programs::even_odd_mixed(5)),
+            ("even_untyped", programs::even_untyped(4)),
+            ("wrapped_identity", programs::wrapped_identity(3)),
+        ] {
+            let mc = term_b_to_c(&m);
+            let report = aligned_cs(&mc, 100_000)
+                .unwrap_or_else(|e| panic!("alignment failed on {name}: {e}"));
+            assert_ne!(report.observation, Observation::Timeout, "{name}");
+            // The bisimulation is not lockstep: one step in λC may
+            // correspond to zero or more in λS and vice versa (λC
+            // splits compositions, λS pays explicit merge steps), but
+            // the step counts stay within a constant factor.
+            let (lo, hi) = (
+                report.steps_c.min(report.steps_s),
+                report.steps_c.max(report.steps_s),
+            );
+            assert!(hi <= 3 * lo + 10, "{name}: steps diverge: {lo} vs {hi}");
+        }
+    }
+
+    #[test]
+    fn normalize_merges_and_erases() {
+        use bc_syntax::Label;
+        let gi = Ground::Base(BaseType::Int);
+        let id = GroundCoercion::IdBase(BaseType::Int);
+        let m = ls::Term::int(1)
+            .coerce(SpaceCoercion::inj(id.clone(), gi))
+            .coerce(SpaceCoercion::proj(
+                gi,
+                Label::new(0),
+                Intermediate::Ground(id),
+            ));
+        assert_eq!(normalize_s(&m), ls::Term::int(1));
+        let _ = Op::Add;
+    }
+
+    #[test]
+    fn observations_distinguish_blame_and_values() {
+        assert_ne!(
+            Observation::Blame(bc_syntax::Label::new(0)),
+            Observation::Blame(bc_syntax::Label::new(1))
+        );
+        assert_ne!(
+            Observation::Constant(Constant::Int(1)),
+            Observation::Function
+        );
+    }
+}

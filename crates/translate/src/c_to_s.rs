@@ -1,0 +1,178 @@
+//! The translation `|·|CS` from λC to λS (Figure 6) — equivalently,
+//! *normalisation* of coercions to canonical form.
+//!
+//! ```text
+//! |id?|    = id?
+//! |idι|    = idι
+//! |id A→B| = |id A| → |id B|
+//! |G?p|    = G?p ; |id G|
+//! |G!|     = |id G| ; G!
+//! |c → d|  = |c| → |d|
+//! |c ; d|  = |c| # |d|
+//! |⊥GpH|   = ⊥GpH
+//! ```
+
+use bc_core::coercion::{GroundCoercion, Intermediate, SpaceCoercion};
+use bc_core::compose::compose;
+use bc_core::term::Term as STerm;
+use bc_lambda_c::coercion::Coercion;
+use bc_lambda_c::term::Term as CTerm;
+use bc_syntax::Ground;
+
+/// The identity ground coercion at ground type `G`: `idι` at base
+/// types, `id? → id?` at `? → ?`.
+pub fn ground_identity(g: Ground) -> GroundCoercion {
+    match g {
+        Ground::Base(b) => GroundCoercion::IdBase(b),
+        Ground::Fun => GroundCoercion::Fun(
+            SpaceCoercion::IdDyn.into(),
+            SpaceCoercion::IdDyn.into(),
+        ),
+    }
+}
+
+/// Translates (normalises) a λC coercion into its canonical
+/// space-efficient form.
+pub fn coercion_to_space(c: &Coercion) -> SpaceCoercion {
+    match c {
+        Coercion::Id(ty) => SpaceCoercion::id(ty),
+        Coercion::Inj(g) => SpaceCoercion::Mid(Intermediate::Inj(ground_identity(*g), *g)),
+        Coercion::Proj(g, p) => {
+            SpaceCoercion::Proj(*g, *p, Intermediate::Ground(ground_identity(*g)))
+        }
+        Coercion::Fun(c, d) => SpaceCoercion::fun(coercion_to_space(c), coercion_to_space(d)),
+        Coercion::Seq(c, d) => compose(&coercion_to_space(c), &coercion_to_space(d)),
+        Coercion::Fail(g, p, h) => SpaceCoercion::Mid(Intermediate::Fail(*g, *p, *h)),
+    }
+}
+
+/// Translates a λC term to a λS term by normalising every coercion.
+pub fn term_c_to_s(term: &CTerm) -> STerm {
+    match term {
+        CTerm::Const(k) => STerm::Const(*k),
+        CTerm::Op(op, args) => STerm::Op(*op, args.iter().map(term_c_to_s).collect()),
+        CTerm::Var(x) => STerm::Var(x.clone()),
+        CTerm::Lam(x, ty, b) => STerm::Lam(x.clone(), ty.clone(), term_c_to_s(b).into()),
+        CTerm::App(a, b) => STerm::App(term_c_to_s(a).into(), term_c_to_s(b).into()),
+        CTerm::Coerce(m, c) => STerm::Coerce(term_c_to_s(m).into(), coercion_to_space(c)),
+        CTerm::Blame(p, ty) => STerm::Blame(*p, ty.clone()),
+        CTerm::If(c, t, e) => STerm::If(
+            term_c_to_s(c).into(),
+            term_c_to_s(t).into(),
+            term_c_to_s(e).into(),
+        ),
+        CTerm::Let(x, m, n) => {
+            STerm::Let(x.clone(), term_c_to_s(m).into(), term_c_to_s(n).into())
+        }
+        CTerm::Fix(f, x, dom, cod, b) => STerm::Fix(
+            f.clone(),
+            x.clone(),
+            dom.clone(),
+            cod.clone(),
+            term_c_to_s(b).into(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bc_syntax::{BaseType, Label, Type};
+
+    fn gi() -> Ground {
+        Ground::Base(BaseType::Int)
+    }
+    fn p(n: u32) -> Label {
+        Label::new(n)
+    }
+
+    #[test]
+    fn primitives_normalise_to_their_canonical_forms() {
+        assert_eq!(
+            coercion_to_space(&Coercion::id(Type::DYN)),
+            SpaceCoercion::IdDyn
+        );
+        assert_eq!(
+            coercion_to_space(&Coercion::id(Type::INT)),
+            SpaceCoercion::id_base(BaseType::Int)
+        );
+        assert_eq!(
+            coercion_to_space(&Coercion::inj(gi())),
+            SpaceCoercion::inj(GroundCoercion::IdBase(BaseType::Int), gi())
+        );
+        assert_eq!(
+            coercion_to_space(&Coercion::proj(gi(), p(0))),
+            SpaceCoercion::proj(
+                gi(),
+                p(0),
+                Intermediate::Ground(GroundCoercion::IdBase(BaseType::Int))
+            )
+        );
+    }
+
+    #[test]
+    fn composition_normalises_by_composing() {
+        // Int! ; Int?p normalises to idInt.
+        let c = Coercion::inj(gi()).seq(Coercion::proj(gi(), p(0)));
+        assert_eq!(
+            coercion_to_space(&c),
+            SpaceCoercion::id_base(BaseType::Int)
+        );
+        // Int! ; Bool?p normalises to ⊥.
+        let c2 = Coercion::inj(gi()).seq(Coercion::proj(Ground::Base(BaseType::Bool), p(0)));
+        assert_eq!(
+            coercion_to_space(&c2),
+            SpaceCoercion::Mid(Intermediate::Fail(gi(), p(0), Ground::Base(BaseType::Bool)))
+        );
+    }
+
+    #[test]
+    fn normalisation_preserves_typing() {
+        let samples = [
+            Coercion::id(Type::fun(Type::INT, Type::DYN)),
+            Coercion::inj(Ground::Fun),
+            Coercion::proj(Ground::Fun, p(1)),
+            Coercion::fun(Coercion::proj(gi(), p(0)), Coercion::inj(gi())),
+            Coercion::inj(gi()).seq(Coercion::proj(gi(), p(2))),
+        ];
+        for c in &samples {
+            let (a, b) = c.synthesize().expect("samples are failure-free");
+            let s = coercion_to_space(c);
+            assert!(s.check(&a, &b), "|{c}|CS = {s} must coerce {a} ⇒ {b}");
+        }
+    }
+
+    #[test]
+    fn normalisation_preserves_safety() {
+        // Prop 15.2 flavour: |c|CS mentions a subset of c's labels.
+        let c = Coercion::fun(Coercion::proj(gi(), p(0)), Coercion::inj(gi()))
+            .seq(Coercion::inj(Ground::Fun))
+            .seq(Coercion::proj(Ground::Fun, p(1)));
+        let s = coercion_to_space(&c);
+        for q in [p(0), p(1), p(2), p(0).complement()] {
+            if c.safe_for(q) {
+                assert!(s.safe_for(q), "normalisation must preserve safety for {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn idempotent_through_the_inclusion() {
+        // Normalising, including back into λC, and normalising again
+        // is the identity on canonical forms: |  |s|SC  |CS = s.
+        let samples = [
+            SpaceCoercion::IdDyn,
+            SpaceCoercion::id_base(BaseType::Int),
+            SpaceCoercion::inj(ground_identity(Ground::Fun), Ground::Fun),
+            SpaceCoercion::proj(
+                gi(),
+                p(0),
+                Intermediate::Inj(GroundCoercion::IdBase(BaseType::Int), gi()),
+            ),
+            SpaceCoercion::fail(gi(), p(1), Ground::Fun),
+        ];
+        for s in &samples {
+            assert_eq!(&coercion_to_space(&s.to_coercion()), s, "round trip of {s}");
+        }
+    }
+}

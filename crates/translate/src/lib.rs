@@ -1,0 +1,36 @@
+//! Translations between the three calculi of Siek–Thiemann–Wadler
+//! (PLDI 2015) and executable versions of the paper's metatheory.
+//!
+//! * [`b_to_c`] — `|·|BC`: casts to coercions (Figure 4, left);
+//!   designed so that λB and λC run in *lockstep* (Proposition 11).
+//! * [`c_to_b`] — `|·|CB`: a coercion to a *sequence* of casts
+//!   (Figure 4, right); a coercion may carry many blame labels but a
+//!   cast only one.
+//! * [`c_to_s`] — `|·|CS`: coercions to canonical (space-efficient)
+//!   coercions (Figure 6); this is also the normalisation function
+//!   underlying λS.
+//! * [`s_to_c`] — `|·|SC`: the trivial inclusion of λS back into λC.
+//! * [`b_to_s`] — the composite `|·|BS = |·|CS ∘ |·|BC` used by the
+//!   applications in §5.
+//! * [`bisim`] — executable bisimulation checkers: the lockstep
+//!   co-execution of λB/λC and the normalised-trace alignment of
+//!   λC/λS.
+//! * [`fundamental`] — Lemma 20 and the Fundamental Property of Casts
+//!   (Lemma 21).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod b_to_c;
+pub mod b_to_s;
+pub mod bisim;
+pub mod c_to_b;
+pub mod c_to_s;
+pub mod fundamental;
+pub mod s_to_c;
+
+pub use b_to_c::{cast_to_coercion, term_b_to_c};
+pub use b_to_s::term_b_to_s;
+pub use c_to_b::{coercion_to_casts, term_c_to_b};
+pub use c_to_s::{coercion_to_space, term_c_to_s};
+pub use s_to_c::term_s_to_c;

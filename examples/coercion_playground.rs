@@ -1,0 +1,78 @@
+//! Coercion playground: watch casts become coercions, coercions
+//! normalise to canonical (space-efficient) forms, compositions stay
+//! height-bounded, and the threesome correspondence in action.
+//!
+//! ```sh
+//! cargo run --example coercion_playground
+//! ```
+
+use bc_baselines::threesome;
+use bc_core::compose::compose;
+use bc_syntax::{Label, Type};
+use bc_translate::{b_to_s::cast_to_space, cast_to_coercion};
+
+fn main() {
+    let p = Label::new(0);
+    let q = Label::new(1);
+    let ii = Type::fun(Type::INT, Type::INT);
+
+    println!("── casts to coercions (|·|BC, Figure 4)");
+    for (a, b) in [
+        (Type::INT, Type::DYN),
+        (Type::DYN, Type::INT),
+        (ii.clone(), Type::DYN),
+        (Type::DYN, ii.clone()),
+    ] {
+        println!("  |{a} ⇒p {b}|  =  {}", cast_to_coercion(&a, p, &b));
+    }
+    println!();
+
+    println!("── normalisation to canonical form (|·|CS, Figure 6)");
+    let up = cast_to_space(&ii, p, &Type::DYN);
+    let down = cast_to_space(&Type::DYN, q, &ii);
+    println!("  s = |Int→Int ⇒p ?|CS   =  {up}");
+    println!("  t = |? ⇒q Int→Int|CS   =  {down}");
+    println!();
+
+    println!("── composition s # t (Figure 5)");
+    let round_trip = compose(&up, &down);
+    println!("  s # t  =  {round_trip}");
+    println!(
+        "  heights: ‖s‖ = {}, ‖t‖ = {}, ‖s # t‖ = {}  (Prop. 14: never grows)",
+        up.height(),
+        down.height(),
+        round_trip.height()
+    );
+    let mismatch = compose(&up, &cast_to_space(&Type::DYN, q, &Type::BOOL));
+    println!("  s # |? ⇒q Bool|CS  =  {mismatch}   (a failure, blaming q)");
+    println!();
+
+    println!("── the threesome correspondence (§6.1)");
+    println!(
+        "  erased to labeled types:  map(s) = {},  map(t) = {}",
+        threesome::from_space(&up),
+        threesome::from_space(&down)
+    );
+    println!(
+        "  Q ∘ P = {}   equals   map(s # t) = {}",
+        threesome::compose_labeled(&threesome::from_space(&down), &threesome::from_space(&up)),
+        threesome::from_space(&round_trip)
+    );
+    println!();
+
+    println!("── iterated composition stays bounded");
+    let mut acc = cast_to_space(&Type::DYN, p, &Type::DYN);
+    for i in 0..1000u32 {
+        let label = Label::new(i % 60 + 2);
+        let step = compose(
+            &cast_to_space(&Type::DYN, label, &ii),
+            &cast_to_space(&ii, label, &Type::DYN),
+        );
+        acc = compose(&acc, &step);
+    }
+    println!(
+        "  after 1000 round-trip compositions: size = {}, height = {}",
+        acc.size(),
+        acc.height()
+    );
+}

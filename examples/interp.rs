@@ -1,0 +1,129 @@
+//! A command-line interpreter for the gradually-typed language.
+//!
+//! ```sh
+//! cargo run --example interp -- --engine machine-s 'let f = fun x => x + 1 in f 41'
+//! cargo run --example interp -- --trace '(1 : ?) + 2'
+//! cargo run --example interp -- path/to/program.gtlc
+//! ```
+//!
+//! Flags:
+//! * `--engine {b|c|s|machine-b|machine-c|machine-s}` — execution
+//!   engine (default `machine-s`);
+//! * `--trace` — print every λS reduction step;
+//! * `--fuel N` — step bound (default 1,000,000).
+
+use std::process::ExitCode;
+
+use blame_coercion::translate::bisim::Observation;
+use blame_coercion::{Compiled, Engine};
+
+fn parse_engine(name: &str) -> Option<Engine> {
+    match name {
+        "b" => Some(Engine::LambdaB),
+        "c" => Some(Engine::LambdaC),
+        "s" => Some(Engine::LambdaS),
+        "machine-b" => Some(Engine::MachineB),
+        "machine-c" => Some(Engine::MachineC),
+        "machine-s" => Some(Engine::MachineS),
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let mut engine = Engine::MachineS;
+    let mut trace = false;
+    let mut fuel: u64 = 1_000_000;
+    let mut input: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--engine" => match args.next().as_deref().and_then(parse_engine) {
+                Some(e) => engine = e,
+                None => {
+                    eprintln!("usage: --engine {{b|c|s|machine-b|machine-c|machine-s}}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--trace" => trace = true,
+            "--fuel" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) => fuel = n,
+                None => {
+                    eprintln!("usage: --fuel N");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => input = Some(other.to_owned()),
+        }
+    }
+
+    let Some(input) = input else {
+        eprintln!("usage: interp [--engine E] [--trace] [--fuel N] <program or file.gtlc>");
+        return ExitCode::FAILURE;
+    };
+
+    // A file path or inline source text.
+    let source = if input.ends_with(".gtlc") {
+        match std::fs::read_to_string(&input) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {input}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        input
+    };
+
+    let program = match Compiled::compile(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{}", e.render(&source));
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("type: {}", program.ty);
+
+    if trace {
+        // Step-by-step λS trace.
+        let ty = program.ty.clone();
+        let mut cur = program.lambda_s.clone();
+        let mut step_no = 0u64;
+        println!("{step_no:>4}  {cur}");
+        loop {
+            match blame_coercion::core::eval::step(&cur, &ty) {
+                blame_coercion::core::eval::Step::Next(n) => {
+                    step_no += 1;
+                    println!("{step_no:>4}  {n}");
+                    cur = n;
+                    if step_no >= fuel {
+                        println!("(fuel exhausted)");
+                        break;
+                    }
+                }
+                blame_coercion::core::eval::Step::Value => break,
+                blame_coercion::core::eval::Step::Blame(p) => {
+                    println!("      blame {p}");
+                    break;
+                }
+            }
+        }
+    }
+
+    let report = program.run(engine, fuel);
+    println!("result ({engine}): {}", report.observation);
+    println!("steps: {}", report.steps);
+    if let Some(metrics) = &report.metrics {
+        println!(
+            "space: peak frames {}, peak coercion frames {}, peak coercion size {}",
+            metrics.peak_frames, metrics.peak_cast_frames, metrics.peak_cast_size
+        );
+    }
+    if let Observation::Blame(p) = report.observation {
+        if let Some(msg) = program.explain_blame(p) {
+            eprintln!("{msg}");
+        }
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,50 @@
+//! **blame-coercion** — a complete Rust implementation of Siek,
+//! Thiemann, and Wadler, *Blame and Coercion: Together Again for the
+//! First Time* (PLDI 2015).
+//!
+//! The workspace implements the paper's three calculi and everything
+//! around them:
+//!
+//! | Crate | Contents |
+//! |-------|----------|
+//! | [`syntax`] | types, ground types, blame labels, operators, the four subtyping relations (Fig. 2), pointed types and meets |
+//! | [`lambda_b`] | the blame calculus λB (Fig. 1): typing, reduction, blame safety, the embedding `⌈·⌉` |
+//! | [`lambda_c`] | the coercion calculus λC (Fig. 3) |
+//! | [`core`] | **λS**, the space-efficient coercion calculus (Fig. 5) with the composition operator `s # t` |
+//! | [`translate`] | the translations `\|·\|BC`, `\|·\|CB`, `\|·\|CS` (Figs. 4, 6), executable bisimulations, the Fundamental Property of Casts |
+//! | [`gtlc`] | a gradually-typed surface language: parser, gradual type checker, cast insertion |
+//! | [`machine`] | CEK machines for all three calculi; the λS machine merges coercion frames and runs boundary-crossing tail calls in constant space |
+//! | [`baselines`] | Siek–Wadler 2010 threesomes and Garcia 2013 supercoercions |
+//!
+//! The [`pipeline`] module ties them together: source text → λB → λC →
+//! λS → any of six execution engines.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use blame_coercion::pipeline::{Compiled, Engine};
+//!
+//! let program = Compiled::compile(
+//!     "let inc = fun x => x + 1 in  -- `x` is dynamically typed
+//!      (inc 41 : Int)",
+//! ).expect("type checks gradually");
+//!
+//! let report = program.run(Engine::MachineS, 10_000);
+//! assert_eq!(report.observation.to_string(), "42");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use bc_baselines as baselines;
+pub use bc_core as core;
+pub use bc_gtlc as gtlc;
+pub use bc_lambda_b as lambda_b;
+pub use bc_lambda_c as lambda_c;
+pub use bc_machine as machine;
+pub use bc_syntax as syntax;
+pub use bc_translate as translate;
+
+pub mod pipeline;
+
+pub use pipeline::{Compiled, Engine, RunReport};

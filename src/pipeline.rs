@@ -1,0 +1,221 @@
+//! The end-to-end pipeline: GTLC source → λB → λC → λS → execution.
+
+use std::fmt;
+
+use bc_gtlc::Diagnostic;
+use bc_machine::metrics::Metrics;
+use bc_syntax::{Label, Type};
+use bc_translate::bisim::{observe_b, observe_c, observe_s, Observation};
+use bc_translate::{term_b_to_c, term_c_to_s};
+
+/// Which semantics executes the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Small-step reduction in the blame calculus (Figure 1).
+    LambdaB,
+    /// Small-step reduction in the coercion calculus (Figure 3).
+    LambdaC,
+    /// Small-step reduction in the space-efficient calculus (Figure 5).
+    LambdaS,
+    /// The λB CEK machine (leaks on boundary-crossing tail calls).
+    MachineB,
+    /// The λC CEK machine (same leak, coercion syntax).
+    MachineC,
+    /// The λS CEK machine (merges coercion frames; space-efficient).
+    MachineS,
+}
+
+impl Engine {
+    /// All engines, in a fixed order.
+    pub const ALL: [Engine; 6] = [
+        Engine::LambdaB,
+        Engine::LambdaC,
+        Engine::LambdaS,
+        Engine::MachineB,
+        Engine::MachineC,
+        Engine::MachineS,
+    ];
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Engine::LambdaB => "λB (small-step)",
+            Engine::LambdaC => "λC (small-step)",
+            Engine::LambdaS => "λS (small-step)",
+            Engine::MachineB => "λB (CEK machine)",
+            Engine::MachineC => "λC (CEK machine)",
+            Engine::MachineS => "λS (CEK machine)",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The result of running a compiled program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunReport {
+    /// What the program evaluated to.
+    pub observation: Observation,
+    /// Steps taken (reduction steps or machine transitions).
+    pub steps: u64,
+    /// Machine space metrics (machines only).
+    pub metrics: Option<Metrics>,
+}
+
+/// A program compiled through the whole pipeline, with all three
+/// intermediate representations available.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The elaborated λB term (with inserted casts).
+    pub lambda_b: bc_lambda_b::Term,
+    /// The λC translation `|·|BC`.
+    pub lambda_c: bc_lambda_c::Term,
+    /// The λS translation `|·|CS ∘ |·|BC`.
+    pub lambda_s: bc_core::Term,
+    /// The program's (gradual) type.
+    pub ty: Type,
+    /// The source-program span map for blame reporting, if compiled
+    /// from source.
+    program: Option<bc_gtlc::Program>,
+    source: Option<String>,
+}
+
+impl Compiled {
+    /// Compiles GTLC source text through cast insertion and the two
+    /// translations.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Diagnostic`] on lexical, syntax, or gradual type
+    /// errors.
+    pub fn compile(source: &str) -> Result<Compiled, Diagnostic> {
+        let program = bc_gtlc::compile(source)?;
+        let mut compiled = Compiled::from_lambda_b(program.term.clone(), program.ty.clone());
+        compiled.program = Some(program);
+        compiled.source = Some(source.to_owned());
+        Ok(compiled)
+    }
+
+    /// Wraps an already-built λB term (assumed closed and well typed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the term is not well typed at `ty`.
+    pub fn from_lambda_b(term: bc_lambda_b::Term, ty: Type) -> Compiled {
+        assert_eq!(
+            bc_lambda_b::type_of(&term).as_ref(),
+            Ok(&ty),
+            "term is not well typed at the stated type"
+        );
+        let lambda_c = term_b_to_c(&term);
+        let lambda_s = term_c_to_s(&lambda_c);
+        Compiled {
+            lambda_b: term,
+            lambda_c,
+            lambda_s,
+            ty,
+            program: None,
+            source: None,
+        }
+    }
+
+    /// Runs the program on the chosen engine with a fuel bound.
+    pub fn run(&self, engine: Engine, fuel: u64) -> RunReport {
+        match engine {
+            Engine::LambdaB => {
+                let r = bc_lambda_b::eval::run(&self.lambda_b, fuel).expect("compiled well typed");
+                RunReport {
+                    observation: observe_b(&r.outcome),
+                    steps: r.steps,
+                    metrics: None,
+                }
+            }
+            Engine::LambdaC => {
+                let r = bc_lambda_c::eval::run(&self.lambda_c, fuel).expect("compiled well typed");
+                RunReport {
+                    observation: observe_c(&r.outcome),
+                    steps: r.steps,
+                    metrics: None,
+                }
+            }
+            Engine::LambdaS => {
+                let r = bc_core::eval::run(&self.lambda_s, fuel).expect("compiled well typed");
+                RunReport {
+                    observation: observe_s(&r.outcome),
+                    steps: r.steps,
+                    metrics: None,
+                }
+            }
+            Engine::MachineB => {
+                let r = bc_machine::cek_b::run(&self.lambda_b, fuel);
+                RunReport {
+                    observation: r.outcome.to_observation(),
+                    steps: r.metrics.steps,
+                    metrics: Some(r.metrics),
+                }
+            }
+            Engine::MachineC => {
+                let r = bc_machine::cek_c::run(&self.lambda_c, fuel);
+                RunReport {
+                    observation: r.outcome.to_observation(),
+                    steps: r.metrics.steps,
+                    metrics: Some(r.metrics),
+                }
+            }
+            Engine::MachineS => {
+                let r = bc_machine::cek_s::run(&self.lambda_s, fuel);
+                RunReport {
+                    observation: r.outcome.to_observation(),
+                    steps: r.metrics.steps,
+                    metrics: Some(r.metrics),
+                }
+            }
+        }
+    }
+
+    /// Explains a blame label as a source-level diagnostic, when the
+    /// program was compiled from source and the label came from cast
+    /// insertion.
+    pub fn explain_blame(&self, label: Label) -> Option<String> {
+        let program = self.program.as_ref()?;
+        let source = self.source.as_deref()?;
+        program.explain_blame(label, source)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_engines_agree_on_a_program() {
+        let compiled = Compiled::compile(
+            "letrec even (n : Int) : Bool = \
+               if n = 0 then true else \
+               if n = 1 then false else even (n - 2) \
+             in even 10",
+        )
+        .expect("compiles");
+        let expected = compiled.run(Engine::LambdaB, 100_000).observation;
+        for engine in Engine::ALL {
+            assert_eq!(
+                compiled.run(engine, 100_000).observation,
+                expected,
+                "{engine}"
+            );
+        }
+    }
+
+    #[test]
+    fn blame_is_explained_at_source_level() {
+        let compiled =
+            Compiled::compile("let f = fun x => x + 1 in f true").expect("compiles");
+        match compiled.run(Engine::MachineS, 10_000).observation {
+            Observation::Blame(p) => {
+                let msg = compiled.explain_blame(p).expect("label is mapped");
+                assert!(msg.contains("error"), "{msg}");
+            }
+            other => panic!("expected blame, got {other}"),
+        }
+    }
+}
