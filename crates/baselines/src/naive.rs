@@ -40,10 +40,9 @@ fn flatten(c: &Coercion, out: &mut Vec<Coercion>) {
             flatten(a, out);
             flatten(b, out);
         }
-        Coercion::Fun(a, b) => out.push(Coercion::Fun(
-            Rc::new(normalize(a)),
-            Rc::new(normalize(b)),
-        )),
+        Coercion::Fun(a, b) => {
+            out.push(Coercion::Fun(Rc::new(normalize(a)), Rc::new(normalize(b))))
+        }
         other => out.push(other.clone()),
     }
 }

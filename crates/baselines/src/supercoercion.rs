@@ -98,8 +98,7 @@ impl Supercoercion {
                 ground,
                 proj_label,
                 target,
-            } => Coercion::proj(*ground, *proj_label)
-                .seq(Coercion::fail(*ground, *label, *target)),
+            } => Coercion::proj(*ground, *proj_label).seq(Coercion::fail(*ground, *label, *target)),
             Supercoercion::Inj(g) => Coercion::inj(*g),
             Supercoercion::Proj(g, l) => Coercion::proj(*g, *l),
             Supercoercion::ProjInj(g, l) => Coercion::proj(*g, *l).seq(Coercion::inj(*g)),
@@ -218,7 +217,10 @@ mod tests {
     fn all_ten_constructors_translate_and_type_check() {
         for (sc, src, tgt) in all_samples() {
             let c = sc.to_coercion();
-            assert!(c.check(&src, &tgt), "N({sc}) = {c} must coerce {src} ⇒ {tgt}");
+            assert!(
+                c.check(&src, &tgt),
+                "N({sc}) = {c} must coerce {src} ⇒ {tgt}"
+            );
         }
     }
 

@@ -28,8 +28,10 @@ fn bench_baselines(c: &mut Criterion) {
         b.iter(|| {
             for (s, t) in &pairs {
                 let lhs = threesome::from_space(&compose(s, t));
-                let rhs =
-                    threesome::compose_labeled(&threesome::from_space(t), &threesome::from_space(s));
+                let rhs = threesome::compose_labeled(
+                    &threesome::from_space(t),
+                    &threesome::from_space(s),
+                );
                 assert_eq!(lhs, rhs);
             }
         })

@@ -10,6 +10,7 @@
 use bc_baselines::naive;
 use bc_baselines::threesome;
 use bc_bench::composable_batch;
+use bc_core::arena::{CoercionArena, ComposeCache};
 use bc_core::compose::compose;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -64,5 +65,68 @@ fn bench_compose(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_compose);
+/// Tree compose versus the hash-consed arena, on deep function
+/// coercions. Three variants:
+///
+/// * `tree` — the ten-line recursion over `Rc` trees (clones on every
+///   call);
+/// * `arena_cold` — interned composition with an empty cache each
+///   round (measures the structural recursion over nodes, interning
+///   included);
+/// * `arena_warm` — interned composition with a persistent cache: the
+///   steady state of the λS machine running a boundary-crossing loop,
+///   where every merge after the first is a single hash lookup.
+fn bench_compose_interned(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compose_interned");
+    group.sample_size(20);
+    for height in [3usize, 5, 7] {
+        let pairs = composable_batch(97, height, 64);
+
+        group.bench_with_input(BenchmarkId::new("tree", height), &pairs, |b, pairs| {
+            b.iter(|| {
+                for (s, t) in pairs {
+                    black_box(compose(black_box(s), black_box(t)));
+                }
+            })
+        });
+
+        group.bench_with_input(
+            BenchmarkId::new("arena_cold", height),
+            &pairs,
+            |b, pairs| {
+                b.iter(|| {
+                    let mut arena = CoercionArena::new();
+                    let mut cache = ComposeCache::new();
+                    for (s, t) in pairs {
+                        let a = arena.intern(black_box(s));
+                        let bb = arena.intern(black_box(t));
+                        black_box(arena.compose(&mut cache, a, bb));
+                    }
+                })
+            },
+        );
+
+        // Pre-intern once; the measured loop is pure id compositions
+        // against a warm cache.
+        let mut arena = CoercionArena::new();
+        let mut cache = ComposeCache::new();
+        let ids: Vec<_> = pairs
+            .iter()
+            .map(|(s, t)| (arena.intern(s), arena.intern(t)))
+            .collect();
+        for (a, b) in &ids {
+            arena.compose(&mut cache, *a, *b);
+        }
+        group.bench_with_input(BenchmarkId::new("arena_warm", height), &ids, |b, ids| {
+            b.iter(|| {
+                for (x, y) in ids {
+                    black_box(arena.compose(&mut cache, black_box(*x), black_box(*y)));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compose, bench_compose_interned);
 criterion_main!(benches);

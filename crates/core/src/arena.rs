@@ -1,0 +1,919 @@
+//! A hash-consing arena for λS coercions, with memoized composition.
+//!
+//! The space-efficiency theorem makes `s # t` the hottest operation in
+//! the whole system: the λS machine composes coercions on *every*
+//! merged frame and every proxied value, and boundary-crossing loops
+//! compose the same handful of coercions millions of times. The tree
+//! representation in [`crate::coercion`] pays an O(size) clone and an
+//! O(size) structural comparison each time.
+//!
+//! This module interns coercions instead. A [`CoercionArena`] stores
+//! each distinct coercion node exactly once and hands out copyable
+//! [`CoercionId`] handles, so that
+//!
+//! * **equality is O(1)** — two interned coercions are equal iff their
+//!   ids are equal (hash-consing canonicity);
+//! * **structure is shared** — a function coercion's domain and
+//!   codomain are ids into the same arena, so composing deep coercions
+//!   allocates only the nodes that are actually new;
+//! * **composition memoizes** — a [`ComposeCache`] keyed on the id
+//!   pair `(s, t)` makes every repeated composition a single hash
+//!   lookup.
+//!
+//! The tree types remain the *exchange format*: [`CoercionArena::intern`]
+//! accepts a [`SpaceCoercion`] and [`CoercionArena::resolve`] rebuilds
+//! one, so the paper-facing grammar in docs and tests stays readable.
+//!
+//! # Interning invariants
+//!
+//! 1. *Canonicity*: for every arena `A` and trees `s`, `t`:
+//!    `A.intern(s) == A.intern(t)` iff `s == t` (structurally). In
+//!    particular interning the same coercion twice returns the same
+//!    id.
+//! 2. *Round trip*: `A.resolve(A.intern(s)) == s`.
+//! 3. *Stability*: ids are never invalidated; an arena only grows.
+//!    (Ids are **not** meaningful across arenas.)
+//! 4. *Agreement*: `A.resolve(A.compose(cache, a, b))` equals
+//!    `compose(&A.resolve(a), &A.resolve(b))` — the interned
+//!    composition is the ten-line recursion of Figure 5, transcribed
+//!    onto nodes (validated by property test).
+//!
+//! ```
+//! use bc_core::arena::{ComposeCache, CoercionArena};
+//! use bc_core::compose::compose;
+//! use bc_core::coercion::{GroundCoercion, Intermediate, SpaceCoercion};
+//! use bc_syntax::{BaseType, Ground, Label};
+//!
+//! let mut arena = CoercionArena::new();
+//! let mut cache = ComposeCache::new();
+//! let g = Ground::Base(BaseType::Int);
+//! let inj = SpaceCoercion::inj(GroundCoercion::IdBase(BaseType::Int), g);
+//! let proj = SpaceCoercion::proj(g, Label::new(0), Intermediate::Ground(GroundCoercion::IdBase(BaseType::Int)));
+//!
+//! let a = arena.intern(&inj);
+//! let b = arena.intern(&proj);
+//! assert_eq!(a, arena.intern(&inj)); // same coercion, same id
+//!
+//! let ab = arena.compose(&mut cache, a, b);
+//! assert_eq!(arena.resolve(ab), compose(&inj, &proj)); // agreement
+//! assert_eq!(arena.compose(&mut cache, a, b), ab);     // cache hit
+//! assert_eq!(cache.stats().hits, 1);
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use bc_syntax::{BaseType, Ground, Label, Type};
+
+use crate::coercion::{GroundCoercion, Intermediate, SpaceCoercion};
+
+/// A handle to an interned space-efficient coercion: a dense index
+/// into a [`CoercionArena`]. `Copy + Eq + Hash`; equal ids denote
+/// structurally equal coercions within one arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CoercionId(u32);
+
+impl CoercionId {
+    /// The raw index (for metrics and debugging).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CoercionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// An interned space-efficient coercion node — [`SpaceCoercion`] with
+/// function children replaced by [`CoercionId`]s. `Copy`, so machine
+/// code can match on nodes without touching the arena twice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SNode {
+    /// `id?`.
+    IdDyn,
+    /// `G?p ; i`.
+    Proj(Ground, Label, INode),
+    /// An intermediate coercion `i`.
+    Mid(INode),
+}
+
+/// An interned intermediate coercion `i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum INode {
+    /// `g ; G!`.
+    Inj(GNode, Ground),
+    /// A ground coercion `g`.
+    Ground(GNode),
+    /// `⊥GpH`.
+    Fail(Ground, Label, Ground),
+}
+
+/// An interned ground coercion `g`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GNode {
+    /// `idι`.
+    IdBase(BaseType),
+    /// `s → t`, children interned.
+    Fun(CoercionId, CoercionId),
+}
+
+/// Per-node facts computed once at interning time.
+#[derive(Debug, Clone, Copy)]
+struct NodeMeta {
+    height: u32,
+    /// Implicit *tree* size of the node. u64 + saturating arithmetic:
+    /// structural sharing lets the id-level `fun()` API build
+    /// DAG-shaped coercions whose tree size is exponential in the
+    /// number of interned nodes, which would wrap a u32.
+    size: u64,
+}
+
+/// A hash-consing interner for λS coercions.
+///
+/// See the [module docs](self) for the interning invariants.
+#[derive(Debug)]
+pub struct CoercionArena {
+    nodes: Vec<SNode>,
+    meta: Vec<NodeMeta>,
+    index: HashMap<SNode, CoercionId>,
+    /// Identity of this id-space, used to catch a [`ComposeCache`]
+    /// being replayed against an arena it was not built with. A clone
+    /// starts as an identical snapshot but may diverge (intern
+    /// different nodes), so it gets a *fresh* generation; clone an
+    /// arena together with its cache via [`CoercionArena::clone_pair`].
+    generation: u64,
+}
+
+impl Clone for CoercionArena {
+    fn clone(&self) -> CoercionArena {
+        CoercionArena {
+            nodes: self.nodes.clone(),
+            meta: self.meta.clone(),
+            index: self.index.clone(),
+            // Fresh identity: the clone's id-space diverges from the
+            // original as soon as either side interns something new,
+            // so caches must not flow between them.
+            generation: next_generation(),
+        }
+    }
+}
+
+fn next_generation() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT_GENERATION: AtomicU64 = AtomicU64::new(0);
+    NEXT_GENERATION.fetch_add(1, Ordering::Relaxed)
+}
+
+impl Default for CoercionArena {
+    fn default() -> CoercionArena {
+        CoercionArena {
+            nodes: Vec::new(),
+            meta: Vec::new(),
+            index: HashMap::new(),
+            generation: next_generation(),
+        }
+    }
+}
+
+/// Hit/miss counters of a [`ComposeCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Compositions answered from the cache.
+    pub hits: u64,
+    /// Compositions computed structurally (then cached).
+    pub misses: u64,
+}
+
+/// A memo table for interned composition, keyed on the id pair.
+///
+/// Kept separate from the arena so callers control its lifetime (e.g.
+/// one cache per machine run, or one long-lived cache per compiled
+/// program). Entries never expire; see ROADMAP.md for the planned
+/// eviction policy.
+///
+/// A cache binds to the first arena it is used with: replaying it
+/// against a *different* arena would answer lookups with ids from the
+/// wrong id-space (silently wrong coercions), so
+/// [`CoercionArena::compose`] panics on the mismatch instead.
+#[derive(Debug, Clone, Default)]
+pub struct ComposeCache {
+    map: HashMap<(CoercionId, CoercionId), CoercionId>,
+    stats: CacheStats,
+    /// Generation of the arena this cache's ids belong to (bound on
+    /// first use).
+    owner: Option<u64>,
+}
+
+impl ComposeCache {
+    /// An empty cache.
+    pub fn new() -> ComposeCache {
+        ComposeCache::default()
+    }
+
+    /// Number of memoized pairs.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Hit/miss counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+impl CoercionArena {
+    /// An empty arena.
+    pub fn new() -> CoercionArena {
+        CoercionArena::default()
+    }
+
+    /// Clones this arena *together with* a cache bound to it,
+    /// re-binding the cloned cache to the clone's fresh generation.
+    /// This is the only supported way to duplicate a warm arena+cache
+    /// pair: cloning them separately yields a pair that panics on
+    /// first use (the clone has a new generation, precisely so a
+    /// cache can never be replayed across diverged clones).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache is already bound to a *different* arena —
+    /// re-binding it here would launder foreign ids past the
+    /// generation guard.
+    pub fn clone_pair(&self, cache: &ComposeCache) -> (CoercionArena, ComposeCache) {
+        assert!(
+            cache.owner.is_none() || cache.owner == Some(self.generation),
+            "clone_pair called with a ComposeCache bound to a different CoercionArena"
+        );
+        let arena = self.clone();
+        let mut cache = cache.clone();
+        if cache.owner.is_some() {
+            cache.owner = Some(arena.generation);
+        }
+        (arena, cache)
+    }
+
+    /// Number of distinct coercions interned.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Interns a node whose children are already interned, returning
+    /// the id of the unique stored copy.
+    pub fn intern_node(&mut self, node: SNode) -> CoercionId {
+        if let Some(&id) = self.index.get(&node) {
+            return id;
+        }
+        let id = CoercionId(
+            u32::try_from(self.nodes.len()).expect("more than u32::MAX distinct coercions"),
+        );
+        let meta = self.compute_meta(&node);
+        self.nodes.push(node);
+        self.meta.push(meta);
+        self.index.insert(node, id);
+        id
+    }
+
+    fn compute_meta(&self, node: &SNode) -> NodeMeta {
+        let imeta = |i: &INode| -> NodeMeta {
+            let gmeta = |g: &GNode| -> NodeMeta {
+                match g {
+                    GNode::IdBase(_) => NodeMeta { height: 1, size: 1 },
+                    GNode::Fun(s, t) => {
+                        let (ms, mt) = (self.meta[s.index()], self.meta[t.index()]);
+                        NodeMeta {
+                            height: ms.height.max(mt.height).saturating_add(1),
+                            size: ms.size.saturating_add(mt.size).saturating_add(1),
+                        }
+                    }
+                }
+            };
+            match i {
+                INode::Inj(g, _) => {
+                    let m = gmeta(g);
+                    NodeMeta {
+                        height: m.height,
+                        size: m.size.saturating_add(1),
+                    }
+                }
+                INode::Ground(g) => gmeta(g),
+                INode::Fail(_, _, _) => NodeMeta { height: 1, size: 1 },
+            }
+        };
+        match node {
+            SNode::IdDyn => NodeMeta { height: 1, size: 1 },
+            SNode::Proj(_, _, i) => {
+                let m = imeta(i);
+                NodeMeta {
+                    height: m.height,
+                    size: m.size.saturating_add(1),
+                }
+            }
+            SNode::Mid(i) => imeta(i),
+        }
+    }
+
+    /// Interns a tree coercion (recursively interning function
+    /// children), returning its canonical id.
+    pub fn intern(&mut self, s: &SpaceCoercion) -> CoercionId {
+        let node = match s {
+            SpaceCoercion::IdDyn => SNode::IdDyn,
+            SpaceCoercion::Proj(g, p, i) => SNode::Proj(*g, *p, self.intern_intermediate(i)),
+            SpaceCoercion::Mid(i) => SNode::Mid(self.intern_intermediate(i)),
+        };
+        self.intern_node(node)
+    }
+
+    fn intern_intermediate(&mut self, i: &Intermediate) -> INode {
+        match i {
+            Intermediate::Inj(g, ground) => INode::Inj(self.intern_ground(g), *ground),
+            Intermediate::Ground(g) => INode::Ground(self.intern_ground(g)),
+            Intermediate::Fail(g, p, h) => INode::Fail(*g, *p, *h),
+        }
+    }
+
+    fn intern_ground(&mut self, g: &GroundCoercion) -> GNode {
+        match g {
+            GroundCoercion::IdBase(b) => GNode::IdBase(*b),
+            GroundCoercion::Fun(s, t) => GNode::Fun(self.intern(s), self.intern(t)),
+        }
+    }
+
+    /// A shallow view of the interned node (children remain ids).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id came from a different arena and is out of
+    /// bounds (ids are only meaningful within their own arena).
+    pub fn node(&self, id: CoercionId) -> SNode {
+        self.nodes[id.index()]
+    }
+
+    /// Rebuilds the tree form of an interned coercion (the exchange
+    /// format; see invariant 2: `resolve ∘ intern = id`).
+    pub fn resolve(&self, id: CoercionId) -> SpaceCoercion {
+        match self.node(id) {
+            SNode::IdDyn => SpaceCoercion::IdDyn,
+            SNode::Proj(g, p, i) => SpaceCoercion::Proj(g, p, self.resolve_intermediate(i)),
+            SNode::Mid(i) => SpaceCoercion::Mid(self.resolve_intermediate(i)),
+        }
+    }
+
+    fn resolve_intermediate(&self, i: INode) -> Intermediate {
+        match i {
+            INode::Inj(g, ground) => Intermediate::Inj(self.resolve_ground(g), ground),
+            INode::Ground(g) => Intermediate::Ground(self.resolve_ground(g)),
+            INode::Fail(g, p, h) => Intermediate::Fail(g, p, h),
+        }
+    }
+
+    fn resolve_ground(&self, g: GNode) -> GroundCoercion {
+        match g {
+            GNode::IdBase(b) => GroundCoercion::IdBase(b),
+            GNode::Fun(s, t) => {
+                GroundCoercion::Fun(Rc::new(self.resolve(s)), Rc::new(self.resolve(t)))
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Constructors (the canonical-form smart constructors, interned).
+    // ------------------------------------------------------------------
+
+    /// `id?`.
+    pub fn id_dyn(&mut self) -> CoercionId {
+        self.intern_node(SNode::IdDyn)
+    }
+
+    /// `idι`.
+    pub fn id_base(&mut self, b: BaseType) -> CoercionId {
+        self.intern_node(SNode::Mid(INode::Ground(GNode::IdBase(b))))
+    }
+
+    /// The canonical identity at an arbitrary type (`id?`, `idι`, or
+    /// `id_A → id_B`).
+    pub fn id(&mut self, ty: &Type) -> CoercionId {
+        match ty {
+            Type::Dyn => self.id_dyn(),
+            Type::Base(b) => self.id_base(*b),
+            Type::Fun(a, b) => {
+                let dom = self.id(a);
+                let cod = self.id(b);
+                self.fun(dom, cod)
+            }
+        }
+    }
+
+    /// `s → t` from interned children.
+    pub fn fun(&mut self, dom: CoercionId, cod: CoercionId) -> CoercionId {
+        self.intern_node(SNode::Mid(INode::Ground(GNode::Fun(dom, cod))))
+    }
+
+    /// The normalised injection `|G!| = idG ; G!`.
+    pub fn inj_ground(&mut self, g: Ground) -> CoercionId {
+        let idg = self.ground_identity(g);
+        self.intern_node(SNode::Mid(INode::Inj(idg, g)))
+    }
+
+    /// The normalised projection `|G?p| = G?p ; idG`.
+    pub fn proj_ground(&mut self, g: Ground, p: Label) -> CoercionId {
+        let idg = self.ground_identity(g);
+        self.intern_node(SNode::Proj(g, p, INode::Ground(idg)))
+    }
+
+    /// `⊥GpH`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `G = H` (no failure between equal grounds).
+    pub fn fail(&mut self, g: Ground, p: Label, h: Ground) -> CoercionId {
+        assert_ne!(g, h, "⊥GpH requires G ≠ H");
+        self.intern_node(SNode::Mid(INode::Fail(g, p, h)))
+    }
+
+    fn ground_identity(&mut self, g: Ground) -> GNode {
+        match g {
+            Ground::Base(b) => GNode::IdBase(b),
+            Ground::Fun => {
+                let d = self.id_dyn();
+                GNode::Fun(d, d)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Per-node queries (O(1) where precomputed).
+    // ------------------------------------------------------------------
+
+    /// The height `‖s‖` (precomputed; O(1)).
+    pub fn height(&self, id: CoercionId) -> usize {
+        self.meta[id.index()].height as usize
+    }
+
+    /// The number of syntax nodes of the coercion's tree form
+    /// (precomputed; O(1)). Saturates at `usize::MAX` for DAG-shaped
+    /// coercions whose implicit tree would not fit in memory.
+    pub fn size(&self, id: CoercionId) -> usize {
+        usize::try_from(self.meta[id.index()].size).unwrap_or(usize::MAX)
+    }
+
+    /// Whether the coercion is `id?` or `idι`.
+    pub fn is_identity(&self, id: CoercionId) -> bool {
+        matches!(
+            self.node(id),
+            SNode::IdDyn | SNode::Mid(INode::Ground(GNode::IdBase(_)))
+        )
+    }
+
+    /// Whether the interned coercion is safe for `q` (mentions no
+    /// label equal to `q`), without rebuilding the tree.
+    pub fn safe_for(&self, id: CoercionId, q: Label) -> bool {
+        let gsafe = |g: GNode| match g {
+            GNode::IdBase(_) => true,
+            GNode::Fun(s, t) => self.safe_for(s, q) && self.safe_for(t, q),
+        };
+        let isafe = |i: INode| match i {
+            INode::Inj(g, _) => gsafe(g),
+            INode::Ground(g) => gsafe(g),
+            INode::Fail(_, p, _) => p != q,
+        };
+        match self.node(id) {
+            SNode::IdDyn => true,
+            SNode::Proj(_, p, i) => p != q && isafe(i),
+            SNode::Mid(i) => isafe(i),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Composition.
+    // ------------------------------------------------------------------
+
+    /// Composes two interned canonical coercions through the memo
+    /// cache: `s # t` as a single hash lookup when the pair has been
+    /// seen before, and the structural recursion of Figure 5 (caching
+    /// every inner function-child composition too) otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coercions are not composable, exactly as
+    /// [`crate::compose::compose`] does; this cannot happen for
+    /// well-typed terms.
+    pub fn compose(
+        &mut self,
+        cache: &mut ComposeCache,
+        a: CoercionId,
+        b: CoercionId,
+    ) -> CoercionId {
+        match cache.owner {
+            None => cache.owner = Some(self.generation),
+            Some(owner) => assert_eq!(
+                owner, self.generation,
+                "ComposeCache replayed against a different CoercionArena: \
+                 cached ids belong to another id-space"
+            ),
+        }
+        if let Some(&r) = cache.map.get(&(a, b)) {
+            cache.stats.hits += 1;
+            return r;
+        }
+        cache.stats.misses += 1;
+        let r = match self.node(a) {
+            // id? # t = t
+            SNode::IdDyn => b,
+            // (G?p ; i) # t = G?p ; (i # t)
+            SNode::Proj(g, p, i) => {
+                let i2 = self.compose_intermediate(cache, i, b);
+                self.intern_node(SNode::Proj(g, p, i2))
+            }
+            SNode::Mid(i) => {
+                let i2 = self.compose_intermediate(cache, i, b);
+                self.intern_node(SNode::Mid(i2))
+            }
+        };
+        cache.map.insert((a, b), r);
+        r
+    }
+
+    fn compose_intermediate(&mut self, cache: &mut ComposeCache, i: INode, t: CoercionId) -> INode {
+        match i {
+            // ⊥GpH # s = ⊥GpH
+            INode::Fail(_, _, _) => i,
+            INode::Inj(g, ground) => match self.node(t) {
+                // (g ; G!) # id? = g ; G!
+                SNode::IdDyn => INode::Inj(g, ground),
+                SNode::Proj(ground2, p, i2) => {
+                    if ground == ground2 {
+                        // (g ; G!) # (G?p ; i) = g # i
+                        self.compose_ground_intermediate(cache, g, i2)
+                    } else {
+                        // (g ; G!) # (H?p ; i) = ⊥GpH   (G ≠ H)
+                        INode::Fail(ground, p, ground2)
+                    }
+                }
+                SNode::Mid(_) => {
+                    unreachable!("(g ; G!) targets ?, but the right operand does not accept ?")
+                }
+            },
+            INode::Ground(g) => match self.node(t) {
+                SNode::Mid(i2) => self.compose_ground_intermediate(cache, g, i2),
+                SNode::IdDyn | SNode::Proj(_, _, _) => {
+                    unreachable!(
+                        "ground coercion targets a non-? type, but the right operand accepts ?"
+                    )
+                }
+            },
+        }
+    }
+
+    fn compose_ground_intermediate(
+        &mut self,
+        cache: &mut ComposeCache,
+        g: GNode,
+        i: INode,
+    ) -> INode {
+        match i {
+            // g # (h ; H!) = (g # h) ; H!
+            INode::Inj(h, ground) => INode::Inj(self.compose_ground(cache, g, h), ground),
+            INode::Ground(h) => INode::Ground(self.compose_ground(cache, g, h)),
+            // g # ⊥GpH = ⊥GpH
+            INode::Fail(_, _, _) => i,
+        }
+    }
+
+    fn compose_ground(&mut self, cache: &mut ComposeCache, g: GNode, h: GNode) -> GNode {
+        match (g, h) {
+            // idι # idι = idι
+            (GNode::IdBase(a), GNode::IdBase(b)) => {
+                debug_assert_eq!(a, b, "composed identities at different base types");
+                GNode::IdBase(a)
+            }
+            // (s → t) # (s' → t') = (s' # s) → (t # t')
+            (GNode::Fun(s, t), GNode::Fun(s2, t2)) => {
+                let dom = self.compose(cache, s2, s);
+                let cod = self.compose(cache, t, t2);
+                GNode::Fun(dom, cod)
+            }
+            _ => unreachable!("composed a base identity with a function coercion"),
+        }
+    }
+
+    /// Composes two tree coercions through the arena: intern, cached
+    /// compose, resolve. Used by callers that keep trees at rest but
+    /// want memoized merging (e.g. the λS small-step `run` loop).
+    pub fn compose_trees(
+        &mut self,
+        cache: &mut ComposeCache,
+        s: &SpaceCoercion,
+        t: &SpaceCoercion,
+    ) -> SpaceCoercion {
+        let a = self.intern(s);
+        let b = self.intern(t);
+        let r = self.compose(cache, a, b);
+        self.resolve(r)
+    }
+
+    /// Renders an interned coercion in the paper grammar.
+    pub fn display(&self, id: CoercionId) -> String {
+        self.resolve(id).to_string()
+    }
+}
+
+/// An arena paired with its compose cache — the state a single
+/// evaluation thread carries around.
+#[derive(Debug, Default)]
+pub struct MergeCtx {
+    /// The interner.
+    pub arena: CoercionArena,
+    /// The memoized composition table.
+    pub cache: ComposeCache,
+}
+
+impl Clone for MergeCtx {
+    fn clone(&self) -> MergeCtx {
+        let (arena, cache) = self.arena.clone_pair(&self.cache);
+        MergeCtx { arena, cache }
+    }
+}
+
+impl MergeCtx {
+    /// An empty context.
+    pub fn new() -> MergeCtx {
+        MergeCtx::default()
+    }
+
+    /// Memoized `s # t` on trees (see
+    /// [`CoercionArena::compose_trees`]).
+    pub fn merge(&mut self, s: &SpaceCoercion, t: &SpaceCoercion) -> SpaceCoercion {
+        self.arena.compose_trees(&mut self.cache, s, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compose::compose;
+
+    fn gi() -> Ground {
+        Ground::Base(BaseType::Int)
+    }
+    fn gb() -> Ground {
+        Ground::Base(BaseType::Bool)
+    }
+    fn p(n: u32) -> Label {
+        Label::new(n)
+    }
+    fn id_int() -> GroundCoercion {
+        GroundCoercion::IdBase(BaseType::Int)
+    }
+
+    fn samples() -> Vec<SpaceCoercion> {
+        let inj = SpaceCoercion::inj(id_int(), gi());
+        let proj = SpaceCoercion::proj(gi(), p(0), Intermediate::Ground(id_int()));
+        vec![
+            SpaceCoercion::IdDyn,
+            SpaceCoercion::id_base(BaseType::Int),
+            inj.clone(),
+            proj.clone(),
+            SpaceCoercion::fun(inj.clone(), proj.clone()),
+            SpaceCoercion::fun(
+                SpaceCoercion::fun(proj.clone(), inj.clone()),
+                SpaceCoercion::IdDyn,
+            ),
+            SpaceCoercion::fail(gi(), p(3), gb()),
+            SpaceCoercion::proj(gi(), p(1), Intermediate::Fail(gi(), p(2), gb())),
+        ]
+    }
+
+    #[test]
+    fn interning_is_canonical() {
+        let mut arena = CoercionArena::new();
+        for s in samples() {
+            let a = arena.intern(&s);
+            let b = arena.intern(&s);
+            assert_eq!(a, b, "same tree must intern to same id: {s}");
+            assert_eq!(arena.resolve(a), s, "round trip of {s}");
+        }
+        // Distinct trees intern to distinct ids.
+        let ids: Vec<_> = samples().iter().map(|s| arena.intern(s)).collect();
+        for (i, a) in ids.iter().enumerate() {
+            for (j, b) in ids.iter().enumerate() {
+                assert_eq!(a == b, i == j);
+            }
+        }
+    }
+
+    #[test]
+    fn structural_sharing_dedups_children() {
+        let mut arena = CoercionArena::new();
+        // (id? → id?) and id? share the id? node.
+        let f = SpaceCoercion::fun(SpaceCoercion::IdDyn, SpaceCoercion::IdDyn);
+        arena.intern(&f);
+        let n = arena.len();
+        arena.intern(&SpaceCoercion::IdDyn);
+        assert_eq!(arena.len(), n, "id? was already interned as a child");
+    }
+
+    #[test]
+    fn metadata_matches_tree_queries() {
+        let mut arena = CoercionArena::new();
+        for s in samples() {
+            let id = arena.intern(&s);
+            assert_eq!(arena.height(id), s.height(), "height of {s}");
+            assert_eq!(arena.size(id), s.size(), "size of {s}");
+            assert_eq!(arena.is_identity(id), s.is_identity(), "identity of {s}");
+            for q in [p(0), p(1), p(2), p(3), p(2).complement()] {
+                assert_eq!(
+                    arena.safe_for(id, q),
+                    s.safe_for(q),
+                    "safety of {s} for {q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interned_compose_agrees_with_tree_compose() {
+        let mut arena = CoercionArena::new();
+        let mut cache = ComposeCache::new();
+        let inj = SpaceCoercion::inj(id_int(), gi());
+        let proj = SpaceCoercion::proj(gi(), p(0), Intermediate::Ground(id_int()));
+        let pairs = [
+            (SpaceCoercion::IdDyn, proj.clone()),
+            (inj.clone(), SpaceCoercion::IdDyn),
+            (inj.clone(), proj.clone()),
+            (
+                SpaceCoercion::fun(inj.clone(), inj.clone()),
+                SpaceCoercion::fun(proj.clone(), proj.clone()),
+            ),
+            (
+                SpaceCoercion::fail(gi(), p(2), gb()),
+                SpaceCoercion::id_base(BaseType::Bool),
+            ),
+        ];
+        for (s, t) in &pairs {
+            let a = arena.intern(s);
+            let b = arena.intern(t);
+            let ab = arena.compose(&mut cache, a, b);
+            assert_eq!(
+                arena.resolve(ab),
+                compose(s, t),
+                "interned compose of {s} # {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn compose_results_are_themselves_interned() {
+        // The composite's id must be the same id interning the tree
+        // composite yields — no duplicate storage.
+        let mut arena = CoercionArena::new();
+        let mut cache = ComposeCache::new();
+        let inj = SpaceCoercion::inj(id_int(), gi());
+        let proj = SpaceCoercion::proj(gi(), p(0), Intermediate::Ground(id_int()));
+        let a = arena.intern(&inj);
+        let b = arena.intern(&proj);
+        let ab = arena.compose(&mut cache, a, b);
+        assert_eq!(ab, arena.intern(&compose(&inj, &proj)));
+    }
+
+    #[test]
+    fn cache_memoizes_pairs() {
+        let mut arena = CoercionArena::new();
+        let mut cache = ComposeCache::new();
+        let a = arena.intern(&SpaceCoercion::inj(id_int(), gi()));
+        let b = arena.intern(&SpaceCoercion::proj(
+            gi(),
+            p(0),
+            Intermediate::Ground(id_int()),
+        ));
+        let r1 = arena.compose(&mut cache, a, b);
+        let misses = cache.stats().misses;
+        let r2 = arena.compose(&mut cache, a, b);
+        assert_eq!(r1, r2);
+        assert_eq!(
+            cache.stats().misses,
+            misses,
+            "second call must not recompute"
+        );
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.len(), misses as usize);
+    }
+
+    #[test]
+    #[should_panic(expected = "different CoercionArena")]
+    fn cache_rejects_a_foreign_arena() {
+        let mut arena = CoercionArena::new();
+        let mut cache = ComposeCache::new();
+        let a = arena.intern(&SpaceCoercion::id_base(BaseType::Int));
+        arena.compose(&mut cache, a, a);
+        // A fresh arena has a different id-space; replaying the warm
+        // cache against it must fail loudly, not answer wrongly.
+        let mut other = CoercionArena::new();
+        let b = other.intern(&SpaceCoercion::id_base(BaseType::Int));
+        other.compose(&mut cache, b, b);
+    }
+
+    #[test]
+    fn clone_pair_keeps_the_cache_valid() {
+        let mut arena = CoercionArena::new();
+        let mut cache = ComposeCache::new();
+        let a = arena.intern(&SpaceCoercion::id_base(BaseType::Int));
+        let r = arena.compose(&mut cache, a, a);
+        // Cloning through clone_pair re-binds the cache to the
+        // clone's generation: the pair keeps working together.
+        let (mut arena2, mut cache2) = arena.clone_pair(&cache);
+        assert_eq!(arena2.compose(&mut cache2, a, a), r);
+        assert_eq!(cache2.stats().hits, cache.stats().hits + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound to a different CoercionArena")]
+    fn clone_pair_rejects_a_foreign_cache() {
+        // A cache bound to arena B must not be re-bindable onto a
+        // clone of arena A — that would launder B's ids past the
+        // generation guard.
+        let mut a = CoercionArena::new();
+        let mut b = CoercionArena::new();
+        let mut cache_b = ComposeCache::new();
+        let id = b.intern(&SpaceCoercion::id_base(BaseType::Int));
+        b.compose(&mut cache_b, id, id);
+        a.intern(&SpaceCoercion::IdDyn);
+        let _ = a.clone_pair(&cache_b);
+    }
+
+    #[test]
+    #[should_panic(expected = "different CoercionArena")]
+    fn cache_rejects_a_diverged_clone() {
+        // The scenario the generation guard exists for: clone the
+        // arena but keep the original's cache. The clone may intern
+        // different nodes, so its ids need not mean the same thing;
+        // mixing must fail loudly instead of resolving wrongly.
+        let mut arena = CoercionArena::new();
+        let mut cache = ComposeCache::new();
+        let a = arena.intern(&SpaceCoercion::id_base(BaseType::Int));
+        arena.compose(&mut cache, a, a);
+        let mut clone = arena.clone();
+        clone.compose(&mut cache, a, a);
+    }
+
+    #[test]
+    fn dag_shaped_coercions_saturate_instead_of_overflowing() {
+        // fun(x, x) doubles the implicit tree size each level; 80
+        // levels is ~2^80 nodes, far beyond u64-tree territory for a
+        // u32 but fine for saturating u64 metadata.
+        let mut arena = CoercionArena::new();
+        let mut x = arena.id_dyn();
+        for _ in 0..80 {
+            x = arena.fun(x, x);
+        }
+        assert!(arena.size(x) > 0);
+        assert_eq!(arena.height(x), 81);
+    }
+
+    #[test]
+    fn merge_ctx_composes_trees() {
+        let mut ctx = MergeCtx::new();
+        let inj = SpaceCoercion::inj(id_int(), gi());
+        let proj = SpaceCoercion::proj(gi(), p(0), Intermediate::Ground(id_int()));
+        assert_eq!(ctx.merge(&inj, &proj), compose(&inj, &proj));
+        // Second merge of the same pair is answered by the cache.
+        assert_eq!(ctx.merge(&inj, &proj), compose(&inj, &proj));
+        assert!(ctx.cache.stats().hits >= 1);
+    }
+
+    #[test]
+    fn constructors_match_normalisation() {
+        let mut arena = CoercionArena::new();
+        // |Int!| = idInt ; Int!
+        let inj = arena.inj_ground(gi());
+        assert_eq!(arena.resolve(inj), SpaceCoercion::inj(id_int(), gi()));
+        // |G?p| = G?p ; idG
+        let proj = arena.proj_ground(gi(), p(0));
+        assert_eq!(
+            arena.resolve(proj),
+            SpaceCoercion::proj(gi(), p(0), Intermediate::Ground(id_int()))
+        );
+        // id at a function type.
+        let ii = Type::fun(Type::INT, Type::DYN);
+        let idii = arena.id(&ii);
+        assert_eq!(arena.resolve(idii), SpaceCoercion::id(&ii));
+    }
+
+    #[test]
+    #[should_panic(expected = "⊥GpH requires G ≠ H")]
+    fn fail_rejects_equal_grounds() {
+        CoercionArena::new().fail(gi(), p(0), gi());
+    }
+}

@@ -18,7 +18,12 @@ use bc_lambda_c::coercion::Coercion;
 use bc_syntax::{BaseType, Ground, Label, Type};
 
 /// Space-efficient coercions `s, t`.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// This tree form is the exchange format; hot paths intern it into a
+/// [`crate::arena::CoercionArena`] for O(1) equality and memoized
+/// composition. `Eq`/`Hash` are structural, matching the interner's
+/// canonicity invariant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum SpaceCoercion {
     /// The identity at the dynamic type, `id?`.
     IdDyn,
@@ -29,7 +34,7 @@ pub enum SpaceCoercion {
 }
 
 /// Intermediate coercions `i`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Intermediate {
     /// A ground coercion followed by an injection, `g ; G!`.
     Inj(GroundCoercion, Ground),
@@ -40,7 +45,7 @@ pub enum Intermediate {
 }
 
 /// Ground coercions `g, h`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum GroundCoercion {
     /// The identity at a base type, `idι`.
     IdBase(BaseType),
@@ -204,9 +209,7 @@ impl SpaceCoercion {
     pub fn to_coercion(&self) -> Coercion {
         match self {
             SpaceCoercion::IdDyn => Coercion::id(Type::Dyn),
-            SpaceCoercion::Proj(g, p, i) => {
-                Coercion::proj(*g, *p).seq(i.to_coercion())
-            }
+            SpaceCoercion::Proj(g, p, i) => Coercion::proj(*g, *p).seq(i.to_coercion()),
             SpaceCoercion::Mid(i) => i.to_coercion(),
         }
     }
@@ -232,9 +235,7 @@ impl Intermediate {
         match self {
             Intermediate::Inj(g, ground) => target.is_dyn() && g.check(source, &ground.ty()),
             Intermediate::Ground(g) => g.check(source, target),
-            Intermediate::Fail(g, _, h) => {
-                g != h && !source.is_dyn() && source.compatible(&g.ty())
-            }
+            Intermediate::Fail(g, _, h) => g != h && !source.is_dyn() && source.compatible(&g.ty()),
         }
     }
 
@@ -351,20 +352,18 @@ impl GroundCoercion {
     fn source_representative(&self) -> Type {
         match self {
             GroundCoercion::IdBase(b) => b.ty(),
-            GroundCoercion::Fun(s, t) => Type::fun(
-                s.target_representative(),
-                t.source_representative(),
-            ),
+            GroundCoercion::Fun(s, t) => {
+                Type::fun(s.target_representative(), t.source_representative())
+            }
         }
     }
 
     fn target_representative(&self) -> Type {
         match self {
             GroundCoercion::IdBase(b) => b.ty(),
-            GroundCoercion::Fun(s, t) => Type::fun(
-                s.source_representative(),
-                t.target_representative(),
-            ),
+            GroundCoercion::Fun(s, t) => {
+                Type::fun(s.source_representative(), t.target_representative())
+            }
         }
     }
 
@@ -423,7 +422,7 @@ mod tests {
         assert!(SpaceCoercion::id(&Type::INT).check(&Type::INT, &Type::INT));
         let ii = Type::fun(Type::INT, Type::INT);
         assert!(SpaceCoercion::id(&ii).check(&ii, &ii));
-        assert!(SpaceCoercion::id(&ii).is_identity() == false);
+        assert!(!SpaceCoercion::id(&ii).is_identity());
         assert!(SpaceCoercion::IdDyn.is_identity());
         assert!(SpaceCoercion::id_base(BaseType::Int).is_identity());
     }
@@ -435,7 +434,10 @@ mod tests {
         // are compatible with the same unique ground type.
         let samples: Vec<SpaceCoercion> = vec![
             SpaceCoercion::id_base(BaseType::Int),
-            SpaceCoercion::inj(GroundCoercion::IdBase(BaseType::Bool), Ground::Base(BaseType::Bool)),
+            SpaceCoercion::inj(
+                GroundCoercion::IdBase(BaseType::Bool),
+                Ground::Base(BaseType::Bool),
+            ),
             SpaceCoercion::fun(SpaceCoercion::IdDyn, SpaceCoercion::IdDyn),
         ];
         for s in &samples {
@@ -445,10 +447,7 @@ mod tests {
             }
         }
         // Ground coercion endpoints share their ground type.
-        let g = GroundCoercion::Fun(
-            Rc::new(SpaceCoercion::IdDyn),
-            Rc::new(SpaceCoercion::IdDyn),
-        );
+        let g = GroundCoercion::Fun(Rc::new(SpaceCoercion::IdDyn), Rc::new(SpaceCoercion::IdDyn));
         let (src, tgt) = g.synthesize().unwrap();
         assert_eq!(src.ground_of(), tgt.ground_of());
     }
@@ -492,11 +491,7 @@ mod tests {
 
     #[test]
     fn safety_matches_label_mention() {
-        let s = SpaceCoercion::proj(
-            gi(),
-            p(3),
-            Intermediate::Fail(gi(), p(4), Ground::Fun),
-        );
+        let s = SpaceCoercion::proj(gi(), p(3), Intermediate::Fail(gi(), p(4), Ground::Fun));
         assert!(!s.safe_for(p(3)));
         assert!(!s.safe_for(p(4)));
         assert!(s.safe_for(p(5)));

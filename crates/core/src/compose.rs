@@ -24,6 +24,13 @@
 //!
 //! Composition preserves height (Proposition 14, validated by property
 //! test), which is what bounds the run-time size of merged coercions.
+//!
+//! This module is the tree-level *specification* of composition. The
+//! hot paths (the λS machine's frame merging, memoized normalisation)
+//! run the same recursion over hash-consed nodes with a memo table —
+//! see [`crate::arena::CoercionArena::compose`]; the property tests in
+//! `tests/compose_props.rs` check the two agree on random canonical
+//! coercions.
 
 use crate::coercion::{GroundCoercion, Intermediate, SpaceCoercion};
 
@@ -41,9 +48,7 @@ pub fn compose(s: &SpaceCoercion, t: &SpaceCoercion) -> SpaceCoercion {
         // id? # t = t
         SpaceCoercion::IdDyn => t.clone(),
         // (G?p ; i) # t = G?p ; (i # t)
-        SpaceCoercion::Proj(g, p, i) => {
-            SpaceCoercion::Proj(*g, *p, compose_intermediate(i, t))
-        }
+        SpaceCoercion::Proj(g, p, i) => SpaceCoercion::Proj(*g, *p, compose_intermediate(i, t)),
         SpaceCoercion::Mid(i) => SpaceCoercion::Mid(compose_intermediate(i, t)),
     }
 }
@@ -100,10 +105,9 @@ fn compose_ground(g: &GroundCoercion, h: &GroundCoercion) -> GroundCoercion {
             GroundCoercion::IdBase(*a)
         }
         // (s → t) # (s' → t') = (s' # s) → (t # t')
-        (GroundCoercion::Fun(s, t), GroundCoercion::Fun(s2, t2)) => GroundCoercion::Fun(
-            compose(s2, s).into(),
-            compose(t, t2).into(),
-        ),
+        (GroundCoercion::Fun(s, t), GroundCoercion::Fun(s2, t2)) => {
+            GroundCoercion::Fun(compose(s2, s).into(), compose(t, t2).into())
+        }
         _ => unreachable!("composed a base identity with a function coercion"),
     }
 }
@@ -204,7 +208,7 @@ mod tests {
         // (s→t) # (s'→t') = (s'#s) → (t#t'): watch the domain swap.
         let inj = SpaceCoercion::inj(id_int(), gi()); // Int ⇒ ?
         let proj = SpaceCoercion::proj(gi(), p(0), Intermediate::Ground(id_int())); // ? ⇒ Int
-        // f1 : (? → Int) ⇒ (Int → ?) ... composed with its inverse
+                                                                                    // f1 : (? → Int) ⇒ (Int → ?) ... composed with its inverse
         let f1 = SpaceCoercion::fun(inj.clone(), inj.clone());
         let f2 = SpaceCoercion::fun(proj.clone(), proj.clone());
         // f1 : A→B ⇒ A'→B' with domain coercion inj : Int ⇒ ?.
@@ -228,12 +232,12 @@ mod tests {
         let fail = SpaceCoercion::fail(gi(), p(2), gb());
         let proj = SpaceCoercion::proj(gi(), p(0), Intermediate::Ground(id_int()));
         // ⊥ # s = ⊥ (with s accepting ⊥'s unconstrained target).
-        assert_eq!(compose(&fail, &SpaceCoercion::id_base(BaseType::Bool)), fail);
-        // g # ⊥ = ⊥.
         assert_eq!(
-            compose(&SpaceCoercion::id_base(BaseType::Int), &fail),
+            compose(&fail, &SpaceCoercion::id_base(BaseType::Bool)),
             fail
         );
+        // g # ⊥ = ⊥.
+        assert_eq!(compose(&SpaceCoercion::id_base(BaseType::Int), &fail), fail);
         // Projection prefix is preserved: (G?p ; i) # t = G?p ; (i # t).
         let s = compose(&proj, &fail);
         assert_eq!(
@@ -246,7 +250,11 @@ mod tests {
     fn composition_is_well_typed() {
         // s : A ⇒ B, t : B ⇒ C gives s # t : A ⇒ C.
         let s = SpaceCoercion::inj(id_int(), gi()); // Int ⇒ ?
-        let t = SpaceCoercion::proj(gb(), p(0), Intermediate::Ground(GroundCoercion::IdBase(BaseType::Bool))); // ? ⇒ Bool
+        let t = SpaceCoercion::proj(
+            gb(),
+            p(0),
+            Intermediate::Ground(GroundCoercion::IdBase(BaseType::Bool)),
+        ); // ? ⇒ Bool
         let st = compose(&s, &t); // Int ⇒ Bool (a failure)
         assert!(st.check(&Type::INT, &Type::BOOL));
     }

@@ -29,8 +29,8 @@
 
 use bc_syntax::{Constant, Label, Type};
 
+use crate::arena::MergeCtx;
 use crate::coercion::{GroundCoercion, Intermediate, SpaceCoercion};
-use crate::compose::compose;
 use crate::subst::subst;
 use crate::term::Term;
 use crate::typing::{type_of, TypeError};
@@ -78,24 +78,40 @@ enum Sub {
 
 /// Performs one reduction step on a closed, well-typed λS term.
 ///
+/// Uses a throwaway merge context; callers stepping repeatedly (like
+/// [`run`]) should use [`step_in`] with a persistent [`MergeCtx`] so
+/// repeated coercion merges hit the compose cache.
+///
 /// # Panics
 ///
 /// Panics if the term is open or ill-typed.
 pub fn step(term: &Term, program_ty: &Type) -> Step {
+    step_in(&mut MergeCtx::new(), term, program_ty)
+}
+
+/// [`step`] with a caller-owned arena and compose cache: the merge
+/// rule `F[M⟨s⟩⟨t⟩] ⟶ F[M⟨s # t⟩]` interns `s` and `t` into
+/// `ctx.arena` and memoizes the composition, so a loop crossing the
+/// same boundary repeatedly composes each coercion pair once.
+///
+/// # Panics
+///
+/// Panics if the term is open or ill-typed.
+pub fn step_in(ctx: &mut MergeCtx, term: &Term, program_ty: &Type) -> Step {
     if let Term::Blame(p, _) = term {
         return Step::Blame(*p);
     }
     if term.is_value() {
         return Step::Value;
     }
-    match step_sub(term) {
+    match step_sub(ctx, term) {
         Sub::Stepped(t) => Step::Next(t),
         Sub::Raise(p) => Step::Next(Term::Blame(p, program_ty.clone())),
         Sub::Value => unreachable!("non-value term did not step: {term}"),
     }
 }
 
-fn step_sub(term: &Term) -> Sub {
+fn step_sub(ctx: &mut MergeCtx, term: &Term) -> Sub {
     if term.is_value() {
         return Sub::Value;
     }
@@ -105,7 +121,7 @@ fn step_sub(term: &Term) -> Sub {
         Term::Blame(p, _) => Sub::Raise(*p),
         Term::Op(op, args) => {
             for (i, arg) in args.iter().enumerate() {
-                match step_sub(arg) {
+                match step_sub(ctx, arg) {
                     Sub::Stepped(a2) => {
                         let mut args2 = args.clone();
                         args2[i] = a2;
@@ -124,7 +140,7 @@ fn step_sub(term: &Term) -> Sub {
                 .collect();
             Sub::Stepped(Term::Const(op.apply(&consts)))
         }
-        Term::If(cond, then_, else_) => match step_sub(cond) {
+        Term::If(cond, then_, else_) => match step_sub(ctx, cond) {
             Sub::Stepped(c2) => Sub::Stepped(Term::If(c2.into(), then_.clone(), else_.clone())),
             Sub::Raise(p) => Sub::Raise(p),
             Sub::Value => match &**cond {
@@ -133,26 +149,28 @@ fn step_sub(term: &Term) -> Sub {
                 other => panic!("if condition is not a boolean: {other}"),
             },
         },
-        Term::Let(x, m, n) => match step_sub(m) {
+        Term::Let(x, m, n) => match step_sub(ctx, m) {
             Sub::Stepped(m2) => Sub::Stepped(Term::Let(x.clone(), m2.into(), n.clone())),
             Sub::Raise(p) => Sub::Raise(p),
             Sub::Value => Sub::Stepped(subst(n, x, m)),
         },
-        Term::App(l, m) => match step_sub(l) {
+        Term::App(l, m) => match step_sub(ctx, l) {
             Sub::Stepped(l2) => Sub::Stepped(Term::App(l2.into(), m.clone())),
             Sub::Raise(p) => Sub::Raise(p),
-            Sub::Value => match step_sub(m) {
+            Sub::Value => match step_sub(ctx, m) {
                 Sub::Stepped(m2) => Sub::Stepped(Term::App(l.clone(), m2.into())),
                 Sub::Raise(p) => Sub::Raise(p),
                 Sub::Value => apply(l, m),
             },
         },
         Term::Coerce(m, t) => {
-            // Merge FIRST: F[M⟨s⟩⟨t⟩] ⟶ F[M⟨s # t⟩], for any M.
+            // Merge FIRST: F[M⟨s⟩⟨t⟩] ⟶ F[M⟨s # t⟩], for any M —
+            // through the interning arena, so the same pair is
+            // composed structurally only once per run.
             if let Term::Coerce(inner, s) = &**m {
-                return Sub::Stepped(Term::Coerce(inner.clone(), compose(s, t)));
+                return Sub::Stepped(Term::Coerce(inner.clone(), ctx.merge(s, t)));
             }
-            match step_sub(m) {
+            match step_sub(ctx, m) {
                 Sub::Stepped(m2) => Sub::Stepped(Term::Coerce(m2.into(), t.clone())),
                 Sub::Raise(p) => Sub::Raise(p),
                 Sub::Value => coerce_value(m, t),
@@ -172,9 +190,7 @@ fn apply(fun: &Term, arg: &Term) -> Sub {
         // (U⟨s→t⟩) V ⟶ (U (V⟨s⟩))⟨t⟩
         Term::Coerce(u, SpaceCoercion::Mid(Intermediate::Ground(GroundCoercion::Fun(s, t)))) => {
             let coerced_arg = arg.clone().coerce((**s).clone());
-            Sub::Stepped(
-                Term::App(u.clone(), coerced_arg.into()).coerce((**t).clone()),
-            )
+            Sub::Stepped(Term::App(u.clone(), coerced_arg.into()).coerce((**t).clone()))
         }
         other => panic!("applied a non-function value: {other}"),
     }
@@ -209,12 +225,16 @@ fn coerce_value(value: &Term, s: &SpaceCoercion) -> Sub {
 /// Returns the [`TypeError`] if the term is not closed and well typed.
 pub fn run(term: &Term, fuel: u64) -> Result<Run, TypeError> {
     let ty = type_of(term)?;
+    // One arena + compose cache for the whole run: a loop crossing
+    // the same boundary on every iteration merges each coercion pair
+    // structurally once and answers the rest from the cache.
+    let mut ctx = MergeCtx::new();
     let mut current = term.clone();
     let mut steps = 0u64;
     let mut peak_size = current.size();
     let mut peak_coercion_size = current.coercion_size();
     loop {
-        match step(&current, &ty) {
+        match step_in(&mut ctx, &current, &ty) {
             Step::Value => {
                 return Ok(Run {
                     outcome: Outcome::Value(current),
@@ -407,8 +427,9 @@ mod tests {
             ));
         let ty = type_of(&m).unwrap();
         let mut cur = m;
+        let mut ctx = MergeCtx::new();
         loop {
-            match step(&cur, &ty) {
+            match step_in(&mut ctx, &cur, &ty) {
                 Step::Next(n) => {
                     assert_eq!(type_of(&n), Ok(ty.clone()), "preservation at {n}");
                     cur = n;

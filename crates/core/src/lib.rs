@@ -29,9 +29,27 @@
 //! assert_eq!(compose(&inj, &proj), SpaceCoercion::id_base(BaseType::Int));
 //! ```
 
+//! # The coercion arena
+//!
+//! The [`coercion`] tree grammar is the *exchange format* — what docs,
+//! tests, and the translations read and write. The hot paths (the λS
+//! CEK machine's frame merging, the memoized normalisation in
+//! `bc-translate`, the pipeline) run on the hash-consed form in
+//! [`arena`]: a [`arena::CoercionArena`] stores each distinct coercion
+//! once and hands out `Copy` [`arena::CoercionId`] handles, giving
+//! O(1) equality/hashing and a memoizable composition through
+//! [`arena::ComposeCache`].
+//!
+//! The two representations are kept in lockstep by construction —
+//! `intern`/`resolve` are mutually inverse and the interned
+//! composition is the same ten-line recursion — and by the property
+//! tests in `tests/compose_props.rs`. See the arena module docs for
+//! the four interning invariants.
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod coercion;
 pub mod compose;
 pub mod eval;
@@ -40,6 +58,7 @@ pub mod subst;
 pub mod term;
 pub mod typing;
 
+pub use arena::{CoercionArena, CoercionId, ComposeCache, MergeCtx};
 pub use coercion::{GroundCoercion, Intermediate, SpaceCoercion};
 pub use compose::compose;
 pub use term::Term;

@@ -134,9 +134,7 @@ impl Term {
             Term::Lam(_, _, b) | Term::Fix(_, _, _, _, b) => b.coercion_size(),
             Term::Coerce(m, s) => m.coercion_size() + s.size(),
             Term::App(a, b) | Term::Let(_, a, b) => a.coercion_size() + b.coercion_size(),
-            Term::If(a, b, c) => {
-                a.coercion_size() + b.coercion_size() + c.coercion_size()
-            }
+            Term::If(a, b, c) => a.coercion_size() + b.coercion_size() + c.coercion_size(),
         }
     }
 }
@@ -191,7 +189,10 @@ mod tests {
             .is_value());
         // U⟨s→t⟩ is a value.
         assert!(Term::lam("x", Type::DYN, Term::var("x"))
-            .coerce(SpaceCoercion::fun(SpaceCoercion::IdDyn, SpaceCoercion::IdDyn))
+            .coerce(SpaceCoercion::fun(
+                SpaceCoercion::IdDyn,
+                SpaceCoercion::IdDyn
+            ))
             .is_value());
         // U⟨idι⟩ is a redex, not a value.
         assert!(!Term::int(1)

@@ -286,9 +286,7 @@ fn join(a: &Type, b: &Type) -> Option<Type> {
     match (a, b) {
         (Type::Dyn, _) | (_, Type::Dyn) => Some(Type::Dyn),
         (Type::Base(x), Type::Base(y)) => (x == y).then(|| a.clone()),
-        (Type::Fun(a1, a2), Type::Fun(b1, b2)) => {
-            Some(Type::fun(join(a1, b1)?, join(a2, b2)?))
-        }
+        (Type::Fun(a1, a2), Type::Fun(b1, b2)) => Some(Type::fun(join(a1, b1)?, join(a2, b2)?)),
         _ => None,
     }
 }
@@ -315,8 +313,10 @@ mod tests {
     fn statically_typed_programs_need_no_casts() {
         let p = compile_ok("let f = fun (x : Int) => x + 1 in f 41");
         assert_eq!(p.term.cast_count(), 0);
-        assert_eq!(eval_src("let f = fun (x : Int) => x + 1 in f 41"),
-            Outcome::Value(Term::int(42)));
+        assert_eq!(
+            eval_src("let f = fun (x : Int) => x + 1 in f 41"),
+            Outcome::Value(Term::int(42))
+        );
     }
 
     #[test]

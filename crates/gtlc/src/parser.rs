@@ -326,8 +326,7 @@ impl<'a> Parser<'a> {
                 let inner = self.expr()?;
                 if self.eat(&TokenKind::Colon) {
                     let ty = self.ty()?;
-                    let close =
-                        self.expect(&TokenKind::RParen, "expected `)` after ascription")?;
+                    let close = self.expect(&TokenKind::RParen, "expected `)` after ascription")?;
                     let span = tok.span.merge(close.span);
                     Ok(Expr::new(ExprKind::Ascribe(Box::new(inner), ty), span))
                 } else {
@@ -419,10 +418,7 @@ mod tests {
         let e = parse_str("fun (f : Int -> Int -> Bool) => f");
         match e.kind {
             ExprKind::Lam { ty, .. } => {
-                assert_eq!(
-                    ty,
-                    Type::fun(Type::INT, Type::fun(Type::INT, Type::BOOL))
-                );
+                assert_eq!(ty, Type::fun(Type::INT, Type::fun(Type::INT, Type::BOOL)));
             }
             other => panic!("unexpected {other:?}"),
         }

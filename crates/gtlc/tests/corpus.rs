@@ -66,7 +66,10 @@ fn arithmetic_and_precedence() {
 #[test]
 fn functions_and_closures() {
     expect_int("(fun (x : Int) => x + 1) 41", 42);
-    expect_int("let add = fun (a : Int) => fun (b : Int) => a + b in add 40 2", 42);
+    expect_int(
+        "let add = fun (a : Int) => fun (b : Int) => a + b in add 40 2",
+        42,
+    );
     expect_int(
         "let compose = fun (f : Int -> Int) => fun (g : Int -> Int) => fun (x : Int) => f (g x) in \
          compose (fun (a : Int) => a * 2) (fun (b : Int) => b + 1) 20",

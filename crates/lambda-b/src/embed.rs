@@ -54,11 +54,7 @@ pub fn embed(term: &UntypedTerm, labels: &mut LabelSupply) -> Term {
     embed_env(term, labels, &mut HashSet::new())
 }
 
-fn embed_env(
-    term: &UntypedTerm,
-    labels: &mut LabelSupply,
-    fix_vars: &mut HashSet<Name>,
-) -> Term {
+fn embed_env(term: &UntypedTerm, labels: &mut LabelSupply, fix_vars: &mut HashSet<Name>) -> Term {
     match term {
         UntypedTerm::Const(k) => {
             Term::Const(*k).cast(k.base_type().ty(), labels.fresh(), Type::DYN)
@@ -95,11 +91,8 @@ fn embed_env(
             )
         }
         UntypedTerm::App(l, m) => {
-            let lt = embed_env(l, labels, fix_vars).cast(
-                Type::DYN,
-                labels.fresh(),
-                Type::dyn_fun(),
-            );
+            let lt =
+                embed_env(l, labels, fix_vars).cast(Type::DYN, labels.fresh(), Type::dyn_fun());
             let mt = embed_env(m, labels, fix_vars);
             lt.app(mt)
         }
@@ -170,8 +163,16 @@ mod tests {
             UntypedTerm::int(1),
             UntypedTerm::lam("x", UntypedTerm::var("x")),
             UntypedTerm::op2(Op::Add, UntypedTerm::int(1), UntypedTerm::int(2)),
-            UntypedTerm::ite(UntypedTerm::bool(true), UntypedTerm::int(1), UntypedTerm::int(2)),
-            UntypedTerm::fix("f", "x", UntypedTerm::app(UntypedTerm::var("f"), UntypedTerm::var("x"))),
+            UntypedTerm::ite(
+                UntypedTerm::bool(true),
+                UntypedTerm::int(1),
+                UntypedTerm::int(2),
+            ),
+            UntypedTerm::fix(
+                "f",
+                "x",
+                UntypedTerm::app(UntypedTerm::var("f"), UntypedTerm::var("x")),
+            ),
         ];
         for s in &samples {
             let m = embed(s, &mut LabelSupply::new());
@@ -184,7 +185,10 @@ mod tests {
     #[test]
     fn arithmetic_works_dynamically() {
         let t = UntypedTerm::op2(Op::Mul, UntypedTerm::int(6), UntypedTerm::int(7));
-        assert_eq!(expect_injected_const(eval_embedded(&t, 1_000)), Constant::Int(42));
+        assert_eq!(
+            expect_injected_const(eval_embedded(&t, 1_000)),
+            Constant::Int(42)
+        );
     }
 
     #[test]
@@ -233,6 +237,9 @@ mod tests {
             ),
         );
         let t = UntypedTerm::app(UntypedTerm::fix("sum", "n", body), UntypedTerm::int(5));
-        assert_eq!(expect_injected_const(eval_embedded(&t, 10_000)), Constant::Int(15));
+        assert_eq!(
+            expect_injected_const(eval_embedded(&t, 10_000)),
+            Constant::Int(15)
+        );
     }
 }

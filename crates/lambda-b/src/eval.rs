@@ -123,9 +123,7 @@ fn step_sub(term: &Term) -> Sub {
             Sub::Stepped(Term::Const(op.apply(&consts)))
         }
         Term::If(cond, then_, else_) => match step_sub(cond) {
-            Sub::Stepped(c2) => {
-                Sub::Stepped(Term::If(c2.into(), then_.clone(), else_.clone()))
-            }
+            Sub::Stepped(c2) => Sub::Stepped(Term::If(c2.into(), then_.clone(), else_.clone())),
             Sub::Raise(p) => Sub::Raise(p),
             Sub::Value => match &**cond {
                 Term::Const(Constant::Bool(true)) => Sub::Stepped((**then_).clone()),
@@ -172,11 +170,9 @@ fn apply(fun: &Term, arg: &Term) -> Sub {
         // function types are contravariant in their domain.
         Term::Cast(v, c) => match (&c.source, &c.target) {
             (Type::Fun(a, b), Type::Fun(a2, b2)) => {
-                let domain_cast = arg.clone().cast(
-                    (**a2).clone(),
-                    c.label.complement(),
-                    (**a).clone(),
-                );
+                let domain_cast =
+                    arg.clone()
+                        .cast((**a2).clone(), c.label.complement(), (**a).clone());
                 let applied = Term::App(v.clone(), domain_cast.into());
                 Sub::Stepped(applied.cast((**b).clone(), c.label, (**b2).clone()))
             }
@@ -200,10 +196,7 @@ fn cast_value(value: &Term, cast: &Cast) -> Sub {
         (Type::Dyn, Type::Dyn) => Sub::Stepped(value.clone()),
         // V : A ⇒p ? ⟶ V : A ⇒p G ⇒p ?   (A ≠ ?, A ≠ G, A ∼ G)
         (a, Type::Dyn) => {
-            let g = a
-                .ground_of()
-                .expect("source is not ? here")
-                .ty();
+            let g = a.ground_of().expect("source is not ? here").ty();
             debug_assert!(!a.is_ground(), "injection from ground is a value");
             Sub::Stepped(
                 value
@@ -320,8 +313,12 @@ mod tests {
 
     #[test]
     fn beta_and_ops() {
-        let t = Term::lam("x", Type::INT, Term::op2(Op::Add, Term::var("x"), Term::int(1)))
-            .app(Term::int(41));
+        let t = Term::lam(
+            "x",
+            Type::INT,
+            Term::op2(Op::Add, Term::var("x"), Term::int(1)),
+        )
+        .app(Term::int(41));
         assert_eq!(eval_value(&t), Term::int(42));
     }
 
@@ -381,7 +378,11 @@ mod tests {
     fn factoring_through_ground() {
         // Casting Int→Int to ? factors through ?→?; projecting back at
         // Int→Int recovers a usable function.
-        let inc = Term::lam("x", Type::INT, Term::op2(Op::Add, Term::var("x"), Term::int(1)));
+        let inc = Term::lam(
+            "x",
+            Type::INT,
+            Term::op2(Op::Add, Term::var("x"), Term::int(1)),
+        );
         let ii = Type::fun(Type::INT, Type::INT);
         let t = inc
             .cast(ii.clone(), p(0), Type::DYN)
@@ -437,8 +438,14 @@ mod tests {
     #[test]
     fn divergence_times_out() {
         // (fix f (n:Int):Int. f n) 0 diverges.
-        let t = Term::fix("f", "n", Type::INT, Type::INT, Term::var("f").app(Term::var("n")))
-            .app(Term::int(0));
+        let t = Term::fix(
+            "f",
+            "n",
+            Type::INT,
+            Type::INT,
+            Term::var("f").app(Term::var("n")),
+        )
+        .app(Term::int(0));
         let r = run(&t, 50).unwrap();
         assert_eq!(r.outcome, Outcome::Timeout);
         assert_eq!(r.steps, 50);
@@ -447,21 +454,20 @@ mod tests {
     #[test]
     fn preservation_along_a_run() {
         // Types are preserved step by step on a representative program.
-        let inc = Term::lam("x", Type::INT, Term::op2(Op::Add, Term::var("x"), Term::int(1)));
+        let inc = Term::lam(
+            "x",
+            Type::INT,
+            Term::op2(Op::Add, Term::var("x"), Term::int(1)),
+        );
         let ii = Type::fun(Type::INT, Type::INT);
         let mut t = inc
             .cast(ii.clone(), p(0), Type::DYN)
             .cast(Type::DYN, p(1), ii)
             .app(Term::int(1));
         let ty = type_of(&t).unwrap();
-        loop {
-            match step(&t, &ty) {
-                Step::Next(n) => {
-                    assert_eq!(type_of(&n), Ok(ty.clone()), "preservation at {n}");
-                    t = n;
-                }
-                Step::Value | Step::Blame(_) => break,
-            }
+        while let Step::Next(n) = step(&t, &ty) {
+            assert_eq!(type_of(&n), Ok(ty.clone()), "preservation at {n}");
+            t = n;
         }
     }
 

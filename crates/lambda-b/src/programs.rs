@@ -51,13 +51,11 @@ pub fn even_odd_mixed(n: i64) -> Term {
         .cast(Type::DYN, labels.fresh(), Type::dyn_fun())
         .app(even_inj)
         .cast(Type::DYN, labels.fresh(), Type::dyn_fun())
-        .app(
-            Term::op2(Op::Sub, Term::var("k"), Term::int(1)).cast(
-                Type::INT,
-                labels.fresh(),
-                Type::DYN,
-            ),
-        )
+        .app(Term::op2(Op::Sub, Term::var("k"), Term::int(1)).cast(
+            Type::INT,
+            labels.fresh(),
+            Type::DYN,
+        ))
         .cast(Type::DYN, labels.fresh(), Type::BOOL);
     let even = Term::fix(
         "even",
@@ -92,13 +90,11 @@ pub fn boundary_loop(n: i64) -> Term {
     let call = Term::var("f")
         .cast(ib.clone(), labels.fresh(), Type::DYN)
         .cast(Type::DYN, labels.fresh(), Type::dyn_fun())
-        .app(
-            Term::op2(Op::Sub, Term::var("n"), Term::int(1)).cast(
-                Type::INT,
-                labels.fresh(),
-                Type::DYN,
-            ),
-        )
+        .app(Term::op2(Op::Sub, Term::var("n"), Term::int(1)).cast(
+            Type::INT,
+            labels.fresh(),
+            Type::DYN,
+        ))
         .cast(Type::DYN, labels.fresh(), Type::BOOL);
     Term::fix(
         "f",
@@ -163,9 +159,11 @@ pub fn wrapped_identity(depth: usize) -> Term {
     let dd = Type::dyn_fun();
     let mut t = Term::lam("x", Type::INT, Term::var("x"));
     for _ in 0..depth {
-        t = t
-            .cast(ii.clone(), labels.fresh(), dd.clone())
-            .cast(dd.clone(), labels.fresh(), ii.clone());
+        t = t.cast(ii.clone(), labels.fresh(), dd.clone()).cast(
+            dd.clone(),
+            labels.fresh(),
+            ii.clone(),
+        );
     }
     t.app(Term::int(0))
 }

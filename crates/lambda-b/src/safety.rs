@@ -28,13 +28,9 @@ pub fn term_safe_for(term: &Term, q: Label) -> bool {
         Term::Blame(p, _) => *p != q,
         Term::Op(_, args) => args.iter().all(|a| term_safe_for(a, q)),
         Term::Lam(_, _, b) | Term::Fix(_, _, _, _, b) => term_safe_for(b, q),
-        Term::Cast(m, c) => {
-            term_safe_for(m, q) && cast_safe_for(&c.source, c.label, &c.target, q)
-        }
+        Term::Cast(m, c) => term_safe_for(m, q) && cast_safe_for(&c.source, c.label, &c.target, q),
         Term::App(a, b) | Term::Let(_, a, b) => term_safe_for(a, q) && term_safe_for(b, q),
-        Term::If(a, b, c) => {
-            term_safe_for(a, q) && term_safe_for(b, q) && term_safe_for(c, q)
-        }
+        Term::If(a, b, c) => term_safe_for(a, q) && term_safe_for(b, q) && term_safe_for(c, q),
     }
 }
 

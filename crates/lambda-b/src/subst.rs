@@ -103,7 +103,11 @@ fn subst_go(term: &Term, x: &Name, value: &Term, fv: &HashSet<Name>) -> Term {
                 let f2 = fresh_avoiding(f, &avoid);
                 avoid.insert(f2.clone());
                 let y2 = fresh_avoiding(y, &avoid);
-                let body2 = subst(&subst(body, f, &Term::Var(f2.clone())), y, &Term::Var(y2.clone()));
+                let body2 = subst(
+                    &subst(body, f, &Term::Var(f2.clone())),
+                    y,
+                    &Term::Var(y2.clone()),
+                );
                 Term::Fix(
                     f2,
                     y2,
@@ -147,12 +151,7 @@ fn subst_go(term: &Term, x: &Name, value: &Term, fv: &HashSet<Name>) -> Term {
 
 /// Renames a single binder `y` (with body `body`) to a fresh name that
 /// avoids `fv`, the body's free variables, and the extra names.
-fn rename_binder(
-    y: &Name,
-    body: &Term,
-    fv: &HashSet<Name>,
-    extra: &[&Name],
-) -> (Name, Term) {
+fn rename_binder(y: &Name, body: &Term, fv: &HashSet<Name>, extra: &[&Name]) -> (Name, Term) {
     let mut avoid: HashSet<Name> = fv.clone();
     avoid.extend(free_vars(body));
     for e in extra {

@@ -43,12 +43,18 @@ impl fmt::Display for TypeError {
                 op,
                 expected,
                 found,
-            } => write!(f, "operator `{op}` expects {expected} arguments, found {found}"),
+            } => write!(
+                f,
+                "operator `{op}` expects {expected} arguments, found {found}"
+            ),
             TypeError::Mismatch {
                 expected,
                 found,
                 context,
-            } => write!(f, "type mismatch in {context}: expected `{expected}`, found `{found}`"),
+            } => write!(
+                f,
+                "type mismatch in {context}: expected `{expected}`, found `{found}`"
+            ),
             TypeError::NotAFunction(t) => write!(f, "cannot apply a term of type `{t}`"),
             TypeError::Incompatible(a, b) => {
                 write!(f, "cast between incompatible types `{a}` and `{b}`")
@@ -322,11 +328,7 @@ mod tests {
 
     #[test]
     fn shadowing_uses_innermost_binding() {
-        let t = Term::lam(
-            "x",
-            Type::INT,
-            Term::lam("x", Type::BOOL, Term::var("x")),
-        );
+        let t = Term::lam("x", Type::INT, Term::lam("x", Type::BOOL, Term::var("x")));
         assert_eq!(
             type_of(&t),
             Ok(Type::fun(Type::INT, Type::fun(Type::BOOL, Type::BOOL)))

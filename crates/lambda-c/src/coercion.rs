@@ -106,9 +106,7 @@ impl Coercion {
     /// unique types.
     fn check_opt(&self, source: Option<&Type>, target: Option<&Type>) -> bool {
         match self {
-            Coercion::Id(a) => {
-                source.is_none_or(|s| s == a) && target.is_none_or(|t| t == a)
-            }
+            Coercion::Id(a) => source.is_none_or(|s| s == a) && target.is_none_or(|t| t == a),
             Coercion::Inj(g) => {
                 source.is_none_or(|s| *s == g.ty()) && target.is_none_or(|t| t.is_dyn())
             }
@@ -158,10 +156,7 @@ impl Coercion {
             Coercion::Inj(g) | Coercion::Fail(g, _, _) => g.ty(),
             Coercion::Proj(_, _) => Type::Dyn,
             Coercion::Seq(c1, _) => c1.source_representative(),
-            Coercion::Fun(c, d) => Type::fun(
-                c.target_representative(),
-                d.source_representative(),
-            ),
+            Coercion::Fun(c, d) => Type::fun(c.target_representative(), d.source_representative()),
         }
     }
 
@@ -175,10 +170,7 @@ impl Coercion {
             Coercion::Proj(g, _) => g.ty(),
             Coercion::Fail(_, _, h) => h.ty(),
             Coercion::Seq(_, c2) => c2.target_representative(),
-            Coercion::Fun(c, d) => Type::fun(
-                c.source_representative(),
-                d.target_representative(),
-            ),
+            Coercion::Fun(c, d) => Type::fun(c.source_representative(), d.target_representative()),
         }
     }
 

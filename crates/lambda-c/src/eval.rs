@@ -168,12 +168,9 @@ fn coerce_value(value: &Term, c: &Coercion) -> Sub {
         // V⟨id_A⟩ ⟶ V
         Coercion::Id(_) => Sub::Stepped(value.clone()),
         // V⟨c ; d⟩ ⟶ V⟨c⟩⟨d⟩
-        Coercion::Seq(c1, c2) => Sub::Stepped(
-            value
-                .clone()
-                .coerce((**c1).clone())
-                .coerce((**c2).clone()),
-        ),
+        Coercion::Seq(c1, c2) => {
+            Sub::Stepped(value.clone().coerce((**c1).clone()).coerce((**c2).clone()))
+        }
         // V⟨⊥GpH⟩ ⟶ blame p
         Coercion::Fail(_, p, _) => Sub::Raise(*p),
         // V⟨G!⟩⟨G?p⟩ ⟶ V  /  V⟨G!⟩⟨H?p⟩ ⟶ blame p
@@ -329,10 +326,7 @@ mod tests {
             Coercion::inj(gi()),
         ));
         let t = wrapped.app(Term::int(1).coerce(Coercion::inj(gi())));
-        assert_eq!(
-            eval_value(&t),
-            Term::int(2).coerce(Coercion::inj(gi()))
-        );
+        assert_eq!(eval_value(&t), Term::int(2).coerce(Coercion::inj(gi())));
     }
 
     #[test]
@@ -388,11 +382,7 @@ mod tests {
 
     #[test]
     fn blame_aborts_from_depth() {
-        let t = Term::op2(
-            Op::Add,
-            Term::int(1),
-            Term::Blame(p(5), Type::INT),
-        );
+        let t = Term::op2(Op::Add, Term::int(1), Term::Blame(p(5), Type::INT));
         assert_eq!(eval_blame(&t), p(5));
     }
 }

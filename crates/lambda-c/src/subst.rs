@@ -100,8 +100,11 @@ fn subst_go(term: &Term, x: &Name, value: &Term, fv: &HashSet<Name>) -> Term {
                 let f2 = fresh_avoiding(f, &avoid);
                 avoid.insert(f2.clone());
                 let y2 = fresh_avoiding(y, &avoid);
-                let body2 =
-                    subst(&subst(body, f, &Term::Var(f2.clone())), y, &Term::Var(y2.clone()));
+                let body2 = subst(
+                    &subst(body, f, &Term::Var(f2.clone())),
+                    y,
+                    &Term::Var(y2.clone()),
+                );
                 Term::Fix(
                     f2,
                     y2,

@@ -121,9 +121,7 @@ impl Term {
             Term::Lam(_, _, b) | Term::Fix(_, _, _, _, b) => b.coercion_size(),
             Term::Coerce(m, c) => m.coercion_size() + c.size(),
             Term::App(a, b) | Term::Let(_, a, b) => a.coercion_size() + b.coercion_size(),
-            Term::If(a, b, c) => {
-                a.coercion_size() + b.coercion_size() + c.coercion_size()
-            }
+            Term::If(a, b, c) => a.coercion_size() + b.coercion_size() + c.coercion_size(),
         }
     }
 

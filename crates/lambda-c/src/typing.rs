@@ -49,15 +49,24 @@ impl fmt::Display for TypeError {
                 op,
                 expected,
                 found,
-            } => write!(f, "operator `{op}` expects {expected} arguments, found {found}"),
+            } => write!(
+                f,
+                "operator `{op}` expects {expected} arguments, found {found}"
+            ),
             TypeError::Mismatch {
                 expected,
                 found,
                 context,
-            } => write!(f, "type mismatch in {context}: expected `{expected}`, found `{found}`"),
+            } => write!(
+                f,
+                "type mismatch in {context}: expected `{expected}`, found `{found}`"
+            ),
             TypeError::NotAFunction(t) => write!(f, "cannot apply a term of type `{t}`"),
             TypeError::BadCoercion { subject, coercion } => {
-                write!(f, "coercion `{coercion}` cannot be applied to a term of type `{subject}`")
+                write!(
+                    f,
+                    "coercion `{coercion}` cannot be applied to a term of type `{subject}`"
+                )
             }
         }
     }
@@ -181,9 +190,7 @@ pub fn type_of_in(env: &mut Vec<(Name, Type)>, term: &Term) -> Result<Type, Type
             }
             let tt = type_of_in(env, then_)?;
             let et = type_of_in(env, else_)?;
-            if tt == et {
-                Ok(tt)
-            } else if check_in(env, else_, &tt) {
+            if tt == et || check_in(env, else_, &tt) {
                 Ok(tt)
             } else if check_in(env, then_, &et) {
                 Ok(et)

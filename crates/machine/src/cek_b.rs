@@ -105,12 +105,34 @@ impl Env {
     }
 }
 
+// Variant names deliberately carry the -Frame suffix: "cast frame" /
+// "coercion frame" is the paper's terminology for what leaks in
+// λB/λC and merges in λS.
+#[allow(clippy::enum_variant_names)]
 enum Frame {
-    AppArg { arg: Term, env: Env },
-    AppCall { fun: Value },
-    OpFrame { op: Op, done: Vec<Value>, rest: Vec<Term>, env: Env },
-    If { then_: Term, else_: Term, env: Env },
-    Let { name: Name, body: Term, env: Env },
+    AppArg {
+        arg: Term,
+        env: Env,
+    },
+    AppCall {
+        fun: Value,
+    },
+    OpFrame {
+        op: Op,
+        done: Vec<Value>,
+        rest: Vec<Term>,
+        env: Env,
+    },
+    If {
+        then_: Term,
+        else_: Term,
+        env: Env,
+    },
+    Let {
+        name: Name,
+        body: Term,
+        env: Env,
+    },
     CastFrame(Cast),
 }
 
@@ -224,11 +246,7 @@ pub fn run(term: &Term, fuel: u64) -> MachineRun {
                         .unwrap_or_else(|| panic!("unbound variable `{x}`"))
                         .clone(),
                 ),
-                Term::Lam(param, _, body) => Control::Ret(Value::Closure {
-                    param,
-                    body,
-                    env,
-                }),
+                Term::Lam(param, _, body) => Control::Ret(Value::Closure { param, body, env }),
                 Term::Fix(fun, param, _, _, body) => Control::Ret(Value::FixClosure {
                     fun,
                     param,
@@ -419,9 +437,11 @@ mod tests {
     fn blame_agrees_with_small_step() {
         use bc_lambda_b::eval;
         use bc_syntax::Label;
-        let t = Term::int(1)
-            .cast(Type::INT, Label::new(0), Type::DYN)
-            .cast(Type::DYN, Label::new(1), Type::BOOL);
+        let t = Term::int(1).cast(Type::INT, Label::new(0), Type::DYN).cast(
+            Type::DYN,
+            Label::new(1),
+            Type::BOOL,
+        );
         let small = eval::run(&t, 100).unwrap().outcome;
         let machine = run(&t, 100).outcome;
         assert_eq!(machine, MachineOutcome::Blame(Label::new(1)));

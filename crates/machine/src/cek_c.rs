@@ -102,12 +102,34 @@ impl Env {
     }
 }
 
+// Variant names deliberately carry the -Frame suffix: "cast frame" /
+// "coercion frame" is the paper's terminology for what leaks in
+// λB/λC and merges in λS.
+#[allow(clippy::enum_variant_names)]
 enum Frame {
-    AppArg { arg: Term, env: Env },
-    AppCall { fun: Value },
-    OpFrame { op: Op, done: Vec<Value>, rest: Vec<Term>, env: Env },
-    If { then_: Term, else_: Term, env: Env },
-    Let { name: Name, body: Term, env: Env },
+    AppArg {
+        arg: Term,
+        env: Env,
+    },
+    AppCall {
+        fun: Value,
+    },
+    OpFrame {
+        op: Op,
+        done: Vec<Value>,
+        rest: Vec<Term>,
+        env: Env,
+    },
+    If {
+        then_: Term,
+        else_: Term,
+        env: Env,
+    },
+    Let {
+        name: Name,
+        body: Term,
+        env: Env,
+    },
     CoerceFrame(Coercion),
 }
 
@@ -200,9 +222,12 @@ pub fn run(term: &Term, fuel: u64) -> MachineRun {
                         .clone(),
                 ),
                 Term::Lam(param, _, body) => Control::Ret(Value::Closure { param, body, env }),
-                Term::Fix(fun, param, _, _, body) => {
-                    Control::Ret(Value::FixClosure { fun, param, body, env })
-                }
+                Term::Fix(fun, param, _, _, body) => Control::Ret(Value::FixClosure {
+                    fun,
+                    param,
+                    body,
+                    env,
+                }),
                 Term::App(l, r) => {
                     m.push(Frame::AppArg {
                         arg: (*r).clone(),

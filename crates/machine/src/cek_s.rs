@@ -12,11 +12,25 @@
 //!
 //! The same merging is applied to values: coercing an already-coerced
 //! value composes the coercions, so proxy chains never grow either.
+//!
+//! # Interned coercions
+//!
+//! This machine runs entirely on the hash-consed representation of
+//! [`bc_core::arena`]: coercion frames and value proxies hold
+//! [`CoercionId`]s, and every frame/proxy merge goes through the
+//! [`ComposeCache`], so a loop that crosses the same boundary on each
+//! iteration performs the structural composition once and answers
+//! every subsequent merge with a single hash lookup. Terms still carry
+//! the tree grammar; each `M⟨s⟩` interns `s` on first evaluation
+//! (hash-consing makes the repeat interns allocation-free).
+//!
+//! Use [`run`] for a self-contained run, or [`run_in`] to share one
+//! arena + cache across many runs of the same program (as the
+//! pipeline's `Compiled` does).
 
 use std::rc::Rc;
 
-use bc_core::coercion::{GroundCoercion, Intermediate, SpaceCoercion};
-use bc_core::compose::compose;
+use bc_core::arena::{CoercionArena, CoercionId, ComposeCache, GNode, INode, SNode};
 use bc_core::term::Term;
 use bc_syntax::{Constant, Label, Name, Op};
 use bc_translate::bisim::Observation;
@@ -54,29 +68,31 @@ pub enum Value {
     Coerced {
         /// The underlying (uncoerced) value.
         value: Rc<Value>,
-        /// The single, merged coercion.
-        coercion: SpaceCoercion,
+        /// The single, merged coercion (interned).
+        coercion: CoercionId,
     },
 }
 
 impl Value {
-    /// The calculus-agnostic observation of this value.
-    pub fn observe(&self) -> Observation {
+    /// The calculus-agnostic observation of this value, read through
+    /// the arena that interned its coercions.
+    pub fn observe(&self, arena: &CoercionArena) -> Observation {
         match self {
             Value::Const(k) => Observation::Constant(*k),
             Value::Closure { .. } | Value::FixClosure { .. } => Observation::Function,
-            Value::Coerced { value, coercion } => match coercion {
-                SpaceCoercion::Mid(Intermediate::Inj(g, ground)) => {
+            Value::Coerced { value, coercion } => match arena.node(*coercion) {
+                SNode::Mid(INode::Inj(g, ground)) => {
                     let payload = match g {
-                        GroundCoercion::IdBase(_) => value.observe(),
-                        GroundCoercion::Fun(_, _) => Observation::Function,
+                        GNode::IdBase(_) => value.observe(arena),
+                        GNode::Fun(_, _) => Observation::Function,
                     };
-                    Observation::Injected(*ground, Box::new(payload))
+                    Observation::Injected(ground, Box::new(payload))
                 }
-                SpaceCoercion::Mid(Intermediate::Ground(GroundCoercion::Fun(_, _))) => {
-                    Observation::Function
-                }
-                other => unreachable!("coerced value with non-value coercion {other}"),
+                SNode::Mid(INode::Ground(GNode::Fun(_, _))) => Observation::Function,
+                _ => unreachable!(
+                    "coerced value with non-value coercion {}",
+                    arena.resolve(*coercion)
+                ),
             },
         }
     }
@@ -121,13 +137,35 @@ impl Env {
     }
 }
 
+// Variant names deliberately carry the -Frame suffix: "cast frame" /
+// "coercion frame" is the paper's terminology for what leaks in
+// λB/λC and merges in λS.
+#[allow(clippy::enum_variant_names)]
 enum Frame {
-    AppArg { arg: Term, env: Env },
-    AppCall { fun: Value },
-    OpFrame { op: Op, done: Vec<Value>, rest: Vec<Term>, env: Env },
-    If { then_: Term, else_: Term, env: Env },
-    Let { name: Name, body: Term, env: Env },
-    CoerceFrame(SpaceCoercion),
+    AppArg {
+        arg: Term,
+        env: Env,
+    },
+    AppCall {
+        fun: Value,
+    },
+    OpFrame {
+        op: Op,
+        done: Vec<Value>,
+        rest: Vec<Term>,
+        env: Env,
+    },
+    If {
+        then_: Term,
+        else_: Term,
+        env: Env,
+    },
+    Let {
+        name: Name,
+        body: Term,
+        env: Env,
+    },
+    CoerceFrame(CoercionId),
 }
 
 enum Control {
@@ -135,18 +173,20 @@ enum Control {
     Ret(Value),
 }
 
-struct Machine {
+struct Machine<'a> {
     stack: Vec<Frame>,
     metrics: Metrics,
     coercion_frames: usize,
     coercion_size: usize,
+    arena: &'a mut CoercionArena,
+    cache: &'a mut ComposeCache,
 }
 
-impl Machine {
+impl Machine<'_> {
     fn push(&mut self, f: Frame) {
         if let Frame::CoerceFrame(c) = &f {
             self.coercion_frames += 1;
-            self.coercion_size += c.size();
+            self.coercion_size += self.arena.size(*c);
         }
         self.stack.push(f);
         self.metrics
@@ -155,13 +195,15 @@ impl Machine {
 
     /// Pushes a coercion frame, *merging* with an existing top
     /// coercion frame — the one-line change that makes the machine
-    /// space-efficient.
-    fn push_coercion(&mut self, s: SpaceCoercion) {
+    /// space-efficient. The merge is a [`ComposeCache`] lookup when
+    /// the pair has been composed before.
+    fn push_coercion(&mut self, s: CoercionId) {
         if let Some(Frame::CoerceFrame(t)) = self.stack.last() {
             // The value will meet `s` first and `t` second: replace
             // the top frame with `s # t`.
-            let merged = compose(&s, t);
-            self.coercion_size = self.coercion_size - t.size() + merged.size();
+            let t = *t;
+            let merged = self.arena.compose(self.cache, s, t);
+            self.coercion_size = self.coercion_size - self.arena.size(t) + self.arena.size(merged);
             let top = self.stack.len() - 1;
             self.stack[top] = Frame::CoerceFrame(merged);
             self.metrics
@@ -175,48 +217,68 @@ impl Machine {
         let f = self.stack.pop();
         if let Some(Frame::CoerceFrame(c)) = &f {
             self.coercion_frames -= 1;
-            self.coercion_size -= c.size();
+            self.coercion_size -= self.arena.size(*c);
         }
         f
     }
-}
 
-/// Applies a coercion to a value immediately, merging with any
-/// existing proxy coercion.
-fn coerce_value(v: Value, s: &SpaceCoercion) -> Result<Value, Label> {
-    if let Value::Coerced { value, coercion } = &v {
-        // Never nest: compose with the existing proxy.
-        return coerce_value((**value).clone(), &compose(coercion, s));
-    }
-    match s {
-        SpaceCoercion::IdDyn => Ok(v),
-        SpaceCoercion::Mid(Intermediate::Ground(GroundCoercion::IdBase(_))) => Ok(v),
-        SpaceCoercion::Mid(Intermediate::Fail(_, p, _)) => Err(*p),
-        SpaceCoercion::Mid(Intermediate::Inj(_, _))
-        | SpaceCoercion::Mid(Intermediate::Ground(GroundCoercion::Fun(_, _))) => {
-            Ok(Value::Coerced {
-                value: Rc::new(v),
-                coercion: s.clone(),
-            })
+    /// Applies a coercion to a value immediately, merging with any
+    /// existing proxy coercion.
+    fn coerce_value(&mut self, v: Value, s: CoercionId) -> Result<Value, Label> {
+        if let Value::Coerced { value, coercion } = &v {
+            // Never nest: compose with the existing proxy (cached).
+            let merged = self.arena.compose(self.cache, *coercion, s);
+            return self.coerce_value((**value).clone(), merged);
         }
-        SpaceCoercion::Proj(_, _, _) => {
-            unreachable!("projection applied to an uncoerced value (which cannot have type ?)")
+        match self.arena.node(s) {
+            SNode::IdDyn => Ok(v),
+            SNode::Mid(INode::Ground(GNode::IdBase(_))) => Ok(v),
+            SNode::Mid(INode::Fail(_, p, _)) => Err(p),
+            SNode::Mid(INode::Inj(_, _)) | SNode::Mid(INode::Ground(GNode::Fun(_, _))) => {
+                Ok(Value::Coerced {
+                    value: Rc::new(v),
+                    coercion: s,
+                })
+            }
+            SNode::Proj(_, _, _) => {
+                unreachable!("projection applied to an uncoerced value (which cannot have type ?)")
+            }
         }
     }
 }
 
 /// Runs a closed, well-typed λS term on the space-efficient CEK
-/// machine.
+/// machine with a fresh arena and compose cache.
 ///
 /// # Panics
 ///
 /// Panics on open or ill-typed input.
 pub fn run(term: &Term, fuel: u64) -> MachineRun {
+    let mut arena = CoercionArena::new();
+    let mut cache = ComposeCache::new();
+    run_in(term, &mut arena, &mut cache, fuel)
+}
+
+/// Runs a term reusing a caller-owned arena and compose cache, so
+/// that repeated runs of the same program (or of programs sharing
+/// coercions) skip both interning allocation and composition work.
+///
+/// # Panics
+///
+/// Panics on open or ill-typed input.
+pub fn run_in(
+    term: &Term,
+    arena: &mut CoercionArena,
+    cache: &mut ComposeCache,
+    fuel: u64,
+) -> MachineRun {
     let mut m = Machine {
         stack: Vec::new(),
         metrics: Metrics::default(),
         coercion_frames: 0,
         coercion_size: 0,
+        arena,
+        cache,
     };
     let mut control = Control::Eval(term.clone(), Env::new());
     loop {
@@ -236,9 +298,12 @@ pub fn run(term: &Term, fuel: u64) -> MachineRun {
                         .clone(),
                 ),
                 Term::Lam(param, _, body) => Control::Ret(Value::Closure { param, body, env }),
-                Term::Fix(fun, param, _, _, body) => {
-                    Control::Ret(Value::FixClosure { fun, param, body, env })
-                }
+                Term::Fix(fun, param, _, _, body) => Control::Ret(Value::FixClosure {
+                    fun,
+                    param,
+                    body,
+                    env,
+                }),
                 Term::App(l, r) => {
                     m.push(Frame::AppArg {
                         arg: (*r).clone(),
@@ -258,6 +323,7 @@ pub fn run(term: &Term, fuel: u64) -> MachineRun {
                     Control::Eval(first, env)
                 }
                 Term::Coerce(inner, s) => {
+                    let s = m.arena.intern(&s);
                     m.push_coercion(s);
                     Control::Eval((*inner).clone(), env)
                 }
@@ -286,10 +352,11 @@ pub fn run(term: &Term, fuel: u64) -> MachineRun {
             },
             Control::Ret(v) => match m.pop() {
                 None => {
+                    let observation = v.observe(m.arena);
                     return MachineRun {
-                        outcome: MachineOutcome::Value(v.observe()),
+                        outcome: MachineOutcome::Value(observation),
                         metrics: m.metrics,
-                    }
+                    };
                 }
                 Some(Frame::AppArg { arg, env }) => {
                     m.push(Frame::AppCall { fun: v });
@@ -340,7 +407,7 @@ pub fn run(term: &Term, fuel: u64) -> MachineRun {
                     let env = env.bind(name, v);
                     Control::Eval(body, env)
                 }
-                Some(Frame::CoerceFrame(s)) => match coerce_value(v, &s) {
+                Some(Frame::CoerceFrame(s)) => match m.coerce_value(v, s) {
                     Ok(v2) => Control::Ret(v2),
                     Err(p) => {
                         return MachineRun {
@@ -354,7 +421,7 @@ pub fn run(term: &Term, fuel: u64) -> MachineRun {
     }
 }
 
-fn apply(m: &mut Machine, fun: Value, arg: Value) -> Result<Control, Label> {
+fn apply(m: &mut Machine<'_>, fun: Value, arg: Value) -> Result<Control, Label> {
     match fun {
         Value::Closure { param, body, env } => {
             let env = env.bind(param, arg);
@@ -375,15 +442,18 @@ fn apply(m: &mut Machine, fun: Value, arg: Value) -> Result<Control, Label> {
             let env = env.bind(f, self_val).bind(param, arg);
             Ok(Control::Eval((*body).clone(), env))
         }
-        Value::Coerced { value, coercion } => match coercion {
-            SpaceCoercion::Mid(Intermediate::Ground(GroundCoercion::Fun(s, t))) => {
+        Value::Coerced { value, coercion } => match m.arena.node(coercion) {
+            SNode::Mid(INode::Ground(GNode::Fun(s, t))) => {
                 // (U⟨s→t⟩) V: coerce the argument by s, push (merging!)
                 // the result coercion t, apply the proxied function.
-                let arg2 = coerce_value(arg, &s)?;
-                m.push_coercion((*t).clone());
+                let arg2 = m.coerce_value(arg, s)?;
+                m.push_coercion(t);
                 apply(m, (*value).clone(), arg2)
             }
-            other => unreachable!("applied a non-function coercion {other}"),
+            _ => unreachable!(
+                "applied a non-function coercion {}",
+                m.arena.resolve(coercion)
+            ),
         },
         other => unreachable!("applied a non-function value {other:?}"),
     }
@@ -453,5 +523,40 @@ mod tests {
         let t = to_s(&programs::wrapped_identity(64));
         let m = run(&t, 1_000_000);
         assert!(matches!(m.outcome, MachineOutcome::Value(_)));
+    }
+
+    #[test]
+    fn boundary_loop_hits_the_compose_cache() {
+        // The whole point of the arena: after the first iteration,
+        // every frame merge in the loop is a cache hit.
+        let mut arena = CoercionArena::new();
+        let mut cache = ComposeCache::new();
+        let t = to_s(&programs::boundary_loop(512));
+        let m = run_in(&t, &mut arena, &mut cache, 10_000_000);
+        assert!(matches!(m.outcome, MachineOutcome::Value(_)));
+        let stats = cache.stats();
+        assert!(
+            stats.hits > 8 * stats.misses,
+            "expected overwhelmingly cache-hit merges, got {stats:?}"
+        );
+        // And the arena stays small even though the loop merged
+        // thousands of times: bounded distinct coercions.
+        assert!(arena.len() < 64, "arena grew to {}", arena.len());
+    }
+
+    #[test]
+    fn rerunning_with_a_shared_arena_reuses_everything() {
+        let mut arena = CoercionArena::new();
+        let mut cache = ComposeCache::new();
+        let t = to_s(&programs::boundary_loop(64));
+        let first = run_in(&t, &mut arena, &mut cache, 10_000_000);
+        let misses_after_first = cache.stats().misses;
+        let second = run_in(&t, &mut arena, &mut cache, 10_000_000);
+        assert_eq!(first.outcome, second.outcome);
+        assert_eq!(
+            cache.stats().misses,
+            misses_after_first,
+            "second run must be answered entirely from the cache"
+        );
     }
 }

@@ -74,6 +74,9 @@ fn space_series() {
         b_frames.push(cek_b::run(&m, u64::MAX).metrics.peak_cast_frames);
         s_frames.push(cek_s::run(&ms, u64::MAX).metrics.peak_cast_frames);
     }
-    assert!(b_frames[2] > b_frames[0] + 100, "λB leak missing: {b_frames:?}");
+    assert!(
+        b_frames[2] > b_frames[0] + 100,
+        "λB leak missing: {b_frames:?}"
+    );
     assert_eq!(s_frames[0], s_frames[2], "λS space grew: {s_frames:?}");
 }

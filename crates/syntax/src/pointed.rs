@@ -209,10 +209,7 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(
-            meet(&Type::INT, &Type::BOOL).to_string(),
-            "⊥".to_string()
-        );
+        assert_eq!(meet(&Type::INT, &Type::BOOL).to_string(), "⊥".to_string());
         assert_eq!(
             PointedType::fun(PointedType::Bottom, PointedType::Dyn).to_string(),
             "⊥ -> ?"

@@ -23,9 +23,9 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use bc_core::coercion::SpaceCoercion;
 use bc_lambda_b as lb;
 use bc_lambda_c::coercion::Coercion;
-use bc_core::coercion::SpaceCoercion;
 use bc_syntax::{BaseType, Ground, Label, Name, Op, Type};
 use bc_translate::coercion_to_space;
 
@@ -135,19 +135,16 @@ impl Gen {
                 (Coercion::inj(src.as_ground().expect("guarded")), Type::DYN)
             }
             // Projection when the source is ?.
-            (2 | 3 | 4, Type::Dyn) => {
+            (2..=4, Type::Dyn) => {
                 let g = self.ground();
                 let p = self.label();
                 (Coercion::proj(g, p), g.ty())
             }
             // Function coercion when the source is a function type.
-            (2 | 3 | 4 | 5, Type::Fun(a, b)) => {
+            (2..=5, Type::Fun(a, b)) => {
                 let (d, tgt_cod) = self.coercion_from(b, depth - 1);
                 let (c, tgt_dom) = self.coercion_to(a, depth - 1);
-                (
-                    Coercion::fun(c, d),
-                    Type::fun(tgt_dom, tgt_cod),
-                )
+                (Coercion::fun(c, d), Type::fun(tgt_dom, tgt_cod))
             }
             // Failure (rare; requires a non-? source).
             (6, src) if !src.is_dyn() && self.rng.gen_bool(0.3) => {
@@ -186,17 +183,14 @@ impl Gen {
                 let g = self.ground();
                 (Coercion::inj(g), g.ty())
             }
-            (2 | 3 | 4, _) if tgt.as_ground().is_some() && self.rng.gen_bool(0.7) => {
+            (2..=4, _) if tgt.as_ground().is_some() && self.rng.gen_bool(0.7) => {
                 let g = tgt.as_ground().expect("guarded");
                 (Coercion::proj(g, self.label()), Type::DYN)
             }
-            (2 | 3 | 4 | 5, Type::Fun(a, b)) => {
+            (2..=5, Type::Fun(a, b)) => {
                 let (d, src_cod) = self.coercion_to(b, depth - 1);
                 let (c, src_dom) = self.coercion_from(a, depth - 1);
-                (
-                    Coercion::fun(c, d),
-                    Type::fun(src_dom, src_cod),
-                )
+                (Coercion::fun(c, d), Type::fun(src_dom, src_cod))
             }
             _ => (Coercion::id(tgt.clone()), tgt.clone()),
         }

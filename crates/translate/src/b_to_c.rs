@@ -63,9 +63,7 @@ pub fn term_b_to_c(term: &lb::Term) -> lc::Term {
         lb::Term::Const(k) => lc::Term::Const(*k),
         lb::Term::Op(op, args) => lc::Term::Op(*op, args.iter().map(term_b_to_c).collect()),
         lb::Term::Var(x) => lc::Term::Var(x.clone()),
-        lb::Term::Lam(x, ty, b) => {
-            lc::Term::Lam(x.clone(), ty.clone(), term_b_to_c(b).into())
-        }
+        lb::Term::Lam(x, ty, b) => lc::Term::Lam(x.clone(), ty.clone(), term_b_to_c(b).into()),
         lb::Term::App(a, b) => lc::Term::App(term_b_to_c(a).into(), term_b_to_c(b).into()),
         lb::Term::Cast(m, c) => lc::Term::Coerce(
             term_b_to_c(m).into(),
@@ -174,7 +172,7 @@ mod tests {
     #[test]
     fn safety_corresponds_to_label_polarity() {
         // Lemma 9 on examples: A <:+ B iff |A ⇒p B| safe for p.
-        use bc_syntax::{pos_subtype, neg_subtype};
+        use bc_syntax::{neg_subtype, pos_subtype};
         let samples = [
             (Type::INT, Type::DYN),
             (Type::DYN, Type::INT),

@@ -16,14 +16,14 @@
 //!   (Definition 6).
 
 use bc_core as ls;
+use bc_core::arena::MergeCtx;
 use bc_core::coercion::{GroundCoercion, Intermediate, SpaceCoercion};
-use bc_core::compose::compose;
 use bc_lambda_b as lb;
 use bc_lambda_c as lc;
 use bc_syntax::{Constant, Ground, Label, Type};
 
 use crate::b_to_c::term_b_to_c;
-use crate::c_to_s::term_c_to_s;
+use crate::c_to_s::{term_c_to_s, term_c_to_s_in};
 
 /// The observable shape of an evaluation outcome, shared by all three
 /// calculi: enough to compare results across translations without
@@ -125,10 +125,10 @@ fn observe_s_value(v: &ls::Term) -> Observation {
             };
             Observation::Injected(*ground, Box::new(payload))
         }
-        ls::Term::Coerce(_, SpaceCoercion::Mid(Intermediate::Ground(GroundCoercion::Fun(
+        ls::Term::Coerce(
             _,
-            _,
-        )))) => Observation::Function,
+            SpaceCoercion::Mid(Intermediate::Ground(GroundCoercion::Fun(_, _))),
+        ) => Observation::Function,
         other => unreachable!("not a λS value: {other}"),
     }
 }
@@ -156,9 +156,7 @@ pub fn lockstep_bc(term: &lb::Term, fuel: u64) -> Result<LockstepReport, String>
     let mut mc = term_b_to_c(&mb);
     let ty_c = lc::type_of(&mc).map_err(|e| format!("λC type error: {e}"))?;
     if ty_c != ty {
-        return Err(format!(
-            "translation changed the type: {ty} became {ty_c}"
-        ));
+        return Err(format!("translation changed the type: {ty} became {ty_c}"));
     }
     let mut steps = 0u64;
     loop {
@@ -230,31 +228,48 @@ pub fn is_full_identity(s: &SpaceCoercion) -> bool {
 /// rules (i) and (ii) of Figure 6. Two terms related by `≈` modulo
 /// those rules have equal normal forms.
 pub fn normalize_s(term: &ls::Term) -> ls::Term {
+    normalize_s_in(&mut MergeCtx::new(), term)
+}
+
+/// [`normalize_s`] with a caller-owned arena and compose cache.
+/// Trace-alignment checkers normalise every state of a reduction
+/// sequence; consecutive states share almost all their coercions, so
+/// a persistent [`MergeCtx`] answers nearly every merge from the
+/// compose cache.
+pub fn normalize_s_in(ctx: &mut MergeCtx, term: &ls::Term) -> ls::Term {
     match term {
         ls::Term::Const(_) | ls::Term::Var(_) | ls::Term::Blame(_, _) => term.clone(),
-        ls::Term::Op(op, args) => ls::Term::Op(*op, args.iter().map(normalize_s).collect()),
-        ls::Term::Lam(x, ty, b) => ls::Term::Lam(x.clone(), ty.clone(), normalize_s(b).into()),
-        ls::Term::App(a, b) => ls::Term::App(normalize_s(a).into(), normalize_s(b).into()),
-        ls::Term::If(c, t, e) => ls::Term::If(
-            normalize_s(c).into(),
-            normalize_s(t).into(),
-            normalize_s(e).into(),
-        ),
-        ls::Term::Let(x, m, n) => {
-            ls::Term::Let(x.clone(), normalize_s(m).into(), normalize_s(n).into())
+        ls::Term::Op(op, args) => {
+            ls::Term::Op(*op, args.iter().map(|a| normalize_s_in(ctx, a)).collect())
         }
+        ls::Term::Lam(x, ty, b) => {
+            ls::Term::Lam(x.clone(), ty.clone(), normalize_s_in(ctx, b).into())
+        }
+        ls::Term::App(a, b) => {
+            ls::Term::App(normalize_s_in(ctx, a).into(), normalize_s_in(ctx, b).into())
+        }
+        ls::Term::If(c, t, e) => ls::Term::If(
+            normalize_s_in(ctx, c).into(),
+            normalize_s_in(ctx, t).into(),
+            normalize_s_in(ctx, e).into(),
+        ),
+        ls::Term::Let(x, m, n) => ls::Term::Let(
+            x.clone(),
+            normalize_s_in(ctx, m).into(),
+            normalize_s_in(ctx, n).into(),
+        ),
         ls::Term::Fix(f, x, dom, cod, b) => ls::Term::Fix(
             f.clone(),
             x.clone(),
             dom.clone(),
             cod.clone(),
-            normalize_s(b).into(),
+            normalize_s_in(ctx, b).into(),
         ),
         ls::Term::Coerce(m, s) => {
-            let inner = normalize_s(m);
+            let inner = normalize_s_in(ctx, m);
             let (subject, merged) = match inner {
                 ls::Term::Coerce(mm, s2) => {
-                    let combined = compose(&s2, s);
+                    let combined = ctx.merge(&s2, s);
                     ((*mm).clone(), combined)
                 }
                 other => (other, s.clone()),
@@ -294,10 +309,16 @@ pub fn aligned_cs(term: &lc::Term, fuel: u64) -> Result<AlignmentReport, String>
     let ms0 = term_c_to_s(term);
     let ty_s = ls::type_of(&ms0).map_err(|e| format!("λS type error: {e}"))?;
     if ty_s != ty_c {
-        return Err(format!("translation changed the type: {ty_c} became {ty_s}"));
+        return Err(format!(
+            "translation changed the type: {ty_c} became {ty_s}"
+        ));
     }
 
     // Collect normalised traces (consecutive duplicates collapsed).
+    // One merge context serves every normalisation: consecutive trace
+    // states share almost all coercions, so the compose cache answers
+    // nearly every merge after the first state.
+    let mut ctx = MergeCtx::new();
     let mut trace_c: Vec<ls::Term> = Vec::new();
     let push_c = |t: ls::Term, out: &mut Vec<ls::Term>| {
         if out.last() != Some(&t) {
@@ -306,13 +327,17 @@ pub fn aligned_cs(term: &lc::Term, fuel: u64) -> Result<AlignmentReport, String>
     };
     let mut mc = term.clone();
     let mut steps_c = 0u64;
-    push_c(normalize_s(&term_c_to_s(&mc)), &mut trace_c);
+    let translate = |ctx: &mut MergeCtx, mc: &lc::Term| {
+        let ms = term_c_to_s_in(&mut ctx.arena, &mut ctx.cache, mc);
+        normalize_s_in(ctx, &ms)
+    };
+    push_c(translate(&mut ctx, &mc), &mut trace_c);
     let outcome_c = loop {
         match lc::eval::step(&mc, &ty_c) {
             lc::eval::Step::Next(n) => {
                 mc = n;
                 steps_c += 1;
-                push_c(normalize_s(&term_c_to_s(&mc)), &mut trace_c);
+                push_c(translate(&mut ctx, &mc), &mut trace_c);
                 if steps_c >= fuel {
                     break Observation::Timeout;
                 }
@@ -325,13 +350,13 @@ pub fn aligned_cs(term: &lc::Term, fuel: u64) -> Result<AlignmentReport, String>
     let mut trace_s: Vec<ls::Term> = Vec::new();
     let mut ms = ms0;
     let mut steps_s = 0u64;
-    push_c(normalize_s(&ms), &mut trace_s);
+    push_c(normalize_s_in(&mut ctx, &ms), &mut trace_s);
     let outcome_s = loop {
-        match ls::eval::step(&ms, &ty_s) {
+        match ls::eval::step_in(&mut ctx, &ms, &ty_s) {
             ls::eval::Step::Next(n) => {
                 ms = n;
                 steps_s += 1;
-                push_c(normalize_s(&ms), &mut trace_s);
+                push_c(normalize_s_in(&mut ctx, &ms), &mut trace_s);
                 if steps_s >= fuel {
                     break Observation::Timeout;
                 }

@@ -204,11 +204,9 @@ fn go(
             out
         }
         lc::Term::Blame(p, ty) => lb::Term::Blame(*p, ty.clone()),
-        lc::Term::If(c, t, e) => lb::Term::If(
-            go(env, c)?.into(),
-            go(env, t)?.into(),
-            go(env, e)?.into(),
-        ),
+        lc::Term::If(c, t, e) => {
+            lb::Term::If(go(env, c)?.into(), go(env, t)?.into(), go(env, e)?.into())
+        }
         lc::Term::Let(x, m, n) => {
             let m2 = go(env, m)?;
             let mt = lc::typing::type_of_in(env, m)?;
@@ -271,7 +269,11 @@ mod tests {
     fn primitives_round_trip() {
         round_trips(&Coercion::inj(gi()), &Type::INT, &Type::DYN);
         round_trips(&Coercion::proj(gi(), p(0)), &Type::DYN, &Type::INT);
-        round_trips(&Coercion::id(Type::dyn_fun()), &Type::dyn_fun(), &Type::dyn_fun());
+        round_trips(
+            &Coercion::id(Type::dyn_fun()),
+            &Type::dyn_fun(),
+            &Type::dyn_fun(),
+        );
     }
 
     #[test]
@@ -325,10 +327,7 @@ mod tests {
         );
         let c = cast_to_coercion(&ii, p(0), &Type::DYN);
         let back = cast_to_coercion(&Type::DYN, p(1), &ii);
-        let m = inc
-            .coerce(c)
-            .coerce(back)
-            .app(lc::Term::int(41));
+        let m = inc.coerce(c).coerce(back).app(lc::Term::int(41));
         let mb = term_c_to_b(&m).expect("well typed");
         assert_eq!(lb::type_of(&mb).unwrap(), lc::type_of(&m).unwrap());
         let rb = lb::eval::run(&mb, 10_000).unwrap().outcome;

@@ -12,6 +12,7 @@
 //! |⊥GpH|   = ⊥GpH
 //! ```
 
+use bc_core::arena::{CoercionArena, CoercionId, ComposeCache};
 use bc_core::coercion::{GroundCoercion, Intermediate, SpaceCoercion};
 use bc_core::compose::compose;
 use bc_core::term::Term as STerm;
@@ -24,15 +25,16 @@ use bc_syntax::Ground;
 pub fn ground_identity(g: Ground) -> GroundCoercion {
     match g {
         Ground::Base(b) => GroundCoercion::IdBase(b),
-        Ground::Fun => GroundCoercion::Fun(
-            SpaceCoercion::IdDyn.into(),
-            SpaceCoercion::IdDyn.into(),
-        ),
+        Ground::Fun => {
+            GroundCoercion::Fun(SpaceCoercion::IdDyn.into(), SpaceCoercion::IdDyn.into())
+        }
     }
 }
 
 /// Translates (normalises) a λC coercion into its canonical
-/// space-efficient form.
+/// space-efficient form — the tree-level specification. The memoized
+/// implementation is [`coercion_to_space_in`]; the two agree by
+/// property test.
 pub fn coercion_to_space(c: &Coercion) -> SpaceCoercion {
     match c {
         Coercion::Id(ty) => SpaceCoercion::id(ty),
@@ -46,30 +48,88 @@ pub fn coercion_to_space(c: &Coercion) -> SpaceCoercion {
     }
 }
 
-/// Translates a λC term to a λS term by normalising every coercion.
+/// Normalises a λC coercion directly into an arena: primitives become
+/// interned canonical forms and `c ; d` goes through the memoized
+/// composition, so normalising a program full of repeated coercions
+/// does each distinct composition once.
+pub fn coercion_to_space_in(
+    arena: &mut CoercionArena,
+    cache: &mut ComposeCache,
+    c: &Coercion,
+) -> CoercionId {
+    match c {
+        Coercion::Id(ty) => arena.id(ty),
+        Coercion::Inj(g) => arena.inj_ground(*g),
+        Coercion::Proj(g, p) => arena.proj_ground(*g, *p),
+        Coercion::Fun(c, d) => {
+            let dom = coercion_to_space_in(arena, cache, c);
+            let cod = coercion_to_space_in(arena, cache, d);
+            arena.fun(dom, cod)
+        }
+        Coercion::Seq(c, d) => {
+            let a = coercion_to_space_in(arena, cache, c);
+            let b = coercion_to_space_in(arena, cache, d);
+            arena.compose(cache, a, b)
+        }
+        Coercion::Fail(g, p, h) => arena.fail(*g, *p, *h),
+    }
+}
+
+/// Translates a λC term to a λS term by normalising every coercion
+/// (through a throwaway arena; see [`term_c_to_s_in`] to keep the
+/// interned forms).
 pub fn term_c_to_s(term: &CTerm) -> STerm {
+    let mut arena = CoercionArena::new();
+    let mut cache = ComposeCache::new();
+    term_c_to_s_in(&mut arena, &mut cache, term)
+}
+
+/// Translates a λC term to a λS term, interning every normalised
+/// coercion into a caller-owned arena. The produced term carries the
+/// tree exchange format (resolved from the arena), so downstream
+/// consumers that re-intern — like the λS machine — find every
+/// coercion already hash-consed and every `Seq` composition already
+/// cached.
+pub fn term_c_to_s_in(arena: &mut CoercionArena, cache: &mut ComposeCache, term: &CTerm) -> STerm {
     match term {
         CTerm::Const(k) => STerm::Const(*k),
-        CTerm::Op(op, args) => STerm::Op(*op, args.iter().map(term_c_to_s).collect()),
+        CTerm::Op(op, args) => STerm::Op(
+            *op,
+            args.iter()
+                .map(|a| term_c_to_s_in(arena, cache, a))
+                .collect(),
+        ),
         CTerm::Var(x) => STerm::Var(x.clone()),
-        CTerm::Lam(x, ty, b) => STerm::Lam(x.clone(), ty.clone(), term_c_to_s(b).into()),
-        CTerm::App(a, b) => STerm::App(term_c_to_s(a).into(), term_c_to_s(b).into()),
-        CTerm::Coerce(m, c) => STerm::Coerce(term_c_to_s(m).into(), coercion_to_space(c)),
+        CTerm::Lam(x, ty, b) => STerm::Lam(
+            x.clone(),
+            ty.clone(),
+            term_c_to_s_in(arena, cache, b).into(),
+        ),
+        CTerm::App(a, b) => STerm::App(
+            term_c_to_s_in(arena, cache, a).into(),
+            term_c_to_s_in(arena, cache, b).into(),
+        ),
+        CTerm::Coerce(m, c) => {
+            let id = coercion_to_space_in(arena, cache, c);
+            STerm::Coerce(term_c_to_s_in(arena, cache, m).into(), arena.resolve(id))
+        }
         CTerm::Blame(p, ty) => STerm::Blame(*p, ty.clone()),
         CTerm::If(c, t, e) => STerm::If(
-            term_c_to_s(c).into(),
-            term_c_to_s(t).into(),
-            term_c_to_s(e).into(),
+            term_c_to_s_in(arena, cache, c).into(),
+            term_c_to_s_in(arena, cache, t).into(),
+            term_c_to_s_in(arena, cache, e).into(),
         ),
-        CTerm::Let(x, m, n) => {
-            STerm::Let(x.clone(), term_c_to_s(m).into(), term_c_to_s(n).into())
-        }
+        CTerm::Let(x, m, n) => STerm::Let(
+            x.clone(),
+            term_c_to_s_in(arena, cache, m).into(),
+            term_c_to_s_in(arena, cache, n).into(),
+        ),
         CTerm::Fix(f, x, dom, cod, b) => STerm::Fix(
             f.clone(),
             x.clone(),
             dom.clone(),
             cod.clone(),
-            term_c_to_s(b).into(),
+            term_c_to_s_in(arena, cache, b).into(),
         ),
     }
 }
@@ -114,10 +174,7 @@ mod tests {
     fn composition_normalises_by_composing() {
         // Int! ; Int?p normalises to idInt.
         let c = Coercion::inj(gi()).seq(Coercion::proj(gi(), p(0)));
-        assert_eq!(
-            coercion_to_space(&c),
-            SpaceCoercion::id_base(BaseType::Int)
-        );
+        assert_eq!(coercion_to_space(&c), SpaceCoercion::id_base(BaseType::Int));
         // Int! ; Bool?p normalises to ⊥.
         let c2 = Coercion::inj(gi()).seq(Coercion::proj(Ground::Base(BaseType::Bool), p(0)));
         assert_eq!(
@@ -153,6 +210,27 @@ mod tests {
             if c.safe_for(q) {
                 assert!(s.safe_for(q), "normalisation must preserve safety for {q}");
             }
+        }
+    }
+
+    #[test]
+    fn interned_normalisation_agrees_with_tree_normalisation() {
+        let mut arena = CoercionArena::new();
+        let mut cache = ComposeCache::new();
+        let samples = [
+            Coercion::id(Type::fun(Type::INT, Type::DYN)),
+            Coercion::inj(Ground::Fun),
+            Coercion::proj(Ground::Fun, p(1)),
+            Coercion::fun(Coercion::proj(gi(), p(0)), Coercion::inj(gi())),
+            Coercion::inj(gi()).seq(Coercion::proj(gi(), p(2))),
+            Coercion::inj(gi()).seq(Coercion::proj(Ground::Base(BaseType::Bool), p(3))),
+        ];
+        for c in &samples {
+            let id = coercion_to_space_in(&mut arena, &mut cache, c);
+            assert_eq!(arena.resolve(id), coercion_to_space(c), "|{c}|CS");
+            // Normalising the same λC coercion again yields the same
+            // id — canonicity end to end.
+            assert_eq!(id, coercion_to_space_in(&mut arena, &mut cache, c));
         }
     }
 

@@ -1,8 +1,16 @@
 //! The inclusion `|·|SC` of λS into λC — trivial, since every
 //! space-efficient coercion *is* a coercion (§4.1).
 
+use bc_core::arena::{CoercionArena, CoercionId};
 use bc_core::term::Term as STerm;
+use bc_lambda_c::coercion::Coercion;
 use bc_lambda_c::term::Term as CTerm;
+
+/// Includes an *interned* canonical coercion into the λC grammar,
+/// resolving it out of the arena first.
+pub fn coercion_id_to_c(arena: &CoercionArena, id: CoercionId) -> Coercion {
+    arena.resolve(id).to_coercion()
+}
 
 /// Translates a λS term to a λC term by including each canonical
 /// coercion into the coercion grammar.
@@ -20,9 +28,7 @@ pub fn term_s_to_c(term: &STerm) -> CTerm {
             term_s_to_c(t).into(),
             term_s_to_c(e).into(),
         ),
-        STerm::Let(x, m, n) => {
-            CTerm::Let(x.clone(), term_s_to_c(m).into(), term_s_to_c(n).into())
-        }
+        STerm::Let(x, m, n) => CTerm::Let(x.clone(), term_s_to_c(m).into(), term_s_to_c(n).into()),
         STerm::Fix(f, x, dom, cod, b) => CTerm::Fix(
             f.clone(),
             x.clone(),
@@ -45,7 +51,10 @@ mod tests {
         // |  |M|SC  |CS = M for canonical terms (Prop 17 corollary).
         let gi = Ground::Base(BaseType::Int);
         let m = STerm::int(1)
-            .coerce(SpaceCoercion::inj(GroundCoercion::IdBase(BaseType::Int), gi))
+            .coerce(SpaceCoercion::inj(
+                GroundCoercion::IdBase(BaseType::Int),
+                gi,
+            ))
             .coerce(SpaceCoercion::proj(
                 gi,
                 Label::new(0),
@@ -53,5 +62,19 @@ mod tests {
             ));
         assert_eq!(term_c_to_s(&term_s_to_c(&m)), m);
         let _ = Type::DYN;
+    }
+
+    #[test]
+    fn interned_inclusion_matches_tree_inclusion() {
+        use bc_core::arena::CoercionArena;
+        let gi = Ground::Base(BaseType::Int);
+        let s = SpaceCoercion::proj(
+            gi,
+            Label::new(2),
+            Intermediate::Inj(GroundCoercion::IdBase(BaseType::Int), gi),
+        );
+        let mut arena = CoercionArena::new();
+        let id = arena.intern(&s);
+        assert_eq!(coercion_id_to_c(&arena, id), s.to_coercion());
     }
 }

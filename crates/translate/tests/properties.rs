@@ -11,13 +11,9 @@ use bc_lambda_b as lb;
 use bc_lambda_c as lc;
 use bc_syntax::{neg_subtype, pos_subtype, Label};
 use bc_testkit::Gen;
-use bc_translate::bisim::{
-    aligned_cs, lockstep_bc, observe_b, observe_c, observe_s, Observation,
-};
+use bc_translate::bisim::{aligned_cs, lockstep_bc, observe_b, observe_c, observe_s, Observation};
 use bc_translate::fundamental::{fundamental_pair, lemma20, premise_holds};
-use bc_translate::{
-    cast_to_coercion, coercion_to_space, term_b_to_c, term_c_to_b, term_c_to_s,
-};
+use bc_translate::{cast_to_coercion, coercion_to_space, term_b_to_c, term_c_to_b, term_c_to_s};
 use proptest::prelude::*;
 
 const FUEL: u64 = 3_000;
@@ -86,8 +82,9 @@ proptest! {
         let ms = term_c_to_s(&mc);
         prop_assert_eq!(ls::type_of(&ms), Ok(ty.clone()));
         let mut cur = ms;
+        let mut ctx = ls::MergeCtx::new();
         for _ in 0..200 {
-            match ls::eval::step(&cur, &ty) {
+            match ls::eval::step_in(&mut ctx, &cur, &ty) {
                 ls::eval::Step::Next(n) => {
                     if !ls::typing::has_type(&n, &ty) {
                         let aborts = matches!(
@@ -172,7 +169,7 @@ proptest! {
         let mut gen = Gen::new(seed);
         let ty = gen.ty(1);
         let m = gen.term_b(&ty, 4);
-        lockstep_bc(&m, FUEL).map_err(|e| TestCaseError::fail(e))?;
+        lockstep_bc(&m, FUEL).map_err(TestCaseError::fail)?;
     }
 
     /// E12: Proposition 16 — λC and |·|CS align under normalised
@@ -182,7 +179,7 @@ proptest! {
         let mut gen = Gen::new(seed);
         let ty = gen.ty(1);
         let mc = term_b_to_c(&gen.term_b(&ty, 4));
-        aligned_cs(&mc, FUEL).map_err(|e| TestCaseError::fail(e))?;
+        aligned_cs(&mc, FUEL).map_err(TestCaseError::fail)?;
     }
 
     /// E7: Lemma 8 — translating a coercion to casts and back yields

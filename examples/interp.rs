@@ -85,13 +85,15 @@ fn main() -> ExitCode {
     println!("type: {}", program.ty);
 
     if trace {
-        // Step-by-step λS trace.
+        // Step-by-step λS trace, with one merge context for the whole
+        // run so repeated coercion merges hit the compose cache.
+        let mut ctx = blame_coercion::core::MergeCtx::new();
         let ty = program.ty.clone();
         let mut cur = program.lambda_s.clone();
         let mut step_no = 0u64;
         println!("{step_no:>4}  {cur}");
         loop {
-            match blame_coercion::core::eval::step(&cur, &ty) {
+            match blame_coercion::core::eval::step_in(&mut ctx, &cur, &ty) {
                 blame_coercion::core::eval::Step::Next(n) => {
                     step_no += 1;
                     println!("{step_no:>4}  {n}");

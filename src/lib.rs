@@ -10,14 +10,20 @@
 //! | [`syntax`] | types, ground types, blame labels, operators, the four subtyping relations (Fig. 2), pointed types and meets |
 //! | [`lambda_b`] | the blame calculus λB (Fig. 1): typing, reduction, blame safety, the embedding `⌈·⌉` |
 //! | [`lambda_c`] | the coercion calculus λC (Fig. 3) |
-//! | [`core`] | **λS**, the space-efficient coercion calculus (Fig. 5) with the composition operator `s # t` |
-//! | [`translate`] | the translations `\|·\|BC`, `\|·\|CB`, `\|·\|CS` (Figs. 4, 6), executable bisimulations, the Fundamental Property of Casts |
+//! | [`core`] | **λS**, the space-efficient coercion calculus (Fig. 5): the composition operator `s # t`, and the hash-consing [`core::arena`] — interned `CoercionId` handles with O(1) equality and a memoizing `ComposeCache` |
+//! | [`translate`] | the translations `\|·\|BC`, `\|·\|CB`, `\|·\|CS` (Figs. 4, 6) — with arena-threading `*_in` variants — executable bisimulations, the Fundamental Property of Casts |
 //! | [`gtlc`] | a gradually-typed surface language: parser, gradual type checker, cast insertion |
-//! | [`machine`] | CEK machines for all three calculi; the λS machine merges coercion frames and runs boundary-crossing tail calls in constant space |
-//! | [`baselines`] | Siek–Wadler 2010 threesomes and Garcia 2013 supercoercions |
+//! | [`machine`] | CEK machines for all three calculi; the λS machine holds interned coercions in its frames and merges them through the compose cache, running boundary-crossing tail calls in constant space |
+//! | [`baselines`] | Siek–Wadler 2010 threesomes and Garcia 2013 supercoercions (with interned-coercion erasure) |
+//!
+//! Two auxiliary crates round out the workspace: `bc-testkit` (seeded
+//! generators of well-typed workloads) and `bc-bench` (the criterion
+//! suite and the EXPERIMENTS.md report binary).
 //!
 //! The [`pipeline`] module ties them together: source text → λB → λC →
-//! λS → any of six execution engines.
+//! λS → any of six execution engines. Each compiled program owns its
+//! coercion arena, so repeated λS-machine runs answer every coercion
+//! merge from the memo table.
 //!
 //! # Quickstart
 //!

@@ -1,12 +1,20 @@
 //! The end-to-end pipeline: GTLC source → λB → λC → λS → execution.
+//!
+//! Each [`Compiled`] program owns a [`CoercionArena`] and
+//! [`ComposeCache`]: the λC→λS translation interns every coercion it
+//! normalises, and every λS-machine run reuses the same arena, so
+//! across repeated runs (a server answering the same compiled program
+//! many times) all composition work is answered from the cache.
 
+use std::cell::RefCell;
 use std::fmt;
 
+use bc_core::arena::{CacheStats, CoercionArena, ComposeCache};
 use bc_gtlc::Diagnostic;
 use bc_machine::metrics::Metrics;
 use bc_syntax::{Label, Type};
 use bc_translate::bisim::{observe_b, observe_c, observe_s, Observation};
-use bc_translate::{term_b_to_c, term_c_to_s};
+use bc_translate::{term_b_to_c, term_c_to_s_in};
 
 /// Which semantics executes the program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,7 +72,7 @@ pub struct RunReport {
 
 /// A program compiled through the whole pipeline, with all three
 /// intermediate representations available.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Compiled {
     /// The elaborated λB term (with inserted casts).
     pub lambda_b: bc_lambda_b::Term,
@@ -78,6 +86,31 @@ pub struct Compiled {
     /// from source.
     program: Option<bc_gtlc::Program>,
     source: Option<String>,
+    /// The program's interned coercions; shared by translation and
+    /// every λS-machine run of this program.
+    arena: RefCell<CoercionArena>,
+    /// Memoized compositions over `arena`'s ids.
+    cache: RefCell<ComposeCache>,
+}
+
+impl Clone for Compiled {
+    fn clone(&self) -> Compiled {
+        // The arena and cache must be cloned as a pair: an arena
+        // clone gets a fresh id-space identity, and `clone_pair`
+        // re-binds the cache to it (cloning them independently would
+        // yield a pair that panics on first use).
+        let (arena, cache) = self.arena.borrow().clone_pair(&self.cache.borrow());
+        Compiled {
+            lambda_b: self.lambda_b.clone(),
+            lambda_c: self.lambda_c.clone(),
+            lambda_s: self.lambda_s.clone(),
+            ty: self.ty.clone(),
+            program: self.program.clone(),
+            source: self.source.clone(),
+            arena: RefCell::new(arena),
+            cache: RefCell::new(cache),
+        }
+    }
 }
 
 impl Compiled {
@@ -108,7 +141,9 @@ impl Compiled {
             "term is not well typed at the stated type"
         );
         let lambda_c = term_b_to_c(&term);
-        let lambda_s = term_c_to_s(&lambda_c);
+        let mut arena = CoercionArena::new();
+        let mut cache = ComposeCache::new();
+        let lambda_s = term_c_to_s_in(&mut arena, &mut cache, &lambda_c);
         Compiled {
             lambda_b: term,
             lambda_c,
@@ -116,6 +151,8 @@ impl Compiled {
             ty,
             program: None,
             source: None,
+            arena: RefCell::new(arena),
+            cache: RefCell::new(cache),
         }
     }
 
@@ -163,7 +200,11 @@ impl Compiled {
                 }
             }
             Engine::MachineS => {
-                let r = bc_machine::cek_s::run(&self.lambda_s, fuel);
+                // Reuse the program's arena and cache: repeated runs
+                // re-answer every coercion merge from the memo table.
+                let mut arena = self.arena.borrow_mut();
+                let mut cache = self.cache.borrow_mut();
+                let r = bc_machine::cek_s::run_in(&self.lambda_s, &mut arena, &mut cache, fuel);
                 RunReport {
                     observation: r.outcome.to_observation(),
                     steps: r.metrics.steps,
@@ -171,6 +212,14 @@ impl Compiled {
                 }
             }
         }
+    }
+
+    /// How much interning/memoization this program has accumulated:
+    /// `(distinct coercions, memoized pairs, cache stats)`.
+    pub fn coercion_stats(&self) -> (usize, usize, CacheStats) {
+        let arena = self.arena.borrow();
+        let cache = self.cache.borrow();
+        (arena.len(), cache.len(), cache.stats())
     }
 
     /// Explains a blame label as a source-level diagnostic, when the
@@ -207,9 +256,52 @@ mod tests {
     }
 
     #[test]
+    fn repeated_machine_s_runs_share_the_cache() {
+        let compiled = Compiled::compile(
+            "letrec loop (n : Int) : Bool = \
+               if n = 0 then true else ((loop : ?) : Int -> Bool) (n - 1) \
+             in loop 64",
+        )
+        .expect("compiles");
+        let first = compiled.run(Engine::MachineS, 1_000_000);
+        let (_, _, stats_after_first) = compiled.coercion_stats();
+        let second = compiled.run(Engine::MachineS, 1_000_000);
+        assert_eq!(first.observation, second.observation);
+        let (distinct, pairs, stats) = compiled.coercion_stats();
+        assert_eq!(
+            stats.misses, stats_after_first.misses,
+            "second run must not compose anything structurally"
+        );
+        assert!(stats.hits > stats_after_first.hits);
+        assert!(distinct > 0 && pairs > 0);
+    }
+
+    #[test]
+    fn cloned_programs_keep_working_arenas() {
+        // Compiled's manual Clone re-binds the cache to the cloned
+        // arena (clone_pair); both the original and the clone must
+        // keep running — and keep their warm caches.
+        let compiled = Compiled::compile(
+            "letrec loop (n : Int) : Bool = \
+               if n = 0 then true else ((loop : ?) : Int -> Bool) (n - 1) \
+             in loop 32",
+        )
+        .expect("compiles");
+        let before = compiled.run(Engine::MachineS, 1_000_000);
+        let cloned = compiled.clone();
+        let from_clone = cloned.run(Engine::MachineS, 1_000_000);
+        let from_original = compiled.run(Engine::MachineS, 1_000_000);
+        assert_eq!(before.observation, from_clone.observation);
+        assert_eq!(before.observation, from_original.observation);
+        let (_, _, stats) = cloned.coercion_stats();
+        let (_, _, stats_orig) = compiled.coercion_stats();
+        assert!(stats.hits > 0, "clone must inherit the warm cache");
+        assert!(stats_orig.hits > 0);
+    }
+
+    #[test]
     fn blame_is_explained_at_source_level() {
-        let compiled =
-            Compiled::compile("let f = fun x => x + 1 in f true").expect("compiles");
+        let compiled = Compiled::compile("let f = fun x => x + 1 in f true").expect("compiles");
         match compiled.run(Engine::MachineS, 10_000).observation {
             Observation::Blame(p) => {
                 let msg = compiled.explain_blame(p).expect("label is mapped");

@@ -4,7 +4,9 @@
 use bc_core::compose::compose;
 use bc_lambda_b::eval::Outcome;
 use bc_lambda_b::Term;
-use bc_syntax::{meet, naive_subtype, pointed::pointed_naive_subtype, Ground, Label, PointedType, Type};
+use bc_syntax::{
+    meet, naive_subtype, pointed::pointed_naive_subtype, Ground, Label, PointedType, Type,
+};
 use bc_translate::b_to_s::cast_to_space;
 use bc_translate::bisim::{lockstep_bc, Observation};
 
@@ -132,7 +134,11 @@ fn puzzling_threesome_composition() {
     use bc_syntax::BaseType;
     let gi = Ground::Base(BaseType::Int);
     let gb = Ground::Base(BaseType::Bool);
-    let s = SpaceCoercion::proj(gi, p(7), Intermediate::Inj(GroundCoercion::IdBase(BaseType::Int), gi));
+    let s = SpaceCoercion::proj(
+        gi,
+        p(7),
+        Intermediate::Inj(GroundCoercion::IdBase(BaseType::Int), gi),
+    );
     let t = SpaceCoercion::proj(gb, p(8), Intermediate::Fail(gb, p(9), Ground::Fun));
     let lhs = from_space(&compose(&s, &t));
     let rhs = compose_labeled(&from_space(&t), &from_space(&s));

@@ -2,9 +2,9 @@
 //! GTLC source → λB → λC → λS → six execution engines (E20 of
 //! DESIGN.md).
 
+use bc_syntax::Constant;
 use blame_coercion::translate::bisim::Observation;
 use blame_coercion::{Compiled, Engine};
-use bc_syntax::Constant;
 
 const FUEL: u64 = 5_000_000;
 
@@ -140,9 +140,18 @@ fn space_stays_bounded_end_to_end() {
 
 #[test]
 fn compile_errors_carry_spans() {
-    for bad in ["1 +", "fun (x : ) => x", "1 + true", "(x)", "if 1 then 2 else 3"] {
+    for bad in [
+        "1 +",
+        "fun (x : ) => x",
+        "1 + true",
+        "(x)",
+        "if 1 then 2 else 3",
+    ] {
         let err = Compiled::compile(bad).expect_err(bad);
         let rendered = err.render(bad);
-        assert!(rendered.contains('^'), "diagnostic lacks a caret:\n{rendered}");
+        assert!(
+            rendered.contains('^'),
+            "diagnostic lacks a caret:\n{rendered}"
+        );
     }
 }
