@@ -60,7 +60,7 @@
 //! assert_eq!(cache.stats().hits, 1);
 //! ```
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::rc::Rc;
 
@@ -131,6 +131,24 @@ struct NodeMeta {
     size: u64,
 }
 
+/// Interning counters of a [`CoercionArena`]: how much tree-walking
+/// and hash-probing work the arena has absorbed, and how often it was
+/// answered by an already-interned node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Distinct coercion nodes stored.
+    pub nodes: usize,
+    /// Tree-interning operations performed (one per [`SpaceCoercion`]
+    /// node walked by [`CoercionArena::intern`]). The compiled λS term
+    /// IR exists to drive this to zero at run time.
+    pub tree_interns: u64,
+    /// Node interns answered by the hash-consing index (node already
+    /// present).
+    pub node_hits: u64,
+    /// Node interns that stored a new node.
+    pub node_misses: u64,
+}
+
 /// A hash-consing interner for λS coercions.
 ///
 /// See the [module docs](self) for the interning invariants.
@@ -139,6 +157,7 @@ pub struct CoercionArena {
     nodes: Vec<SNode>,
     meta: Vec<NodeMeta>,
     index: HashMap<SNode, CoercionId>,
+    stats: ArenaStats,
     /// Identity of this id-space, used to catch a [`ComposeCache`]
     /// being replayed against an arena it was not built with. A clone
     /// starts as an identical snapshot but may diverge (intern
@@ -153,6 +172,7 @@ impl Clone for CoercionArena {
             nodes: self.nodes.clone(),
             meta: self.meta.clone(),
             index: self.index.clone(),
+            stats: self.stats,
             // Fresh identity: the clone's id-space diverges from the
             // original as soon as either side interns something new,
             // so caches must not flow between them.
@@ -173,44 +193,107 @@ impl Default for CoercionArena {
             nodes: Vec::new(),
             meta: Vec::new(),
             index: HashMap::new(),
+            stats: ArenaStats::default(),
             generation: next_generation(),
         }
     }
 }
 
-/// Hit/miss counters of a [`ComposeCache`].
+/// Hit/miss/eviction counters of a [`ComposeCache`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Compositions answered from the cache.
     pub hits: u64,
     /// Compositions computed structurally (then cached).
     pub misses: u64,
+    /// Memoized pairs evicted by the second-chance policy.
+    pub evictions: u64,
 }
 
-/// A memo table for interned composition, keyed on the id pair.
+/// A memoized pair with its second-chance reference bit.
+#[derive(Debug, Clone, Copy)]
+struct CacheEntry {
+    result: CoercionId,
+    /// Set on every hit; a set bit buys the entry one extra trip
+    /// around the eviction clock.
+    referenced: bool,
+}
+
+/// A memo table for interned composition, keyed on the id pair, with
+/// size-capped **second-chance eviction**.
 ///
 /// Kept separate from the arena so callers control its lifetime (e.g.
 /// one cache per machine run, or one long-lived cache per compiled
-/// program). Entries never expire; see ROADMAP.md for the planned
-/// eviction policy.
+/// program).
+///
+/// # Eviction
+///
+/// The cache holds at most [`ComposeCache::capacity`] pairs (default
+/// [`ComposeCache::DEFAULT_CAPACITY`]). Inserting beyond that runs the
+/// classic clock sweep: the oldest pair is evicted unless it was hit
+/// since its last inspection, in which case its reference bit is
+/// cleared and it is given a second chance at the back of the queue.
+/// Program coercions have bounded height and therefore bounded
+/// distinct pairs, so steady-state workloads never evict; the cap
+/// exists for long-lived multi-tenant servers interning adversarial
+/// inputs, where the working set must not grow without bound.
+/// Eviction is *safe*: a dropped pair is simply recomputed (and
+/// re-cached) on next use.
 ///
 /// A cache binds to the first arena it is used with: replaying it
 /// against a *different* arena would answer lookups with ids from the
 /// wrong id-space (silently wrong coercions), so
 /// [`CoercionArena::compose`] panics on the mismatch instead.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ComposeCache {
-    map: HashMap<(CoercionId, CoercionId), CoercionId>,
+    map: HashMap<(CoercionId, CoercionId), CacheEntry>,
+    /// Insertion-ordered keys forming the second-chance clock queue
+    /// (every map key appears exactly once).
+    clock: VecDeque<(CoercionId, CoercionId)>,
+    capacity: usize,
     stats: CacheStats,
     /// Generation of the arena this cache's ids belong to (bound on
     /// first use).
     owner: Option<u64>,
 }
 
+impl Default for ComposeCache {
+    fn default() -> ComposeCache {
+        ComposeCache::with_capacity(ComposeCache::DEFAULT_CAPACITY)
+    }
+}
+
 impl ComposeCache {
-    /// An empty cache.
+    /// The default pair cap: far above any bounded-height program's
+    /// working set (which the λS space theorem keeps small), yet a
+    /// hard ceiling on a server interning unboundedly many tenants.
+    pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+    /// An empty cache with the default capacity.
     pub fn new() -> ComposeCache {
         ComposeCache::default()
+    }
+
+    /// An empty cache holding at most `capacity` memoized pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (a cache that cannot hold a single
+    /// pair would make every composition a miss *and* an eviction).
+    pub fn with_capacity(capacity: usize) -> ComposeCache {
+        assert!(capacity > 0, "ComposeCache capacity must be at least 1");
+        ComposeCache {
+            map: HashMap::new(),
+            clock: VecDeque::new(),
+            capacity,
+            stats: CacheStats::default(),
+            owner: None,
+        }
+    }
+
+    /// The maximum number of memoized pairs.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Number of memoized pairs.
@@ -223,9 +306,59 @@ impl ComposeCache {
         self.map.is_empty()
     }
 
-    /// Hit/miss counters so far.
+    /// Hit/miss/eviction counters so far.
     pub fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    /// Looks up a memoized pair, marking it recently used.
+    fn lookup(&mut self, key: (CoercionId, CoercionId)) -> Option<CoercionId> {
+        let entry = self.map.get_mut(&key)?;
+        entry.referenced = true;
+        Some(entry.result)
+    }
+
+    /// Inserts a freshly computed pair, evicting per second-chance if
+    /// the cache is full. New entries are admitted with their
+    /// reference bit *set*, so a cache saturated with hot pairs still
+    /// admits them (the sweep clears the bit once before it can evict
+    /// — without this, the just-inserted unreferenced entry would be
+    /// the sweep's first victim and hot caches would never take new
+    /// pairs).
+    fn insert(&mut self, key: (CoercionId, CoercionId), result: CoercionId) {
+        if self
+            .map
+            .insert(
+                key,
+                CacheEntry {
+                    result,
+                    referenced: true,
+                },
+            )
+            .is_some()
+        {
+            // Key already queued (recursive composition re-inserted
+            // an inner pair); the clock entry stays where it is.
+            return;
+        }
+        self.clock.push_back(key);
+        while self.map.len() > self.capacity {
+            let k = self
+                .clock
+                .pop_front()
+                .expect("clock queue tracks every cached pair");
+            match self.map.get_mut(&k) {
+                Some(e) if e.referenced => {
+                    e.referenced = false;
+                    self.clock.push_back(k);
+                }
+                Some(_) => {
+                    self.map.remove(&k);
+                    self.stats.evictions += 1;
+                }
+                None => unreachable!("clock queue held a key the map does not"),
+            }
+        }
     }
 }
 
@@ -270,12 +403,22 @@ impl CoercionArena {
         self.nodes.is_empty()
     }
 
+    /// Interning and reuse counters so far.
+    pub fn stats(&self) -> ArenaStats {
+        ArenaStats {
+            nodes: self.nodes.len(),
+            ..self.stats
+        }
+    }
+
     /// Interns a node whose children are already interned, returning
     /// the id of the unique stored copy.
     pub fn intern_node(&mut self, node: SNode) -> CoercionId {
         if let Some(&id) = self.index.get(&node) {
+            self.stats.node_hits += 1;
             return id;
         }
+        self.stats.node_misses += 1;
         let id = CoercionId(
             u32::try_from(self.nodes.len()).expect("more than u32::MAX distinct coercions"),
         );
@@ -328,6 +471,7 @@ impl CoercionArena {
     /// Interns a tree coercion (recursively interning function
     /// children), returning its canonical id.
     pub fn intern(&mut self, s: &SpaceCoercion) -> CoercionId {
+        self.stats.tree_interns += 1;
         let node = match s {
             SpaceCoercion::IdDyn => SNode::IdDyn,
             SpaceCoercion::Proj(g, p, i) => SNode::Proj(*g, *p, self.intern_intermediate(i)),
@@ -524,7 +668,7 @@ impl CoercionArena {
                  cached ids belong to another id-space"
             ),
         }
-        if let Some(&r) = cache.map.get(&(a, b)) {
+        if let Some(r) = cache.lookup((a, b)) {
             cache.stats.hits += 1;
             return r;
         }
@@ -542,7 +686,7 @@ impl CoercionArena {
                 self.intern_node(SNode::Mid(i2))
             }
         };
-        cache.map.insert((a, b), r);
+        cache.insert((a, b), r);
         r
     }
 
@@ -915,5 +1059,137 @@ mod tests {
     #[should_panic(expected = "⊥GpH requires G ≠ H")]
     fn fail_rejects_equal_grounds() {
         CoercionArena::new().fail(gi(), p(0), gi());
+    }
+
+    /// Builds a family of distinct identity coercions at increasingly
+    /// nested function types (each composes with itself).
+    fn distinct_ids(arena: &mut CoercionArena, n: usize) -> Vec<CoercionId> {
+        let mut ty = Type::fun(Type::INT, Type::INT);
+        let mut out = Vec::new();
+        for _ in 0..n {
+            out.push(arena.id(&ty));
+            ty = Type::fun(ty, Type::INT);
+        }
+        out
+    }
+
+    #[test]
+    fn second_chance_eviction_caps_the_cache() {
+        let mut arena = CoercionArena::new();
+        let mut cache = ComposeCache::with_capacity(4);
+        assert_eq!(cache.capacity(), 4);
+        for id in distinct_ids(&mut arena, 12) {
+            arena.compose(&mut cache, id, id);
+        }
+        assert!(cache.len() <= 4, "cache grew to {}", cache.len());
+        assert!(
+            cache.stats().evictions > 0,
+            "filling past capacity must evict: {:?}",
+            cache.stats()
+        );
+    }
+
+    #[test]
+    fn eviction_is_safe_to_recompute() {
+        let mut arena = CoercionArena::new();
+        let mut cache = ComposeCache::with_capacity(2);
+        let ids = distinct_ids(&mut arena, 10);
+        let first = ids[0];
+        let r = arena.compose(&mut cache, first, first);
+        // Flush the cache with unrelated pairs…
+        for id in &ids[1..] {
+            arena.compose(&mut cache, *id, *id);
+        }
+        assert!(cache.stats().evictions > 0);
+        // …then the evicted pair recomputes to the very same id.
+        assert_eq!(arena.compose(&mut cache, first, first), r);
+    }
+
+    #[test]
+    fn hot_pairs_mostly_survive_the_clock_sweep() {
+        // Pairs chosen so each composition inserts exactly one cache
+        // entry (no function recursion). A single reference bit gives
+        // a hit-every-round pair a second chance at each inspection,
+        // but not unconditional immunity (when every resident is
+        // referenced, the sweep's wrap can still claim it): the
+        // guarantee to test is that the hot pair is answered from the
+        // cache for the overwhelming majority of its touches, not
+        // recomputed per touch.
+        let mut arena = CoercionArena::new();
+        let mut cache = ComposeCache::with_capacity(8);
+        let inj = arena.inj_ground(gi());
+        let hot_proj = arena.proj_ground(gi(), p(0));
+        let rounds = 16u32;
+        arena.compose(&mut cache, inj, hot_proj);
+        for k in 1..=rounds {
+            // Touch the hot pair between every insertion: its
+            // reference bit keeps earning it second chances.
+            arena.compose(&mut cache, inj, hot_proj);
+            let proj = arena.proj_ground(gi(), p(k));
+            arena.compose(&mut cache, inj, proj);
+        }
+        let stats = cache.stats();
+        // Every cold pair is a miss (`rounds` of them, plus the first
+        // hot compose); of the `rounds` hot touches, at most a couple
+        // may fall to the wrap.
+        let hot_misses = stats.misses - u64::from(rounds) - 1;
+        assert!(
+            hot_misses <= u64::from(rounds) / 4,
+            "hot pair recomputed {hot_misses} times in {rounds} touches: {stats:?}"
+        );
+        assert!(stats.hits >= u64::from(rounds) - hot_misses);
+        assert!(stats.evictions > 0, "cold pairs must have cycled");
+    }
+
+    #[test]
+    fn new_pairs_are_admitted_to_a_hot_cache() {
+        // Entries are inserted with their reference bit set, so even a
+        // cache saturated with constantly-hit pairs admits a new pair
+        // (it is not the sweep's immediate victim).
+        let mut arena = CoercionArena::new();
+        let mut cache = ComposeCache::with_capacity(2);
+        let inj = arena.inj_ground(gi());
+        let hot1 = arena.proj_ground(gi(), p(0));
+        let hot2 = arena.proj_ground(gi(), p(1));
+        arena.compose(&mut cache, inj, hot1);
+        arena.compose(&mut cache, inj, hot2);
+        // Keep both hot, then insert a newcomer.
+        arena.compose(&mut cache, inj, hot1);
+        arena.compose(&mut cache, inj, hot2);
+        let newcomer = arena.proj_ground(gi(), p(2));
+        arena.compose(&mut cache, inj, newcomer);
+        let misses = cache.stats().misses;
+        arena.compose(&mut cache, inj, newcomer);
+        assert_eq!(
+            cache.stats().misses,
+            misses,
+            "the newcomer must have been admitted, not evicted on insert"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn zero_capacity_is_rejected() {
+        ComposeCache::with_capacity(0);
+    }
+
+    #[test]
+    fn arena_stats_count_interning_work() {
+        let mut arena = CoercionArena::new();
+        assert_eq!(arena.stats(), ArenaStats::default());
+        let inj = SpaceCoercion::inj(id_int(), gi());
+        arena.intern(&inj);
+        let s1 = arena.stats();
+        assert!(s1.tree_interns >= 1);
+        assert!(s1.node_misses >= 1);
+        assert_eq!(s1.nodes, arena.len());
+        // Re-interning walks the tree again (tree_interns grows) but
+        // stores nothing new (all node hits).
+        arena.intern(&inj);
+        let s2 = arena.stats();
+        assert!(s2.tree_interns > s1.tree_interns);
+        assert_eq!(s2.node_misses, s1.node_misses);
+        assert!(s2.node_hits > s1.node_hits);
+        assert_eq!(s2.nodes, s1.nodes);
     }
 }

@@ -5,7 +5,7 @@
 //! λS restricts coercions to a *canonical form* — a three-part grammar
 //! with one canonical coercion per equivalence class of Henglein's
 //! equational theory — and equips them with a ten-line structural
-//! recursion [`compose`] (`s # t`) that composes two canonical
+//! recursion [`compose()`] (`s # t`) that composes two canonical
 //! coercions into a canonical coercion. Because composition preserves
 //! height (Proposition 14) and canonical coercions of bounded height
 //! have bounded size, a program's coercions can be merged eagerly at
@@ -45,6 +45,16 @@
 //! composition is the same ten-line recursion — and by the property
 //! tests in `tests/compose_props.rs`. See the arena module docs for
 //! the four interning invariants.
+//!
+//! # The compiled term IR
+//!
+//! [`sterm`] extends the same move to whole terms: [`sterm::STerm`]
+//! mirrors [`Term`] with `Coerce` nodes holding [`arena::CoercionId`]
+//! and type annotations holding `bc_syntax` [`bc_syntax::TypeId`]
+//! handles, lowered once by [`sterm::compile_term`]. The λS CEK
+//! machine runs on the compiled IR, so a boundary crossing performs
+//! zero interning and zero coercion allocation — an id load plus a
+//! cached O(1) merge.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -54,12 +64,14 @@ pub mod coercion;
 pub mod compose;
 pub mod eval;
 pub mod safety;
+pub mod sterm;
 pub mod subst;
 pub mod term;
 pub mod typing;
 
-pub use arena::{CoercionArena, CoercionId, ComposeCache, MergeCtx};
+pub use arena::{ArenaStats, CacheStats, CoercionArena, CoercionId, ComposeCache, MergeCtx};
 pub use coercion::{GroundCoercion, Intermediate, SpaceCoercion};
 pub use compose::compose;
+pub use sterm::{compile_term, decompile_term, CompileCtx, STerm};
 pub use term::Term;
 pub use typing::type_of;

@@ -1,0 +1,292 @@
+//! The compiled λS term IR: [`Term`] with every tree payload replaced
+//! by an arena handle.
+//!
+//! [`Term`] is the paper-facing λS grammar — its `Coerce` nodes carry
+//! [`SpaceCoercion`](crate::coercion::SpaceCoercion) trees and its
+//! binders carry [`Type`](bc_syntax::Type) trees. That
+//! is the right exchange format, but it makes every *evaluation* of a
+//! coercion node pay an O(size) hash walk to re-intern the same tree
+//! into the arena (the machine's dominant residual per-crossing cost),
+//! and every cloned annotation an allocation.
+//!
+//! [`STerm`] is the same term, *compiled*: `Coerce` holds a `Copy`
+//! [`CoercionId`] and type annotations hold `Copy` [`TypeId`]s, both
+//! minted once by [`compile_term`]. A machine running on [`STerm`]
+//! performs **zero interning and zero coercion allocation** at a
+//! boundary crossing — the coercion is an id load, and the merge with
+//! an adjacent frame is a cached O(1) composition.
+//!
+//! The lowering is a straight structural walk; [`decompile_term`]
+//! inverts it (resolving ids back to trees), and the two are mutually
+//! inverse by property test. Compiling is idempotent in the arenas:
+//! compiling the same term twice yields structurally equal [`STerm`]s
+//! with identical ids (hash-consing canonicity, end to end).
+//!
+//! ```
+//! use bc_core::arena::CoercionArena;
+//! use bc_core::sterm::{compile_term, decompile_term};
+//! use bc_core::{SpaceCoercion, Term};
+//! use bc_syntax::{Type, TypeArena};
+//!
+//! let m = Term::int(1).coerce(SpaceCoercion::id_base(bc_syntax::BaseType::Int));
+//! let mut arena = CoercionArena::new();
+//! let mut types = TypeArena::new();
+//! let compiled = compile_term(&m, &mut arena, &mut types);
+//! assert_eq!(decompile_term(&compiled, &arena, &types), m);
+//! assert_eq!(compile_term(&m, &mut arena, &mut types), compiled);
+//! ```
+
+use std::rc::Rc;
+
+use bc_syntax::{Constant, Label, Name, Op, TypeArena, TypeId};
+
+use crate::arena::{CoercionArena, CoercionId};
+use crate::term::Term;
+
+/// A compiled λS term: the [`Term`] grammar with coercions as
+/// [`CoercionId`]s and type annotations as [`TypeId`]s.
+///
+/// Ids are only meaningful together with the [`CoercionArena`] and
+/// [`TypeArena`] that [`compile_term`] interned them into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum STerm {
+    /// A constant `k`.
+    Const(Constant),
+    /// An operator application.
+    Op(Op, Vec<STerm>),
+    /// A variable.
+    Var(Name),
+    /// An abstraction `λx:A. N`.
+    Lam(Name, TypeId, Rc<STerm>),
+    /// An application `L M`.
+    App(Rc<STerm>, Rc<STerm>),
+    /// A coercion application `M⟨s⟩` — the boundary crossing, now a
+    /// `Copy` handle instead of a tree.
+    Coerce(Rc<STerm>, CoercionId),
+    /// Allocated blame (carries its type, as in λB).
+    Blame(Label, TypeId),
+    /// A conditional.
+    If(Rc<STerm>, Rc<STerm>, Rc<STerm>),
+    /// A let binding.
+    Let(Name, Rc<STerm>, Rc<STerm>),
+    /// A recursive function `fix f (x:A):B. N`.
+    Fix(Name, Name, TypeId, TypeId, Rc<STerm>),
+}
+
+impl STerm {
+    /// The number of syntax nodes in the compiled term (each interned
+    /// coercion or type handle counts as one node — they are one word
+    /// at run time regardless of their tree size).
+    pub fn size(&self) -> usize {
+        match self {
+            STerm::Const(_) | STerm::Var(_) | STerm::Blame(_, _) => 1,
+            STerm::Op(_, args) => 1 + args.iter().map(STerm::size).sum::<usize>(),
+            STerm::Lam(_, _, b) | STerm::Fix(_, _, _, _, b) => 1 + b.size(),
+            STerm::Coerce(m, _) => 1 + m.size(),
+            STerm::App(a, b) | STerm::Let(_, a, b) => 1 + a.size() + b.size(),
+            STerm::If(a, b, c) => 1 + a.size() + b.size() + c.size(),
+        }
+    }
+
+    /// The number of `Coerce` nodes — the boundary crossings a single
+    /// pass over the term will hit at most once each.
+    pub fn coercion_nodes(&self) -> usize {
+        match self {
+            STerm::Const(_) | STerm::Var(_) | STerm::Blame(_, _) => 0,
+            STerm::Op(_, args) => args.iter().map(STerm::coercion_nodes).sum(),
+            STerm::Lam(_, _, b) | STerm::Fix(_, _, _, _, b) => b.coercion_nodes(),
+            STerm::Coerce(m, _) => 1 + m.coercion_nodes(),
+            STerm::App(a, b) | STerm::Let(_, a, b) => a.coercion_nodes() + b.coercion_nodes(),
+            STerm::If(a, b, c) => a.coercion_nodes() + b.coercion_nodes() + c.coercion_nodes(),
+        }
+    }
+
+    /// Renders the compiled term in the paper grammar by resolving its
+    /// handles through the arenas.
+    pub fn display(&self, arena: &CoercionArena, types: &TypeArena) -> String {
+        decompile_term(self, arena, types).to_string()
+    }
+}
+
+/// Lowers a λS tree term into the compiled IR, interning every
+/// coercion into `arena` and every type annotation into `types`.
+///
+/// Each distinct coercion is hash-walked once *at compile time*; the
+/// produced [`STerm`] evaluates with no interning at all. Compiling is
+/// idempotent: the same term always lowers to the same ids within one
+/// arena pair.
+pub fn compile_term(term: &Term, arena: &mut CoercionArena, types: &mut TypeArena) -> STerm {
+    match term {
+        Term::Const(k) => STerm::Const(*k),
+        Term::Op(op, args) => STerm::Op(
+            *op,
+            args.iter().map(|a| compile_term(a, arena, types)).collect(),
+        ),
+        Term::Var(x) => STerm::Var(x.clone()),
+        Term::Lam(x, ty, b) => STerm::Lam(
+            x.clone(),
+            types.intern(ty),
+            compile_term(b, arena, types).into(),
+        ),
+        Term::App(a, b) => STerm::App(
+            compile_term(a, arena, types).into(),
+            compile_term(b, arena, types).into(),
+        ),
+        Term::Coerce(m, s) => STerm::Coerce(compile_term(m, arena, types).into(), arena.intern(s)),
+        Term::Blame(p, ty) => STerm::Blame(*p, types.intern(ty)),
+        Term::If(c, t, e) => STerm::If(
+            compile_term(c, arena, types).into(),
+            compile_term(t, arena, types).into(),
+            compile_term(e, arena, types).into(),
+        ),
+        Term::Let(x, m, n) => STerm::Let(
+            x.clone(),
+            compile_term(m, arena, types).into(),
+            compile_term(n, arena, types).into(),
+        ),
+        Term::Fix(f, x, dom, cod, b) => STerm::Fix(
+            f.clone(),
+            x.clone(),
+            types.intern(dom),
+            types.intern(cod),
+            compile_term(b, arena, types).into(),
+        ),
+    }
+}
+
+/// Rebuilds the tree term from the compiled IR (the inverse of
+/// [`compile_term`]; the exchange format for printing and tests).
+pub fn decompile_term(term: &STerm, arena: &CoercionArena, types: &TypeArena) -> Term {
+    match term {
+        STerm::Const(k) => Term::Const(*k),
+        STerm::Op(op, args) => Term::Op(
+            *op,
+            args.iter()
+                .map(|a| decompile_term(a, arena, types))
+                .collect(),
+        ),
+        STerm::Var(x) => Term::Var(x.clone()),
+        STerm::Lam(x, ty, b) => Term::Lam(
+            x.clone(),
+            types.resolve(*ty),
+            decompile_term(b, arena, types).into(),
+        ),
+        STerm::App(a, b) => Term::App(
+            decompile_term(a, arena, types).into(),
+            decompile_term(b, arena, types).into(),
+        ),
+        STerm::Coerce(m, s) => {
+            Term::Coerce(decompile_term(m, arena, types).into(), arena.resolve(*s))
+        }
+        STerm::Blame(p, ty) => Term::Blame(*p, types.resolve(*ty)),
+        STerm::If(c, t, e) => Term::If(
+            decompile_term(c, arena, types).into(),
+            decompile_term(t, arena, types).into(),
+            decompile_term(e, arena, types).into(),
+        ),
+        STerm::Let(x, m, n) => Term::Let(
+            x.clone(),
+            decompile_term(m, arena, types).into(),
+            decompile_term(n, arena, types).into(),
+        ),
+        STerm::Fix(f, x, dom, cod, b) => Term::Fix(
+            f.clone(),
+            x.clone(),
+            types.resolve(*dom),
+            types.resolve(*cod),
+            decompile_term(b, arena, types).into(),
+        ),
+    }
+}
+
+/// A coercion arena, type arena, and compose cache bundled together —
+/// everything a compiled program needs to evaluate. The one-stop state
+/// for callers that would otherwise thread three `&mut`s.
+#[derive(Debug, Clone, Default)]
+pub struct CompileCtx {
+    /// The coercion interner.
+    pub arena: CoercionArena,
+    /// The memoized composition table over `arena`'s ids.
+    pub cache: crate::arena::ComposeCache,
+    /// The type interner.
+    pub types: TypeArena,
+}
+
+impl CompileCtx {
+    /// An empty context.
+    pub fn new() -> CompileCtx {
+        CompileCtx::default()
+    }
+
+    /// Lowers a term into this context's arenas.
+    pub fn compile(&mut self, term: &Term) -> STerm {
+        compile_term(term, &mut self.arena, &mut self.types)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coercion::{GroundCoercion, Intermediate, SpaceCoercion};
+    use bc_syntax::{BaseType, Ground, Type};
+
+    fn sample() -> Term {
+        let gi = Ground::Base(BaseType::Int);
+        let inj = SpaceCoercion::inj(GroundCoercion::IdBase(BaseType::Int), gi);
+        let proj = SpaceCoercion::proj(
+            gi,
+            Label::new(0),
+            Intermediate::Ground(GroundCoercion::IdBase(BaseType::Int)),
+        );
+        Term::let_(
+            "f",
+            Term::lam("x", Type::INT, Term::var("x").coerce(inj)),
+            Term::var("f").app(Term::int(3)).coerce(proj),
+        )
+    }
+
+    #[test]
+    fn compile_round_trips() {
+        let m = sample();
+        let mut ctx = CompileCtx::new();
+        let compiled = ctx.compile(&m);
+        assert_eq!(decompile_term(&compiled, &ctx.arena, &ctx.types), m);
+    }
+
+    #[test]
+    fn compiling_twice_is_idempotent_in_the_arenas() {
+        let m = sample();
+        let mut ctx = CompileCtx::new();
+        let first = ctx.compile(&m);
+        let nodes = ctx.arena.len();
+        let tnodes = ctx.types.len();
+        let second = ctx.compile(&m);
+        assert_eq!(first, second, "same ids, same structure");
+        assert_eq!(ctx.arena.len(), nodes, "no new coercion nodes");
+        assert_eq!(ctx.types.len(), tnodes, "no new type nodes");
+    }
+
+    #[test]
+    fn coerce_ids_match_direct_interning() {
+        let gi = Ground::Base(BaseType::Int);
+        let inj = SpaceCoercion::inj(GroundCoercion::IdBase(BaseType::Int), gi);
+        let m = Term::int(1).coerce(inj.clone());
+        let mut ctx = CompileCtx::new();
+        let compiled = ctx.compile(&m);
+        let STerm::Coerce(_, id) = compiled else {
+            panic!("compiled a Coerce to something else");
+        };
+        assert_eq!(id, ctx.arena.intern(&inj));
+    }
+
+    #[test]
+    fn size_counts_handles_as_single_nodes() {
+        let m = sample();
+        let mut ctx = CompileCtx::new();
+        let compiled = ctx.compile(&m);
+        assert_eq!(compiled.coercion_nodes(), 2);
+        // The compiled term is never larger than the tree term.
+        assert!(compiled.size() <= m.size());
+        assert_eq!(compiled.display(&ctx.arena, &ctx.types), m.to_string());
+    }
+}

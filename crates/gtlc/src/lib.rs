@@ -10,7 +10,7 @@
 //! * [`lexer`]/[`parser`] — a hand-written lexer and recursive-descent
 //!   parser with source spans;
 //! * [`ast`] — the surface syntax;
-//! * [`elaborate`] — the gradual type checker *and* cast-insertion
+//! * [`elaborate`](mod@elaborate) — the gradual type checker *and* cast-insertion
 //!   pass: it checks consistency (`∼`) where a static checker would
 //!   require equality, and emits a λB cast (with a fresh blame label)
 //!   at every implicit conversion. Each label is mapped back to the

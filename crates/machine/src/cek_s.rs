@@ -13,29 +13,36 @@
 //! The same merging is applied to values: coercing an already-coerced
 //! value composes the coercions, so proxy chains never grow either.
 //!
-//! # Interned coercions
+//! # The compiled IR
 //!
-//! This machine runs entirely on the hash-consed representation of
-//! [`bc_core::arena`]: coercion frames and value proxies hold
-//! [`CoercionId`]s, and every frame/proxy merge goes through the
-//! [`ComposeCache`], so a loop that crosses the same boundary on each
-//! iteration performs the structural composition once and answers
-//! every subsequent merge with a single hash lookup. Terms still carry
-//! the tree grammar; each `M⟨s⟩` interns `s` on first evaluation
-//! (hash-consing makes the repeat interns allocation-free).
+//! This machine runs on the **compiled λS term IR**
+//! ([`bc_core::sterm::STerm`]): coercion nodes hold `Copy`
+//! [`CoercionId`]s minted once by [`bc_core::sterm::compile_term`],
+//! and every frame/proxy merge goes through the [`ComposeCache`]. A
+//! boundary crossing is therefore an id load plus a cached O(1)
+//! composition — **zero interning, zero coercion allocation** — which
+//! the per-run [`crate::metrics::ReuseStats`] counters make
+//! observable (`tree_interns == 0` on the compiled path).
 //!
-//! Use [`run`] for a self-contained run, or [`run_in`] to share one
-//! arena + cache across many runs of the same program (as the
-//! pipeline's `Compiled` does).
+//! Three entry points:
+//!
+//! * [`run_compiled_in`] — the fast path: evaluate an already-compiled
+//!   [`STerm`] against the arena and cache it was compiled into (as
+//!   the pipeline's `Compiled` does across repeated runs);
+//! * [`run_in`] — accept a tree [`Term`], compile it into the
+//!   caller-owned arena (hash-consing makes repeat compiles
+//!   allocation-free), then run;
+//! * [`run`] — a self-contained run with fresh arenas.
 
 use std::rc::Rc;
 
 use bc_core::arena::{CoercionArena, CoercionId, ComposeCache, GNode, INode, SNode};
+use bc_core::sterm::{compile_term, STerm};
 use bc_core::term::Term;
-use bc_syntax::{Constant, Label, Name, Op};
+use bc_syntax::{Constant, Label, Name, Op, TypeArena};
 use bc_translate::bisim::Observation;
 
-use crate::metrics::{MachineOutcome, MachineRun, Metrics};
+use crate::metrics::{MachineOutcome, MachineRun, Metrics, ReuseStats};
 
 /// Run-time values of the λS machine.
 #[derive(Debug, Clone)]
@@ -46,8 +53,8 @@ pub enum Value {
     Closure {
         /// Parameter name.
         param: Name,
-        /// Function body.
-        body: Rc<Term>,
+        /// Function body (compiled).
+        body: Rc<STerm>,
         /// Captured environment.
         env: Env,
     },
@@ -57,8 +64,8 @@ pub enum Value {
         fun: Name,
         /// Parameter name.
         param: Name,
-        /// Function body.
-        body: Rc<Term>,
+        /// Function body (compiled).
+        body: Rc<STerm>,
         /// Captured environment.
         env: Env,
     },
@@ -143,7 +150,7 @@ impl Env {
 #[allow(clippy::enum_variant_names)]
 enum Frame {
     AppArg {
-        arg: Term,
+        arg: STerm,
         env: Env,
     },
     AppCall {
@@ -152,24 +159,24 @@ enum Frame {
     OpFrame {
         op: Op,
         done: Vec<Value>,
-        rest: Vec<Term>,
+        rest: Vec<STerm>,
         env: Env,
     },
     If {
-        then_: Term,
-        else_: Term,
+        then_: STerm,
+        else_: STerm,
         env: Env,
     },
     Let {
         name: Name,
-        body: Term,
+        body: STerm,
         env: Env,
     },
     CoerceFrame(CoercionId),
 }
 
 enum Control {
-    Eval(Term, Env),
+    Eval(STerm, Env),
     Ret(Value),
 }
 
@@ -259,15 +266,95 @@ pub fn run(term: &Term, fuel: u64) -> MachineRun {
     run_in(term, &mut arena, &mut cache, fuel)
 }
 
-/// Runs a term reusing a caller-owned arena and compose cache, so
-/// that repeated runs of the same program (or of programs sharing
-/// coercions) skip both interning allocation and composition work.
+/// Runs a tree term reusing a caller-owned arena and compose cache:
+/// the term is compiled into the arena (a hash walk per node — free
+/// allocation-wise once the coercions are already interned) and then
+/// evaluated on the compiled path.
+///
+/// This entry point re-lowers the term on every call (an O(term-size)
+/// walk). Callers that run the *same* program repeatedly should
+/// compile once with [`compile_term`] and loop over
+/// [`run_compiled_in`] instead — that is what the pipeline's
+/// `Compiled` does.
+///
+/// The reported [`ReuseStats`] *include* the compile-time interning,
+/// so this entry point shows `tree_interns > 0` where
+/// [`run_compiled_in`] shows zero — the observable difference between
+/// the tree path and the compiled path.
 ///
 /// # Panics
 ///
 /// Panics on open or ill-typed input.
 pub fn run_in(
     term: &Term,
+    arena: &mut CoercionArena,
+    cache: &mut ComposeCache,
+    fuel: u64,
+) -> MachineRun {
+    let arena_before = arena.stats();
+    let cache_before = cache.stats();
+    // The machine never consults type annotations at run time, so the
+    // type arena is a per-call throwaway: its lifetime is bounded by
+    // the call (no hidden growing state), and callers who want the
+    // annotations interned for keeps use compile_term +
+    // run_compiled_in with their own TypeArena.
+    let mut types = TypeArena::new();
+    let compiled = compile_term(term, arena, &mut types);
+    let mut run = exec(&compiled, arena, cache, fuel);
+    run.metrics.reuse = reuse_delta(arena, cache, arena_before, cache_before);
+    run
+}
+
+/// Runs an already-compiled term against the arena and cache it was
+/// compiled into — the fast path: every boundary crossing is an id
+/// load plus a cached merge, with zero interning
+/// (`metrics.reuse.tree_interns == 0`).
+///
+/// The term's ids are only meaningful in the arena that
+/// [`compile_term`] interned them into (keep the pair together, e.g.
+/// via [`bc_core::sterm::CompileCtx`]): an id that is out of bounds
+/// for `arena` panics, but an in-bounds id from a *different* arena
+/// denotes whatever that slot holds — like [`CoercionArena::node`],
+/// this function cannot detect foreign ids.
+///
+/// # Panics
+///
+/// Panics on open or ill-typed input, or if the term's ids are out of
+/// bounds for `arena`.
+pub fn run_compiled_in(
+    term: &STerm,
+    arena: &mut CoercionArena,
+    cache: &mut ComposeCache,
+    fuel: u64,
+) -> MachineRun {
+    let arena_before = arena.stats();
+    let cache_before = cache.stats();
+    let mut run = exec(term, arena, cache, fuel);
+    run.metrics.reuse = reuse_delta(arena, cache, arena_before, cache_before);
+    run
+}
+
+fn reuse_delta(
+    arena: &CoercionArena,
+    cache: &ComposeCache,
+    arena_before: bc_core::arena::ArenaStats,
+    cache_before: bc_core::arena::CacheStats,
+) -> ReuseStats {
+    let arena_after = arena.stats();
+    let cache_after = cache.stats();
+    ReuseStats {
+        tree_interns: arena_after.tree_interns - arena_before.tree_interns,
+        node_hits: arena_after.node_hits - arena_before.node_hits,
+        node_misses: arena_after.node_misses - arena_before.node_misses,
+        compose_hits: cache_after.hits - cache_before.hits,
+        compose_misses: cache_after.misses - cache_before.misses,
+        cache_evictions: cache_after.evictions - cache_before.evictions,
+        arena_nodes: arena_after.nodes,
+    }
+}
+
+fn exec(
+    term: &STerm,
     arena: &mut CoercionArena,
     cache: &mut ComposeCache,
     fuel: u64,
@@ -291,27 +378,27 @@ pub fn run_in(
         m.metrics.steps += 1;
         control = match control {
             Control::Eval(t, env) => match t {
-                Term::Const(k) => Control::Ret(Value::Const(k)),
-                Term::Var(x) => Control::Ret(
+                STerm::Const(k) => Control::Ret(Value::Const(k)),
+                STerm::Var(x) => Control::Ret(
                     env.lookup(&x)
                         .unwrap_or_else(|| panic!("unbound variable `{x}`"))
                         .clone(),
                 ),
-                Term::Lam(param, _, body) => Control::Ret(Value::Closure { param, body, env }),
-                Term::Fix(fun, param, _, _, body) => Control::Ret(Value::FixClosure {
+                STerm::Lam(param, _, body) => Control::Ret(Value::Closure { param, body, env }),
+                STerm::Fix(fun, param, _, _, body) => Control::Ret(Value::FixClosure {
                     fun,
                     param,
                     body,
                     env,
                 }),
-                Term::App(l, r) => {
+                STerm::App(l, r) => {
                     m.push(Frame::AppArg {
                         arg: (*r).clone(),
                         env: env.clone(),
                     });
                     Control::Eval((*l).clone(), env)
                 }
-                Term::Op(op, mut args) => {
+                STerm::Op(op, mut args) => {
                     let rest = args.split_off(1);
                     let first = args.pop().expect("operators have at least one argument");
                     m.push(Frame::OpFrame {
@@ -322,18 +409,20 @@ pub fn run_in(
                     });
                     Control::Eval(first, env)
                 }
-                Term::Coerce(inner, s) => {
-                    let s = m.arena.intern(&s);
+                STerm::Coerce(inner, s) => {
+                    // The boundary crossing: `s` is a Copy id — no
+                    // interning, no allocation; merging with an
+                    // adjacent frame is a cached O(1) composition.
                     m.push_coercion(s);
                     Control::Eval((*inner).clone(), env)
                 }
-                Term::Blame(p, _) => {
+                STerm::Blame(p, _) => {
                     return MachineRun {
                         outcome: MachineOutcome::Blame(p),
                         metrics: m.metrics,
                     }
                 }
-                Term::If(c, t2, e) => {
+                STerm::If(c, t2, e) => {
                     m.push(Frame::If {
                         then_: (*t2).clone(),
                         else_: (*e).clone(),
@@ -341,7 +430,7 @@ pub fn run_in(
                     });
                     Control::Eval((*c).clone(), env)
                 }
-                Term::Let(x, bound, body) => {
+                STerm::Let(x, bound, body) => {
                     m.push(Frame::Let {
                         name: x,
                         body: (*body).clone(),
@@ -558,5 +647,55 @@ mod tests {
             misses_after_first,
             "second run must be answered entirely from the cache"
         );
+    }
+
+    #[test]
+    fn compiled_path_performs_zero_reinterning() {
+        // THE acceptance criterion of the compiled IR: once a program
+        // is compiled, boundary crossings intern nothing — 512 loop
+        // iterations, zero tree interns, and (warm) zero new nodes.
+        let mut ctx = bc_core::CompileCtx::new();
+        let t = to_s(&programs::boundary_loop(512));
+        let compiled = ctx.compile(&t);
+
+        let first = run_compiled_in(&compiled, &mut ctx.arena, &mut ctx.cache, 10_000_000);
+        assert!(matches!(first.outcome, MachineOutcome::Value(_)));
+        assert_eq!(
+            first.metrics.reuse.tree_interns, 0,
+            "a compiled run must never hash-walk a coercion tree"
+        );
+
+        // Warm re-run: no interning, no new nodes, no structural
+        // composition — pure cache hits.
+        let nodes_after_first = ctx.arena.len();
+        let second = run_compiled_in(&compiled, &mut ctx.arena, &mut ctx.cache, 10_000_000);
+        assert_eq!(first.outcome, second.outcome);
+        assert_eq!(second.metrics.reuse.tree_interns, 0);
+        assert_eq!(second.metrics.reuse.node_misses, 0);
+        assert_eq!(second.metrics.reuse.compose_misses, 0);
+        assert!(second.metrics.reuse.compose_hits > 0);
+        assert_eq!(ctx.arena.len(), nodes_after_first);
+
+        // Contrast: the tree entry point pays interning for the same
+        // program (the hash walks the compiled path eliminated).
+        let tree = run_in(&t, &mut ctx.arena, &mut ctx.cache, 10_000_000);
+        assert_eq!(tree.outcome, second.outcome);
+        assert!(tree.metrics.reuse.tree_interns > 0);
+    }
+
+    #[test]
+    fn compiled_and_tree_paths_agree_on_metrics() {
+        // Space metrics are a property of the evaluation, not of the
+        // term representation.
+        let t = to_s(&programs::even_odd_mixed(32));
+        let tree = run(&t, 10_000_000);
+        let mut ctx = bc_core::CompileCtx::new();
+        let compiled = ctx.compile(&t);
+        let fast = run_compiled_in(&compiled, &mut ctx.arena, &mut ctx.cache, 10_000_000);
+        assert_eq!(tree.outcome, fast.outcome);
+        assert_eq!(tree.metrics.peak_frames, fast.metrics.peak_frames);
+        assert_eq!(tree.metrics.peak_cast_frames, fast.metrics.peak_cast_frames);
+        assert_eq!(tree.metrics.peak_cast_size, fast.metrics.peak_cast_size);
+        assert_eq!(tree.metrics.steps, fast.metrics.steps);
     }
 }

@@ -29,4 +29,4 @@ pub mod cek_c;
 pub mod cek_s;
 pub mod metrics;
 
-pub use metrics::{MachineOutcome, Metrics};
+pub use metrics::{MachineOutcome, Metrics, ReuseStats};

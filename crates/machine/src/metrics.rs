@@ -27,6 +27,36 @@ impl MachineOutcome {
     }
 }
 
+/// Arena/cache reuse counters for one machine run — the deltas of the
+/// coercion arena's and compose cache's counters between entering and
+/// leaving the machine.
+///
+/// Only the λS machine populates these (λB/λC have no arena; their
+/// runs report all-zero reuse). They let benches and server code
+/// *observe* sharing instead of guessing: on the compiled-IR path
+/// [`tree_interns`](ReuseStats::tree_interns) is zero — a boundary
+/// crossing loads a `Copy` id and merges through the cache — while the
+/// tree path pays one hash walk per `Coerce` node compiled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReuseStats {
+    /// Tree-interning operations (coercion-tree nodes hash-walked
+    /// into the arena) performed during the run. Zero on the compiled
+    /// path: every coercion was interned once, at compile time.
+    pub tree_interns: u64,
+    /// Node interns answered by the hash-consing index.
+    pub node_hits: u64,
+    /// Node interns that stored a new arena node.
+    pub node_misses: u64,
+    /// Frame/proxy merges answered by the compose cache.
+    pub compose_hits: u64,
+    /// Frame/proxy merges computed structurally (then cached).
+    pub compose_misses: u64,
+    /// Memoized pairs evicted by the cache's second-chance policy.
+    pub cache_evictions: u64,
+    /// Distinct coercion nodes in the arena when the run finished.
+    pub arena_nodes: usize,
+}
+
 /// Space/time instrumentation collected during a machine run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Metrics {
@@ -40,6 +70,9 @@ pub struct Metrics {
     /// Peak total size (syntax nodes) of all casts/coercions held by
     /// the continuation.
     pub peak_cast_size: usize,
+    /// Arena/cache reuse during the run (λS machine only; all-zero
+    /// for λB/λC).
+    pub reuse: ReuseStats,
 }
 
 impl Metrics {

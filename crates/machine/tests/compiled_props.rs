@@ -1,0 +1,90 @@
+//! Property tests for the compiled λS term IR: on random well-typed
+//! programs, the CEK machine run on the compiled [`STerm`] agrees with
+//! the machine run on the tree [`Term`] — same value, same blame, same
+//! space metrics — and the compiled path never re-interns a coercion
+//! tree at run time.
+//!
+//! [`STerm`]: bc_core::sterm::STerm
+//! [`Term`]: bc_core::Term
+
+use bc_core::CompileCtx;
+use bc_machine::cek_s;
+use bc_machine::metrics::MachineOutcome;
+use bc_testkit::Gen;
+use proptest::prelude::*;
+
+const FUEL: u64 = 20_000;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `compile_term` preserves the machine semantics: same outcome
+    /// (value shape or blame label) and, because compilation changes
+    /// the representation and not the evaluation, the very same step
+    /// count and space peaks.
+    #[test]
+    fn machine_on_compiled_ir_agrees_with_machine_on_trees(seed in any::<u64>()) {
+        let mut gen = Gen::new(seed);
+        let ty = gen.ty(1);
+        let mut ctx = CompileCtx::new();
+        let (tree, compiled) = gen.compiled_s(&mut ctx, &ty, 4);
+
+        let on_tree = cek_s::run(&tree, FUEL);
+        let on_ir = cek_s::run_compiled_in(&compiled, &mut ctx.arena, &mut ctx.cache, FUEL);
+
+        prop_assert_eq!(
+            on_tree.outcome.to_observation(),
+            on_ir.outcome.to_observation(),
+            "outcome diverged on {}", tree
+        );
+        prop_assert_eq!(on_tree.metrics.steps, on_ir.metrics.steps, "{}", tree);
+        prop_assert_eq!(on_tree.metrics.peak_frames, on_ir.metrics.peak_frames, "{}", tree);
+        prop_assert_eq!(
+            on_tree.metrics.peak_cast_frames,
+            on_ir.metrics.peak_cast_frames,
+            "{}", tree
+        );
+        prop_assert_eq!(
+            on_tree.metrics.peak_cast_size,
+            on_ir.metrics.peak_cast_size,
+            "{}", tree
+        );
+    }
+
+    /// The compiled path performs zero tree interning, on every
+    /// generated program — the structural guarantee, not just the
+    /// boundary-loop benchmark's.
+    #[test]
+    fn compiled_runs_never_reintern(seed in any::<u64>()) {
+        let mut gen = Gen::new(seed);
+        let ty = gen.ty(1);
+        let mut ctx = CompileCtx::new();
+        let (_, compiled) = gen.compiled_s(&mut ctx, &ty, 4);
+        let run = cek_s::run_compiled_in(&compiled, &mut ctx.arena, &mut ctx.cache, FUEL);
+        prop_assert_eq!(
+            run.metrics.reuse.tree_interns, 0,
+            "compiled run hash-walked a coercion tree"
+        );
+    }
+
+    /// Warm repeats share everything: a second compiled run of the
+    /// same program composes nothing structurally and interns no new
+    /// nodes.
+    #[test]
+    fn warm_compiled_reruns_are_pure_cache_hits(seed in any::<u64>()) {
+        let mut gen = Gen::new(seed);
+        let ty = gen.ty(1);
+        let mut ctx = CompileCtx::new();
+        let (_, compiled) = gen.compiled_s(&mut ctx, &ty, 3);
+        let first = cek_s::run_compiled_in(&compiled, &mut ctx.arena, &mut ctx.cache, FUEL);
+        // Skip programs that time out: their second run may take a
+        // different prefix of the evaluation.
+        if first.outcome != MachineOutcome::Timeout {
+            let second = cek_s::run_compiled_in(&compiled, &mut ctx.arena, &mut ctx.cache, FUEL);
+            prop_assert_eq!(first.outcome, second.outcome.clone());
+            prop_assert_eq!(second.metrics.reuse.tree_interns, 0);
+            prop_assert_eq!(second.metrics.reuse.node_misses, 0, "new arena nodes on rerun");
+            prop_assert_eq!(second.metrics.reuse.compose_misses, 0, "structural compose on rerun");
+        }
+    }
+}

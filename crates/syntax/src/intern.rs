@@ -1,0 +1,618 @@
+//! A hash-consing arena for types, with memoized relational queries.
+//!
+//! [`crate::types::Type`] is an `Rc` tree: every `compatible`,
+//! `ground_of`, or subtyping query walks both operands and every
+//! comparison is structural. That is the right *specification* — small,
+//! obviously the paper's Figure 1/Figure 2 — but it makes types the
+//! last tree-shaped hot path in the system: cast-heavy programs ask the
+//! same handful of compatibility and subtyping questions over and over
+//! (elaboration, cast insertion, translation, typing audits), paying
+//! O(size) every time.
+//!
+//! This module interns types the same way `bc_core::arena` interns λS
+//! coercions. A [`TypeArena`] stores each distinct type node exactly
+//! once and hands out copyable [`TypeId`] handles, so that
+//!
+//! * **equality is O(1)** — two interned types are equal iff their ids
+//!   are equal (hash-consing canonicity), which also makes every
+//!   relational query's reflexive fast path free;
+//! * **per-node facts are precomputed** — [`TypeArena::ground_of`],
+//!   [`TypeArena::as_ground`], [`TypeArena::height`], and
+//!   [`TypeArena::size`] are O(1) lookups computed once at interning
+//!   time;
+//! * **relational queries memoize** — [`TypeArena::compatible`] and the
+//!   four subtyping relations of Figure 2 cache their verdict per id
+//!   pair, so every repeated query is a single hash lookup.
+//!
+//! The tree [`Type`] remains the *exchange format*: [`TypeArena::intern`]
+//! accepts a tree and [`TypeArena::resolve`] rebuilds one, and the
+//! memoized relations agree with the tree implementations in
+//! [`crate::types`] and [`crate::subtype`](mod@crate::subtype) by
+//! construction (validated
+//! by property test in `tests/type_arena_props.rs`).
+//!
+//! # Interning invariants
+//!
+//! 1. *Canonicity*: `A.intern(s) == A.intern(t)` iff `s == t`
+//!    (structurally); interning the same type twice returns the same
+//!    id.
+//! 2. *Round trip*: `A.resolve(A.intern(t)) == t`.
+//! 3. *Stability*: ids are never invalidated; an arena only grows.
+//!    (Ids are **not** meaningful across arenas.)
+//! 4. *Agreement*: every memoized query equals its tree specification
+//!    on resolved operands.
+//!
+//! ```
+//! use bc_syntax::{Type, TypeArena};
+//!
+//! let mut types = TypeArena::new();
+//! let a = types.intern(&Type::fun(Type::INT, Type::DYN));
+//! let b = types.intern(&Type::fun(Type::INT, Type::DYN));
+//! assert_eq!(a, b); // same type, same id
+//!
+//! let d = types.dyn_ty();
+//! assert!(types.compatible(a, d));
+//! assert!(types.compatible(a, d)); // answered from the memo table
+//! assert!(types.query_stats().hits >= 1);
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::label::Label;
+use crate::types::{BaseType, Ground, Type};
+
+/// A handle to an interned type: a dense index into a [`TypeArena`].
+/// `Copy + Eq + Hash`; equal ids denote structurally equal types
+/// within one arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TypeId(u32);
+
+impl TypeId {
+    /// The raw index (for metrics and debugging).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// An interned type node — [`Type`] with function children replaced by
+/// [`TypeId`]s. `Copy`, so consumers can match on nodes without
+/// touching the arena twice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TNode {
+    /// A base type `ι`.
+    Base(BaseType),
+    /// The dynamic type `?`.
+    Dyn,
+    /// A function type `A → B`, children interned.
+    Fun(TypeId, TypeId),
+}
+
+/// Per-node facts computed once at interning time.
+#[derive(Debug, Clone, Copy)]
+struct TypeMeta {
+    height: u32,
+    size: u64,
+    /// Lemma 1: the unique ground type compatible with the node
+    /// (`None` exactly for `?`).
+    ground_of: Option<Ground>,
+    /// Whether the node *is* a ground type (`ι` or exactly `? → ?`).
+    as_ground: Option<Ground>,
+}
+
+/// Hit/miss counters for the memoized relational queries of a
+/// [`TypeArena`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Queries answered from the memo tables (or the O(1) fast paths).
+    pub hits: u64,
+    /// Queries computed structurally (then memoized).
+    pub misses: u64,
+}
+
+/// The four relations of Figure 2, as memo-table tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Rel {
+    /// Ordinary subtyping `A <: B`.
+    Sub,
+    /// Positive subtyping `A <:+ B`.
+    Pos,
+    /// Negative subtyping `A <:- B`.
+    Neg,
+    /// Naive subtyping `A <:n B`.
+    Naive,
+}
+
+/// A hash-consing interner for types, with memoized `compatible` and
+/// subtyping queries.
+///
+/// See the [module docs](self) for the interning invariants. Unlike
+/// the coercion arena's `ComposeCache` (in `bc_core::arena`), the
+/// memo tables live *inside* the arena — they hold only booleans, so
+/// there is no foreign-id hazard to guard against and no reason to let
+/// callers manage their lifetime separately.
+#[derive(Debug, Clone)]
+pub struct TypeArena {
+    nodes: Vec<TNode>,
+    meta: Vec<TypeMeta>,
+    index: HashMap<TNode, TypeId>,
+    /// Memoized `A ∼ B` verdicts (stored with `a <= b`: compatibility
+    /// is symmetric, so one entry serves both orders).
+    compat: HashMap<(TypeId, TypeId), bool>,
+    /// Memoized subtyping verdicts, tagged by relation (not symmetric).
+    sub: HashMap<(Rel, TypeId, TypeId), bool>,
+    stats: QueryStats,
+}
+
+impl Default for TypeArena {
+    fn default() -> TypeArena {
+        let mut arena = TypeArena {
+            nodes: Vec::new(),
+            meta: Vec::new(),
+            index: HashMap::new(),
+            compat: HashMap::new(),
+            sub: HashMap::new(),
+            stats: QueryStats::default(),
+        };
+        // Pre-intern the leaves every program mentions, so the common
+        // constructors below are pure lookups.
+        arena.intern_node(TNode::Dyn);
+        arena.intern_node(TNode::Base(BaseType::Int));
+        arena.intern_node(TNode::Base(BaseType::Bool));
+        arena
+    }
+}
+
+impl TypeArena {
+    /// An empty arena (with the leaf types `?`, `Int`, `Bool`
+    /// pre-interned).
+    pub fn new() -> TypeArena {
+        TypeArena::default()
+    }
+
+    /// Number of distinct type nodes interned.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether nothing has been interned (never true: the leaf types
+    /// are pre-interned).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Hit/miss counters of the memoized relational queries.
+    pub fn query_stats(&self) -> QueryStats {
+        self.stats
+    }
+
+    /// Number of memoized relational verdicts currently stored.
+    pub fn memo_len(&self) -> usize {
+        self.compat.len() + self.sub.len()
+    }
+
+    /// Interns a node whose children are already interned, returning
+    /// the id of the unique stored copy.
+    pub fn intern_node(&mut self, node: TNode) -> TypeId {
+        if let Some(&id) = self.index.get(&node) {
+            return id;
+        }
+        let id =
+            TypeId(u32::try_from(self.nodes.len()).expect("more than u32::MAX distinct types"));
+        let meta = self.compute_meta(&node);
+        self.nodes.push(node);
+        self.meta.push(meta);
+        self.index.insert(node, id);
+        id
+    }
+
+    fn compute_meta(&self, node: &TNode) -> TypeMeta {
+        match node {
+            TNode::Base(b) => TypeMeta {
+                height: 1,
+                size: 1,
+                ground_of: Some(Ground::Base(*b)),
+                as_ground: Some(Ground::Base(*b)),
+            },
+            TNode::Dyn => TypeMeta {
+                height: 1,
+                size: 1,
+                ground_of: None,
+                as_ground: None,
+            },
+            TNode::Fun(a, b) => {
+                let (ma, mb) = (self.meta[a.index()], self.meta[b.index()]);
+                TypeMeta {
+                    height: ma.height.max(mb.height).saturating_add(1),
+                    size: ma.size.saturating_add(mb.size).saturating_add(1),
+                    ground_of: Some(Ground::Fun),
+                    as_ground: if self.nodes[a.index()] == TNode::Dyn
+                        && self.nodes[b.index()] == TNode::Dyn
+                    {
+                        Some(Ground::Fun)
+                    } else {
+                        None
+                    },
+                }
+            }
+        }
+    }
+
+    /// Interns a tree type (recursively interning function children),
+    /// returning its canonical id.
+    pub fn intern(&mut self, ty: &Type) -> TypeId {
+        let node = match ty {
+            Type::Base(b) => TNode::Base(*b),
+            Type::Dyn => TNode::Dyn,
+            Type::Fun(a, b) => {
+                let dom = self.intern(a);
+                let cod = self.intern(b);
+                TNode::Fun(dom, cod)
+            }
+        };
+        self.intern_node(node)
+    }
+
+    /// A shallow view of the interned node (children remain ids).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id came from a different arena and is out of
+    /// bounds (ids are only meaningful within their own arena).
+    pub fn node(&self, id: TypeId) -> TNode {
+        self.nodes[id.index()]
+    }
+
+    /// Rebuilds the tree form of an interned type (the exchange
+    /// format; invariant 2: `resolve ∘ intern = id`).
+    pub fn resolve(&self, id: TypeId) -> Type {
+        match self.node(id) {
+            TNode::Base(b) => Type::Base(b),
+            TNode::Dyn => Type::Dyn,
+            TNode::Fun(a, b) => Type::fun(self.resolve(a), self.resolve(b)),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Constructors.
+    // ------------------------------------------------------------------
+
+    /// The dynamic type `?`.
+    pub fn dyn_ty(&mut self) -> TypeId {
+        self.intern_node(TNode::Dyn)
+    }
+
+    /// A base type `ι`.
+    pub fn base(&mut self, b: BaseType) -> TypeId {
+        self.intern_node(TNode::Base(b))
+    }
+
+    /// The function type `dom → cod` from interned children.
+    pub fn fun(&mut self, dom: TypeId, cod: TypeId) -> TypeId {
+        self.intern_node(TNode::Fun(dom, cod))
+    }
+
+    /// The ground type `G` viewed as an interned type.
+    pub fn ground(&mut self, g: Ground) -> TypeId {
+        match g {
+            Ground::Base(b) => self.base(b),
+            Ground::Fun => {
+                let d = self.dyn_ty();
+                self.fun(d, d)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Per-node queries (O(1), precomputed at interning time).
+    // ------------------------------------------------------------------
+
+    /// The height of the type (precomputed; O(1)).
+    pub fn height(&self, id: TypeId) -> usize {
+        self.meta[id.index()].height as usize
+    }
+
+    /// The number of syntax nodes of the type's tree form
+    /// (precomputed; O(1)). Saturates for DAG-shaped types built via
+    /// the id-level [`TypeArena::fun`] constructor.
+    pub fn size(&self, id: TypeId) -> usize {
+        usize::try_from(self.meta[id.index()].size).unwrap_or(usize::MAX)
+    }
+
+    /// Whether the type is the dynamic type `?` (O(1)).
+    pub fn is_dyn(&self, id: TypeId) -> bool {
+        matches!(self.node(id), TNode::Dyn)
+    }
+
+    /// The unique ground type compatible with the type, per Lemma 1
+    /// (precomputed; O(1)). `None` exactly when the type is `?`.
+    pub fn ground_of(&self, id: TypeId) -> Option<Ground> {
+        self.meta[id.index()].ground_of
+    }
+
+    /// `Some(G)` when the type *is* the ground type `G` (precomputed;
+    /// O(1)); contrast with [`TypeArena::ground_of`].
+    pub fn as_ground(&self, id: TypeId) -> Option<Ground> {
+        self.meta[id.index()].as_ground
+    }
+
+    /// Whether the type is a ground type (O(1)).
+    pub fn is_ground(&self, id: TypeId) -> bool {
+        self.as_ground(id).is_some()
+    }
+
+    // ------------------------------------------------------------------
+    // Memoized relational queries.
+    // ------------------------------------------------------------------
+
+    /// Compatibility `A ∼ B` (Figure 1), memoized per id pair.
+    ///
+    /// Hash-consing canonicity gives the reflexive case (`a == b`) for
+    /// free; every other repeated query is one hash lookup.
+    pub fn compatible(&mut self, a: TypeId, b: TypeId) -> bool {
+        // Reflexivity and the ?-absorbing rules need no table.
+        if a == b || self.is_dyn(a) || self.is_dyn(b) {
+            self.stats.hits += 1;
+            return true;
+        }
+        // Compatibility is symmetric: canonicalise the key order.
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&r) = self.compat.get(&key) {
+            self.stats.hits += 1;
+            return r;
+        }
+        self.stats.misses += 1;
+        let r = match (self.node(a), self.node(b)) {
+            (TNode::Base(x), TNode::Base(y)) => x == y,
+            (TNode::Fun(a1, a2), TNode::Fun(b1, b2)) => {
+                self.compatible(a1, b1) && self.compatible(a2, b2)
+            }
+            _ => false,
+        };
+        self.compat.insert(key, r);
+        r
+    }
+
+    /// Ordinary subtyping `A <: B` (Figure 2), memoized per id pair.
+    pub fn subtype(&mut self, a: TypeId, b: TypeId) -> bool {
+        self.rel(Rel::Sub, a, b)
+    }
+
+    /// Positive subtyping `A <:+ B`, memoized per id pair.
+    pub fn pos_subtype(&mut self, a: TypeId, b: TypeId) -> bool {
+        self.rel(Rel::Pos, a, b)
+    }
+
+    /// Negative subtyping `A <:- B`, memoized per id pair.
+    pub fn neg_subtype(&mut self, a: TypeId, b: TypeId) -> bool {
+        self.rel(Rel::Neg, a, b)
+    }
+
+    /// Naive subtyping `A <:n B`, memoized per id pair.
+    pub fn naive_subtype(&mut self, a: TypeId, b: TypeId) -> bool {
+        self.rel(Rel::Naive, a, b)
+    }
+
+    /// Whether the cast `A ⇒p B` is safe for blame label `q`
+    /// (Figure 2), through the memoized positive/negative relations.
+    pub fn cast_safe_for(&mut self, a: TypeId, p: Label, b: TypeId, q: Label) -> bool {
+        if p.is_bullet() {
+            return true;
+        }
+        if p != q && p.complement() != q {
+            return true;
+        }
+        if q == p && self.pos_subtype(a, b) {
+            return true;
+        }
+        q == p.complement() && self.neg_subtype(a, b)
+    }
+
+    fn rel(&mut self, rel: Rel, a: TypeId, b: TypeId) -> bool {
+        // All four relations are reflexive; O(1) id equality makes
+        // that the free fast path.
+        if a == b {
+            self.stats.hits += 1;
+            return true;
+        }
+        if let Some(&r) = self.sub.get(&(rel, a, b)) {
+            self.stats.hits += 1;
+            return r;
+        }
+        self.stats.misses += 1;
+        let r = self.rel_uncached(rel, a, b);
+        self.sub.insert((rel, a, b), r);
+        r
+    }
+
+    /// The Figure-2 rules, transcribed onto nodes. Each relation's
+    /// structure mirrors its tree implementation in [`crate::subtype`]
+    /// exactly (agreement is validated by property test); recursive
+    /// premises go back through [`TypeArena::rel`] so inner pairs
+    /// memoize too.
+    fn rel_uncached(&mut self, rel: Rel, a: TypeId, b: TypeId) -> bool {
+        let (na, nb) = (self.node(a), self.node(b));
+        match rel {
+            Rel::Sub => match (na, nb) {
+                (TNode::Base(x), TNode::Base(y)) => x == y,
+                (TNode::Fun(a1, a2), TNode::Fun(b1, b2)) => {
+                    self.rel(Rel::Sub, b1, a1) && self.rel(Rel::Sub, a2, b2)
+                }
+                (TNode::Dyn, TNode::Dyn) => true,
+                (_, TNode::Dyn) => match self.ground_of(a) {
+                    Some(g) => {
+                        let gid = self.ground(g);
+                        self.rel(Rel::Sub, a, gid)
+                    }
+                    None => false,
+                },
+                _ => false,
+            },
+            Rel::Pos => match (na, nb) {
+                (_, TNode::Dyn) => true,
+                (TNode::Base(x), TNode::Base(y)) => x == y,
+                (TNode::Fun(a1, a2), TNode::Fun(b1, b2)) => {
+                    self.rel(Rel::Neg, b1, a1) && self.rel(Rel::Pos, a2, b2)
+                }
+                _ => false,
+            },
+            Rel::Neg => match (na, nb) {
+                (TNode::Dyn, _) => true,
+                (TNode::Base(x), TNode::Base(y)) => x == y,
+                (TNode::Fun(a1, a2), TNode::Fun(b1, b2)) => {
+                    self.rel(Rel::Pos, b1, a1) && self.rel(Rel::Neg, a2, b2)
+                }
+                (_, TNode::Dyn) => match self.ground_of(a) {
+                    Some(g) => {
+                        let gid = self.ground(g);
+                        self.rel(Rel::Neg, a, gid)
+                    }
+                    None => unreachable!("Dyn handled above"),
+                },
+                _ => false,
+            },
+            Rel::Naive => match (na, nb) {
+                (_, TNode::Dyn) => true,
+                (TNode::Base(x), TNode::Base(y)) => x == y,
+                (TNode::Fun(a1, a2), TNode::Fun(b1, b2)) => {
+                    self.rel(Rel::Naive, a1, b1) && self.rel(Rel::Naive, a2, b2)
+                }
+                _ => false,
+            },
+        }
+    }
+
+    /// Renders an interned type in the paper grammar.
+    pub fn display(&self, id: TypeId) -> String {
+        self.resolve(id).to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subtype;
+    use crate::subtype::sample_types;
+
+    #[test]
+    fn interning_is_canonical() {
+        let mut arena = TypeArena::new();
+        for t in sample_types(2) {
+            let a = arena.intern(&t);
+            let b = arena.intern(&t);
+            assert_eq!(a, b, "same tree must intern to same id: {t}");
+            assert_eq!(arena.resolve(a), t, "round trip of {t}");
+        }
+        let samples = sample_types(1);
+        let ids: Vec<_> = samples.iter().map(|t| arena.intern(t)).collect();
+        for (i, a) in ids.iter().enumerate() {
+            for (j, b) in ids.iter().enumerate() {
+                assert_eq!(a == b, i == j, "{} vs {}", samples[i], samples[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn structural_sharing_dedups_children() {
+        let mut arena = TypeArena::new();
+        let n = arena.len();
+        arena.intern(&Type::fun(Type::INT, Type::INT));
+        // Int was pre-interned; only the Fun node is new.
+        assert_eq!(arena.len(), n + 1);
+    }
+
+    #[test]
+    fn metadata_matches_tree_queries() {
+        let mut arena = TypeArena::new();
+        for t in sample_types(2) {
+            let id = arena.intern(&t);
+            assert_eq!(arena.height(id), t.height(), "height of {t}");
+            assert_eq!(arena.size(id), t.size(), "size of {t}");
+            assert_eq!(arena.ground_of(id), t.ground_of(), "ground_of {t}");
+            assert_eq!(arena.as_ground(id), t.as_ground(), "as_ground {t}");
+            assert_eq!(arena.is_dyn(id), t.is_dyn(), "is_dyn {t}");
+        }
+    }
+
+    #[test]
+    fn memoized_relations_agree_with_tree_relations() {
+        let mut arena = TypeArena::new();
+        let u = sample_types(1);
+        for a in &u {
+            for b in &u {
+                let (ia, ib) = (arena.intern(a), arena.intern(b));
+                assert_eq!(arena.compatible(ia, ib), a.compatible(b), "{a} ∼ {b}");
+                assert_eq!(arena.subtype(ia, ib), subtype::subtype(a, b), "{a} <: {b}");
+                assert_eq!(
+                    arena.pos_subtype(ia, ib),
+                    subtype::pos_subtype(a, b),
+                    "{a} <:+ {b}"
+                );
+                assert_eq!(
+                    arena.neg_subtype(ia, ib),
+                    subtype::neg_subtype(a, b),
+                    "{a} <:- {b}"
+                );
+                assert_eq!(
+                    arena.naive_subtype(ia, ib),
+                    subtype::naive_subtype(a, b),
+                    "{a} <:n {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_memo_table() {
+        let mut arena = TypeArena::new();
+        let a = arena.intern(&Type::fun(Type::INT, Type::DYN));
+        let b = arena.intern(&Type::fun(Type::INT, Type::BOOL));
+        assert!(arena.compatible(a, b));
+        let misses = arena.query_stats().misses;
+        // Same question (either order: compatibility is symmetric) is
+        // answered from the table.
+        assert!(arena.compatible(b, a));
+        assert_eq!(arena.query_stats().misses, misses);
+        assert!(arena.query_stats().hits >= 1);
+        // Subtyping memoizes per-direction.
+        arena.subtype(a, b);
+        let misses = arena.query_stats().misses;
+        arena.subtype(a, b);
+        assert_eq!(arena.query_stats().misses, misses);
+    }
+
+    #[test]
+    fn cast_safety_agrees_with_tree_implementation() {
+        let mut arena = TypeArena::new();
+        let u = sample_types(1);
+        let labels = [Label::new(0), Label::new(0).complement(), Label::new(1)];
+        for a in &u {
+            for b in &u {
+                let (ia, ib) = (arena.intern(a), arena.intern(b));
+                for p in labels {
+                    for q in labels {
+                        assert_eq!(
+                            arena.cast_safe_for(ia, p, ib, q),
+                            subtype::cast_safe_for(a, p, b, q),
+                            "safety of {a} ⇒{p} {b} for {q}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_matches_tree_display() {
+        let mut arena = TypeArena::new();
+        let t = Type::fun(Type::fun(Type::DYN, Type::INT), Type::BOOL);
+        let id = arena.intern(&t);
+        assert_eq!(arena.display(id), t.to_string());
+    }
+}

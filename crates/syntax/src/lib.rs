@@ -14,7 +14,10 @@
 //! * [`Label`] — blame labels `p, q` with involutive complement `p̄`;
 //! * [`Constant`] and [`Op`] — constants `k` and total operators `op`
 //!   with their meaning function `[[op]]`;
-//! * the four subtyping relations of Figure 2 ([`subtype`]);
+//! * the four subtyping relations of Figure 2 ([`subtype`](mod@subtype));
+//! * a hash-consing [`TypeArena`] interning types behind `Copy`
+//!   [`TypeId`] handles, with O(1) equality and memoized
+//!   compatibility/subtyping queries ([`intern`]);
 //! * pointed types and the type meet `A & B` used by the Fundamental
 //!   Property of Casts ([`pointed`]);
 //! * the dynamically-typed λ-calculus that is embedded into λB by `⌈·⌉`
@@ -36,6 +39,7 @@
 
 pub mod constant;
 pub mod fresh;
+pub mod intern;
 pub mod label;
 pub mod op;
 pub mod pointed;
@@ -45,6 +49,7 @@ pub mod untyped;
 
 pub use constant::Constant;
 pub use fresh::NameSupply;
+pub use intern::{TNode, TypeArena, TypeId};
 pub use label::{Label, LabelSupply};
 pub use op::Op;
 pub use pointed::{meet, PointedType};

@@ -1,0 +1,155 @@
+//! Property tests for the hash-consing [`TypeArena`]: interning is
+//! canonical and invertible, the precomputed per-node facts match the
+//! tree queries, and every memoized relational query agrees with its
+//! tree specification in `bc_syntax::types` / `bc_syntax::subtype` —
+//! on random types, in random query orders, warm or cold.
+
+use bc_syntax::{naive_subtype, neg_subtype, pos_subtype, subtype, Type, TypeArena};
+use proptest::prelude::*;
+
+/// A random type of bounded height (same strategy as
+/// `subtype_props.rs`).
+fn ty(depth: u32) -> BoxedStrategy<Type> {
+    let leaf = prop_oneof![Just(Type::INT), Just(Type::BOOL), Just(Type::DYN)];
+    leaf.prop_recursive(depth, 32, 2, |inner| {
+        (inner.clone(), inner).prop_map(|(a, b)| Type::fun(a, b))
+    })
+    .boxed()
+}
+
+/// A random *compatible* pair `A ∼ B`, by the Figure-1 rules: equal
+/// bases, either side `?`, or function types with compatible
+/// components. Exercises the `true` branches densely (arbitrary pairs
+/// are mostly incompatible).
+fn compatible_pair(depth: u32) -> BoxedStrategy<(Type, Type)> {
+    let leaf = prop_oneof![
+        Just((Type::INT, Type::INT)),
+        Just((Type::BOOL, Type::BOOL)),
+        ty(1).prop_map(|t| (t, Type::DYN)),
+        ty(1).prop_map(|t| (Type::DYN, t)),
+    ];
+    leaf.prop_recursive(depth, 32, 2, |inner| {
+        (inner.clone(), inner)
+            .prop_map(|((a1, a2), (b1, b2))| (Type::fun(a1, b1), Type::fun(a2, b2)))
+    })
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Invariants 1 and 2: `resolve ∘ intern = id`, and interning the
+    /// same tree twice yields the same id.
+    #[test]
+    fn intern_resolve_is_the_identity(t in ty(3)) {
+        let mut arena = TypeArena::new();
+        let id = arena.intern(&t);
+        prop_assert_eq!(arena.resolve(id), t.clone(), "resolve ∘ intern on {}", t);
+        prop_assert_eq!(arena.intern(&t), id, "re-interning {} changed its id", t);
+    }
+
+    /// Canonicity across distinct trees: ids are equal iff the trees
+    /// are structurally equal.
+    #[test]
+    fn ids_are_canonical(a in ty(3), b in ty(3)) {
+        let mut arena = TypeArena::new();
+        let (ia, ib) = (arena.intern(&a), arena.intern(&b));
+        prop_assert_eq!(ia == ib, a == b, "{} vs {}", a, b);
+    }
+
+    /// Precomputed per-node facts equal the tree queries.
+    #[test]
+    fn metadata_matches_tree_queries(t in ty(3)) {
+        let mut arena = TypeArena::new();
+        let id = arena.intern(&t);
+        prop_assert_eq!(arena.height(id), t.height());
+        prop_assert_eq!(arena.size(id), t.size());
+        prop_assert_eq!(arena.ground_of(id), t.ground_of());
+        prop_assert_eq!(arena.as_ground(id), t.as_ground());
+        prop_assert_eq!(arena.is_ground(id), t.is_ground());
+        prop_assert_eq!(arena.is_dyn(id), t.is_dyn());
+    }
+
+    /// Generated compatible pairs really are compatible, and the
+    /// memoized query sees that (dense positives).
+    #[test]
+    fn compatible_pairs_are_compatible(pair in compatible_pair(3)) {
+        let (a, b) = pair;
+        prop_assert!(a.compatible(&b), "{} ∼ {}", a, b);
+        let mut arena = TypeArena::new();
+        let (ia, ib) = (arena.intern(&a), arena.intern(&b));
+        prop_assert!(arena.compatible(ia, ib), "{} ∼ {}", a, b);
+    }
+
+    /// Invariant 4 for `A ∼ B`: the memoized query equals
+    /// [`Type::compatible`], cold, warm, and in either order
+    /// (compatibility is symmetric).
+    #[test]
+    fn compatible_agrees_with_tree_implementation(a in ty(3), b in ty(3)) {
+        let mut arena = TypeArena::new();
+        let (ia, ib) = (arena.intern(&a), arena.intern(&b));
+        let expected = a.compatible(&b);
+        prop_assert_eq!(arena.compatible(ia, ib), expected, "{} ∼? {}", a, b);
+        prop_assert_eq!(arena.compatible(ia, ib), expected, "memoized {} ∼? {}", a, b);
+        prop_assert_eq!(arena.compatible(ib, ia), expected, "symmetric {} ∼? {}", b, a);
+    }
+
+    /// Invariant 4 for the four subtyping relations of Figure 2: the
+    /// memoized queries equal the tree implementations, cold and warm,
+    /// in both directions.
+    #[test]
+    fn subtyping_agrees_with_tree_implementation(a in ty(3), b in ty(3)) {
+        let mut arena = TypeArena::new();
+        let (ia, ib) = (arena.intern(&a), arena.intern(&b));
+        for _ in 0..2 {
+            prop_assert_eq!(arena.subtype(ia, ib), subtype(&a, &b), "{} <: {}", a, b);
+            prop_assert_eq!(arena.pos_subtype(ia, ib), pos_subtype(&a, &b), "{} <:+ {}", a, b);
+            prop_assert_eq!(arena.neg_subtype(ia, ib), neg_subtype(&a, &b), "{} <:- {}", a, b);
+            prop_assert_eq!(arena.naive_subtype(ia, ib), naive_subtype(&a, &b), "{} <:n {}", a, b);
+            prop_assert_eq!(arena.subtype(ib, ia), subtype(&b, &a), "{} <: {}", b, a);
+        }
+    }
+
+    /// Subtyping on compatible pairs (the pairs real programs ask
+    /// about): memoized ≡ tree on the dense-positive distribution too.
+    #[test]
+    fn subtyping_agrees_on_compatible_pairs(pair in compatible_pair(3)) {
+        let (a, b) = pair;
+        let mut arena = TypeArena::new();
+        let (ia, ib) = (arena.intern(&a), arena.intern(&b));
+        prop_assert_eq!(arena.subtype(ia, ib), subtype(&a, &b), "{} <: {}", a, b);
+        prop_assert_eq!(arena.pos_subtype(ia, ib), pos_subtype(&a, &b), "{} <:+ {}", a, b);
+        prop_assert_eq!(arena.neg_subtype(ia, ib), neg_subtype(&a, &b), "{} <:- {}", a, b);
+        prop_assert_eq!(arena.naive_subtype(ia, ib), naive_subtype(&a, &b), "{} <:n {}", a, b);
+    }
+
+    /// A warm arena answers like a cold one: sharing an arena (and its
+    /// memo tables) across many unrelated queries never changes a
+    /// verdict — and repeating a batch adds no misses.
+    #[test]
+    fn warm_arena_agrees_with_cold_arena(
+        p1 in (ty(2), ty(2)),
+        p2 in (ty(2), ty(2)),
+        p3 in (ty(2), ty(2)),
+        p4 in compatible_pair(2),
+    ) {
+        let pairs = [p1, p2, p3, p4];
+        let mut warm = TypeArena::new();
+        for (a, b) in &pairs {
+            let (ia, ib) = (warm.intern(a), warm.intern(b));
+            let mut cold = TypeArena::new();
+            let (ca, cb) = (cold.intern(a), cold.intern(b));
+            prop_assert_eq!(warm.compatible(ia, ib), cold.compatible(ca, cb));
+            prop_assert_eq!(warm.subtype(ia, ib), cold.subtype(ca, cb));
+            prop_assert_eq!(warm.neg_subtype(ia, ib), cold.neg_subtype(ca, cb));
+        }
+        let misses = warm.query_stats().misses;
+        for (a, b) in &pairs {
+            let (ia, ib) = (warm.intern(a), warm.intern(b));
+            warm.compatible(ia, ib);
+            warm.subtype(ia, ib);
+            warm.neg_subtype(ia, ib);
+        }
+        prop_assert_eq!(warm.query_stats().misses, misses, "repeat batch must be all hits");
+    }
+}

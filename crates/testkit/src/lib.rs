@@ -13,6 +13,9 @@
 //! * [`Gen::space_from`] — random canonical λS coercions;
 //! * [`Gen::term_b`] — random closed, well-typed λB terms of a
 //!   requested type (which translate to λC and λS via `bc-translate`);
+//! * [`Gen::term_s`] / [`Gen::compiled_s`] — the λS translations of
+//!   random λB terms, as trees and lowered to the compiled id-carrying
+//!   IR of `bc_core::sterm`;
 //! * [`Gen::context_b`] — random λB "contexts": terms with a free
 //!   variable `hole` of a requested type (plugging a *closed* term by
 //!   substitution coincides with context plugging).
@@ -337,6 +340,27 @@ impl Gen {
         }
     }
 
+    /// A random closed, well-typed λS term of the given type, obtained
+    /// by translating a random λB term through `|·|BC` and `|·|CS`
+    /// (so its coercions are canonical by construction).
+    pub fn term_s(&mut self, ty: &Type, depth: usize) -> bc_core::Term {
+        bc_translate::term_b_to_s(&self.term_b(ty, depth))
+    }
+
+    /// A random compiled λS program: the tree term *and* its lowering
+    /// into the given context's arenas (the pair the compiled-path
+    /// property tests compare).
+    pub fn compiled_s(
+        &mut self,
+        ctx: &mut bc_core::CompileCtx,
+        ty: &Type,
+        depth: usize,
+    ) -> (bc_core::Term, bc_core::STerm) {
+        let tree = self.term_s(ty, depth);
+        let compiled = ctx.compile(&tree);
+        (tree, compiled)
+    }
+
     /// A random λB context: a closed term except for the free variable
     /// [`HOLE`] of type `hole_ty`, with overall type `result_ty`.
     /// Plugging a closed term is substitution.
@@ -410,6 +434,30 @@ mod tests {
             let ty = g.ty(1);
             let t = g.term_b(&ty, 3);
             assert_eq!(lb::type_of(&t), Ok(ty.clone()), "{t}");
+        }
+    }
+
+    #[test]
+    fn generated_s_terms_are_well_typed() {
+        let mut g = Gen::new(8);
+        for _ in 0..100 {
+            let ty = g.ty(1);
+            let t = g.term_s(&ty, 3);
+            assert_eq!(bc_core::type_of(&t), Ok(ty.clone()), "{t}");
+        }
+    }
+
+    #[test]
+    fn compiled_programs_round_trip() {
+        let mut g = Gen::new(9);
+        let mut ctx = bc_core::CompileCtx::new();
+        for _ in 0..50 {
+            let ty = g.ty(1);
+            let (tree, compiled) = g.compiled_s(&mut ctx, &ty, 3);
+            assert_eq!(
+                bc_core::decompile_term(&compiled, &ctx.arena, &ctx.types),
+                tree
+            );
         }
     }
 

@@ -120,6 +120,16 @@ fn main() -> ExitCode {
             "space: peak frames {}, peak coercion frames {}, peak coercion size {}",
             metrics.peak_frames, metrics.peak_cast_frames, metrics.peak_cast_size
         );
+        if engine == Engine::MachineS {
+            // The compiled fast path: the pipeline stores the lowered
+            // term IR, so runs intern nothing and answer repeated
+            // merges from the compose cache.
+            let r = &metrics.reuse;
+            println!(
+                "reuse: {} tree interns, {} compose hits / {} misses, {} arena nodes",
+                r.tree_interns, r.compose_hits, r.compose_misses, r.arena_nodes
+            );
+        }
     }
     if let Observation::Blame(p) = report.observation {
         if let Some(msg) = program.explain_blame(p) {

@@ -7,13 +7,13 @@
 //!
 //! | Crate | Contents |
 //! |-------|----------|
-//! | [`syntax`] | types, ground types, blame labels, operators, the four subtyping relations (Fig. 2), pointed types and meets |
+//! | [`syntax`] | types, ground types, blame labels, operators, the four subtyping relations (Fig. 2), pointed types and meets; the hash-consing `TypeArena` — interned `TypeId` handles with O(1) equality and memoized compatibility/subtyping |
 //! | [`lambda_b`] | the blame calculus λB (Fig. 1): typing, reduction, blame safety, the embedding `⌈·⌉` |
 //! | [`lambda_c`] | the coercion calculus λC (Fig. 3) |
-//! | [`core`] | **λS**, the space-efficient coercion calculus (Fig. 5): the composition operator `s # t`, and the hash-consing [`core::arena`] — interned `CoercionId` handles with O(1) equality and a memoizing `ComposeCache` |
+//! | [`core`] | **λS**, the space-efficient coercion calculus (Fig. 5): the composition operator `s # t`, the hash-consing [`core::arena`] — interned `CoercionId` handles with O(1) equality and a memoizing, second-chance-evicting `ComposeCache` — and the compiled term IR [`core::sterm`] whose `Coerce` nodes are `Copy` ids |
 //! | [`translate`] | the translations `\|·\|BC`, `\|·\|CB`, `\|·\|CS` (Figs. 4, 6) — with arena-threading `*_in` variants — executable bisimulations, the Fundamental Property of Casts |
 //! | [`gtlc`] | a gradually-typed surface language: parser, gradual type checker, cast insertion |
-//! | [`machine`] | CEK machines for all three calculi; the λS machine holds interned coercions in its frames and merges them through the compose cache, running boundary-crossing tail calls in constant space |
+//! | [`machine`] | CEK machines for all three calculi; the λS machine executes the compiled IR — frames hold interned coercions, merges go through the compose cache, and boundary crossings intern nothing (reported per run by `Metrics::reuse`) — running boundary-crossing tail calls in constant space |
 //! | [`baselines`] | Siek–Wadler 2010 threesomes and Garcia 2013 supercoercions (with interned-coercion erasure) |
 //!
 //! Two auxiliary crates round out the workspace: `bc-testkit` (seeded
@@ -22,8 +22,9 @@
 //!
 //! The [`pipeline`] module ties them together: source text → λB → λC →
 //! λS → any of six execution engines. Each compiled program owns its
-//! coercion arena, so repeated λS-machine runs answer every coercion
-//! merge from the memo table.
+//! coercion arena, type arena, and compiled term IR, so repeated
+//! λS-machine runs re-intern nothing and answer every coercion merge
+//! from the memo table.
 //!
 //! # Quickstart
 //!

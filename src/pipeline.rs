@@ -1,18 +1,24 @@
 //! The end-to-end pipeline: GTLC source → λB → λC → λS → execution.
 //!
-//! Each [`Compiled`] program owns a [`CoercionArena`] and
-//! [`ComposeCache`]: the λC→λS translation interns every coercion it
-//! normalises, and every λS-machine run reuses the same arena, so
-//! across repeated runs (a server answering the same compiled program
-//! many times) all composition work is answered from the cache.
+//! Each [`Compiled`] program owns a [`CoercionArena`], a
+//! [`ComposeCache`], and a [`TypeArena`]: the λC→λS translation
+//! interns every coercion it normalises **and lowers the program to
+//! the compiled λS term IR** ([`bc_core::sterm::STerm`]) whose
+//! `Coerce` nodes hold `Copy` ids. Every λS-machine run executes that
+//! IR against the same arenas, so across repeated runs (a server
+//! answering the same compiled program many times) boundary crossings
+//! intern nothing and all composition work is answered from the
+//! cache — observable via [`Metrics::reuse`] on each run's report.
 
 use std::cell::RefCell;
 use std::fmt;
 
 use bc_core::arena::{CacheStats, CoercionArena, ComposeCache};
+use bc_core::sterm::{compile_term, STerm};
 use bc_gtlc::Diagnostic;
 use bc_machine::metrics::Metrics;
-use bc_syntax::{Label, Type};
+use bc_syntax::intern::QueryStats;
+use bc_syntax::{Label, Type, TypeArena};
 use bc_translate::bisim::{observe_b, observe_c, observe_s, Observation};
 use bc_translate::{term_b_to_c, term_c_to_s_in};
 
@@ -80,6 +86,12 @@ pub struct Compiled {
     pub lambda_c: bc_lambda_c::Term,
     /// The λS translation `|·|CS ∘ |·|BC`.
     pub lambda_s: bc_core::Term,
+    /// The λS term compiled to the id-carrying IR: coercions as
+    /// `Copy` arena handles, type annotations interned. This is what
+    /// [`Engine::MachineS`] executes. Private: its ids are only
+    /// meaningful with this struct's own arenas, so handing it out
+    /// raw would invite resolving it against a foreign arena.
+    lambda_s_compiled: STerm,
     /// The program's (gradual) type.
     pub ty: Type,
     /// The source-program span map for blame reporting, if compiled
@@ -91,6 +103,9 @@ pub struct Compiled {
     arena: RefCell<CoercionArena>,
     /// Memoized compositions over `arena`'s ids.
     cache: RefCell<ComposeCache>,
+    /// The program's interned types (annotations of the compiled IR,
+    /// plus memoized compatibility/subtyping verdicts).
+    types: RefCell<TypeArena>,
 }
 
 impl Clone for Compiled {
@@ -100,15 +115,20 @@ impl Clone for Compiled {
         // re-binds the cache to it (cloning them independently would
         // yield a pair that panics on first use).
         let (arena, cache) = self.arena.borrow().clone_pair(&self.cache.borrow());
+        // The compiled IR's ids stay valid in the cloned arena: a
+        // clone is an identical snapshot of the id-space (only its
+        // *generation* is fresh, which matters to caches, not ids).
         Compiled {
             lambda_b: self.lambda_b.clone(),
             lambda_c: self.lambda_c.clone(),
             lambda_s: self.lambda_s.clone(),
+            lambda_s_compiled: self.lambda_s_compiled.clone(),
             ty: self.ty.clone(),
             program: self.program.clone(),
             source: self.source.clone(),
             arena: RefCell::new(arena),
             cache: RefCell::new(cache),
+            types: RefCell::new(self.types.borrow().clone()),
         }
     }
 }
@@ -143,16 +163,22 @@ impl Compiled {
         let lambda_c = term_b_to_c(&term);
         let mut arena = CoercionArena::new();
         let mut cache = ComposeCache::new();
+        let mut types = TypeArena::new();
         let lambda_s = term_c_to_s_in(&mut arena, &mut cache, &lambda_c);
+        // Lower once; every MachineS run of this program reuses the
+        // compiled IR and its interned coercions.
+        let lambda_s_compiled = compile_term(&lambda_s, &mut arena, &mut types);
         Compiled {
             lambda_b: term,
             lambda_c,
             lambda_s,
+            lambda_s_compiled,
             ty,
             program: None,
             source: None,
             arena: RefCell::new(arena),
             cache: RefCell::new(cache),
+            types: RefCell::new(types),
         }
     }
 
@@ -200,11 +226,18 @@ impl Compiled {
                 }
             }
             Engine::MachineS => {
-                // Reuse the program's arena and cache: repeated runs
-                // re-answer every coercion merge from the memo table.
+                // The compiled fast path: the IR's coercions are
+                // already interned, so each run performs zero tree
+                // interning and re-answers every merge from the memo
+                // table (see the reuse counters in the report).
                 let mut arena = self.arena.borrow_mut();
                 let mut cache = self.cache.borrow_mut();
-                let r = bc_machine::cek_s::run_in(&self.lambda_s, &mut arena, &mut cache, fuel);
+                let r = bc_machine::cek_s::run_compiled_in(
+                    &self.lambda_s_compiled,
+                    &mut arena,
+                    &mut cache,
+                    fuel,
+                );
                 RunReport {
                     observation: r.outcome.to_observation(),
                     steps: r.metrics.steps,
@@ -220,6 +253,30 @@ impl Compiled {
         let arena = self.arena.borrow();
         let cache = self.cache.borrow();
         (arena.len(), cache.len(), cache.stats())
+    }
+
+    /// How much type interning/memoization this program has
+    /// accumulated: `(distinct type nodes, query stats)`.
+    pub fn type_stats(&self) -> (usize, QueryStats) {
+        let types = self.types.borrow();
+        (types.len(), types.query_stats())
+    }
+
+    /// Renders the compiled λS IR in the paper grammar (resolved
+    /// through this program's own arenas — the only arenas its ids
+    /// are meaningful in).
+    pub fn display_compiled(&self) -> String {
+        self.lambda_s_compiled
+            .display(&self.arena.borrow(), &self.types.borrow())
+    }
+
+    /// The size (syntax nodes, with each interned handle counting as
+    /// one) and number of boundary crossings of the compiled IR.
+    pub fn compiled_stats(&self) -> (usize, usize) {
+        (
+            self.lambda_s_compiled.size(),
+            self.lambda_s_compiled.coercion_nodes(),
+        )
     }
 
     /// Explains a blame label as a source-level diagnostic, when the
@@ -274,6 +331,40 @@ mod tests {
         );
         assert!(stats.hits > stats_after_first.hits);
         assert!(distinct > 0 && pairs > 0);
+    }
+
+    #[test]
+    fn machine_s_boundary_crossings_never_reintern() {
+        // Acceptance criterion of the compiled IR: a MachineS run of a
+        // compiled program performs zero tree interning — boundary
+        // crossings are id loads — on the first run and every run
+        // after.
+        let compiled = Compiled::compile(
+            "letrec loop (n : Int) : Bool = \
+               if n = 0 then true else ((loop : ?) : Int -> Bool) (n - 1) \
+             in loop 512",
+        )
+        .expect("compiles");
+        for round in 0..3 {
+            let report = compiled.run(Engine::MachineS, 10_000_000);
+            let reuse = report.metrics.expect("machines report metrics").reuse;
+            assert_eq!(
+                reuse.tree_interns, 0,
+                "round {round} re-interned a coercion tree"
+            );
+            if round > 0 {
+                // Warm rounds add no nodes and compose nothing
+                // structurally.
+                assert_eq!(reuse.node_misses, 0, "round {round}");
+                assert_eq!(reuse.compose_misses, 0, "round {round}");
+                assert!(reuse.compose_hits > 0, "round {round}");
+            }
+        }
+        let (type_nodes, _) = compiled.type_stats();
+        assert!(type_nodes > 0, "annotations were interned at compile time");
+        let (ir_size, crossings) = compiled.compiled_stats();
+        assert!(ir_size > 0 && crossings > 0);
+        assert!(!compiled.display_compiled().is_empty());
     }
 
     #[test]
