@@ -3,7 +3,7 @@
 //! sources.
 
 use bc_bench::{boundary_source, static_source};
-use blame_coercion::{Compiled, Engine};
+use blame_coercion::{Engine, Session};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -15,18 +15,22 @@ fn bench_end_to_end(c: &mut Criterion) {
         ("boundary", boundary_source(256)),
     ] {
         group.bench_with_input(BenchmarkId::new("compile", name), &source, |b, src| {
-            b.iter(|| black_box(Compiled::compile(black_box(src)).expect("compiles")))
+            b.iter(|| {
+                let session = Session::new();
+                black_box(session.compile(black_box(src)).expect("compiles"))
+            })
         });
-        let compiled = Compiled::compile(&source).expect("compiles");
+        let session = Session::builder().default_fuel(u64::MAX).build();
+        let compiled = session.compile(&source).expect("compiles");
         group.bench_with_input(
             BenchmarkId::new("run_machine_s", name),
             &compiled,
-            |b, p| b.iter(|| black_box(p.run(Engine::MachineS, u64::MAX))),
+            |b, p| b.iter(|| black_box(session.run(p, Engine::MachineS).expect("terminates"))),
         );
         group.bench_with_input(
             BenchmarkId::new("run_machine_b", name),
             &compiled,
-            |b, p| b.iter(|| black_box(p.run(Engine::MachineB, u64::MAX))),
+            |b, p| b.iter(|| black_box(session.run(p, Engine::MachineB).expect("terminates"))),
         );
     }
     group.finish();

@@ -1,0 +1,78 @@
+//! The session-reuse benchmark: cold per-program sessions versus one
+//! warm shared session for a 16-program batch.
+//!
+//! The session API's whole premise is that a server compiling many
+//! structurally similar gradually-typed programs should pay the
+//! interning/memoization bill once, not once per program. Two groups
+//! quantify it on a batch of 16 boundary-crossing loops (identical
+//! casts and types, different loop bounds):
+//!
+//! * `compile_batch` — `cold` creates a fresh [`Session`] for every
+//!   program (the pre-session architecture: per-program arenas);
+//!   `warm` compiles the whole batch into one session, so programs
+//!   2..16 intern nothing.
+//! * `compile_and_run_batch` — the same comparison with each program
+//!   also executed on the λS machine, so the shared compose cache's
+//!   warm merges count too.
+
+use bc_bench::boundary_source;
+use blame_coercion::{Engine, Session};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const BATCH: usize = 16;
+
+fn batch_sources() -> Vec<String> {
+    (0..BATCH as i64).map(|i| boundary_source(32 + i)).collect()
+}
+
+fn bench_session_reuse(c: &mut Criterion) {
+    let sources = batch_sources();
+    let mut group = c.benchmark_group("session_reuse");
+    group.sample_size(10);
+
+    group.bench_function("compile_batch/cold", |b| {
+        b.iter(|| {
+            for src in &sources {
+                let session = Session::new();
+                black_box(session.compile(black_box(src)).expect("compiles"));
+            }
+        })
+    });
+    group.bench_function("compile_batch/warm", |b| {
+        b.iter(|| {
+            let session = Session::new();
+            black_box(
+                session
+                    .compile_batch(sources.iter().map(String::as_str))
+                    .expect("compiles"),
+            );
+        })
+    });
+
+    group.bench_function("compile_and_run_batch/cold", |b| {
+        b.iter(|| {
+            for src in &sources {
+                let session = Session::builder().default_fuel(u64::MAX).build();
+                let program = session.compile(black_box(src)).expect("compiles");
+                black_box(session.run(&program, Engine::MachineS).expect("terminates"));
+            }
+        })
+    });
+    group.bench_function("compile_and_run_batch/warm", |b| {
+        b.iter(|| {
+            let session = Session::builder().default_fuel(u64::MAX).build();
+            let programs = session
+                .compile_batch(sources.iter().map(String::as_str))
+                .expect("compiles");
+            for program in &programs {
+                black_box(session.run(program, Engine::MachineS).expect("terminates"));
+            }
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_session_reuse);
+criterion_main!(benches);

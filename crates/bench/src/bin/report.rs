@@ -13,7 +13,7 @@ use bc_lambda_b::programs;
 use bc_machine::{cek_b, cek_c, cek_s};
 use bc_translate::bisim::{aligned_cs, lockstep_bc};
 use bc_translate::{term_b_to_c, term_c_to_s};
-use blame_coercion::{Compiled, Engine};
+use blame_coercion::{Engine, Session};
 
 fn main() {
     space_table();
@@ -157,12 +157,13 @@ fn end_to_end_table() {
     println!("## E20 — end-to-end pipeline (compiled boundary loop, n = 512)");
     println!();
     let source = boundary_source(512);
-    let compiled = Compiled::compile(&source).expect("compiles");
+    let session = Session::builder().default_fuel(u64::MAX).build();
+    let compiled = session.compile(&source).expect("compiles");
     println!("| engine | steps | peak frames | peak coercion frames | µs |");
     println!("|--------|-------|-------------|----------------------|-----|");
     for engine in [Engine::MachineB, Engine::MachineC, Engine::MachineS] {
         let t0 = Instant::now();
-        let report = compiled.run(engine, u64::MAX);
+        let report = session.run(&compiled, engine).expect("terminates");
         let us = t0.elapsed().as_micros();
         let metrics = report.metrics.expect("machine engines report metrics");
         println!(

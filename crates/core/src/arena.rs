@@ -60,11 +60,11 @@
 //! assert_eq!(cache.stats().hits, 1);
 //! ```
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 
-use bc_syntax::{BaseType, Ground, Label, Type};
+use bc_syntax::{BaseType, ClockMap, Ground, Label, Type};
 
 use crate::coercion::{GroundCoercion, Intermediate, SpaceCoercion};
 
@@ -210,15 +210,6 @@ pub struct CacheStats {
     pub evictions: u64,
 }
 
-/// A memoized pair with its second-chance reference bit.
-#[derive(Debug, Clone, Copy)]
-struct CacheEntry {
-    result: CoercionId,
-    /// Set on every hit; a set bit buys the entry one extra trip
-    /// around the eviction clock.
-    referenced: bool,
-}
-
 /// A memo table for interned composition, keyed on the id pair, with
 /// size-capped **second-chance eviction**.
 ///
@@ -229,16 +220,14 @@ struct CacheEntry {
 /// # Eviction
 ///
 /// The cache holds at most [`ComposeCache::capacity`] pairs (default
-/// [`ComposeCache::DEFAULT_CAPACITY`]). Inserting beyond that runs the
-/// classic clock sweep: the oldest pair is evicted unless it was hit
-/// since its last inspection, in which case its reference bit is
-/// cleared and it is given a second chance at the back of the queue.
-/// Program coercions have bounded height and therefore bounded
-/// distinct pairs, so steady-state workloads never evict; the cap
-/// exists for long-lived multi-tenant servers interning adversarial
-/// inputs, where the working set must not grow without bound.
-/// Eviction is *safe*: a dropped pair is simply recomputed (and
-/// re-cached) on next use.
+/// [`ComposeCache::DEFAULT_CAPACITY`]), evicted by the shared
+/// second-chance [`ClockMap`] (the same engine behind the
+/// `TypeArena` verdict tables). Program coercions have bounded height
+/// and therefore bounded distinct pairs, so steady-state workloads
+/// never evict; the cap exists for long-lived multi-tenant servers
+/// interning adversarial inputs, where the working set must not grow
+/// without bound. Eviction is *safe*: a dropped pair is simply
+/// recomputed (and re-cached) on next use.
 ///
 /// A cache binds to the first arena it is used with: replaying it
 /// against a *different* arena would answer lookups with ids from the
@@ -246,11 +235,8 @@ struct CacheEntry {
 /// [`CoercionArena::compose`] panics on the mismatch instead.
 #[derive(Debug, Clone)]
 pub struct ComposeCache {
-    map: HashMap<(CoercionId, CoercionId), CacheEntry>,
-    /// Insertion-ordered keys forming the second-chance clock queue
-    /// (every map key appears exactly once).
-    clock: VecDeque<(CoercionId, CoercionId)>,
-    capacity: usize,
+    /// Memoized pairs behind the shared second-chance eviction engine.
+    pairs: ClockMap<(CoercionId, CoercionId), CoercionId>,
     stats: CacheStats,
     /// Generation of the arena this cache's ids belong to (bound on
     /// first use).
@@ -283,9 +269,7 @@ impl ComposeCache {
     pub fn with_capacity(capacity: usize) -> ComposeCache {
         assert!(capacity > 0, "ComposeCache capacity must be at least 1");
         ComposeCache {
-            map: HashMap::new(),
-            clock: VecDeque::new(),
-            capacity,
+            pairs: ClockMap::with_capacity(capacity),
             stats: CacheStats::default(),
             owner: None,
         }
@@ -293,72 +277,37 @@ impl ComposeCache {
 
     /// The maximum number of memoized pairs.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.pairs.capacity()
     }
 
     /// Number of memoized pairs.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.pairs.len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.pairs.is_empty()
     }
 
     /// Hit/miss/eviction counters so far.
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        CacheStats {
+            evictions: self.pairs.evictions(),
+            ..self.stats
+        }
     }
 
     /// Looks up a memoized pair, marking it recently used.
     fn lookup(&mut self, key: (CoercionId, CoercionId)) -> Option<CoercionId> {
-        let entry = self.map.get_mut(&key)?;
-        entry.referenced = true;
-        Some(entry.result)
+        self.pairs.lookup(&key)
     }
 
     /// Inserts a freshly computed pair, evicting per second-chance if
-    /// the cache is full. New entries are admitted with their
-    /// reference bit *set*, so a cache saturated with hot pairs still
-    /// admits them (the sweep clears the bit once before it can evict
-    /// — without this, the just-inserted unreferenced entry would be
-    /// the sweep's first victim and hot caches would never take new
-    /// pairs).
+    /// the cache is full (see [`ClockMap::insert`] for the admission
+    /// and recursive-reinsert subtleties).
     fn insert(&mut self, key: (CoercionId, CoercionId), result: CoercionId) {
-        if self
-            .map
-            .insert(
-                key,
-                CacheEntry {
-                    result,
-                    referenced: true,
-                },
-            )
-            .is_some()
-        {
-            // Key already queued (recursive composition re-inserted
-            // an inner pair); the clock entry stays where it is.
-            return;
-        }
-        self.clock.push_back(key);
-        while self.map.len() > self.capacity {
-            let k = self
-                .clock
-                .pop_front()
-                .expect("clock queue tracks every cached pair");
-            match self.map.get_mut(&k) {
-                Some(e) if e.referenced => {
-                    e.referenced = false;
-                    self.clock.push_back(k);
-                }
-                Some(_) => {
-                    self.map.remove(&k);
-                    self.stats.evictions += 1;
-                }
-                None => unreachable!("clock queue held a key the map does not"),
-            }
-        }
+        self.pairs.insert(key, result);
     }
 }
 

@@ -50,6 +50,21 @@ impl Diagnostic {
         }
     }
 
+    /// Creates a diagnostic with no source location — for errors
+    /// raised past the front end (e.g. run-path type errors on
+    /// calculus terms, which carry no spans). [`Diagnostic::render`]
+    /// and `Display` omit the location for these instead of pointing
+    /// at unrelated text.
+    pub fn unlocated(message: impl Into<String>) -> Diagnostic {
+        Diagnostic::new(message, Span::point(0))
+    }
+
+    /// Whether this diagnostic carries no source location (a
+    /// zero-width span at the very start locates nothing).
+    pub fn is_unlocated(&self) -> bool {
+        self.span.start == 0 && self.span.end == 0
+    }
+
     /// Renders the diagnostic against the source text, with a caret
     /// line pointing at the offending span:
     ///
@@ -60,6 +75,9 @@ impl Diagnostic {
     ///   |      ^^^
     /// ```
     pub fn render(&self, source: &str) -> String {
+        if self.is_unlocated() {
+            return format!("error: {}", self.message);
+        }
         let (line_no, col, line) = locate(source, self.span.start);
         let width = self.span.end.saturating_sub(self.span.start).max(1);
         let width = width.min(line.len().saturating_sub(col).max(1));
@@ -76,6 +94,9 @@ impl Diagnostic {
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_unlocated() {
+            return write!(f, "error: {}", self.message);
+        }
         write!(
             f,
             "error at {}..{}: {}",
@@ -124,6 +145,18 @@ mod tests {
         assert!(rendered.contains("error: expected `then`"));
         assert!(rendered.contains("2 | if x els y"));
         assert!(rendered.contains("^^^"));
+    }
+
+    #[test]
+    fn unlocated_diagnostics_claim_no_position() {
+        let d = Diagnostic::unlocated("term has the wrong type");
+        assert!(d.is_unlocated());
+        assert_eq!(d.to_string(), "error: term has the wrong type");
+        let rendered = d.render("let x = 1 in x");
+        assert!(
+            !rendered.contains('^'),
+            "no caret may point at unrelated text:\n{rendered}"
+        );
     }
 
     #[test]

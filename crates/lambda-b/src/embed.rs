@@ -137,7 +137,7 @@ fn embed_env(term: &UntypedTerm, labels: &mut LabelSupply, fix_vars: &mut HashSe
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::eval::{run, Outcome};
+    use crate::eval::{run, Outcome, RunError};
     use crate::typing::{type_of_in, TypeEnv};
     use bc_syntax::{Constant, Op};
 
@@ -218,7 +218,11 @@ mod tests {
             UntypedTerm::app(UntypedTerm::var("x"), UntypedTerm::var("x")),
         );
         let omega = UntypedTerm::app(half.clone(), half);
-        assert_eq!(eval_embedded(&omega, 500), Outcome::Timeout);
+        let m = embed(&omega, &mut LabelSupply::new());
+        assert!(matches!(
+            run(&m, 500),
+            Err(RunError::FuelExhausted { steps: 500, .. })
+        ));
     }
 
     #[test]

@@ -10,7 +10,11 @@
 //! fuel bound (the divergence proxy) and records space metrics: the
 //! peak term size and peak number of cast nodes. These are the
 //! quantities that grow without bound in the space-leak examples of
-//! §1 and stay bounded in λS.
+//! §1 and stay bounded in λS. Ill-typed input and fuel exhaustion are
+//! reported as the typed [`RunError`], never as panics or sentinel
+//! outcomes.
+
+use std::fmt;
 
 use bc_syntax::{Constant, Label, Type};
 
@@ -29,21 +33,64 @@ pub enum Step {
     Blame(Label),
 }
 
-/// The final outcome of evaluating a term.
+/// The final outcome of evaluating a term: every λB evaluation that
+/// completes either converges to a value or allocates blame. Fuel
+/// exhaustion is *not* an outcome — [`run`] reports it as the typed
+/// error [`RunError::FuelExhausted`], so callers can never mistake a
+/// truncated run for a completed one.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Outcome {
     /// Evaluation converged to a value.
     Value(Term),
     /// Evaluation allocated blame to a label.
     Blame(Label),
-    /// Fuel was exhausted (the term may diverge).
-    Timeout,
 }
 
 impl Outcome {
     /// Whether this outcome is a value.
     pub fn is_value(&self) -> bool {
         matches!(self, Outcome::Value(_))
+    }
+}
+
+/// Why a fueled run produced no [`Outcome`] — the typed replacement
+/// for the `.expect("compiled well typed")` / sentinel-timeout pattern
+/// on the run path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// The term is not closed and well typed; Figure 1's reduction
+    /// rules are only defined on well-typed terms.
+    IllTyped(TypeError),
+    /// The fuel bound was reached; the term may diverge.
+    FuelExhausted {
+        /// Steps actually taken before fuel ran out (equals the fuel
+        /// bound handed to [`run`]).
+        steps: u64,
+        /// The largest term size observed up to the cutoff — the
+        /// truncated run's space measurement, so the λB cast-growth
+        /// leak stays measurable on genuinely diverging programs.
+        peak_size: usize,
+        /// The largest number of cast nodes observed up to the cutoff.
+        peak_casts: usize,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::IllTyped(e) => write!(f, "ill-typed program: {e}"),
+            RunError::FuelExhausted { steps, .. } => {
+                write!(f, "fuel exhausted after {steps} steps")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<TypeError> for RunError {
+    fn from(e: TypeError) -> RunError {
+        RunError::IllTyped(e)
     }
 }
 
@@ -245,8 +292,11 @@ fn cast_value(value: &Term, cast: &Cast) -> Sub {
 ///
 /// # Errors
 ///
-/// Returns the [`TypeError`] if the term is not closed and well typed.
-pub fn run(term: &Term, fuel: u64) -> Result<Run, TypeError> {
+/// Returns [`RunError::IllTyped`] if the term is not closed and well
+/// typed, and [`RunError::FuelExhausted`] (carrying the steps actually
+/// taken) if the fuel bound is reached — ill-typedness and divergence
+/// are distinguishable without inspecting a sentinel outcome.
+pub fn run(term: &Term, fuel: u64) -> Result<Run, RunError> {
     let ty = type_of(term)?;
     let mut current = term.clone();
     let mut steps = 0u64;
@@ -271,18 +321,20 @@ pub fn run(term: &Term, fuel: u64) -> Result<Run, TypeError> {
                 })
             }
             Step::Next(next) => {
-                steps += 1;
-                peak_size = peak_size.max(next.size());
-                peak_casts = peak_casts.max(next.cast_count());
-                current = next;
+                // Charge fuel *before* committing the step, so a
+                // zero-fuel run reports zero steps (values still
+                // complete at any fuel: Step::Value returns above).
                 if steps >= fuel {
-                    return Ok(Run {
-                        outcome: Outcome::Timeout,
+                    return Err(RunError::FuelExhausted {
                         steps,
                         peak_size,
                         peak_casts,
                     });
                 }
+                steps += 1;
+                peak_size = peak_size.max(next.size());
+                peak_casts = peak_casts.max(next.cast_count());
+                current = next;
             }
         }
     }
@@ -436,7 +488,7 @@ mod tests {
     }
 
     #[test]
-    fn divergence_times_out() {
+    fn divergence_exhausts_fuel_with_the_real_step_count() {
         // (fix f (n:Int):Int. f n) 0 diverges.
         let t = Term::fix(
             "f",
@@ -446,9 +498,30 @@ mod tests {
             Term::var("f").app(Term::var("n")),
         )
         .app(Term::int(0));
-        let r = run(&t, 50).unwrap();
-        assert_eq!(r.outcome, Outcome::Timeout);
-        assert_eq!(r.steps, 50);
+        match run(&t, 50) {
+            Err(RunError::FuelExhausted {
+                steps, peak_size, ..
+            }) => {
+                assert_eq!(steps, 50);
+                assert!(peak_size > 0, "the truncated run reports its space peaks");
+            }
+            other => panic!("expected FuelExhausted, got {other:?}"),
+        }
+        // Zero fuel charges zero steps (but a value still completes).
+        assert!(matches!(
+            run(&t, 0),
+            Err(RunError::FuelExhausted { steps: 0, .. })
+        ));
+        assert!(run(&Term::int(1), 0).is_ok());
+    }
+
+    #[test]
+    fn ill_typed_terms_report_a_typed_error() {
+        let t = Term::int(1).app(Term::int(2));
+        match run(&t, 50) {
+            Err(RunError::IllTyped(_)) => {}
+            other => panic!("expected IllTyped, got {other:?}"),
+        }
     }
 
     #[test]

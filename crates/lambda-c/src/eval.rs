@@ -18,6 +18,8 @@
 //! applications) where λS *assembles them* — this is exactly the
 //! difference the bisimulation of §4.1 mediates.
 
+use std::fmt;
+
 use bc_syntax::{Constant, Label, Type};
 
 use crate::coercion::Coercion;
@@ -36,15 +38,50 @@ pub enum Step {
     Blame(Label),
 }
 
-/// The final outcome of evaluating a term.
+/// The final outcome of evaluating a term. Fuel exhaustion is not an
+/// outcome — [`run`] reports it as [`RunError::FuelExhausted`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum Outcome {
     /// Evaluation converged to a value.
     Value(Term),
     /// Evaluation allocated blame.
     Blame(Label),
-    /// Fuel was exhausted.
-    Timeout,
+}
+
+/// Why a fueled run produced no [`Outcome`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// The term is not closed and well typed.
+    IllTyped(TypeError),
+    /// The fuel bound was reached; the term may diverge.
+    FuelExhausted {
+        /// Steps actually taken before fuel ran out.
+        steps: u64,
+        /// The largest term size observed up to the cutoff.
+        peak_size: usize,
+        /// The largest total coercion size observed up to the cutoff —
+        /// the truncated run's space measurement.
+        peak_coercion_size: usize,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::IllTyped(e) => write!(f, "ill-typed program: {e}"),
+            RunError::FuelExhausted { steps, .. } => {
+                write!(f, "fuel exhausted after {steps} steps")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<TypeError> for RunError {
+    fn from(e: TypeError) -> RunError {
+        RunError::IllTyped(e)
+    }
 }
 
 /// Metrics and result of a fueled run.
@@ -194,8 +231,10 @@ fn coerce_value(value: &Term, c: &Coercion) -> Sub {
 ///
 /// # Errors
 ///
-/// Returns the [`TypeError`] if the term is not closed and well typed.
-pub fn run(term: &Term, fuel: u64) -> Result<Run, TypeError> {
+/// Returns [`RunError::IllTyped`] if the term is not closed and well
+/// typed, and [`RunError::FuelExhausted`] (carrying the steps actually
+/// taken) if the fuel bound is reached.
+pub fn run(term: &Term, fuel: u64) -> Result<Run, RunError> {
     let ty = type_of(term)?;
     let mut current = term.clone();
     let mut steps = 0u64;
@@ -220,18 +259,20 @@ pub fn run(term: &Term, fuel: u64) -> Result<Run, TypeError> {
                 })
             }
             Step::Next(next) => {
-                steps += 1;
-                peak_size = peak_size.max(next.size());
-                peak_coercion_size = peak_coercion_size.max(next.coercion_size());
-                current = next;
+                // Charge fuel *before* committing the step, so a
+                // zero-fuel run reports zero steps (values still
+                // complete at any fuel: Step::Value returns above).
                 if steps >= fuel {
-                    return Ok(Run {
-                        outcome: Outcome::Timeout,
+                    return Err(RunError::FuelExhausted {
                         steps,
                         peak_size,
                         peak_coercion_size,
                     });
                 }
+                steps += 1;
+                peak_size = peak_size.max(next.size());
+                peak_coercion_size = peak_coercion_size.max(next.coercion_size());
+                current = next;
             }
         }
     }

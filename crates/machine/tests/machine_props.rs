@@ -4,7 +4,7 @@
 
 use bc_machine::{cek_b, cek_c, cek_s};
 use bc_testkit::Gen;
-use bc_translate::bisim::{observe_b, observe_c, observe_s, Observation};
+use bc_translate::bisim::{observe_run_b, observe_run_c, observe_run_s, Observation};
 use bc_translate::{term_b_to_c, term_c_to_s};
 use proptest::prelude::*;
 
@@ -20,15 +20,15 @@ proptest! {
         let ty = gen.ty(1);
         let m = gen.term_b(&ty, 4);
 
-        let small_b = observe_b(&bc_lambda_b::eval::run(&m, FUEL).unwrap().outcome);
+        let small_b = observe_run_b(&m, FUEL);
         let mach_b = cek_b::run(&m, FUEL).outcome.to_observation();
 
         let mc = term_b_to_c(&m);
-        let small_c = observe_c(&bc_lambda_c::eval::run(&mc, FUEL).unwrap().outcome);
+        let small_c = observe_run_c(&mc, FUEL);
         let mach_c = cek_c::run(&mc, FUEL).outcome.to_observation();
 
         let ms = term_c_to_s(&mc);
-        let small_s = observe_s(&bc_core::eval::run(&ms, FUEL).unwrap().outcome);
+        let small_s = observe_run_s(&ms, FUEL);
         let mach_s = cek_s::run(&ms, FUEL).outcome.to_observation();
 
         // Timeouts may land at different step counts between a

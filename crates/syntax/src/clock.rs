@@ -1,0 +1,221 @@
+//! A size-capped map with **second-chance (clock) eviction** — the
+//! shared eviction engine behind every memo table in the workspace.
+//!
+//! Both the coercion `ComposeCache` (in `bc_core::arena`) and the
+//! [`TypeArena`](crate::intern::TypeArena) verdict tables memoize
+//! recompute-safe answers keyed on small `Copy` ids, and both need the
+//! same protection: a single program's working set is bounded, but a
+//! long-lived multi-tenant server interning adversarial inputs is not,
+//! so the table must cap its residency without ever changing an
+//! answer. This module implements that policy once.
+//!
+//! # The policy
+//!
+//! The map holds at most `capacity` entries. Every hit sets the
+//! entry's *reference bit*. Inserting beyond capacity runs the classic
+//! clock sweep over insertion order: the oldest entry is evicted
+//! unless its bit is set, in which case the bit is cleared and the
+//! entry goes around again (its "second chance"). Two subtleties the
+//! tests pin down:
+//!
+//! * **New entries are admitted with their bit set** — otherwise a
+//!   cache saturated with hot entries would evict each newcomer
+//!   immediately (the just-inserted, unreferenced entry would be the
+//!   sweep's first victim) and never take new work.
+//! * **Re-inserting a present key leaves the clock untouched** —
+//!   recursive memoization (an outer computation re-inserting an inner
+//!   key) must not duplicate clock slots, or the queue and map would
+//!   disagree about residency.
+//!
+//! Eviction is only *safe* for recompute-safe values: a dropped entry
+//! is recomputed (and re-cached) on next use. Callers own their own
+//! hit/miss counters; the map counts [`ClockMap::evictions`].
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+
+/// A stored value with its second-chance reference bit.
+#[derive(Debug, Clone, Copy)]
+struct ClockEntry<V> {
+    value: V,
+    /// Set on every hit; a set bit buys the entry one extra trip
+    /// around the eviction clock.
+    referenced: bool,
+}
+
+/// A bounded memo map evicting by the second-chance (clock) policy.
+///
+/// See the [module docs](self) for the policy and its invariants.
+#[derive(Debug, Clone)]
+pub struct ClockMap<K, V> {
+    map: HashMap<K, ClockEntry<V>>,
+    /// Insertion-ordered keys forming the clock queue (every map key
+    /// appears exactly once).
+    clock: VecDeque<K>,
+    capacity: usize,
+    evictions: u64,
+}
+
+impl<K: Copy + Eq + Hash, V: Copy> ClockMap<K, V> {
+    /// An empty map holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (a map that cannot hold a single
+    /// entry would make every lookup a miss *and* every insert an
+    /// eviction).
+    pub fn with_capacity(capacity: usize) -> ClockMap<K, V> {
+        assert!(capacity > 0, "ClockMap capacity must be at least 1");
+        ClockMap {
+            map: HashMap::new(),
+            clock: VecDeque::new(),
+            capacity,
+            evictions: 0,
+        }
+    }
+
+    /// The maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of entries currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Entries evicted by the clock sweep so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Looks up an entry, marking it recently used.
+    pub fn lookup(&mut self, key: &K) -> Option<V> {
+        let entry = self.map.get_mut(key)?;
+        entry.referenced = true;
+        Some(entry.value)
+    }
+
+    /// Inserts a freshly computed entry, evicting per second-chance if
+    /// the map is full. New entries are admitted with their reference
+    /// bit *set* (see the [module docs](self)).
+    pub fn insert(&mut self, key: K, value: V) {
+        if self
+            .map
+            .insert(
+                key,
+                ClockEntry {
+                    value,
+                    referenced: true,
+                },
+            )
+            .is_some()
+        {
+            // Key already queued (a recursive computation re-inserted
+            // an inner key); the clock entry stays where it is.
+            return;
+        }
+        self.clock.push_back(key);
+        while self.map.len() > self.capacity {
+            let k = self
+                .clock
+                .pop_front()
+                .expect("clock queue tracks every stored entry");
+            match self.map.get_mut(&k) {
+                Some(e) if e.referenced => {
+                    e.referenced = false;
+                    self.clock.push_back(k);
+                }
+                Some(_) => {
+                    self.map.remove(&k);
+                    self.evictions += 1;
+                }
+                None => unreachable!("clock queue held a key the map does not"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_returns_what_insert_stored() {
+        let mut m: ClockMap<u32, u32> = ClockMap::with_capacity(4);
+        assert!(m.is_empty());
+        m.insert(1, 10);
+        m.insert(2, 20);
+        assert_eq!(m.lookup(&1), Some(10));
+        assert_eq!(m.lookup(&2), Some(20));
+        assert_eq!(m.lookup(&3), None);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.capacity(), 4);
+    }
+
+    #[test]
+    fn residency_never_exceeds_capacity() {
+        let mut m: ClockMap<u32, u32> = ClockMap::with_capacity(4);
+        for k in 0..64 {
+            m.insert(k, k);
+        }
+        assert!(m.len() <= 4, "grew to {}", m.len());
+        assert!(m.evictions() > 0);
+    }
+
+    #[test]
+    fn hot_entries_survive_cold_churn() {
+        let mut m: ClockMap<u32, u32> = ClockMap::with_capacity(8);
+        m.insert(1000, 1);
+        let mut hot_losses = 0;
+        for k in 0..16 {
+            if m.lookup(&1000).is_none() {
+                hot_losses += 1;
+                m.insert(1000, 1);
+            }
+            m.insert(k, k);
+        }
+        assert!(hot_losses <= 4, "hot entry evicted {hot_losses} times");
+    }
+
+    #[test]
+    fn reinserting_a_present_key_does_not_duplicate_clock_slots() {
+        let mut m: ClockMap<u32, u32> = ClockMap::with_capacity(2);
+        m.insert(1, 1);
+        m.insert(1, 2); // overwrite in place
+        assert_eq!(m.lookup(&1), Some(2));
+        assert_eq!(m.len(), 1);
+        // Filling past capacity still terminates and stays capped (a
+        // duplicated clock slot would break the sweep's accounting).
+        for k in 2..20 {
+            m.insert(k, k);
+        }
+        assert!(m.len() <= 2);
+    }
+
+    #[test]
+    fn newcomers_are_admitted_to_a_hot_map() {
+        let mut m: ClockMap<u32, u32> = ClockMap::with_capacity(2);
+        m.insert(1, 1);
+        m.insert(2, 2);
+        m.lookup(&1);
+        m.lookup(&2);
+        m.insert(3, 3);
+        assert_eq!(
+            m.lookup(&3),
+            Some(3),
+            "newcomer must not be the first victim"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn zero_capacity_is_rejected() {
+        let _: ClockMap<u32, u32> = ClockMap::with_capacity(0);
+    }
+}

@@ -59,6 +59,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use crate::clock::ClockMap;
 use crate::label::Label;
 use crate::types::{BaseType, Ground, Type};
 
@@ -106,7 +107,7 @@ struct TypeMeta {
     as_ground: Option<Ground>,
 }
 
-/// Hit/miss counters for the memoized relational queries of a
+/// Hit/miss/eviction counters for the memoized relational queries of a
 /// [`TypeArena`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct QueryStats {
@@ -114,11 +115,16 @@ pub struct QueryStats {
     pub hits: u64,
     /// Queries computed structurally (then memoized).
     pub misses: u64,
+    /// Memoized verdicts evicted by the second-chance policy.
+    pub evictions: u64,
 }
 
-/// The four relations of Figure 2, as memo-table tags.
+/// The five memoized relations — `∼` plus the four subtyping
+/// relations of Figure 2 — as memo-table tags.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum Rel {
+    /// Compatibility `A ∼ B` (keys canonically ordered: symmetric).
+    Compat,
     /// Ordinary subtyping `A <: B`.
     Sub,
     /// Positive subtyping `A <:+ B`.
@@ -137,27 +143,62 @@ enum Rel {
 /// memo tables live *inside* the arena — they hold only booleans, so
 /// there is no foreign-id hazard to guard against and no reason to let
 /// callers manage their lifetime separately.
+///
+/// # Verdict eviction
+///
+/// The verdict table holds at most [`TypeArena::memo_capacity`]
+/// entries (default [`TypeArena::DEFAULT_MEMO_CAPACITY`]), evicted by
+/// the same second-chance [`ClockMap`] the coercion `ComposeCache`
+/// uses. Verdicts are recompute-safe booleans, so eviction can never
+/// change an answer — it only turns a would-be hit into a
+/// recomputation. Single-program workloads ask O(program types²)
+/// distinct questions and never evict; the cap protects a long-lived
+/// multi-tenant session from unbounded O(n²) pair growth across five
+/// relations.
 #[derive(Debug, Clone)]
 pub struct TypeArena {
     nodes: Vec<TNode>,
     meta: Vec<TypeMeta>,
     index: HashMap<TNode, TypeId>,
-    /// Memoized `A ∼ B` verdicts (stored with `a <= b`: compatibility
-    /// is symmetric, so one entry serves both orders).
-    compat: HashMap<(TypeId, TypeId), bool>,
-    /// Memoized subtyping verdicts, tagged by relation (not symmetric).
-    sub: HashMap<(Rel, TypeId, TypeId), bool>,
+    /// Memoized verdicts of all five relations, tagged by [`Rel`]
+    /// (compatibility keys are stored with `a <= b`: the relation is
+    /// symmetric, so one entry serves both orders), behind the shared
+    /// second-chance eviction engine.
+    memo: ClockMap<(Rel, TypeId, TypeId), bool>,
     stats: QueryStats,
 }
 
 impl Default for TypeArena {
     fn default() -> TypeArena {
+        TypeArena::with_memo_capacity(TypeArena::DEFAULT_MEMO_CAPACITY)
+    }
+}
+
+impl TypeArena {
+    /// The default verdict cap: far above any single program's working
+    /// set, yet a hard ceiling on a server answering subtyping
+    /// questions for unboundedly many tenants.
+    pub const DEFAULT_MEMO_CAPACITY: usize = 1 << 20;
+
+    /// An empty arena (with the leaf types `?`, `Int`, `Bool`
+    /// pre-interned).
+    pub fn new() -> TypeArena {
+        TypeArena::default()
+    }
+
+    /// An empty arena whose verdict tables hold at most `capacity`
+    /// memoized entries (across all five relations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (a table that cannot hold a single
+    /// verdict would make every query a miss *and* an eviction).
+    pub fn with_memo_capacity(capacity: usize) -> TypeArena {
         let mut arena = TypeArena {
             nodes: Vec::new(),
             meta: Vec::new(),
             index: HashMap::new(),
-            compat: HashMap::new(),
-            sub: HashMap::new(),
+            memo: ClockMap::with_capacity(capacity),
             stats: QueryStats::default(),
         };
         // Pre-intern the leaves every program mentions, so the common
@@ -166,14 +207,6 @@ impl Default for TypeArena {
         arena.intern_node(TNode::Base(BaseType::Int));
         arena.intern_node(TNode::Base(BaseType::Bool));
         arena
-    }
-}
-
-impl TypeArena {
-    /// An empty arena (with the leaf types `?`, `Int`, `Bool`
-    /// pre-interned).
-    pub fn new() -> TypeArena {
-        TypeArena::default()
     }
 
     /// Number of distinct type nodes interned.
@@ -187,14 +220,22 @@ impl TypeArena {
         self.nodes.is_empty()
     }
 
-    /// Hit/miss counters of the memoized relational queries.
+    /// Hit/miss/eviction counters of the memoized relational queries.
     pub fn query_stats(&self) -> QueryStats {
-        self.stats
+        QueryStats {
+            evictions: self.memo.evictions(),
+            ..self.stats
+        }
     }
 
     /// Number of memoized relational verdicts currently stored.
     pub fn memo_len(&self) -> usize {
-        self.compat.len() + self.sub.len()
+        self.memo.len()
+    }
+
+    /// The maximum number of memoized verdicts.
+    pub fn memo_capacity(&self) -> usize {
+        self.memo.capacity()
     }
 
     /// Interns a node whose children are already interned, returning
@@ -362,8 +403,12 @@ impl TypeArena {
             return true;
         }
         // Compatibility is symmetric: canonicalise the key order.
-        let key = if a <= b { (a, b) } else { (b, a) };
-        if let Some(&r) = self.compat.get(&key) {
+        let key = if a <= b {
+            (Rel::Compat, a, b)
+        } else {
+            (Rel::Compat, b, a)
+        };
+        if let Some(r) = self.memo.lookup(&key) {
             self.stats.hits += 1;
             return r;
         }
@@ -375,7 +420,7 @@ impl TypeArena {
             }
             _ => false,
         };
-        self.compat.insert(key, r);
+        self.memo.insert(key, r);
         r
     }
 
@@ -421,13 +466,13 @@ impl TypeArena {
             self.stats.hits += 1;
             return true;
         }
-        if let Some(&r) = self.sub.get(&(rel, a, b)) {
+        if let Some(r) = self.memo.lookup(&(rel, a, b)) {
             self.stats.hits += 1;
             return r;
         }
         self.stats.misses += 1;
         let r = self.rel_uncached(rel, a, b);
-        self.sub.insert((rel, a, b), r);
+        self.memo.insert((rel, a, b), r);
         r
     }
 
@@ -439,6 +484,7 @@ impl TypeArena {
     fn rel_uncached(&mut self, rel: Rel, a: TypeId, b: TypeId) -> bool {
         let (na, nb) = (self.node(a), self.node(b));
         match rel {
+            Rel::Compat => unreachable!("compatibility goes through TypeArena::compatible"),
             Rel::Sub => match (na, nb) {
                 (TNode::Base(x), TNode::Base(y)) => x == y,
                 (TNode::Fun(a1, a2), TNode::Fun(b1, b2)) => {
@@ -614,5 +660,80 @@ mod tests {
         let t = Type::fun(Type::fun(Type::DYN, Type::INT), Type::BOOL);
         let id = arena.intern(&t);
         assert_eq!(arena.display(id), t.to_string());
+    }
+
+    /// A family of distinct function types (each asks a fresh verdict
+    /// question against `Int`).
+    fn distinct_funs(arena: &mut TypeArena, n: usize) -> Vec<TypeId> {
+        let mut ty = Type::fun(Type::INT, Type::INT);
+        let mut out = Vec::new();
+        for _ in 0..n {
+            out.push(arena.intern(&ty));
+            ty = Type::fun(ty, Type::INT);
+        }
+        out
+    }
+
+    #[test]
+    fn second_chance_eviction_caps_the_verdict_table() {
+        let mut arena = TypeArena::with_memo_capacity(4);
+        assert_eq!(arena.memo_capacity(), 4);
+        let int = arena.base(BaseType::Int);
+        for id in distinct_funs(&mut arena, 16) {
+            arena.compatible(id, int);
+            arena.naive_subtype(id, int);
+        }
+        assert!(arena.memo_len() <= 4, "table grew to {}", arena.memo_len());
+        assert!(
+            arena.query_stats().evictions > 0,
+            "filling past capacity must evict: {:?}",
+            arena.query_stats()
+        );
+    }
+
+    #[test]
+    fn evicted_verdicts_recompute_to_the_same_answer() {
+        let mut arena = TypeArena::with_memo_capacity(2);
+        let dyn_fun = arena.intern(&Type::dyn_fun());
+        let ii = arena.intern(&Type::fun(Type::INT, Type::INT));
+        let first = arena.subtype(ii, dyn_fun);
+        // Flush the table with unrelated questions…
+        let int = arena.base(BaseType::Int);
+        for id in distinct_funs(&mut arena, 12) {
+            arena.pos_subtype(id, int);
+        }
+        assert!(arena.query_stats().evictions > 0);
+        // …then the evicted verdict recomputes identically.
+        assert_eq!(arena.subtype(ii, dyn_fun), first);
+    }
+
+    #[test]
+    fn hot_verdicts_mostly_survive_the_clock_sweep() {
+        let mut arena = TypeArena::with_memo_capacity(8);
+        let int = arena.base(BaseType::Int);
+        let hot = arena.intern(&Type::fun(Type::INT, Type::BOOL));
+        arena.naive_subtype(hot, int);
+        let misses_after_hot = arena.query_stats().misses;
+        let rounds = 16usize;
+        for id in distinct_funs(&mut arena, rounds) {
+            // Touch the hot verdict between insertions: its reference
+            // bit keeps earning it second chances.
+            arena.naive_subtype(hot, int);
+            arena.naive_subtype(id, int);
+        }
+        let stats = arena.query_stats();
+        // Every cold question is a miss; of the hot touches, at most a
+        // couple may fall to the sweep's wrap.
+        let hot_misses = stats.misses - misses_after_hot - rounds as u64;
+        assert!(
+            hot_misses <= rounds as u64 / 4,
+            "hot verdict recomputed {hot_misses} times in {rounds} touches: {stats:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn zero_memo_capacity_is_rejected() {
+        TypeArena::with_memo_capacity(0);
     }
 }

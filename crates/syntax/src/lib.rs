@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod constant;
 pub mod fresh;
 pub mod intern;
@@ -47,6 +48,7 @@ pub mod subtype;
 pub mod types;
 pub mod untyped;
 
+pub use clock::ClockMap;
 pub use constant::Constant;
 pub use fresh::NameSupply;
 pub use intern::{TNode, TypeArena, TypeId};

@@ -60,7 +60,22 @@ pub fn observe_b(outcome: &lb::eval::Outcome) -> Observation {
     match outcome {
         lb::eval::Outcome::Value(v) => observe_b_value(v),
         lb::eval::Outcome::Blame(p) => Observation::Blame(*p),
-        lb::eval::Outcome::Timeout => Observation::Timeout,
+    }
+}
+
+/// Runs a λB term and observes the result, mapping fuel exhaustion to
+/// [`Observation::Timeout`] — the observation-level view of
+/// [`lb::eval::run`]'s typed result for Kleene-style comparisons
+/// (where a truncated run is a legitimate, comparable observation).
+///
+/// # Panics
+///
+/// Panics if the term is not closed and well typed.
+pub fn observe_run_b(term: &lb::Term, fuel: u64) -> Observation {
+    match lb::eval::run(term, fuel) {
+        Ok(r) => observe_b(&r.outcome),
+        Err(lb::eval::RunError::FuelExhausted { .. }) => Observation::Timeout,
+        Err(lb::eval::RunError::IllTyped(e)) => panic!("λB term is ill typed: {e}"),
     }
 }
 
@@ -85,7 +100,20 @@ pub fn observe_c(outcome: &lc::eval::Outcome) -> Observation {
     match outcome {
         lc::eval::Outcome::Value(v) => observe_c_value(v),
         lc::eval::Outcome::Blame(p) => Observation::Blame(*p),
-        lc::eval::Outcome::Timeout => Observation::Timeout,
+    }
+}
+
+/// Runs a λC term and observes the result, mapping fuel exhaustion to
+/// [`Observation::Timeout`] (see [`observe_run_b`]).
+///
+/// # Panics
+///
+/// Panics if the term is not closed and well typed.
+pub fn observe_run_c(term: &lc::Term, fuel: u64) -> Observation {
+    match lc::eval::run(term, fuel) {
+        Ok(r) => observe_c(&r.outcome),
+        Err(lc::eval::RunError::FuelExhausted { .. }) => Observation::Timeout,
+        Err(lc::eval::RunError::IllTyped(e)) => panic!("λC term is ill typed: {e}"),
     }
 }
 
@@ -109,7 +137,20 @@ pub fn observe_s(outcome: &ls::eval::Outcome) -> Observation {
     match outcome {
         ls::eval::Outcome::Value(v) => observe_s_value(v),
         ls::eval::Outcome::Blame(p) => Observation::Blame(*p),
-        ls::eval::Outcome::Timeout => Observation::Timeout,
+    }
+}
+
+/// Runs a λS term and observes the result, mapping fuel exhaustion to
+/// [`Observation::Timeout`] (see [`observe_run_b`]).
+///
+/// # Panics
+///
+/// Panics if the term is not closed and well typed.
+pub fn observe_run_s(term: &ls::Term, fuel: u64) -> Observation {
+    match ls::eval::run(term, fuel) {
+        Ok(r) => observe_s(&r.outcome),
+        Err(ls::eval::RunError::FuelExhausted { .. }) => Observation::Timeout,
+        Err(ls::eval::RunError::IllTyped(e)) => panic!("λS term is ill typed: {e}"),
     }
 }
 

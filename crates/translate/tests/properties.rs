@@ -11,16 +11,19 @@ use bc_lambda_b as lb;
 use bc_lambda_c as lc;
 use bc_syntax::{neg_subtype, pos_subtype, Label};
 use bc_testkit::Gen;
-use bc_translate::bisim::{aligned_cs, lockstep_bc, observe_b, observe_c, observe_s, Observation};
+use bc_translate::bisim::{
+    aligned_cs, lockstep_bc, observe_run_b, observe_run_c, observe_run_s, Observation,
+};
 use bc_translate::fundamental::{fundamental_pair, lemma20, premise_holds};
 use bc_translate::{cast_to_coercion, coercion_to_space, term_b_to_c, term_c_to_b, term_c_to_s};
 use proptest::prelude::*;
 
 const FUEL: u64 = 3_000;
 
-/// Runs a λB term to an observation.
+/// Runs a λB term to an observation (fuel exhaustion observes as
+/// [`Observation::Timeout`]).
 fn obs_b(t: &lb::Term) -> Observation {
-    observe_b(&lb::eval::run(t, FUEL).expect("well typed").outcome)
+    observe_run_b(t, FUEL)
 }
 
 proptest! {
@@ -70,7 +73,8 @@ proptest! {
                     if !lc::typing::has_type(&n, &ty) {
                         let aborts = matches!(
                             lc::eval::run(&n, 1_000).map(|r| r.outcome),
-                            Ok(lc::eval::Outcome::Blame(_)) | Err(_)
+                            Ok(lc::eval::Outcome::Blame(_))
+                                | Err(lc::eval::RunError::IllTyped(_))
                         );
                         prop_assert!(aborts, "λC preservation broken at {}", n);
                     }
@@ -89,7 +93,8 @@ proptest! {
                     if !ls::typing::has_type(&n, &ty) {
                         let aborts = matches!(
                             ls::eval::run(&n, 1_000).map(|r| r.outcome),
-                            Ok(ls::eval::Outcome::Blame(_)) | Err(_)
+                            Ok(ls::eval::Outcome::Blame(_))
+                                | Err(ls::eval::RunError::IllTyped(_))
                         );
                         prop_assert!(aborts, "λS preservation broken at {}", n);
                     }
@@ -110,7 +115,9 @@ proptest! {
         let m = gen.term_b(&ty, 4);
         let mc = term_b_to_c(&m);
         let ms = term_c_to_s(&mc);
-        if let lb::eval::Outcome::Blame(q) = lb::eval::run(&m, FUEL).unwrap().outcome {
+        if let Ok(lb::eval::Run { outcome: lb::eval::Outcome::Blame(q), .. }) =
+            lb::eval::run(&m, FUEL)
+        {
             prop_assert!(!lb::safety::term_safe_for(&m, q), "λB blamed safe label {}", q);
             prop_assert!(!lc::safety::term_safe_for(&mc, q), "λC blamed safe label {}", q);
             prop_assert!(!ls::safety::term_safe_for(&ms, q), "λS blamed safe label {}", q);
@@ -208,8 +215,8 @@ proptest! {
         let mc = term_b_to_c(&gen.term_b(&ty, 3));
         let mb = term_c_to_b(&mc).expect("well typed");
         prop_assert_eq!(lb::type_of(&mb), Ok(ty.clone()));
-        let oc = observe_c(&lc::eval::run(&mc, FUEL).unwrap().outcome);
-        let ob = observe_b(&lb::eval::run(&mb, FUEL).unwrap().outcome);
+        let oc = observe_run_c(&mc, FUEL);
+        let ob = observe_run_b(&mb, FUEL);
         if oc != Observation::Timeout && ob != Observation::Timeout {
             // The cast expansion may blame a *bullet-labelled* cast
             // only where the coercion blamed its own label; labels of
@@ -231,8 +238,8 @@ proptest! {
         let plugged = Gen::plug(&cx, &m);
         let ob = obs_b(&plugged);
         let mc = term_b_to_c(&plugged);
-        let oc = observe_c(&lc::eval::run(&mc, FUEL).unwrap().outcome);
-        let os = observe_s(&ls::eval::run(&term_c_to_s(&mc), FUEL).unwrap().outcome);
+        let oc = observe_run_c(&mc, FUEL);
+        let os = observe_run_s(&term_c_to_s(&mc), FUEL);
         if ob != Observation::Timeout && oc != Observation::Timeout && os != Observation::Timeout {
             prop_assert_eq!(&ob, &oc);
             prop_assert_eq!(&ob, &os);
@@ -258,8 +265,8 @@ proptest! {
         let plug = |inner: &lc::Term| {
             lc::subst::subst(&cx, &bc_syntax::Name::from(bc_testkit::HOLE), inner)
         };
-        let o1 = observe_c(&lc::eval::run(&plug(&lhs), FUEL).unwrap().outcome);
-        let o2 = observe_c(&lc::eval::run(&plug(&rhs), FUEL).unwrap().outcome);
+        let o1 = observe_run_c(&plug(&lhs), FUEL);
+        let o2 = observe_run_c(&plug(&rhs), FUEL);
         if o1 != Observation::Timeout && o2 != Observation::Timeout {
             prop_assert_eq!(o1, o2);
         }
@@ -308,8 +315,8 @@ proptest! {
         let m = gen.term_b(&ty, 4);
         let ob = obs_b(&m);
         let mc = term_b_to_c(&m);
-        let oc = observe_c(&lc::eval::run(&mc, FUEL).unwrap().outcome);
-        let os = observe_s(&ls::eval::run(&term_c_to_s(&mc), FUEL).unwrap().outcome);
+        let oc = observe_run_c(&mc, FUEL);
+        let os = observe_run_s(&term_c_to_s(&mc), FUEL);
         if let (Observation::Blame(p), Observation::Blame(q), Observation::Blame(r)) =
             (&ob, &oc, &os)
         {

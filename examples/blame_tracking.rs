@@ -10,12 +10,12 @@
 //! ```
 
 use blame_coercion::translate::bisim::Observation;
-use blame_coercion::{Compiled, Engine};
+use blame_coercion::{Engine, Session};
 
-fn run_and_explain(title: &str, source: &str) {
+fn run_and_explain(session: &Session, title: &str, source: &str) {
     println!("── {title}");
     println!("{}", source.trim());
-    let program = match Compiled::compile(source) {
+    let program = match session.compile(source) {
         Ok(p) => p,
         Err(e) => {
             println!("  (static) {}", e.render(source));
@@ -23,7 +23,15 @@ fn run_and_explain(title: &str, source: &str) {
             return;
         }
     };
-    match program.run(Engine::MachineS, 100_000).observation {
+    let report = match session.run(&program, Engine::MachineS) {
+        Ok(r) => r,
+        Err(e) => {
+            println!("  => {e}");
+            println!();
+            return;
+        }
+    };
+    match report.observation {
         Observation::Blame(p) => {
             let side = if p.is_positive() {
                 "positive: the value crossing the boundary is at fault"
@@ -43,10 +51,15 @@ fn run_and_explain(title: &str, source: &str) {
 }
 
 fn main() {
+    // One warm session serves all four scenarios (they share every
+    // interned boundary coercion).
+    let session = Session::builder().default_fuel(100_000).build();
+
     // 1. The dynamically-typed client passes a Bool where the typed
     //    library expects an Int: the projection at the boundary blames
     //    the dynamic side.
     run_and_explain(
+        &session,
         "dynamic client misuses a typed library",
         "let lib = fun (n : Int) => n * 2 in
          let client = fun f => f true in    -- f : ?, applied to a Bool
@@ -56,6 +69,7 @@ fn main() {
     // 2. A typed client uses a dynamically-typed library that returns
     //    the wrong type: again the *dynamic* side is blamed.
     run_and_explain(
+        &session,
         "typed client, misbehaving dynamic library",
         "let lib = ((fun x => true) : ?) in -- fully dynamic, returns Bool
          let use = fun (f : Int -> Int) => f 1 + 1 in
@@ -64,6 +78,7 @@ fn main() {
 
     // 3. The same library used honestly: no blame at all.
     run_and_explain(
+        &session,
         "the happy path",
         "let lib = fun x => x + 1 in
          let use = fun (f : Int -> Int) => f 1 + 1 in
@@ -72,5 +87,9 @@ fn main() {
 
     // 4. A fully static violation is rejected at compile time, before
     //    any blame can exist.
-    run_and_explain("static misuse is a compile-time error", "1 + true");
+    run_and_explain(
+        &session,
+        "static misuse is a compile-time error",
+        "1 + true",
+    );
 }

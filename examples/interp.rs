@@ -15,7 +15,7 @@
 use std::process::ExitCode;
 
 use blame_coercion::translate::bisim::Observation;
-use blame_coercion::{Compiled, Engine};
+use blame_coercion::{Engine, RunError, Session};
 
 fn parse_engine(name: &str) -> Option<Engine> {
     match name {
@@ -75,7 +75,8 @@ fn main() -> ExitCode {
         input
     };
 
-    let program = match Compiled::compile(&source) {
+    let session = Session::builder().default_fuel(fuel).build();
+    let program = match session.compile(&source) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("{}", e.render(&source));
@@ -112,7 +113,17 @@ fn main() -> ExitCode {
         }
     }
 
-    let report = program.run(engine, fuel);
+    let report = match session.run(&program, engine) {
+        Ok(r) => r,
+        Err(RunError::FuelExhausted { steps, .. }) => {
+            eprintln!("fuel exhausted after {steps} steps (raise with --fuel N)");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     println!("result ({engine}): {}", report.observation);
     println!("steps: {}", report.steps);
     if let Some(metrics) = &report.metrics {

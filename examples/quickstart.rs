@@ -1,11 +1,12 @@
-//! Quickstart: compile a gradually-typed program, inspect the three
-//! intermediate representations, and run it on every engine.
+//! Quickstart: compile gradually-typed programs into one session,
+//! inspect the intermediate representations, run on every engine, and
+//! watch the second program reuse the first one's interned state.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
-use blame_coercion::{Compiled, Engine};
+use blame_coercion::{Engine, Session};
 
 fn main() {
     // A gradually-typed program: `inc` is dynamically typed (its
@@ -16,7 +17,10 @@ fn main() {
                       if n = 0 then 0 else (inc (n - 1) : Int) + sum (n - 1)
                   in sum 5";
 
-    let program = Compiled::compile(source).expect("gradually well typed");
+    // One session owns the coercion arena, compose cache, and type
+    // arena; every program compiled into it shares them.
+    let session = Session::builder().default_fuel(1_000_000).build();
+    let program = session.compile(source).expect("gradually well typed");
 
     println!("source:\n  {}", source.trim());
     println!();
@@ -26,12 +30,34 @@ fn main() {
     println!("λS term:   {}", program.lambda_s);
     println!();
 
-    // All six engines implement the same semantics.
+    // All six engines implement the same semantics; the run path
+    // returns Result, so fuel exhaustion would be a typed error, not
+    // a panic or a sentinel.
     for engine in Engine::ALL {
-        let report = program.run(engine, 1_000_000);
+        let report = session.run(&program, engine).expect("terminates");
         println!(
             "{engine:<20} => {} ({} steps)",
             report.observation, report.steps
         );
     }
+
+    // A structurally similar program compiled into the same session
+    // interns nothing new — the warm-session win, made observable.
+    let nodes_before = session.stats().coercions.nodes;
+    let again = session
+        .compile(
+            "let inc = fun x => x + 1 in
+             letrec sum (n : Int) : Int =
+                 if n = 0 then 0 else (inc (n - 1) : Int) + sum (n - 1)
+             in sum 9",
+        )
+        .expect("gradually well typed");
+    let report = session.run(&again, Engine::MachineS).expect("terminates");
+    println!();
+    println!(
+        "second program (warm session) => {} — {} new coercion nodes",
+        report.observation,
+        session.stats().coercions.nodes - nodes_before
+    );
+    println!("session: {}", session.stats());
 }

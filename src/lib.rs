@@ -20,25 +20,46 @@
 //! generators of well-typed workloads) and `bc-bench` (the criterion
 //! suite and the EXPERIMENTS.md report binary).
 //!
-//! The [`pipeline`] module ties them together: source text → λB → λC →
-//! λS → any of six execution engines. Each compiled program owns its
-//! coercion arena, type arena, and compiled term IR, so repeated
-//! λS-machine runs re-intern nothing and answer every coercion merge
-//! from the memo table.
+//! The [`session`] module ties them together: a [`Session`] owns the
+//! coercion arena, compose cache, and type arena, and compiles source
+//! text (source → λB → λC → λS → compiled term IR) into lightweight
+//! [`Program`] handles that *share* them — N programs compiled into
+//! one session intern each distinct coercion, memoize each
+//! composition, and answer each subtyping question exactly once
+//! between them. Any of six execution engines runs a program;
+//! the run path returns `Result<RunReport, RunError>`, so fuel
+//! exhaustion and ill-typedness are typed errors, never panics or
+//! sentinel observations.
 //!
 //! # Quickstart
 //!
 //! ```
-//! use blame_coercion::pipeline::{Compiled, Engine};
+//! use blame_coercion::{Engine, Session};
 //!
-//! let program = Compiled::compile(
+//! let session = Session::new();
+//! let program = session.compile(
 //!     "let inc = fun x => x + 1 in  -- `x` is dynamically typed
 //!      (inc 41 : Int)",
 //! ).expect("type checks gradually");
 //!
-//! let report = program.run(Engine::MachineS, 10_000);
+//! let report = session.run(&program, Engine::MachineS).expect("terminates");
 //! assert_eq!(report.observation.to_string(), "42");
+//!
+//! // A second, structurally similar program compiled into the same
+//! // session interns (near) nothing new — the point of sharing.
+//! let nodes_before = session.stats().coercions.nodes;
+//! let again = session.compile("let inc = fun x => x + 1 in (inc 1 : Int)")
+//!     .expect("type checks gradually");
+//! assert_eq!(session.stats().coercions.nodes, nodes_before);
+//! assert_eq!(session.run(&again, Engine::MachineS).unwrap().observation.to_string(), "2");
 //! ```
+//!
+//! Sessions are configurable via [`Session::builder`] (compose-cache
+//! capacity, type-verdict-table capacity, default fuel), and
+//! [`Session::stats`] returns one consolidated [`SessionStats`]
+//! snapshot. The pre-session API ([`Compiled`], in [`pipeline`])
+//! remains as a deprecated shim for one release; see the migration
+//! note in CHANGES.md.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -53,5 +74,8 @@ pub use bc_syntax as syntax;
 pub use bc_translate as translate;
 
 pub mod pipeline;
+pub mod session;
 
-pub use pipeline::{Compiled, Engine, RunReport};
+#[allow(deprecated)]
+pub use pipeline::Compiled;
+pub use session::{Engine, Program, RunError, RunReport, Session, SessionBuilder, SessionStats};

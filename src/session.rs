@@ -1,0 +1,825 @@
+//! The session-centric runtime: one [`Session`] owns the interning
+//! arenas, many [`Program`]s share them.
+//!
+//! The λS space-efficiency story (and the arena/cache/compiled-IR
+//! machinery built in earlier milestones) makes a *single* program
+//! cheap to re-run. A server, though, runs *many* gradually-typed
+//! programs — and structurally similar programs cross the same
+//! boundaries, intern the same coercions, compose the same pairs, and
+//! ask the same subtyping questions. A [`Session`] hoists the
+//! [`CoercionArena`], [`ComposeCache`], and [`TypeArena`] out of the
+//! per-program state: every program compiled into the session interns
+//! against the shared arenas, so the second structurally similar
+//! program adds (near) zero new nodes and answers its merges from the
+//! warm cache.
+//!
+//! * [`Session::compile`] / [`Session::compile_batch`] — GTLC source →
+//!   λB → λC → λS → compiled IR, interned into the shared arenas;
+//!   returns a lightweight [`Program`] handle bound to this session.
+//! * [`Session::run`] / [`Session::run_with_fuel`] — execute a program
+//!   on any [`Engine`], returning `Result<RunReport, RunError>`:
+//!   fuel exhaustion and ill-typedness are typed errors, never panics
+//!   or sentinel observations.
+//! * [`Session::builder`] — configure the eviction knobs
+//!   ([`SessionBuilder::compose_cache_capacity`],
+//!   [`SessionBuilder::type_memo_capacity`]) and the
+//!   [`SessionBuilder::default_fuel`] used by [`Session::run`].
+//! * [`Session::stats`] — one consolidated [`SessionStats`] snapshot
+//!   of everything the session has accumulated.
+//!
+//! ```
+//! use blame_coercion::session::{Engine, Session};
+//!
+//! let session = Session::new();
+//! let program = session
+//!     .compile("let inc = fun x => x + 1 in (inc 41 : Int)")
+//!     .expect("type checks gradually");
+//! let report = session.run(&program, Engine::MachineS).expect("runs");
+//! assert_eq!(report.observation.to_string(), "42");
+//! ```
+
+use std::cell::{Cell, RefCell};
+use std::fmt;
+
+use bc_core::arena::{CoercionArena, ComposeCache};
+use bc_core::sterm::{compile_term, STerm};
+use bc_gtlc::Diagnostic;
+use bc_machine::metrics::Metrics;
+use bc_syntax::{Label, Type, TypeArena};
+use bc_translate::bisim::{observe_b, observe_c, observe_s, Observation};
+use bc_translate::{term_b_to_c, term_c_to_s_in};
+
+/// Which semantics executes the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Small-step reduction in the blame calculus (Figure 1).
+    LambdaB,
+    /// Small-step reduction in the coercion calculus (Figure 3).
+    LambdaC,
+    /// Small-step reduction in the space-efficient calculus (Figure 5).
+    LambdaS,
+    /// The λB CEK machine (leaks on boundary-crossing tail calls).
+    MachineB,
+    /// The λC CEK machine (same leak, coercion syntax).
+    MachineC,
+    /// The λS CEK machine (merges coercion frames; space-efficient).
+    MachineS,
+}
+
+impl Engine {
+    /// All engines, in a fixed order.
+    pub const ALL: [Engine; 6] = [
+        Engine::LambdaB,
+        Engine::LambdaC,
+        Engine::LambdaS,
+        Engine::MachineB,
+        Engine::MachineC,
+        Engine::MachineS,
+    ];
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Engine::LambdaB => "λB (small-step)",
+            Engine::LambdaC => "λC (small-step)",
+            Engine::LambdaS => "λS (small-step)",
+            Engine::MachineB => "λB (CEK machine)",
+            Engine::MachineC => "λC (CEK machine)",
+            Engine::MachineS => "λS (CEK machine)",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The result of running a program to completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunReport {
+    /// What the program evaluated to.
+    pub observation: Observation,
+    /// Steps taken (reduction steps or machine transitions).
+    pub steps: u64,
+    /// Machine space metrics (machines only).
+    pub metrics: Option<Metrics>,
+}
+
+/// Why a run produced no [`RunReport`] — the typed error for the whole
+/// run path. Nothing on the run path panics for these conditions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The fuel bound was reached; the program may diverge.
+    FuelExhausted {
+        /// Steps (reduction steps or machine transitions) actually
+        /// taken before fuel ran out.
+        steps: u64,
+        /// Space metrics collected up to the cutoff (machine engines
+        /// only, like [`RunReport::metrics`]) — this is what makes the
+        /// λB/λC space leak *measurable on genuinely diverging
+        /// programs*: a fuel-bounded machine run still reports its
+        /// peak cast frames.
+        metrics: Option<Metrics>,
+    },
+    /// The program (or one of its translations) is not well typed; the
+    /// diagnostic carries the engine-level type error. Unreachable for
+    /// programs produced by [`Session::compile`] — cast insertion and
+    /// both translations preserve typing — but loaded λB terms are
+    /// only as good as their stated type.
+    IllTyped(Diagnostic),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::FuelExhausted { steps, .. } => {
+                write!(f, "fuel exhausted after {steps} steps")
+            }
+            RunError::IllTyped(d) => write!(f, "ill-typed program: {}", d.message),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Builds an ill-typed diagnostic with no source location (run-path
+/// type errors come from calculus terms, which carry no spans).
+fn ill_typed(detail: impl fmt::Display) -> RunError {
+    RunError::IllTyped(Diagnostic::unlocated(detail.to_string()))
+}
+
+/// Maps a small-step engine's typed error into the session-level
+/// [`RunError`]. One definition for all three calculi (their `RunError`
+/// enums are distinct types with the same session-relevant shape);
+/// small-step runs carry no machine metrics, mirroring
+/// [`RunReport::metrics`].
+macro_rules! small_step_run_error {
+    ($calculus:ident) => {
+        |e| match e {
+            $calculus::eval::RunError::FuelExhausted { steps, .. } => RunError::FuelExhausted {
+                steps,
+                metrics: None,
+            },
+            $calculus::eval::RunError::IllTyped(e) => ill_typed(e),
+        }
+    };
+}
+
+/// A consolidated snapshot of everything a [`Session`] has
+/// accumulated — the replacement for the per-program
+/// `coercion_stats`/`type_stats` tuple trio.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Programs compiled or loaded into the session so far.
+    pub programs: usize,
+    /// Coercion-arena counters (distinct nodes, tree interns,
+    /// node hits/misses).
+    pub coercions: bc_core::arena::ArenaStats,
+    /// Memoized composition pairs currently held.
+    pub compose_pairs: usize,
+    /// The compose cache's pair cap.
+    pub compose_capacity: usize,
+    /// Compose-cache hit/miss/eviction counters.
+    pub compose: bc_core::arena::CacheStats,
+    /// Distinct type nodes interned.
+    pub type_nodes: usize,
+    /// Memoized relational verdicts currently held.
+    pub type_memo_pairs: usize,
+    /// The verdict tables' entry cap.
+    pub type_memo_capacity: usize,
+    /// Relational-query hit/miss/eviction counters.
+    pub type_queries: bc_syntax::intern::QueryStats,
+}
+
+impl fmt::Display for SessionStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} programs; {} coercion nodes, {} composed pairs \
+             ({} hits / {} misses / {} evictions); \
+             {} type nodes, {} verdicts ({} hits / {} misses / {} evictions)",
+            self.programs,
+            self.coercions.nodes,
+            self.compose_pairs,
+            self.compose.hits,
+            self.compose.misses,
+            self.compose.evictions,
+            self.type_nodes,
+            self.type_memo_pairs,
+            self.type_queries.hits,
+            self.type_queries.misses,
+            self.type_queries.evictions,
+        )
+    }
+}
+
+/// Configures and builds a [`Session`].
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    compose_cache_capacity: usize,
+    type_memo_capacity: usize,
+    default_fuel: u64,
+}
+
+impl Default for SessionBuilder {
+    fn default() -> SessionBuilder {
+        SessionBuilder {
+            compose_cache_capacity: ComposeCache::DEFAULT_CAPACITY,
+            type_memo_capacity: TypeArena::DEFAULT_MEMO_CAPACITY,
+            default_fuel: SessionBuilder::DEFAULT_FUEL,
+        }
+    }
+}
+
+impl SessionBuilder {
+    /// The default step bound used by [`Session::run`].
+    pub const DEFAULT_FUEL: u64 = 1_000_000;
+
+    /// Caps the compose cache at `capacity` memoized pairs (evicted
+    /// second-chance beyond that; see `bc_core::arena::ComposeCache`).
+    ///
+    /// # Panics
+    ///
+    /// [`SessionBuilder::build`] panics if the capacity is zero.
+    pub fn compose_cache_capacity(mut self, capacity: usize) -> SessionBuilder {
+        self.compose_cache_capacity = capacity;
+        self
+    }
+
+    /// Caps the type arena's relational-verdict tables at `capacity`
+    /// memoized entries (evicted second-chance beyond that; see
+    /// [`TypeArena::with_memo_capacity`]).
+    ///
+    /// # Panics
+    ///
+    /// [`SessionBuilder::build`] panics if the capacity is zero.
+    pub fn type_memo_capacity(mut self, capacity: usize) -> SessionBuilder {
+        self.type_memo_capacity = capacity;
+        self
+    }
+
+    /// The step bound [`Session::run`] uses when the caller does not
+    /// pass one explicitly.
+    pub fn default_fuel(mut self, fuel: u64) -> SessionBuilder {
+        self.default_fuel = fuel;
+        self
+    }
+
+    /// Builds the session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either configured capacity is zero.
+    pub fn build(self) -> Session {
+        Session {
+            id: next_session_id(),
+            arena: RefCell::new(CoercionArena::new()),
+            cache: RefCell::new(ComposeCache::with_capacity(self.compose_cache_capacity)),
+            types: RefCell::new(TypeArena::with_memo_capacity(self.type_memo_capacity)),
+            default_fuel: self.default_fuel,
+            programs: Cell::new(0),
+        }
+    }
+}
+
+fn next_session_id() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT_SESSION_ID: AtomicU64 = AtomicU64::new(0);
+    NEXT_SESSION_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// A runtime session: the owner of the coercion arena, compose cache,
+/// and type arena that all of its [`Program`]s share.
+///
+/// Programs compiled into one session pool every piece of
+/// interned/memoized state: a boundary the first program crossed is
+/// already interned when the second program meets it, a composition
+/// the first program's loop memoized is a hash lookup for everyone
+/// after, and a subtyping verdict is computed once per session, not
+/// once per program. [`SessionStats`] makes the sharing observable.
+///
+/// See the [module docs](self) for an end-to-end example.
+#[derive(Debug)]
+pub struct Session {
+    /// Identity of this session's id-spaces; programs record it so a
+    /// handle can never be resolved against the wrong arenas.
+    id: u64,
+    arena: RefCell<CoercionArena>,
+    cache: RefCell<ComposeCache>,
+    types: RefCell<TypeArena>,
+    default_fuel: u64,
+    programs: Cell<usize>,
+}
+
+impl Default for Session {
+    fn default() -> Session {
+        SessionBuilder::default().build()
+    }
+}
+
+/// A program compiled into a [`Session`], with all three intermediate
+/// representations available.
+///
+/// The handle is lightweight: it owns its term trees and compiled IR
+/// but *not* the arenas its ids point into — those live in the session
+/// that compiled it, which is also the only session that can run it
+/// (enforced at run time).
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// The elaborated λB term (with inserted casts).
+    pub lambda_b: bc_lambda_b::Term,
+    /// The λC translation `|·|BC`.
+    pub lambda_c: bc_lambda_c::Term,
+    /// The λS translation `|·|CS ∘ |·|BC`.
+    pub lambda_s: bc_core::Term,
+    /// The program's (gradual) type.
+    pub ty: Type,
+    /// The λS term compiled to the id-carrying IR. Private: its ids
+    /// are only meaningful in the owning session's arenas.
+    lambda_s_compiled: STerm,
+    /// Owning session id (checked by every [`Session::run`]).
+    session: u64,
+    /// The source-program span map for blame reporting, if compiled
+    /// from source.
+    program: Option<bc_gtlc::Program>,
+    source: Option<String>,
+}
+
+impl Program {
+    /// The size of the compiled IR in syntax nodes (each interned
+    /// handle counting as one).
+    pub fn ir_size(&self) -> usize {
+        self.lambda_s_compiled.size()
+    }
+
+    /// The number of boundary crossings (`Coerce` nodes) in the
+    /// compiled IR.
+    pub fn boundary_crossings(&self) -> usize {
+        self.lambda_s_compiled.coercion_nodes()
+    }
+
+    /// Explains a blame label as a source-level diagnostic, when the
+    /// program was compiled from source and the label came from cast
+    /// insertion.
+    pub fn explain_blame(&self, label: Label) -> Option<String> {
+        let program = self.program.as_ref()?;
+        let source = self.source.as_deref()?;
+        program.explain_blame(label, source)
+    }
+}
+
+impl Session {
+    /// A session with default capacities and fuel.
+    pub fn new() -> Session {
+        Session::default()
+    }
+
+    /// Starts configuring a session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// The step bound [`Session::run`] applies.
+    pub fn default_fuel(&self) -> u64 {
+        self.default_fuel
+    }
+
+    /// Compiles GTLC source text through cast insertion and the two
+    /// translations, interning into this session's shared arenas.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Diagnostic`] on lexical, syntax, or gradual type
+    /// errors.
+    pub fn compile(&self, source: &str) -> Result<Program, Diagnostic> {
+        let program = bc_gtlc::compile(source)?;
+        let mut compiled = self.lower(program.term.clone(), program.ty.clone());
+        compiled.program = Some(program);
+        compiled.source = Some(source.to_owned());
+        Ok(compiled)
+    }
+
+    /// Compiles a batch of sources into this session, so the whole
+    /// batch shares every interned coercion, memoized composition, and
+    /// subtyping verdict.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Diagnostic`] encountered; earlier programs'
+    /// interned state stays in the session (interning is idempotent,
+    /// so recompiling them later costs no new nodes).
+    pub fn compile_batch<'a, I>(&self, sources: I) -> Result<Vec<Program>, Diagnostic>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        sources.into_iter().map(|s| self.compile(s)).collect()
+    }
+
+    /// Wraps an already-built λB term, checking it against the stated
+    /// type before lowering it into the session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::IllTyped`] if the term is open, ill typed,
+    /// or well typed at a different type than stated.
+    pub fn load_lambda_b(&self, term: bc_lambda_b::Term, ty: Type) -> Result<Program, RunError> {
+        match bc_lambda_b::type_of(&term) {
+            Err(e) => Err(ill_typed(e)),
+            Ok(actual) if actual != ty => Err(ill_typed(format!(
+                "term has type `{actual}`, not the stated `{ty}`"
+            ))),
+            Ok(_) => Ok(self.lower(term, ty)),
+        }
+    }
+
+    /// Lowers a well-typed λB term into a session-bound program:
+    /// λB → λC → λS → compiled IR, interning into the shared arenas.
+    fn lower(&self, term: bc_lambda_b::Term, ty: Type) -> Program {
+        let lambda_c = term_b_to_c(&term);
+        let mut arena = self.arena.borrow_mut();
+        let mut cache = self.cache.borrow_mut();
+        let mut types = self.types.borrow_mut();
+        let lambda_s = term_c_to_s_in(&mut arena, &mut cache, &lambda_c);
+        // Lower once; every MachineS run of this program (and of every
+        // structurally similar program in this session) reuses the
+        // interned coercions.
+        let lambda_s_compiled = compile_term(&lambda_s, &mut arena, &mut types);
+        self.programs.set(self.programs.get() + 1);
+        Program {
+            lambda_b: term,
+            lambda_c,
+            lambda_s,
+            lambda_s_compiled,
+            ty,
+            session: self.id,
+            program: None,
+            source: None,
+        }
+    }
+
+    /// Runs a program on the chosen engine with the session's default
+    /// fuel.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::FuelExhausted`] (with the real step count) when the
+    /// bound is reached; [`RunError::IllTyped`] if a loaded term lied
+    /// about its type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `program` was compiled by a *different* session — its
+    /// ids would silently denote the wrong coercions here, so the
+    /// mismatch fails loudly instead.
+    pub fn run(&self, program: &Program, engine: Engine) -> Result<RunReport, RunError> {
+        self.run_with_fuel(program, engine, self.default_fuel)
+    }
+
+    /// [`Session::run`] with an explicit step bound.
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::run`].
+    ///
+    /// # Panics
+    ///
+    /// See [`Session::run`].
+    pub fn run_with_fuel(
+        &self,
+        program: &Program,
+        engine: Engine,
+        fuel: u64,
+    ) -> Result<RunReport, RunError> {
+        assert_eq!(
+            program.session, self.id,
+            "program was compiled by a different Session: \
+             its ids belong to another arena id-space"
+        );
+        match engine {
+            Engine::LambdaB => {
+                let r = bc_lambda_b::eval::run(&program.lambda_b, fuel)
+                    .map_err(small_step_run_error!(bc_lambda_b))?;
+                Ok(RunReport {
+                    observation: observe_b(&r.outcome),
+                    steps: r.steps,
+                    metrics: None,
+                })
+            }
+            Engine::LambdaC => {
+                let r = bc_lambda_c::eval::run(&program.lambda_c, fuel)
+                    .map_err(small_step_run_error!(bc_lambda_c))?;
+                Ok(RunReport {
+                    observation: observe_c(&r.outcome),
+                    steps: r.steps,
+                    metrics: None,
+                })
+            }
+            Engine::LambdaS => {
+                let r = bc_core::eval::run(&program.lambda_s, fuel)
+                    .map_err(small_step_run_error!(bc_core))?;
+                Ok(RunReport {
+                    observation: observe_s(&r.outcome),
+                    steps: r.steps,
+                    metrics: None,
+                })
+            }
+            Engine::MachineB => machine_report(bc_machine::cek_b::run(&program.lambda_b, fuel)),
+            Engine::MachineC => machine_report(bc_machine::cek_c::run(&program.lambda_c, fuel)),
+            Engine::MachineS => {
+                // The compiled fast path: the IR's coercions are
+                // already interned in the shared arena, so each run
+                // performs zero tree interning and merges through the
+                // session-wide compose cache.
+                let mut arena = self.arena.borrow_mut();
+                let mut cache = self.cache.borrow_mut();
+                machine_report(bc_machine::cek_s::run_compiled_in(
+                    &program.lambda_s_compiled,
+                    &mut arena,
+                    &mut cache,
+                    fuel,
+                ))
+            }
+        }
+    }
+
+    /// A consolidated snapshot of the session's shared state.
+    pub fn stats(&self) -> SessionStats {
+        let arena = self.arena.borrow();
+        let cache = self.cache.borrow();
+        let types = self.types.borrow();
+        SessionStats {
+            programs: self.programs.get(),
+            coercions: arena.stats(),
+            compose_pairs: cache.len(),
+            compose_capacity: cache.capacity(),
+            compose: cache.stats(),
+            type_nodes: types.len(),
+            type_memo_pairs: types.memo_len(),
+            type_memo_capacity: types.memo_capacity(),
+            type_queries: types.query_stats(),
+        }
+    }
+
+    /// Renders a program's compiled λS IR in the paper grammar,
+    /// resolved through this session's arenas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `program` was compiled by a different session.
+    pub fn display_compiled(&self, program: &Program) -> String {
+        assert_eq!(
+            program.session, self.id,
+            "program was compiled by a different Session"
+        );
+        program
+            .lambda_s_compiled
+            .display(&self.arena.borrow(), &self.types.borrow())
+    }
+
+    /// Clones the session state (arenas, cache, counters) under a
+    /// fresh session identity. Used by the deprecated `Compiled` shim;
+    /// programs of the original must be re-bound via
+    /// [`Session::adopt`].
+    pub(crate) fn clone_state(&self) -> Session {
+        let (arena, cache) = self.arena.borrow().clone_pair(&self.cache.borrow());
+        Session {
+            id: next_session_id(),
+            arena: RefCell::new(arena),
+            cache: RefCell::new(cache),
+            types: RefCell::new(self.types.borrow().clone()),
+            default_fuel: self.default_fuel,
+            programs: Cell::new(self.programs.get()),
+        }
+    }
+
+    /// Re-binds a program to this session. Only sound when this
+    /// session's arenas are an identical snapshot of the program's
+    /// original owner (i.e. straight after [`Session::clone_state`]).
+    pub(crate) fn adopt(&self, program: &Program) -> Program {
+        Program {
+            session: self.id,
+            ..program.clone()
+        }
+    }
+}
+
+/// Maps a machine run to the session-level result: fuel exhaustion is
+/// surfaced as [`RunError::FuelExhausted`] carrying the transition
+/// count the machine actually took.
+fn machine_report(r: bc_machine::metrics::MachineRun) -> Result<RunReport, RunError> {
+    match r.outcome {
+        bc_machine::MachineOutcome::Timeout => Err(RunError::FuelExhausted {
+            steps: r.metrics.steps,
+            metrics: Some(r.metrics),
+        }),
+        outcome => Ok(RunReport {
+            observation: outcome.to_observation(),
+            steps: r.metrics.steps,
+            metrics: Some(r.metrics),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LOOP_32: &str = "letrec loop (n : Int) : Bool = \
+         if n = 0 then true else ((loop : ?) : Int -> Bool) (n - 1) \
+       in loop 32";
+
+    #[test]
+    fn all_engines_agree_on_a_program() {
+        let session = Session::new();
+        let program = session
+            .compile(
+                "letrec even (n : Int) : Bool = \
+                   if n = 0 then true else \
+                   if n = 1 then false else even (n - 2) \
+                 in even 10",
+            )
+            .expect("compiles");
+        let expected = session
+            .run(&program, Engine::LambdaB)
+            .expect("runs")
+            .observation;
+        for engine in Engine::ALL {
+            assert_eq!(
+                session.run(&program, engine).expect("runs").observation,
+                expected,
+                "{engine}"
+            );
+        }
+    }
+
+    #[test]
+    fn programs_in_one_session_share_interned_state() {
+        // The tentpole acceptance criterion: a second structurally
+        // similar program (same types and casts, different constants)
+        // interns nothing new in a warm session.
+        let source = |n: i64| {
+            format!(
+                "letrec loop (n : Int) : Bool = \
+                   if n = 0 then true else ((loop : ?) : Int -> Bool) (n - 1) \
+                 in loop {n}"
+            )
+        };
+        let warm = Session::new();
+        let first = warm.compile(&source(17)).expect("compiles");
+        let after_first = warm.stats();
+        assert!(after_first.coercions.nodes > 0);
+        assert!(after_first.type_nodes > 0);
+
+        let second = warm.compile(&source(23)).expect("compiles");
+        let after_second = warm.stats();
+        assert_eq!(
+            after_second.coercions.nodes, after_first.coercions.nodes,
+            "second similar program must intern zero new coercions"
+        );
+        assert_eq!(
+            after_second.type_nodes, after_first.type_nodes,
+            "second similar program must intern zero new types"
+        );
+        assert_eq!(after_second.programs, 2);
+
+        // Contrast: a fresh session pays the interning again.
+        let cold = Session::new();
+        cold.compile(&source(23)).expect("compiles");
+        assert_eq!(cold.stats().coercions.nodes, after_first.coercions.nodes);
+
+        // And both programs still run correctly against the shared
+        // arenas.
+        let a = warm.run(&first, Engine::MachineS).expect("runs");
+        let b = warm.run(&second, Engine::MachineS).expect("runs");
+        assert_eq!(a.observation, b.observation);
+    }
+
+    #[test]
+    fn batch_compilation_shares_the_caches() {
+        let session = Session::builder().default_fuel(10_000_000).build();
+        let sources: Vec<String> = (1..=8)
+            .map(|n| {
+                format!(
+                    "letrec loop (n : Int) : Bool = \
+                       if n = 0 then true else ((loop : ?) : Int -> Bool) (n - 1) \
+                     in loop {n}"
+                )
+            })
+            .collect();
+        let programs = session
+            .compile_batch(sources.iter().map(String::as_str))
+            .expect("batch compiles");
+        assert_eq!(programs.len(), 8);
+        for p in &programs {
+            let report = session.run(p, Engine::MachineS).expect("runs");
+            assert_eq!(report.observation.to_string(), "true");
+        }
+        // Warm rerun of the whole batch composes nothing structurally.
+        let misses = session.stats().compose.misses;
+        for p in &programs {
+            session.run(p, Engine::MachineS).expect("runs");
+        }
+        let stats = session.stats();
+        assert_eq!(
+            stats.compose.misses, misses,
+            "warm batch rerun must be pure cache hits"
+        );
+        assert!(stats.compose.hits > 0);
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_a_typed_error_with_the_real_step_count() {
+        let session = Session::new();
+        let program = session.compile(LOOP_32).expect("compiles");
+        for engine in Engine::ALL {
+            match session.run_with_fuel(&program, engine, 7) {
+                Err(RunError::FuelExhausted { steps, metrics }) => {
+                    assert_eq!(steps, 7, "{engine} must report the real step count");
+                    let is_machine = matches!(
+                        engine,
+                        Engine::MachineB | Engine::MachineC | Engine::MachineS
+                    );
+                    assert_eq!(
+                        metrics.is_some(),
+                        is_machine,
+                        "{engine}: machine engines carry their space metrics to the cutoff"
+                    );
+                }
+                other => panic!("{engine}: expected FuelExhausted, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn loading_an_ill_typed_lambda_b_term_is_a_typed_error() {
+        let session = Session::new();
+        // 1 2 is ill typed.
+        let bad = bc_lambda_b::Term::int(1).app(bc_lambda_b::Term::int(2));
+        match session.load_lambda_b(bad, Type::INT) {
+            Err(RunError::IllTyped(_)) => {}
+            other => panic!("expected IllTyped, got {other:?}"),
+        }
+        // A well-typed term with a wrong stated type is rejected too.
+        let one = bc_lambda_b::Term::int(1);
+        match session.load_lambda_b(one, Type::BOOL) {
+            Err(RunError::IllTyped(d)) => assert!(d.message.contains("stated"), "{d}"),
+            other => panic!("expected IllTyped, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different Session")]
+    fn running_a_foreign_program_fails_loudly() {
+        let a = Session::new();
+        let b = Session::new();
+        let program = a.compile("1 + 2").expect("compiles");
+        let _ = b.run(&program, Engine::MachineS);
+    }
+
+    #[test]
+    fn builder_knobs_reach_the_arenas() {
+        let session = Session::builder()
+            .compose_cache_capacity(8)
+            .type_memo_capacity(16)
+            .default_fuel(123)
+            .build();
+        assert_eq!(session.default_fuel(), 123);
+        let stats = session.stats();
+        assert_eq!(stats.compose_capacity, 8);
+        assert_eq!(stats.type_memo_capacity, 16);
+        // A tiny compose cache under a boundary-heavy program evicts
+        // but stays correct.
+        let program = session.compile(LOOP_32).expect("compiles");
+        let report = session
+            .run_with_fuel(&program, Engine::MachineS, 1_000_000)
+            .expect("runs");
+        assert_eq!(report.observation.to_string(), "true");
+        assert!(session.stats().compose_pairs <= 8);
+    }
+
+    #[test]
+    fn blame_is_explained_at_source_level() {
+        let session = Session::new();
+        let program = session
+            .compile("let f = fun x => x + 1 in f true")
+            .expect("compiles");
+        match session
+            .run(&program, Engine::MachineS)
+            .expect("runs")
+            .observation
+        {
+            Observation::Blame(p) => {
+                let msg = program.explain_blame(p).expect("label is mapped");
+                assert!(msg.contains("error"), "{msg}");
+            }
+            other => panic!("expected blame, got {other}"),
+        }
+    }
+
+    #[test]
+    fn display_and_ir_stats_are_available() {
+        let session = Session::new();
+        let program = session.compile(LOOP_32).expect("compiles");
+        assert!(program.ir_size() > 0);
+        assert!(program.boundary_crossings() > 0);
+        assert!(!session.display_compiled(&program).is_empty());
+    }
+}

@@ -1,10 +1,10 @@
 //! End-to-end integration tests across all workspace crates:
 //! GTLC source → λB → λC → λS → six execution engines (E20 of
-//! DESIGN.md).
+//! DESIGN.md), through the session-centric API.
 
 use bc_syntax::Constant;
 use blame_coercion::translate::bisim::Observation;
-use blame_coercion::{Compiled, Engine};
+use blame_coercion::{Engine, Session};
 
 const FUEL: u64 = 5_000_000;
 
@@ -61,11 +61,18 @@ fn corpus() -> Vec<(&'static str, &'static str, Observation)> {
 
 #[test]
 fn all_engines_agree_on_the_corpus() {
+    // The whole corpus shares one session — exactly the server shape
+    // the Session API exists for.
+    let session = Session::builder().default_fuel(FUEL).build();
     for (name, source, expected) in corpus() {
-        let program = Compiled::compile(source)
+        let program = session
+            .compile(source)
             .unwrap_or_else(|e| panic!("{name} failed to compile:\n{}", e.render(source)));
         for engine in Engine::ALL {
-            let got = program.run(engine, FUEL).observation;
+            let got = session
+                .run(&program, engine)
+                .unwrap_or_else(|e| panic!("{name} on {engine}: {e}"))
+                .observation;
             assert_eq!(got, expected, "{name} on {engine}");
         }
     }
@@ -73,6 +80,7 @@ fn all_engines_agree_on_the_corpus() {
 
 #[test]
 fn blaming_programs_blame_the_same_label_everywhere() {
+    let session = Session::builder().default_fuel(FUEL).build();
     let sources = [
         "let f = fun x => x + 1 in f true",
         "let f = ((fun x => true) : ?) in (f : Int -> Int) 1 + 1",
@@ -81,11 +89,16 @@ fn blaming_programs_blame_the_same_label_everywhere() {
          (apply ((fun (b : Bool) => b) : ? -> ?) : Bool)",
     ];
     for source in sources {
-        let program = Compiled::compile(source)
+        let program = session
+            .compile(source)
             .unwrap_or_else(|e| panic!("failed to compile:\n{}", e.render(source)));
         let mut labels = Vec::new();
         for engine in Engine::ALL {
-            match program.run(engine, FUEL).observation {
+            match session
+                .run(&program, engine)
+                .expect("completes")
+                .observation
+            {
                 Observation::Blame(p) => labels.push(p),
                 other => panic!("expected blame on {engine} for {source:?}, got {other}"),
             }
@@ -101,10 +114,11 @@ fn blaming_programs_blame_the_same_label_everywhere() {
 
 #[test]
 fn lockstep_holds_for_compiled_programs() {
+    let session = Session::builder().default_fuel(FUEL).build();
     for (name, source, _) in corpus() {
-        let program = Compiled::compile(source).expect(name);
-        let b = program.run(Engine::LambdaB, FUEL);
-        let c = program.run(Engine::LambdaC, FUEL);
+        let program = session.compile(source).expect(name);
+        let b = session.run(&program, Engine::LambdaB).expect(name);
+        let c = session.run(&program, Engine::LambdaC).expect(name);
         assert_eq!(b.steps, c.steps, "{name}: λB and λC must run in lockstep");
     }
 }
@@ -113,6 +127,7 @@ fn lockstep_holds_for_compiled_programs() {
 fn space_stays_bounded_end_to_end() {
     // Compile the boundary-crossing loop from source and check the λS
     // machine runs it in bounded space while λB leaks.
+    let session = Session::builder().default_fuel(FUEL).build();
     let source = |n: i64| {
         format!(
             "letrec loop (n : Int) : Bool = \
@@ -120,16 +135,32 @@ fn space_stays_bounded_end_to_end() {
              in loop {n}"
         )
     };
-    let small = Compiled::compile(&source(8)).expect("compiles");
-    let large = Compiled::compile(&source(512)).expect("compiles");
-    let s_small = small.run(Engine::MachineS, FUEL).metrics.unwrap();
-    let s_large = large.run(Engine::MachineS, FUEL).metrics.unwrap();
+    let small = session.compile(&source(8)).expect("compiles");
+    let large = session.compile(&source(512)).expect("compiles");
+    let s_small = session
+        .run(&small, Engine::MachineS)
+        .expect("runs")
+        .metrics
+        .unwrap();
+    let s_large = session
+        .run(&large, Engine::MachineS)
+        .expect("runs")
+        .metrics
+        .unwrap();
     assert_eq!(
         s_small.peak_frames, s_large.peak_frames,
         "λS machine must run boundary-crossing tail calls in constant space"
     );
-    let b_small = small.run(Engine::MachineB, FUEL).metrics.unwrap();
-    let b_large = large.run(Engine::MachineB, FUEL).metrics.unwrap();
+    let b_small = session
+        .run(&small, Engine::MachineB)
+        .expect("runs")
+        .metrics
+        .unwrap();
+    let b_large = session
+        .run(&large, Engine::MachineB)
+        .expect("runs")
+        .metrics
+        .unwrap();
     assert!(
         b_large.peak_cast_frames > b_small.peak_cast_frames + 400,
         "λB machine must exhibit the leak ({} vs {})",
@@ -140,6 +171,7 @@ fn space_stays_bounded_end_to_end() {
 
 #[test]
 fn compile_errors_carry_spans() {
+    let session = Session::new();
     for bad in [
         "1 +",
         "fun (x : ) => x",
@@ -147,7 +179,7 @@ fn compile_errors_carry_spans() {
         "(x)",
         "if 1 then 2 else 3",
     ] {
-        let err = Compiled::compile(bad).expect_err(bad);
+        let err = session.compile(bad).expect_err(bad);
         let rendered = err.render(bad);
         assert!(
             rendered.contains('^'),

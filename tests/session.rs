@@ -1,0 +1,191 @@
+//! Integration tests for the session-centric runtime: sharing one
+//! `Session` across many programs must be observationally invisible
+//! (same results as per-program fresh sessions), measurably cheaper
+//! (a warm session interns near-zero new state for structurally
+//! similar programs), and panic-free on the run path (typed
+//! `RunError` on all six engines).
+
+use bc_testkit::Gen;
+use blame_coercion::translate::bisim::Observation;
+use blame_coercion::{Engine, Program, RunError, Session};
+
+const FUEL: u64 = 50_000;
+
+/// The observation-or-error fingerprint used to compare runs across
+/// sessions. Fuel exhaustion fingerprints by its step count (so the
+/// truncation point must agree too); cache/arena *metrics* are
+/// deliberately excluded — a warm shared session legitimately shows
+/// different reuse counters than a fresh one.
+fn fingerprint(
+    session: &Session,
+    program: &Program,
+    engine: Engine,
+) -> Result<Observation, String> {
+    session
+        .run_with_fuel(program, engine, FUEL)
+        .map(|r| r.observation)
+        .map_err(|e| match e {
+            RunError::FuelExhausted { steps, .. } => format!("fuel exhausted at {steps}"),
+            RunError::IllTyped(d) => format!("ill typed: {}", d.message),
+        })
+}
+
+#[test]
+fn shared_session_runs_agree_with_fresh_sessions() {
+    // The correctness half of the tentpole: a batch of generated
+    // programs run in one shared session produces observations
+    // identical to running each program in its own fresh session —
+    // arena sharing is an optimisation, never a semantic change.
+    let shared = Session::new();
+    let mut checked = 0usize;
+    for seed in 0..64u64 {
+        let mut g = Gen::new(seed.wrapping_mul(0x9E37_79B9).wrapping_add(0xB1A3E));
+        let ty = g.ty(1);
+        let term = g.term_b(&ty, 3);
+        let in_shared = match shared.load_lambda_b(term.clone(), ty.clone()) {
+            Ok(p) => p,
+            Err(e) => panic!("generated term must be well typed: {e}"),
+        };
+        let fresh = Session::new();
+        let in_fresh = fresh
+            .load_lambda_b(term, ty)
+            .expect("generated term is well typed");
+        for engine in [Engine::LambdaS, Engine::MachineS, Engine::MachineB] {
+            assert_eq!(
+                fingerprint(&shared, &in_shared, engine),
+                fingerprint(&fresh, &in_fresh, engine),
+                "shared vs fresh session diverged on {engine} (seed {seed})"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked >= 150, "property exercised only {checked} runs");
+    // The shared session actually shared: across 64 generated
+    // programs it must have answered many interning probes from the
+    // hash-consing index (node hits ≫ distinct nodes).
+    let stats = shared.stats();
+    assert_eq!(stats.programs, 64);
+    assert!(
+        stats.coercions.node_hits > stats.coercions.nodes as u64,
+        "sharing left no trace in the stats: {stats:?}"
+    );
+}
+
+#[test]
+fn second_similar_program_interns_near_zero_new_state() {
+    // The performance half of the tentpole, end to end: compile one
+    // boundary-heavy program into a session, then a structurally
+    // similar one (different constants); the warm compile must add
+    // zero coercion nodes and zero type nodes, where a fresh session
+    // pays the full interning bill again.
+    let source = |n: i64| {
+        format!(
+            "letrec loop (n : Int) : Bool = \
+               if n = 0 then true else ((loop : ?) : Int -> Bool) (n - 1) \
+             in loop {n}"
+        )
+    };
+    let session = Session::new();
+    session.compile(&source(64)).expect("compiles");
+    let warm = session.stats();
+    assert!(warm.coercions.nodes > 0, "the loop interns coercions");
+
+    session.compile(&source(96)).expect("compiles");
+    let after = session.stats();
+    assert_eq!(
+        after.coercions.nodes, warm.coercions.nodes,
+        "warm compile interned new coercions"
+    );
+    assert_eq!(
+        after.type_nodes, warm.type_nodes,
+        "warm compile interned new types"
+    );
+
+    // A fresh session re-pays what the warm session skipped.
+    let cold = Session::new();
+    cold.compile(&source(96)).expect("compiles");
+    let cold_stats = cold.stats();
+    assert_eq!(cold_stats.coercions.nodes, warm.coercions.nodes);
+    assert!(
+        cold_stats.coercions.node_misses > 0,
+        "the cold session must intern from scratch"
+    );
+}
+
+#[test]
+fn no_engine_panics_on_fuel_exhaustion() {
+    // Acceptance criterion: a fuel-starved run returns
+    // RunError::FuelExhausted with the real step count on all six
+    // engines — no panic, no sentinel observation.
+    let session = Session::new();
+    let program = session
+        .compile(
+            "letrec loop (n : Int) : Bool = \
+               if n = 0 then true else ((loop : ?) : Int -> Bool) (n - 1) \
+             in loop 1000",
+        )
+        .expect("compiles");
+    for engine in Engine::ALL {
+        for fuel in [0u64, 1, 13, 97] {
+            match session.run_with_fuel(&program, engine, fuel) {
+                Err(RunError::FuelExhausted { steps, .. }) => {
+                    assert_eq!(
+                        steps, fuel,
+                        "{engine} at fuel {fuel} must report the steps it actually took"
+                    );
+                }
+                other => panic!("{engine} at fuel {fuel}: expected FuelExhausted, got {other:?}"),
+            }
+        }
+    }
+    // A fuel-bounded *machine* run keeps its space metrics — the leak
+    // stays measurable on a program that never finishes: λB piles up
+    // cast frames where λS stays flat, observable at the cutoff.
+    let leak = match session.run_with_fuel(&program, Engine::MachineB, 2_000) {
+        Err(RunError::FuelExhausted {
+            metrics: Some(m), ..
+        }) => m.peak_cast_frames,
+        other => panic!("expected machine FuelExhausted with metrics, got {other:?}"),
+    };
+    let flat = match session.run_with_fuel(&program, Engine::MachineS, 2_000) {
+        Err(RunError::FuelExhausted {
+            metrics: Some(m), ..
+        }) => m.peak_cast_frames,
+        other => panic!("expected machine FuelExhausted with metrics, got {other:?}"),
+    };
+    assert!(
+        leak > 10 * flat.max(1),
+        "λB must visibly leak at the cutoff ({leak} vs λS {flat})"
+    );
+    // And with enough fuel the very same program completes.
+    let report = session
+        .run_with_fuel(&program, Engine::MachineS, 10_000_000)
+        .expect("completes");
+    assert_eq!(report.observation.to_string(), "true");
+}
+
+#[test]
+fn capped_session_still_answers_correctly_under_pressure() {
+    // Tiny caches force evictions on both the compose cache and the
+    // type-verdict tables; results must be unchanged (eviction is
+    // recompute-safe by construction).
+    let tight = Session::builder()
+        .compose_cache_capacity(4)
+        .type_memo_capacity(4)
+        .default_fuel(10_000_000)
+        .build();
+    let roomy = Session::builder().default_fuel(10_000_000).build();
+    let source = "letrec loop (n : Int) : Bool = \
+                    if n = 0 then true else ((loop : ?) : Int -> Bool) (n - 1) \
+                  in loop 256";
+    let p_tight = tight.compile(source).expect("compiles");
+    let p_roomy = roomy.compile(source).expect("compiles");
+    for engine in [Engine::LambdaS, Engine::MachineS] {
+        assert_eq!(
+            tight.run(&p_tight, engine).expect("runs").observation,
+            roomy.run(&p_roomy, engine).expect("runs").observation,
+            "{engine}"
+        );
+    }
+    assert!(tight.stats().compose_pairs <= 4);
+}
