@@ -1,0 +1,87 @@
+//! The front-end benchmark: typechecking and elaboration on interned
+//! types versus the tree oracles.
+//!
+//! Two questions, matching the two wins of the interned front end:
+//!
+//! * **Warm-session amortisation** — `elaborate_batch16` typechecks
+//!   and elaborates a 16-program batch of structurally similar
+//!   boundary loops: `cold` gives every program a fresh `TypeArena`
+//!   (the pre-session shape), `warm` threads one arena through the
+//!   whole batch (programs 2..16 intern nothing and answer every
+//!   consistency question from the memo tables), and `tree` is the
+//!   tree elaborator baseline.
+//! * **Checker throughput on large types** — `typecheck_calls` checks
+//!   the call-heavy program (one annotation of size 2⁹, 64 call
+//!   sites) with the tree λB checker versus the interned checker
+//!   against a warm arena: the tree checker re-walks the domain type
+//!   at every site, the interned checker answers each with an O(1) id
+//!   equality. `elaborate_tower` asks the harder question — the full
+//!   elaboration pass on the wrapper tower, where annotations dominate
+//!   and interning has to beat structural comparison outright.
+
+use bc_bench::frontend_workload::{BATCH, CALLS, CALL_DEPTH, TOWER};
+use bc_bench::{boundary_source, call_heavy_source, parse_source, wrapper_tower_source};
+use bc_gtlc::{elaborate, elaborate_in};
+use bc_lambda_b::typing::{type_of, type_of_interned};
+use bc_syntax::TypeArena;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_frontend(c: &mut Criterion) {
+    let exprs: Vec<_> = (0..BATCH as i64)
+        .map(|i| parse_source(&boundary_source(32 + i)))
+        .collect();
+    let tower = parse_source(&wrapper_tower_source(TOWER));
+    let calls = parse_source(&call_heavy_source(CALL_DEPTH, CALLS));
+    let calls_b = elaborate(&calls).expect("call tower elaborates").term;
+
+    let mut group = c.benchmark_group("frontend");
+    group.sample_size(20);
+
+    group.bench_function("elaborate_batch16/tree", |b| {
+        b.iter(|| {
+            for e in &exprs {
+                black_box(elaborate(black_box(e)).expect("elaborates"));
+            }
+        })
+    });
+    group.bench_function("elaborate_batch16/cold", |b| {
+        b.iter(|| {
+            for e in &exprs {
+                let mut types = TypeArena::new();
+                black_box(elaborate_in(black_box(e), &mut types).expect("elaborates"));
+            }
+        })
+    });
+    group.bench_function("elaborate_batch16/warm", |b| {
+        let mut types = TypeArena::new();
+        b.iter(|| {
+            for e in &exprs {
+                black_box(elaborate_in(black_box(e), &mut types).expect("elaborates"));
+            }
+        })
+    });
+
+    group.bench_function("typecheck_calls/tree", |b| {
+        b.iter(|| black_box(type_of(black_box(&calls_b)).expect("well typed")))
+    });
+    group.bench_function("typecheck_calls/interned_warm", |b| {
+        let mut types = TypeArena::new();
+        let _ = type_of_interned(&calls_b, &mut types);
+        b.iter(|| black_box(type_of_interned(black_box(&calls_b), &mut types).expect("well typed")))
+    });
+
+    group.bench_function("elaborate_tower/tree", |b| {
+        b.iter(|| black_box(elaborate(black_box(&tower)).expect("elaborates")))
+    });
+    group.bench_function("elaborate_tower/interned_warm", |b| {
+        let mut types = TypeArena::new();
+        let _ = elaborate_in(&tower, &mut types);
+        b.iter(|| black_box(elaborate_in(black_box(&tower), &mut types).expect("elaborates")))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_frontend);
+criterion_main!(benches);

@@ -1,4 +1,6 @@
-//! Regenerates the measurement tables recorded in EXPERIMENTS.md.
+//! Regenerates the measurement tables recorded in EXPERIMENTS.md, and
+//! emits the machine-readable `BENCH_4.json` (per-bench medians,
+//! including the front-end numbers) alongside the human output.
 //!
 //! ```sh
 //! cargo run -p bc-bench --bin report --release
@@ -7,20 +9,58 @@
 use std::time::Instant;
 
 use bc_baselines::{naive, threesome};
-use bc_bench::{boundary_source, composable_batch};
+use bc_bench::{
+    boundary_source, call_heavy_source, composable_batch, parse_source, wrapper_tower_source,
+};
 use bc_core::compose::compose;
+use bc_gtlc::{elaborate, elaborate_in};
 use bc_lambda_b::programs;
+use bc_lambda_b::typing::{type_of, type_of_interned};
 use bc_machine::{cek_b, cek_c, cek_s};
+use bc_syntax::TypeArena;
 use bc_translate::bisim::{aligned_cs, lockstep_bc};
 use bc_translate::{term_b_to_c, term_c_to_s};
 use blame_coercion::{Engine, Session};
 
+/// Collected `(key, value)` measurements for `BENCH_4.json`.
+type Metrics = Vec<(String, f64)>;
+
 fn main() {
+    let mut metrics = Metrics::new();
     space_table();
-    compose_table();
+    compose_table(&mut metrics);
     steps_table();
     height_table();
-    end_to_end_table();
+    frontend_table(&mut metrics);
+    capacity_table(&mut metrics);
+    end_to_end_table(&mut metrics);
+    write_json("BENCH_4.json", &metrics);
+}
+
+/// Median wall-clock of `reps` runs of `f`, in nanoseconds.
+fn median_ns(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos() as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Writes the collected medians as a flat JSON object (hand-rolled:
+/// the container is offline, so no serde).
+fn write_json(path: &str, metrics: &Metrics) {
+    let mut out = String::from("{\n");
+    for (i, (key, value)) in metrics.iter().enumerate() {
+        let sep = if i + 1 == metrics.len() { "" } else { "," };
+        out.push_str(&format!("  \"{key}\": {value:.1}{sep}\n"));
+    }
+    out.push_str("}\n");
+    std::fs::write(path, out).expect("write BENCH_4.json");
+    println!("wrote {path}");
 }
 
 /// E15: the space series — peak cast/coercion frames versus n.
@@ -50,7 +90,7 @@ fn space_table() {
 
 /// E16: composition throughput, λS `#` vs threesome meet vs naive
 /// rewriting, by coercion height.
-fn compose_table() {
+fn compose_table(metrics: &mut Metrics) {
     println!("## E16 — composition microbenchmark (64 pairs, ns/pair)");
     println!();
     println!("| height | λS `s # t` | threesome `Q ∘ P` | naive rewriting |");
@@ -92,6 +132,154 @@ fn compose_table() {
         let rewriting = t2.elapsed().as_nanos() / (reps * seqs.len()) as u128;
 
         println!("| {height} | {sharp} | {meet} | {rewriting} |");
+        metrics.push((format!("compose/height{height}/sharp_ns"), sharp as f64));
+        metrics.push((format!("compose/height{height}/threesome_ns"), meet as f64));
+        metrics.push((format!("compose/height{height}/naive_ns"), rewriting as f64));
+    }
+    println!();
+}
+
+/// The front-end series: typecheck+elaborate on interned types versus
+/// the tree oracles (the `frontend` criterion bench's workloads, as
+/// medians for BENCH_4.json).
+fn frontend_table(metrics: &mut Metrics) {
+    println!("## E21 — front end on interned types (medians)");
+    println!();
+    use bc_bench::frontend_workload::{BATCH, CALLS, CALL_DEPTH, TOWER};
+    let exprs: Vec<_> = (0..BATCH as i64)
+        .map(|i| parse_source(&boundary_source(32 + i)))
+        .collect();
+    let tower = parse_source(&wrapper_tower_source(TOWER));
+    let calls = parse_source(&call_heavy_source(CALL_DEPTH, CALLS));
+    let calls_b = elaborate(&calls).expect("elaborates").term;
+    const REPS: usize = 41;
+
+    let tree = median_ns(REPS, || {
+        for e in &exprs {
+            std::hint::black_box(elaborate(e).expect("elaborates"));
+        }
+    });
+    let cold = median_ns(REPS, || {
+        for e in &exprs {
+            let mut types = TypeArena::new();
+            std::hint::black_box(elaborate_in(e, &mut types).expect("elaborates"));
+        }
+    });
+    let mut warm_types = TypeArena::new();
+    let warm = median_ns(REPS, || {
+        for e in &exprs {
+            std::hint::black_box(elaborate_in(e, &mut warm_types).expect("elaborates"));
+        }
+    });
+    let check_tree = median_ns(REPS, || {
+        std::hint::black_box(type_of(&calls_b).expect("well typed"));
+    });
+    let mut check_types = TypeArena::new();
+    let _ = type_of_interned(&calls_b, &mut check_types);
+    let check_interned = median_ns(REPS, || {
+        std::hint::black_box(type_of_interned(&calls_b, &mut check_types).expect("well typed"));
+    });
+    let mut tower_types = TypeArena::new();
+    let _ = elaborate_in(&tower, &mut tower_types);
+    let tower_tree = median_ns(REPS, || {
+        std::hint::black_box(elaborate(&tower).expect("elaborates"));
+    });
+    let tower_interned = median_ns(REPS, || {
+        std::hint::black_box(elaborate_in(&tower, &mut tower_types).expect("elaborates"));
+    });
+
+    println!("| workload | tree | interned cold | interned warm |");
+    println!("|----------|------|---------------|---------------|");
+    println!(
+        "| elaborate 16-program batch | {:.1} µs | {:.1} µs | {:.1} µs |",
+        tree / 1e3,
+        cold / 1e3,
+        warm / 1e3
+    );
+    println!(
+        "| typecheck call-heavy (2⁹-node annotation, 64 sites) | {:.1} µs | — | {:.1} µs |",
+        check_tree / 1e3,
+        check_interned / 1e3
+    );
+    println!(
+        "| elaborate wrapper tower (annotation-dominated) | {:.1} µs | — | {:.1} µs |",
+        tower_tree / 1e3,
+        tower_interned / 1e3
+    );
+    println!();
+    metrics.push(("frontend/elaborate_batch16/tree_ns".into(), tree));
+    metrics.push(("frontend/elaborate_batch16/cold_ns".into(), cold));
+    metrics.push(("frontend/elaborate_batch16/warm_ns".into(), warm));
+    metrics.push(("frontend/typecheck_calls/tree_ns".into(), check_tree));
+    metrics.push((
+        "frontend/typecheck_calls/interned_warm_ns".into(),
+        check_interned,
+    ));
+    metrics.push(("frontend/elaborate_tower/tree_ns".into(), tower_tree));
+    metrics.push((
+        "frontend/elaborate_tower/interned_warm_ns".into(),
+        tower_interned,
+    ));
+}
+
+/// The cache working sets the bench workloads actually reach — the
+/// data behind the `SessionBuilder` capacity defaults.
+fn capacity_table(metrics: &mut Metrics) {
+    println!("## E22 — session cache working sets on the bench workloads");
+    println!();
+    println!("| workload | compose pairs | type nodes | verdicts | compose hit rate | verdict hit rate |");
+    println!("|----------|---------------|------------|----------|------------------|------------------|");
+    let workloads: Vec<(&str, Vec<String>)> = vec![
+        (
+            "boundary batch (16 × loop 512)",
+            (0..16).map(|i| boundary_source(512 + i)).collect(),
+        ),
+        (
+            "wrapper towers (depth 8..12)",
+            (8..=12).map(wrapper_tower_source).collect(),
+        ),
+        (
+            "call-heavy (depth 8, 64 sites)",
+            vec![call_heavy_source(
+                bc_bench::frontend_workload::CALL_DEPTH,
+                bc_bench::frontend_workload::CALLS,
+            )],
+        ),
+    ];
+    for (name, sources) in workloads {
+        let session = Session::builder().default_fuel(u64::MAX).build();
+        let programs = session
+            .compile_batch(sources.iter().map(String::as_str))
+            .expect("compiles");
+        for program in &programs {
+            session.run(program, Engine::MachineS).expect("terminates");
+        }
+        let stats = session.stats();
+        let compose_rate =
+            stats.compose.hits as f64 / (stats.compose.hits + stats.compose.misses).max(1) as f64;
+        let verdict_rate = stats.type_queries.hits as f64
+            / (stats.type_queries.hits + stats.type_queries.misses).max(1) as f64;
+        println!(
+            "| {name} | {} | {} | {} | {:.3} | {:.3} |",
+            stats.compose_pairs,
+            stats.type_nodes,
+            stats.type_memo_pairs,
+            compose_rate,
+            verdict_rate
+        );
+        let slug = name.split_whitespace().next().expect("name");
+        metrics.push((
+            format!("capacity/{slug}/compose_pairs"),
+            stats.compose_pairs as f64,
+        ));
+        metrics.push((
+            format!("capacity/{slug}/type_nodes"),
+            stats.type_nodes as f64,
+        ));
+        metrics.push((
+            format!("capacity/{slug}/verdicts"),
+            stats.type_memo_pairs as f64,
+        ));
     }
     println!();
 }
@@ -153,7 +341,7 @@ fn height_table() {
 
 /// E20: end-to-end wall-clock per engine on the compiled boundary
 /// loop.
-fn end_to_end_table() {
+fn end_to_end_table(metrics: &mut Metrics) {
     println!("## E20 — end-to-end pipeline (compiled boundary loop, n = 512)");
     println!();
     let source = boundary_source(512);
@@ -161,15 +349,24 @@ fn end_to_end_table() {
     let compiled = session.compile(&source).expect("compiles");
     println!("| engine | steps | peak frames | peak coercion frames | µs |");
     println!("|--------|-------|-------------|----------------------|-----|");
-    for engine in [Engine::MachineB, Engine::MachineC, Engine::MachineS] {
-        let t0 = Instant::now();
+    for (slug, engine) in [
+        ("machine_b", Engine::MachineB),
+        ("machine_c", Engine::MachineC),
+        ("machine_s", Engine::MachineS),
+    ] {
+        let median = median_ns(15, || {
+            std::hint::black_box(session.run(&compiled, engine).expect("terminates"));
+        });
         let report = session.run(&compiled, engine).expect("terminates");
-        let us = t0.elapsed().as_micros();
-        let metrics = report.metrics.expect("machine engines report metrics");
+        let machine = report.metrics.expect("machine engines report metrics");
         println!(
-            "| {engine} | {} | {} | {} | {us} |",
-            report.steps, metrics.peak_frames, metrics.peak_cast_frames
+            "| {engine} | {} | {} | {} | {:.0} |",
+            report.steps,
+            machine.peak_frames,
+            machine.peak_cast_frames,
+            median / 1e3
         );
+        metrics.push((format!("end_to_end/{slug}_ns"), median));
     }
     println!();
 }

@@ -61,5 +61,86 @@ pub fn static_source(n: i64) -> String {
     )
 }
 
+/// The fully static *wrapper tower*: identity functions at types of
+/// exponentially growing size (`T₀ = Int`, `Tₖ = Tₖ₋₁ → Tₖ₋₁`),
+/// applied in a chain. A tree type checker pays O(size) structural
+/// equality and O(size) clones at every application — exactly the
+/// cost the interned front-end's O(1) id comparisons eliminate — so
+/// this is the tree-vs-interned checker workload of the `frontend`
+/// bench.
+pub fn wrapper_tower_source(depth: usize) -> String {
+    fn ty(k: usize) -> String {
+        if k == 0 {
+            "Int".to_owned()
+        } else {
+            let inner = ty(k - 1);
+            format!("({inner} -> {inner})")
+        }
+    }
+    let mut src = String::from("let f0 = fun (x : Int) => x + 1 in ");
+    for k in 1..=depth {
+        src.push_str(&format!("let f{k} = fun (x : {}) => x in ", ty(k)));
+    }
+    let mut app = format!("f{depth}");
+    for k in (0..depth).rev() {
+        app = format!("({app} f{k})");
+    }
+    src.push_str(&format!("({app} 41)"));
+    src
+}
+
+/// The *call-heavy* front-end workload: one function whose annotation
+/// is a type of size 2^(depth+1), applied at `calls` nested call
+/// sites. A tree checker re-compares the whole domain type
+/// structurally at every site — O(calls · 2^depth) — where the
+/// interned checker interns each annotation once and answers every
+/// site with an O(1) id equality. This is the shape a server sees:
+/// few distinct types, many comparisons.
+///
+/// # Panics
+///
+/// Panics if `depth` is zero (the argument annotation is the type one
+/// level below the function's).
+pub fn call_heavy_source(depth: usize, calls: usize) -> String {
+    assert!(depth >= 1, "call_heavy_source needs depth >= 1");
+    fn ty(k: usize) -> String {
+        if k == 0 {
+            "Int".to_owned()
+        } else {
+            let inner = ty(k - 1);
+            format!("({inner} -> {inner})")
+        }
+    }
+    let param = ty(depth);
+    let arg = ty(depth - 1);
+    let mut app = String::from("x");
+    for _ in 0..calls {
+        app = format!("(f {app})");
+    }
+    format!("fun (f : {param}) => fun (x : {arg}) => {app}")
+}
+
+/// The front-end workload constants, shared by the `frontend`
+/// criterion bench and the `report` binary so BENCH_4.json and the
+/// bench output always measure the same thing.
+pub mod frontend_workload {
+    /// Programs in the warm/cold elaborate batch.
+    pub const BATCH: usize = 16;
+    /// Depth of the wrapper tower (annotations up to size 2^(TOWER+1)).
+    pub const TOWER: usize = 8;
+    /// Annotation depth of the call-heavy program.
+    pub const CALL_DEPTH: usize = 8;
+    /// Call sites in the call-heavy program.
+    pub const CALLS: usize = 64;
+}
+
+/// Parses a GTLC source to its surface AST (panicking on syntax
+/// errors), so front-end benches can measure typecheck+elaborate in
+/// isolation from lexing and parsing.
+pub fn parse_source(source: &str) -> bc_gtlc::ast::Expr {
+    let tokens = bc_gtlc::lexer::lex(source).expect("bench source lexes");
+    bc_gtlc::parser::parse(&tokens).expect("bench source parses")
+}
+
 /// Checks a type is exported (keeps the facade crates linked in).
 pub fn _touch(_: &Type) {}

@@ -156,7 +156,10 @@ pub struct ArenaStats {
 pub struct CoercionArena {
     nodes: Vec<SNode>,
     meta: Vec<NodeMeta>,
-    index: HashMap<SNode, CoercionId>,
+    /// The hash-consing index. Fx-hashed: keys are small `Copy` nodes
+    /// (discriminants plus ids), so hashing must not dominate the
+    /// probe.
+    index: HashMap<SNode, CoercionId, bc_syntax::FxBuildHasher>,
     stats: ArenaStats,
     /// Identity of this id-space, used to catch a [`ComposeCache`]
     /// being replayed against an arena it was not built with. A clone
@@ -192,7 +195,7 @@ impl Default for CoercionArena {
         CoercionArena {
             nodes: Vec::new(),
             meta: Vec::new(),
-            index: HashMap::new(),
+            index: HashMap::default(),
             stats: ArenaStats::default(),
             generation: next_generation(),
         }

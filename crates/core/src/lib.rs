@@ -65,6 +65,7 @@ pub mod compose;
 pub mod eval;
 pub mod safety;
 pub mod sterm;
+pub mod styping;
 pub mod subst;
 pub mod term;
 pub mod typing;

@@ -46,4 +46,4 @@ pub mod term;
 pub mod typing;
 
 pub use term::{Cast, Term};
-pub use typing::{type_of, TypeError};
+pub use typing::{type_of, type_of_interned, TypeError};

@@ -44,4 +44,4 @@ pub mod typing;
 
 pub use coercion::Coercion;
 pub use term::Term;
-pub use typing::type_of;
+pub use typing::{type_of, type_of_interned};

@@ -28,7 +28,7 @@
 //!
 //! * [`run_compiled_in`] — the fast path: evaluate an already-compiled
 //!   [`STerm`] against the arena and cache it was compiled into (as
-//!   the pipeline's `Compiled` does across repeated runs);
+//!   the runtime's `Session` does across repeated runs);
 //! * [`run_in`] — accept a tree [`Term`], compile it into the
 //!   caller-owned arena (hash-consing makes repeat compiles
 //!   allocation-free), then run;
@@ -274,8 +274,8 @@ pub fn run(term: &Term, fuel: u64) -> MachineRun {
 /// This entry point re-lowers the term on every call (an O(term-size)
 /// walk). Callers that run the *same* program repeatedly should
 /// compile once with [`compile_term`] and loop over
-/// [`run_compiled_in`] instead — that is what the pipeline's
-/// `Compiled` does.
+/// [`run_compiled_in`] instead — that is what the runtime's `Session`
+/// does.
 ///
 /// The reported [`ReuseStats`] *include* the compile-time interning,
 /// so this entry point shows `tree_interns > 0` where

@@ -34,6 +34,8 @@
 use std::collections::{HashMap, VecDeque};
 use std::hash::Hash;
 
+use crate::fxhash::FxBuildHasher;
+
 /// A stored value with its second-chance reference bit.
 #[derive(Debug, Clone, Copy)]
 struct ClockEntry<V> {
@@ -48,7 +50,9 @@ struct ClockEntry<V> {
 /// See the [module docs](self) for the policy and its invariants.
 #[derive(Debug, Clone)]
 pub struct ClockMap<K, V> {
-    map: HashMap<K, ClockEntry<V>>,
+    /// Fx-hashed: memo keys are tuples of small `Copy` ids, for which
+    /// SipHash would cost more than the probe itself.
+    map: HashMap<K, ClockEntry<V>, FxBuildHasher>,
     /// Insertion-ordered keys forming the clock queue (every map key
     /// appears exactly once).
     clock: VecDeque<K>,
@@ -67,7 +71,7 @@ impl<K: Copy + Eq + Hash, V: Copy> ClockMap<K, V> {
     pub fn with_capacity(capacity: usize) -> ClockMap<K, V> {
         assert!(capacity > 0, "ClockMap capacity must be at least 1");
         ClockMap {
-            map: HashMap::new(),
+            map: HashMap::default(),
             clock: VecDeque::new(),
             capacity,
             evictions: 0,

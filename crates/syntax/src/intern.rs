@@ -60,6 +60,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use crate::clock::ClockMap;
+use crate::fxhash::FxBuildHasher;
 use crate::label::Label;
 use crate::types::{BaseType, Ground, Type};
 
@@ -159,12 +160,20 @@ enum Rel {
 pub struct TypeArena {
     nodes: Vec<TNode>,
     meta: Vec<TypeMeta>,
-    index: HashMap<TNode, TypeId>,
+    /// The hash-consing index. Fx-hashed: keys are one discriminant
+    /// plus at most two u32 ids, so hashing must not dominate the
+    /// probe (interning a type walks this map once per node).
+    index: HashMap<TNode, TypeId, FxBuildHasher>,
     /// Memoized verdicts of all five relations, tagged by [`Rel`]
     /// (compatibility keys are stored with `a <= b`: the relation is
     /// symmetric, so one entry serves both orders), behind the shared
     /// second-chance eviction engine.
     memo: ClockMap<(Rel, TypeId, TypeId), bool>,
+    /// Lazily materialised tree forms, one per node, shared via `Rc`
+    /// substructure: [`TypeArena::resolve_shared`] builds each
+    /// distinct type's tree exactly once per arena lifetime and hands
+    /// out refcount-bump clones thereafter.
+    trees: Vec<Option<Type>>,
     stats: QueryStats,
 }
 
@@ -197,8 +206,9 @@ impl TypeArena {
         let mut arena = TypeArena {
             nodes: Vec::new(),
             meta: Vec::new(),
-            index: HashMap::new(),
+            index: HashMap::default(),
             memo: ClockMap::with_capacity(capacity),
+            trees: Vec::new(),
             stats: QueryStats::default(),
         };
         // Pre-intern the leaves every program mentions, so the common
@@ -249,6 +259,7 @@ impl TypeArena {
         let meta = self.compute_meta(&node);
         self.nodes.push(node);
         self.meta.push(meta);
+        self.trees.push(None);
         self.index.insert(node, id);
         id
     }
@@ -317,6 +328,45 @@ impl TypeArena {
             TNode::Base(b) => Type::Base(b),
             TNode::Dyn => Type::Dyn,
             TNode::Fun(a, b) => Type::fun(self.resolve(a), self.resolve(b)),
+        }
+    }
+
+    /// [`TypeArena::resolve`] through a per-node memo: the tree form
+    /// of each distinct type is materialised once per arena lifetime
+    /// (with `Rc`-shared substructure, children through the same
+    /// memo), and every later call is a refcount-bump clone. This is
+    /// what lets the interned front-end emit tree-typed terms without
+    /// allocating a fresh `Rc` spine for every repeated annotation.
+    pub fn resolve_shared(&mut self, id: TypeId) -> Type {
+        if let Some(t) = &self.trees[id.index()] {
+            return t.clone();
+        }
+        let tree = match self.node(id) {
+            TNode::Base(b) => Type::Base(b),
+            TNode::Dyn => Type::Dyn,
+            TNode::Fun(a, b) => Type::fun(self.resolve_shared(a), self.resolve_shared(b)),
+        };
+        self.trees[id.index()] = Some(tree.clone());
+        tree
+    }
+
+    /// The join (least upper bound with respect to precision `<:n`) of
+    /// two consistent types; `None` iff the types are incompatible.
+    /// Hash-consing canonicity makes the reflexive case O(1); the
+    /// recursion interns only nodes the join actually introduces.
+    pub fn join(&mut self, a: TypeId, b: TypeId) -> Option<TypeId> {
+        if a == b {
+            return Some(a);
+        }
+        match (self.node(a), self.node(b)) {
+            (TNode::Dyn, _) | (_, TNode::Dyn) => Some(self.dyn_ty()),
+            (TNode::Base(x), TNode::Base(y)) => (x == y).then_some(a),
+            (TNode::Fun(a1, a2), TNode::Fun(b1, b2)) => {
+                let dom = self.join(a1, b1)?;
+                let cod = self.join(a2, b2)?;
+                Some(self.fun(dom, cod))
+            }
+            _ => None,
         }
     }
 
@@ -735,5 +785,57 @@ mod tests {
     #[should_panic(expected = "capacity must be at least 1")]
     fn zero_memo_capacity_is_rejected() {
         TypeArena::with_memo_capacity(0);
+    }
+
+    #[test]
+    fn resolve_shared_matches_resolve() {
+        let mut arena = TypeArena::new();
+        for t in sample_types(2) {
+            let id = arena.intern(&t);
+            assert_eq!(arena.resolve_shared(id), t, "first call of {t}");
+            assert_eq!(arena.resolve_shared(id), t, "memoized call of {t}");
+            assert_eq!(arena.resolve(id), arena.resolve_shared(id));
+        }
+    }
+
+    #[test]
+    fn resolve_shared_reuses_the_same_allocation() {
+        let mut arena = TypeArena::new();
+        let id = arena.intern(&Type::fun(Type::INT, Type::DYN));
+        let first = arena.resolve_shared(id);
+        let second = arena.resolve_shared(id);
+        // Same Rc spine, not merely structurally equal.
+        match (&first, &second) {
+            (Type::Fun(a, _), Type::Fun(b, _)) => {
+                assert!(std::rc::Rc::ptr_eq(a, b), "children must be shared");
+            }
+            _ => unreachable!("interned a Fun"),
+        }
+    }
+
+    /// The tree-level join (precision lub), as specified by the
+    /// gradual elaborator — the oracle for [`TypeArena::join`].
+    fn tree_join(a: &Type, b: &Type) -> Option<Type> {
+        match (a, b) {
+            (Type::Dyn, _) | (_, Type::Dyn) => Some(Type::Dyn),
+            (Type::Base(x), Type::Base(y)) => (x == y).then(|| a.clone()),
+            (Type::Fun(a1, a2), Type::Fun(b1, b2)) => {
+                Some(Type::fun(tree_join(a1, b1)?, tree_join(a2, b2)?))
+            }
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn join_agrees_with_the_tree_join() {
+        let mut arena = TypeArena::new();
+        let u = sample_types(2);
+        for a in &u {
+            for b in &u {
+                let (ia, ib) = (arena.intern(a), arena.intern(b));
+                let got = arena.join(ia, ib).map(|id| arena.resolve(id));
+                assert_eq!(got, tree_join(a, b), "{a} ⊔ {b}");
+            }
+        }
     }
 }

@@ -40,6 +40,7 @@
 pub mod clock;
 pub mod constant;
 pub mod fresh;
+pub mod fxhash;
 pub mod intern;
 pub mod label;
 pub mod op;
@@ -51,6 +52,7 @@ pub mod untyped;
 pub use clock::ClockMap;
 pub use constant::Constant;
 pub use fresh::NameSupply;
+pub use fxhash::{FxBuildHasher, FxHasher};
 pub use intern::{TNode, TypeArena, TypeId};
 pub use label::{Label, LabelSupply};
 pub use op::Op;

@@ -12,7 +12,7 @@
 //! | [`lambda_c`] | the coercion calculus λC (Fig. 3) |
 //! | [`core`] | **λS**, the space-efficient coercion calculus (Fig. 5): the composition operator `s # t`, the hash-consing [`core::arena`] — interned `CoercionId` handles with O(1) equality and a memoizing, second-chance-evicting `ComposeCache` — and the compiled term IR [`core::sterm`] whose `Coerce` nodes are `Copy` ids |
 //! | [`translate`] | the translations `\|·\|BC`, `\|·\|CB`, `\|·\|CS` (Figs. 4, 6) — with arena-threading `*_in` variants — executable bisimulations, the Fundamental Property of Casts |
-//! | [`gtlc`] | a gradually-typed surface language: parser, gradual type checker, cast insertion |
+//! | [`gtlc`] | a gradually-typed surface language: parser, gradual type checker, cast insertion — with an interned fast path (`elaborate_in`) that infers, checks consistency, and joins on `TypeId`s against a shared `TypeArena` |
 //! | [`machine`] | CEK machines for all three calculi; the λS machine executes the compiled IR — frames hold interned coercions, merges go through the compose cache, and boundary crossings intern nothing (reported per run by `Metrics::reuse`) — running boundary-crossing tail calls in constant space |
 //! | [`baselines`] | Siek–Wadler 2010 threesomes and Garcia 2013 supercoercions (with interned-coercion erasure) |
 //!
@@ -57,9 +57,9 @@
 //! Sessions are configurable via [`Session::builder`] (compose-cache
 //! capacity, type-verdict-table capacity, default fuel), and
 //! [`Session::stats`] returns one consolidated [`SessionStats`]
-//! snapshot. The pre-session API ([`Compiled`], in [`pipeline`])
-//! remains as a deprecated shim for one release; see the migration
-//! note in CHANGES.md.
+//! snapshot. (The pre-session `Compiled` shim is gone — its one
+//! deprecation release has passed; the migration recipe lives in
+//! CHANGES.md.)
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -73,9 +73,6 @@ pub use bc_machine as machine;
 pub use bc_syntax as syntax;
 pub use bc_translate as translate;
 
-pub mod pipeline;
 pub mod session;
 
-#[allow(deprecated)]
-pub use pipeline::Compiled;
 pub use session::{Engine, Program, RunError, RunReport, Session, SessionBuilder, SessionStats};

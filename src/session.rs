@@ -42,12 +42,12 @@ use std::cell::{Cell, RefCell};
 use std::fmt;
 
 use bc_core::arena::{CoercionArena, ComposeCache};
-use bc_core::sterm::{compile_term, STerm};
+use bc_core::sterm::{decompile_term, STerm};
 use bc_gtlc::Diagnostic;
 use bc_machine::metrics::Metrics;
 use bc_syntax::{Label, Type, TypeArena};
 use bc_translate::bisim::{observe_b, observe_c, observe_s, Observation};
-use bc_translate::{term_b_to_c, term_c_to_s_in};
+use bc_translate::{term_b_to_c, term_c_to_s_compiled};
 
 /// Which semantics executes the program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -222,8 +222,8 @@ pub struct SessionBuilder {
 impl Default for SessionBuilder {
     fn default() -> SessionBuilder {
         SessionBuilder {
-            compose_cache_capacity: ComposeCache::DEFAULT_CAPACITY,
-            type_memo_capacity: TypeArena::DEFAULT_MEMO_CAPACITY,
+            compose_cache_capacity: SessionBuilder::DEFAULT_COMPOSE_CACHE_CAPACITY,
+            type_memo_capacity: SessionBuilder::DEFAULT_TYPE_MEMO_CAPACITY,
             default_fuel: SessionBuilder::DEFAULT_FUEL,
         }
     }
@@ -233,8 +233,33 @@ impl SessionBuilder {
     /// The default step bound used by [`Session::run`].
     pub const DEFAULT_FUEL: u64 = 1_000_000;
 
+    /// The default compose-cache pair cap, picked from measured reuse
+    /// on the benchmark workloads (report E22): a 16-program
+    /// boundary-loop batch — the most composition-heavy workload in
+    /// the suite — peaks at **10** live pairs with a 99.9% hit rate,
+    /// and no workload reaches triple digits. 2¹⁶ keeps >5000×
+    /// headroom over anything observed while bounding a long-lived
+    /// multi-tenant session's table at a few MB (the raw-arena default
+    /// `ComposeCache::DEFAULT_CAPACITY` of 2²⁰ stays for callers
+    /// managing their own arenas).
+    pub const DEFAULT_COMPOSE_CACHE_CAPACITY: usize = 1 << 16;
+
+    /// The default verdict-table cap, picked from the same
+    /// measurements: the interned front end answers its relational
+    /// questions almost entirely from the O(1) fast paths (hit rates
+    /// ≥ 0.999 on every E22 workload) and holds at most a few dozen
+    /// memoized verdicts, so 2¹⁶ is again >1000× headroom at bounded
+    /// memory.
+    pub const DEFAULT_TYPE_MEMO_CAPACITY: usize = 1 << 16;
+
     /// Caps the compose cache at `capacity` memoized pairs (evicted
     /// second-chance beyond that; see `bc_core::arena::ComposeCache`).
+    ///
+    /// The default is the data-driven
+    /// [`SessionBuilder::DEFAULT_COMPOSE_CACHE_CAPACITY`]; raise it
+    /// only for workloads measurably evicting
+    /// ([`SessionStats::compose`]`.evictions > 0` with a falling hit
+    /// rate).
     ///
     /// # Panics
     ///
@@ -247,6 +272,11 @@ impl SessionBuilder {
     /// Caps the type arena's relational-verdict tables at `capacity`
     /// memoized entries (evicted second-chance beyond that; see
     /// [`TypeArena::with_memo_capacity`]).
+    ///
+    /// The default is the data-driven
+    /// [`SessionBuilder::DEFAULT_TYPE_MEMO_CAPACITY`]; raise it only
+    /// if [`SessionStats::type_queries`] shows evictions with a
+    /// falling hit rate.
     ///
     /// # Panics
     ///
@@ -339,7 +369,7 @@ pub struct Program {
     session: u64,
     /// The source-program span map for blame reporting, if compiled
     /// from source.
-    program: Option<bc_gtlc::Program>,
+    program: Option<bc_gtlc::ProgramI>,
     source: Option<String>,
 }
 
@@ -385,13 +415,28 @@ impl Session {
     /// Compiles GTLC source text through cast insertion and the two
     /// translations, interning into this session's shared arenas.
     ///
+    /// The front end runs on interned types end to end: the gradual
+    /// type checker ([`bc_gtlc::elaborate_in`]) infers, checks
+    /// consistency, and joins on `TypeId`s against this session's
+    /// [`TypeArena`], so a warm session answers every repeated
+    /// subtyping/compatibility question from its memo tables and a
+    /// structurally similar recompile interns **zero** new type nodes
+    /// at compile time.
+    ///
     /// # Errors
     ///
     /// Returns a [`Diagnostic`] on lexical, syntax, or gradual type
     /// errors.
     pub fn compile(&self, source: &str) -> Result<Program, Diagnostic> {
-        let program = bc_gtlc::compile(source)?;
-        let mut compiled = self.lower(program.term.clone(), program.ty.clone());
+        let tokens = bc_gtlc::lexer::lex(source)?;
+        let expr = bc_gtlc::parser::parse(&tokens)?;
+        let (program, ty) = {
+            let mut types = self.types.borrow_mut();
+            let program = bc_gtlc::elaborate_in(&expr, &mut types)?;
+            let ty = types.resolve_shared(program.ty);
+            (program, ty)
+        };
+        let mut compiled = self.lower(program.term.clone(), ty);
         compiled.program = Some(program);
         compiled.source = Some(source.to_owned());
         Ok(compiled)
@@ -414,34 +459,72 @@ impl Session {
     }
 
     /// Wraps an already-built λB term, checking it against the stated
-    /// type before lowering it into the session.
+    /// type before lowering it into the session — through the interned
+    /// λB checker ([`bc_lambda_b::type_of_interned`]), so the audit
+    /// runs on this session's warm [`TypeArena`] and the
+    /// stated-vs-actual comparison is an O(1) id equality.
     ///
     /// # Errors
     ///
     /// Returns [`RunError::IllTyped`] if the term is open, ill typed,
     /// or well typed at a different type than stated.
     pub fn load_lambda_b(&self, term: bc_lambda_b::Term, ty: Type) -> Result<Program, RunError> {
-        match bc_lambda_b::type_of(&term) {
-            Err(e) => Err(ill_typed(e)),
-            Ok(actual) if actual != ty => Err(ill_typed(format!(
-                "term has type `{actual}`, not the stated `{ty}`"
-            ))),
-            Ok(_) => Ok(self.lower(term, ty)),
+        {
+            let mut types = self.types.borrow_mut();
+            match bc_lambda_b::type_of_interned(&term, &mut types) {
+                Err(e) => return Err(ill_typed(e)),
+                Ok(actual) => {
+                    let stated = types.intern(&ty);
+                    if actual != stated {
+                        return Err(ill_typed(format!(
+                            "term has type `{}`, not the stated `{ty}`",
+                            types.display(actual)
+                        )));
+                    }
+                }
+            }
         }
+        Ok(self.lower(term, ty))
     }
 
     /// Lowers a well-typed λB term into a session-bound program:
-    /// λB → λC → λS → compiled IR, interning into the shared arenas.
+    /// λB → λC → compiled λS IR, interning into the shared arenas.
     fn lower(&self, term: bc_lambda_b::Term, ty: Type) -> Program {
         let lambda_c = term_b_to_c(&term);
         let mut arena = self.arena.borrow_mut();
         let mut cache = self.cache.borrow_mut();
         let mut types = self.types.borrow_mut();
-        let lambda_s = term_c_to_s_in(&mut arena, &mut cache, &lambda_c);
-        // Lower once; every MachineS run of this program (and of every
-        // structurally similar program in this session) reuses the
-        // interned coercions.
-        let lambda_s_compiled = compile_term(&lambda_s, &mut arena, &mut types);
+        // Translate straight into the compiled IR: every normalised
+        // coercion lands in the shared arena as an id (no intermediate
+        // tree, no re-interning pass) and every type annotation
+        // interns once per session. The tree λS term — the exchange
+        // form the small-step engine reads — is decompiled from the
+        // IR, sharing the arenas' memoized resolves.
+        let lambda_s_compiled = term_c_to_s_compiled(&mut arena, &mut cache, &mut types, &lambda_c);
+        let lambda_s = decompile_term(&lambda_s_compiled, &arena, &types);
+        // Cast insertion and both translations preserve typing; audit
+        // the intermediate forms with the interned checkers on debug
+        // builds (the machine-ready IR is validated in place, never
+        // decompiled for checking).
+        debug_assert!(
+            {
+                let expected = types.intern(&ty);
+                bc_lambda_c::typing::has_type_interned(&lambda_c, expected, &mut types)
+            },
+            "λB → λC translation must preserve the program type"
+        );
+        debug_assert!(
+            {
+                let expected = types.intern(&ty);
+                bc_core::styping::has_type_interned(
+                    &lambda_s_compiled,
+                    expected,
+                    &arena,
+                    &mut types,
+                )
+            },
+            "λC → λS lowering must preserve the program type"
+        );
         self.programs.set(self.programs.get() + 1);
         Program {
             lambda_b: term,
@@ -575,10 +658,9 @@ impl Session {
     }
 
     /// Clones the session state (arenas, cache, counters) under a
-    /// fresh session identity. Used by the deprecated `Compiled` shim;
-    /// programs of the original must be re-bound via
-    /// [`Session::adopt`].
-    pub(crate) fn clone_state(&self) -> Session {
+    /// fresh session identity; programs of the original must be
+    /// re-bound via [`Session::adopt`] to run here.
+    pub fn clone_state(&self) -> Session {
         let (arena, cache) = self.arena.borrow().clone_pair(&self.cache.borrow());
         Session {
             id: next_session_id(),
@@ -593,7 +675,7 @@ impl Session {
     /// Re-binds a program to this session. Only sound when this
     /// session's arenas are an identical snapshot of the program's
     /// original owner (i.e. straight after [`Session::clone_state`]).
-    pub(crate) fn adopt(&self, program: &Program) -> Program {
+    pub fn adopt(&self, program: &Program) -> Program {
         Program {
             session: self.id,
             ..program.clone()
@@ -821,5 +903,94 @@ mod tests {
         assert!(program.ir_size() > 0);
         assert!(program.boundary_crossings() > 0);
         assert!(!session.display_compiled(&program).is_empty());
+    }
+
+    #[test]
+    fn machine_s_boundary_crossings_never_reintern() {
+        // A MachineS run of a compiled program performs zero tree
+        // interning — boundary crossings are id loads — on the first
+        // run and every run after.
+        let session = Session::builder().default_fuel(10_000_000).build();
+        let program = session
+            .compile(
+                "letrec loop (n : Int) : Bool = \
+                   if n = 0 then true else ((loop : ?) : Int -> Bool) (n - 1) \
+                 in loop 512",
+            )
+            .expect("compiles");
+        for round in 0..3 {
+            let report = session.run(&program, Engine::MachineS).expect("runs");
+            let reuse = report.metrics.expect("machines report metrics").reuse;
+            assert_eq!(
+                reuse.tree_interns, 0,
+                "round {round} re-interned a coercion tree"
+            );
+            if round > 0 {
+                assert_eq!(reuse.node_misses, 0, "round {round}");
+                assert_eq!(reuse.compose_misses, 0, "round {round}");
+                assert!(reuse.compose_hits > 0, "round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn cloned_sessions_keep_working_arenas() {
+        // clone_state re-binds the compose cache to the cloned arena
+        // under a fresh identity; adopt re-binds a program to the
+        // clone. Both sides keep running — with their warm caches.
+        let session = Session::builder().default_fuel(1_000_000).build();
+        let program = session.compile(LOOP_32).expect("compiles");
+        let before = session.run(&program, Engine::MachineS).expect("runs");
+        let clone = session.clone_state();
+        let adopted = clone.adopt(&program);
+        let from_clone = clone.run(&adopted, Engine::MachineS).expect("runs");
+        let from_original = session.run(&program, Engine::MachineS).expect("runs");
+        assert_eq!(before.observation, from_clone.observation);
+        assert_eq!(before.observation, from_original.observation);
+        assert!(
+            clone.stats().compose.hits > 0,
+            "clone must inherit the warm cache"
+        );
+        // The original program still belongs to the original session.
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = clone.run(&program, Engine::MachineS);
+        }));
+        assert!(err.is_err(), "foreign program must fail loudly");
+    }
+
+    #[test]
+    fn warm_session_front_end_interns_nothing_new() {
+        // The compile-time acceptance criterion: typechecking and
+        // elaborating a structurally similar program against a warm
+        // session interns zero new type nodes *at compile time* (no
+        // run needed — the front end itself is interned).
+        let source = |n: i64| {
+            format!(
+                "let twice = fun (f : ? -> ?) => fun (x : ?) => f (f x) in \
+                 let inc = fun x => x + {n} in \
+                 (twice (inc : ? -> ?) {n} : Int)"
+            )
+        };
+        let session = Session::new();
+        session.compile(&source(1)).expect("compiles");
+        let warm = session.stats();
+        assert!(warm.type_nodes > 0);
+        session.compile(&source(2)).expect("compiles");
+        let after = session.stats();
+        assert_eq!(
+            after.type_nodes, warm.type_nodes,
+            "warm recompile must intern zero new type nodes"
+        );
+        assert_eq!(
+            after.coercions.nodes, warm.coercions.nodes,
+            "warm recompile must intern zero new coercion nodes"
+        );
+        // And the warm front end answers its relational questions from
+        // the memo tables: no new verdicts are computed either.
+        assert_eq!(
+            after.type_queries.misses, warm.type_queries.misses,
+            "warm recompile must not compute a single new verdict"
+        );
+        assert!(after.type_queries.hits > warm.type_queries.hits);
     }
 }

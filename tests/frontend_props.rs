@@ -1,0 +1,437 @@
+//! Property tests for the interned front end: on random programs —
+//! well-typed *and* ill-typed — every interned checker agrees with its
+//! tree oracle, verdict for verdict, type for type, error for error.
+//!
+//! * λB: `type_of_interned ≡ type_of`;
+//! * λC: `type_of_interned ≡ type_of` (through coercion endpoint
+//!   synthesis on ids);
+//! * λS: `styping::type_of_interned(compile_term(M)) ≡ type_of(M)` —
+//!   the machine-ready IR is checked directly, never decompiled;
+//! * GTLC: `elaborate_in ≡ elaborate` — same λB term, same type, same
+//!   blame spans, and byte-identical `Diagnostic`s on rejection.
+//!
+//! Each case runs its comparison twice against the same arena, so the
+//! warm path (every verdict a memo hit, every annotation already
+//! interned) is exercised as densely as the cold one.
+
+use bc_gtlc::ast::{Expr, ExprKind};
+use bc_gtlc::diagnostics::Span;
+use bc_gtlc::{elaborate, elaborate_in};
+use bc_syntax::{BaseType, Ground, Label, Op, Type, TypeArena};
+use bc_testkit::Gen;
+use proptest::prelude::*;
+
+/// A deterministic chooser for structural decisions the testkit `Gen`
+/// does not expose (mutation shape, surface-expression shape).
+struct Chooser(u64);
+
+impl Chooser {
+    fn new(seed: u64) -> Chooser {
+        Chooser(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+
+    fn pick(&mut self, n: usize) -> usize {
+        (self.next() >> 33) as usize % n
+    }
+
+    fn flip(&mut self) -> bool {
+        self.pick(2) == 0
+    }
+}
+
+fn gi() -> Ground {
+    Ground::Base(BaseType::Int)
+}
+
+fn gb() -> Ground {
+    Ground::Base(BaseType::Bool)
+}
+
+// ---------------------------------------------------------------------
+// λB
+// ---------------------------------------------------------------------
+
+/// A λB term that is ill-typed by construction (each shape trips a
+/// different rule of the checker).
+fn mangled_b(chooser: &mut Chooser, gen: &mut Gen) -> bc_lambda_b::Term {
+    use bc_lambda_b::Term;
+    let ty = gen.ty(1);
+    let well = gen.term_b(&ty, 2);
+    let p = Label::new(97);
+    match chooser.pick(6) {
+        // Applying a non-function.
+        0 => Term::int(1).app(well),
+        // Operator argument of the wrong base type.
+        1 => Term::op2(Op::Add, Term::bool(true), well),
+        // Non-boolean condition.
+        2 => Term::ite(Term::int(0), well.clone(), well),
+        // Cast whose source disagrees with the subject.
+        3 => well.cast(Type::fun(Type::INT, Type::BOOL), p, Type::DYN),
+        // Cast between incompatible types.
+        4 => Term::int(1).cast(Type::INT, p, Type::BOOL),
+        // Unbound variable under a binder.
+        _ => Term::let_("x", well, Term::var("nowhere")),
+    }
+}
+
+fn assert_b_equivalent(term: &bc_lambda_b::Term, types: &mut TypeArena) {
+    let tree = bc_lambda_b::typing::type_of(term);
+    let interned = bc_lambda_b::typing::type_of_interned(term, types);
+    match (tree, interned) {
+        (Ok(t), Ok(id)) => assert_eq!(types.resolve(id), t, "type of {term}"),
+        (Err(a), Err(b)) => assert_eq!(a, b, "error on {term}"),
+        (tree, interned) => {
+            panic!("verdicts diverged on {term}: tree {tree:?}, interned {interned:?}")
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// λC
+// ---------------------------------------------------------------------
+
+/// A λC term that is ill-typed by construction (including the
+/// `⊥`-coercion paths the synthesising checker cannot reach).
+fn mangled_c(chooser: &mut Chooser, gen: &mut Gen) -> bc_lambda_c::Term {
+    use bc_lambda_c::{Coercion, Term};
+    let ty = gen.ty(1);
+    let well_b = gen.term_b(&ty, 2);
+    let well = bc_translate::term_b_to_c(&well_b);
+    let p = Label::new(97);
+    match chooser.pick(6) {
+        0 => Term::int(1).app(well),
+        1 => Term::op2(Op::Add, Term::bool(true), well),
+        2 => Term::ite(Term::int(0), well.clone(), well),
+        // Coercion whose source disagrees with the subject.
+        3 => Term::bool(true).coerce(Coercion::inj(gi())),
+        // A ⊥ coercion on an incompatible subject (exercises the
+        // relational `check` and the BadCoercion error).
+        4 => Term::bool(true).coerce(Coercion::fail(gi(), p, gb())),
+        // A well-typed ⊥ composition (exercises the representative
+        // target on the Ok path) applied to a bad argument.
+        _ => Term::int(1).coerce(Coercion::fail(gi(), p, gb())).app(well),
+    }
+}
+
+fn assert_c_equivalent(term: &bc_lambda_c::Term, types: &mut TypeArena) {
+    let tree = bc_lambda_c::typing::type_of(term);
+    let interned = bc_lambda_c::typing::type_of_interned(term, types);
+    match (tree, interned) {
+        (Ok(t), Ok(id)) => assert_eq!(types.resolve(id), t, "type of {term}"),
+        (Err(a), Err(b)) => assert_eq!(a, b, "error on {term}"),
+        (tree, interned) => {
+            panic!("verdicts diverged on {term}: tree {tree:?}, interned {interned:?}")
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// λS (compiled IR)
+// ---------------------------------------------------------------------
+
+/// A λS term that is ill-typed by construction.
+fn mangled_s(chooser: &mut Chooser, gen: &mut Gen) -> bc_core::Term {
+    use bc_core::{SpaceCoercion, Term};
+    let ty = gen.ty(1);
+    let well = gen.term_s(&ty, 2);
+    let p = Label::new(97);
+    match chooser.pick(5) {
+        0 => Term::int(1).app(well),
+        1 => Term::op2(Op::Add, Term::bool(true), well),
+        2 => Term::ite(Term::int(0), well.clone(), well),
+        3 => Term::bool(true).coerce(SpaceCoercion::inj(
+            bc_core::GroundCoercion::IdBase(BaseType::Int),
+            gi(),
+        )),
+        _ => Term::bool(true).coerce(SpaceCoercion::fail(gi(), p, gb())),
+    }
+}
+
+fn assert_s_equivalent(term: &bc_core::Term, ctx: &mut bc_core::CompileCtx) {
+    let compiled = ctx.compile(term);
+    let tree = bc_core::typing::type_of(term);
+    let interned = bc_core::styping::type_of_interned(&compiled, &ctx.arena, &mut ctx.types);
+    match (tree, interned) {
+        (Ok(t), Ok(id)) => assert_eq!(ctx.types.resolve(id), t, "type of {term}"),
+        (Err(a), Err(b)) => assert_eq!(a, b, "error on {term}"),
+        (tree, interned) => {
+            panic!("verdicts diverged on {term}: tree {tree:?}, interned {interned:?}")
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// GTLC surface expressions
+// ---------------------------------------------------------------------
+
+/// A random surface expression — deliberately *not* restricted to
+/// well-typed shapes: unbound variables, inconsistent ascriptions,
+/// non-function applications, and bad operator arguments all occur, so
+/// the diagnostic paths are compared as densely as the success paths.
+struct ExprGen {
+    chooser: Chooser,
+    offset: usize,
+}
+
+impl ExprGen {
+    fn new(seed: u64) -> ExprGen {
+        ExprGen {
+            chooser: Chooser::new(seed),
+            offset: 0,
+        }
+    }
+
+    /// Every node gets a distinct span, so diagnostics are traceable
+    /// to the node that raised them (and span equality is meaningful).
+    fn span(&mut self) -> Span {
+        let at = self.offset;
+        self.offset += 2;
+        Span::new(at, at + 1)
+    }
+
+    fn ty(&mut self, depth: usize) -> Type {
+        match self.chooser.pick(if depth == 0 { 3 } else { 4 }) {
+            0 => Type::INT,
+            1 => Type::BOOL,
+            2 => Type::DYN,
+            _ => Type::fun(self.ty(depth - 1), self.ty(depth - 1)),
+        }
+    }
+
+    fn expr(&mut self, vars: &mut Vec<String>, depth: usize) -> Expr {
+        let span = self.span();
+        if depth == 0 {
+            let kind = match self.chooser.pick(4) {
+                0 => ExprKind::Int(self.chooser.pick(9) as i64 - 4),
+                1 => ExprKind::Bool(self.chooser.flip()),
+                // A variable in scope when one exists…
+                2 if !vars.is_empty() => ExprKind::Var(vars[self.chooser.pick(vars.len())].clone()),
+                // …and occasionally one that is not.
+                _ => ExprKind::Var("free".to_owned()),
+            };
+            return Expr::new(kind, span);
+        }
+        let kind = match self.chooser.pick(9) {
+            0 => {
+                let param = format!("v{}", vars.len());
+                let ty = self.ty(1);
+                vars.push(param.clone());
+                let body = self.expr(vars, depth - 1);
+                vars.pop();
+                ExprKind::Lam {
+                    param,
+                    ty,
+                    body: body.into(),
+                }
+            }
+            1 => ExprKind::App(
+                self.expr(vars, depth - 1).into(),
+                self.expr(vars, depth - 1).into(),
+            ),
+            2 => {
+                let op = [Op::Add, Op::Sub, Op::Eq, Op::Lt][self.chooser.pick(4)];
+                let args = (0..op.signature().0.len())
+                    .map(|_| self.expr(vars, depth - 1))
+                    .collect();
+                ExprKind::Prim(op, args)
+            }
+            3 => ExprKind::If(
+                self.expr(vars, depth - 1).into(),
+                self.expr(vars, depth - 1).into(),
+                self.expr(vars, depth - 1).into(),
+            ),
+            4 | 5 => {
+                let name = format!("v{}", vars.len());
+                let ty = self.chooser.flip().then(|| self.ty(1));
+                let bound = self.expr(vars, depth - 1);
+                vars.push(name.clone());
+                let body = self.expr(vars, depth - 1);
+                vars.pop();
+                ExprKind::Let {
+                    name,
+                    ty,
+                    bound: bound.into(),
+                    body: body.into(),
+                }
+            }
+            6 => {
+                let name = format!("f{}", vars.len());
+                let param = format!("v{}", vars.len() + 1);
+                let param_ty = self.ty(1);
+                let result_ty = self.ty(1);
+                vars.push(name.clone());
+                vars.push(param.clone());
+                let fun_body = self.expr(vars, depth - 1);
+                vars.pop();
+                let body = self.expr(vars, depth - 1);
+                vars.pop();
+                ExprKind::Letrec {
+                    name,
+                    param,
+                    param_ty,
+                    result_ty,
+                    fun_body: fun_body.into(),
+                    body: body.into(),
+                }
+            }
+            _ => {
+                let inner = self.expr(vars, depth - 1);
+                let ty = self.ty(1);
+                ExprKind::Ascribe(inner.into(), ty)
+            }
+        };
+        Expr::new(kind, span)
+    }
+}
+
+fn assert_elaborations_equivalent(expr: &Expr, types: &mut TypeArena) {
+    let tree = elaborate(expr);
+    let interned = elaborate_in(expr, types);
+    match (tree, interned) {
+        (Ok(p), Ok(pi)) => {
+            assert_eq!(pi.term, p.term, "elaborated terms diverged");
+            assert_eq!(types.resolve(pi.ty), p.ty, "program types diverged");
+            assert_eq!(pi.blame_spans, p.blame_spans, "blame spans diverged");
+        }
+        (Err(a), Err(b)) => assert_eq!(a, b, "diagnostics diverged"),
+        (tree, interned) => {
+            panic!("verdicts diverged: tree {tree:?}, interned {interned:?}")
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// λB: interned checker ≡ tree checker on generated well-typed
+    /// terms, cold and warm.
+    #[test]
+    fn lambda_b_interned_checker_agrees(seed in any::<u64>()) {
+        let mut gen = Gen::new(seed);
+        let ty = gen.ty(2);
+        let term = gen.term_b(&ty, 4);
+        let mut types = TypeArena::new();
+        assert_b_equivalent(&term, &mut types);
+        assert_b_equivalent(&term, &mut types); // warm: memo hits only
+    }
+
+    /// λB: interned checker ≡ tree checker on ill-typed terms — same
+    /// `TypeError`, payload for payload.
+    #[test]
+    fn lambda_b_interned_checker_agrees_on_ill_typed(seed in any::<u64>()) {
+        let mut chooser = Chooser::new(seed);
+        let mut gen = Gen::new(seed ^ 0x9e3779b97f4a7c15);
+        let term = mangled_b(&mut chooser, &mut gen);
+        let mut types = TypeArena::new();
+        assert_b_equivalent(&term, &mut types);
+        assert_b_equivalent(&term, &mut types);
+    }
+
+    /// λC: interned checker ≡ tree checker on translated well-typed
+    /// programs.
+    #[test]
+    fn lambda_c_interned_checker_agrees(seed in any::<u64>()) {
+        let mut gen = Gen::new(seed);
+        let ty = gen.ty(2);
+        let term = bc_translate::term_b_to_c(&gen.term_b(&ty, 4));
+        let mut types = TypeArena::new();
+        assert_c_equivalent(&term, &mut types);
+        assert_c_equivalent(&term, &mut types);
+    }
+
+    /// λC: interned checker ≡ tree checker on ill-typed terms,
+    /// including the `⊥`-coercion paths.
+    #[test]
+    fn lambda_c_interned_checker_agrees_on_ill_typed(seed in any::<u64>()) {
+        let mut chooser = Chooser::new(seed);
+        let mut gen = Gen::new(seed ^ 0x9e3779b97f4a7c15);
+        let term = mangled_c(&mut chooser, &mut gen);
+        let mut types = TypeArena::new();
+        assert_c_equivalent(&term, &mut types);
+        assert_c_equivalent(&term, &mut types);
+    }
+
+    /// λS: checking the compiled IR directly ≡ checking the tree term,
+    /// on well-typed programs (canonical coercions by construction).
+    #[test]
+    fn lambda_s_compiled_checker_agrees(seed in any::<u64>()) {
+        let mut gen = Gen::new(seed);
+        let ty = gen.ty(2);
+        let term = gen.term_s(&ty, 4);
+        let mut ctx = bc_core::CompileCtx::new();
+        assert_s_equivalent(&term, &mut ctx);
+        assert_s_equivalent(&term, &mut ctx);
+    }
+
+    /// λS: the compiled checker rejects ill-typed IR with the tree
+    /// checker's exact error.
+    #[test]
+    fn lambda_s_compiled_checker_agrees_on_ill_typed(seed in any::<u64>()) {
+        let mut chooser = Chooser::new(seed);
+        let mut gen = Gen::new(seed ^ 0x9e3779b97f4a7c15);
+        let term = mangled_s(&mut chooser, &mut gen);
+        let mut ctx = bc_core::CompileCtx::new();
+        assert_s_equivalent(&term, &mut ctx);
+        assert_s_equivalent(&term, &mut ctx);
+    }
+
+    /// GTLC: `elaborate_in ≡ elaborate` on random surface expressions
+    /// (well- and ill-typed alike), warm and cold.
+    #[test]
+    fn elaborations_agree(seed in any::<u64>()) {
+        let mut vars = Vec::new();
+        let expr = ExprGen::new(seed).expr(&mut vars, 4);
+        let mut types = TypeArena::new();
+        assert_elaborations_equivalent(&expr, &mut types);
+        assert_elaborations_equivalent(&expr, &mut types);
+    }
+}
+
+/// The corpus of concrete sources the integration tests compile —
+/// `compile_in` must agree with `compile` on every one, including the
+/// rejects.
+#[test]
+fn compile_in_agrees_with_compile_on_the_corpus() {
+    let sources = [
+        "1 + 2 * 3",
+        "let f = fun x => x + 1 in f 41",
+        "let f = fun x => x + 1 in f true",
+        "letrec even (n : Int) : Bool = \
+           if n = 0 then true else \
+           if n = 1 then false else even (n - 2) \
+         in even 10",
+        "if true then 1 else (2 : ?)",
+        "(fun (x : Int) => x) ((true : ?) : Int)",
+        // Rejects:
+        "1 + true",
+        "(fun (x : Int) => x) true",
+        "if 1 then 2 else 3",
+        "(true : Int)",
+        "x",
+        "1 2",
+    ];
+    let mut types = TypeArena::new();
+    for source in sources {
+        let tree = bc_gtlc::compile(source);
+        let interned = bc_gtlc::compile_in(source, &mut types);
+        match (tree, interned) {
+            (Ok(p), Ok(pi)) => {
+                assert_eq!(pi.term, p.term, "{source}");
+                assert_eq!(types.resolve(pi.ty), p.ty, "{source}");
+                assert_eq!(pi.blame_spans, p.blame_spans, "{source}");
+            }
+            (Err(a), Err(b)) => assert_eq!(a, b, "{source}"),
+            (tree, interned) => {
+                panic!("verdicts diverged on {source}: {tree:?} vs {interned:?}")
+            }
+        }
+    }
+}
