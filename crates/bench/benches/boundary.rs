@@ -127,6 +127,30 @@ fn bench_boundary_program(c: &mut Criterion) {
                 })
             },
         );
+
+        // Overlay path: the same compiled program evaluated against a
+        // per-worker overlay arena+cache over the *frozen* warm state
+        // — the single-thread overhead of the tiered (base-first)
+        // lookup the sharding layer adds. The run's merges all hit
+        // the frozen pair table; nothing is interned locally.
+        let base = std::sync::Arc::new(ctx.arena.freeze(&ctx.cache));
+        let mut overlay = bc_core::CoercionArena::with_base(std::sync::Arc::clone(&base));
+        let mut overlay_cache = bc_core::ComposeCache::with_base(base, 1 << 16);
+        cek_s::run_compiled_in(&compiled, &mut overlay, &mut overlay_cache, u64::MAX);
+        group.bench_with_input(
+            BenchmarkId::new("overlay_path", n),
+            &compiled,
+            |b, compiled| {
+                b.iter(|| {
+                    black_box(cek_s::run_compiled_in(
+                        black_box(compiled),
+                        &mut overlay,
+                        &mut overlay_cache,
+                        u64::MAX,
+                    ))
+                })
+            },
+        );
     }
     group.finish();
 }

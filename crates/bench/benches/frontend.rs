@@ -62,6 +62,25 @@ fn bench_frontend(c: &mut Criterion) {
         })
     });
 
+    // Overlay: the warm arena frozen and consulted through a
+    // per-worker overlay — the single-thread overhead the tiered
+    // (base-first) lookup adds to a fully warm front end. Compare
+    // against elaborate_batch16/warm: the difference is the sharding
+    // layer's cost on one core.
+    group.bench_function("elaborate_batch16/overlay", |b| {
+        let mut warm_types = TypeArena::new();
+        for e in &exprs {
+            let _ = elaborate_in(e, &mut warm_types).expect("elaborates");
+        }
+        let base = std::sync::Arc::new(warm_types.freeze());
+        let mut overlay = TypeArena::with_base(base, 1 << 16);
+        b.iter(|| {
+            for e in &exprs {
+                black_box(elaborate_in(black_box(e), &mut overlay).expect("elaborates"));
+            }
+        })
+    });
+
     group.bench_function("typecheck_calls/tree", |b| {
         b.iter(|| black_box(type_of(black_box(&calls_b)).expect("well typed")))
     });

@@ -1,0 +1,93 @@
+//! The parallel-serving benchmark: `SessionPool` throughput on a
+//! mixed workload, by worker count and warmth.
+//!
+//! Two questions, matching the two levers of the pool subsystem:
+//!
+//! * `mixed256/workersN` — a 256-program mixed batch (boundary
+//!   loops, static loops, dynamic combinators, blame programs,
+//!   fuel-bounded spinners; see `bc_testkit::sources`) submitted to a
+//!   **warmed** pool of 1, 2, and 4 workers. Every configuration runs
+//!   the identical batch over the identical frozen base, so the
+//!   worker-count series isolates the parallel speedup (1 worker also
+//!   quantifies the queue + channel overhead versus a bare session).
+//! * `lifecycle64/{cold,warmed}` — the full pool lifecycle (build,
+//!   warm up, serve 64 jobs, shut down) with and without warmup:
+//!   cold workers each intern their own working set, warmed workers
+//!   share the frozen base and intern nothing.
+//!
+//! Wall-clock per iteration is the whole batch, so the reported time
+//! is batch latency; divide by the batch size for per-job throughput.
+
+use bc_testkit::sources;
+use blame_coercion::{Engine, SessionPool};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Jobs per throughput iteration.
+const BATCH: usize = 256;
+/// Fuel bound: large enough for every convergent shape, small enough
+/// that the divergent shape's fixed cost stays comparable.
+const FUEL: u64 = 5_000;
+
+fn bench_pool_throughput(c: &mut Criterion) {
+    let batch = sources::mixed(42, BATCH);
+    let mut group = c.benchmark_group("pool_throughput");
+    group.sample_size(10);
+
+    for workers in [1usize, 2, 4] {
+        let pool = SessionPool::builder()
+            .workers(workers)
+            .default_fuel(FUEL)
+            .warmup(sources::shapes())
+            .build()
+            .expect("warmup compiles");
+        group.bench_function(format!("mixed256/workers{workers}"), |b| {
+            b.iter(|| {
+                let handles: Vec<_> = batch
+                    .iter()
+                    .map(|s| pool.submit(s.as_str(), Engine::MachineS))
+                    .collect();
+                for handle in handles {
+                    // Run errors (the divergent shape) are part of
+                    // the workload, not a bench failure.
+                    let _ = black_box(handle.wait());
+                }
+            })
+        });
+    }
+
+    group.bench_function("lifecycle64/cold", |b| {
+        b.iter(|| {
+            let pool = SessionPool::builder()
+                .workers(4)
+                .default_fuel(FUEL)
+                .build()
+                .expect("builds");
+            for handle in
+                pool.submit_batch(batch.iter().take(64).map(String::as_str), Engine::MachineS)
+            {
+                let _ = black_box(handle.wait());
+            }
+        })
+    });
+    group.bench_function("lifecycle64/warmed", |b| {
+        b.iter(|| {
+            let pool = SessionPool::builder()
+                .workers(4)
+                .default_fuel(FUEL)
+                .warmup(sources::shapes())
+                .build()
+                .expect("warmup compiles");
+            for handle in
+                pool.submit_batch(batch.iter().take(64).map(String::as_str), Engine::MachineS)
+            {
+                let _ = black_box(handle.wait());
+            }
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pool_throughput);
+criterion_main!(benches);

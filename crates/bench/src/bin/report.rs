@@ -1,11 +1,13 @@
 //! Regenerates the measurement tables recorded in EXPERIMENTS.md, and
-//! emits the machine-readable `BENCH_4.json` (per-bench medians,
-//! including the front-end numbers) alongside the human output.
+//! emits the machine-readable `BENCH_5.json` (per-bench medians,
+//! including the pool-throughput and tier-overhead numbers) alongside
+//! the human output.
 //!
 //! ```sh
 //! cargo run -p bc-bench --bin report --release
 //! ```
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use bc_baselines::{naive, threesome};
@@ -13,16 +15,18 @@ use bc_bench::{
     boundary_source, call_heavy_source, composable_batch, parse_source, wrapper_tower_source,
 };
 use bc_core::compose::compose;
+use bc_core::{CoercionArena, CompileCtx, ComposeCache};
 use bc_gtlc::{elaborate, elaborate_in};
 use bc_lambda_b::programs;
 use bc_lambda_b::typing::{type_of, type_of_interned};
 use bc_machine::{cek_b, cek_c, cek_s};
 use bc_syntax::TypeArena;
+use bc_testkit::sources;
 use bc_translate::bisim::{aligned_cs, lockstep_bc};
 use bc_translate::{term_b_to_c, term_c_to_s};
-use blame_coercion::{Engine, Session};
+use blame_coercion::{Engine, Session, SessionPool};
 
-/// Collected `(key, value)` measurements for `BENCH_4.json`.
+/// Collected `(key, value)` measurements for `BENCH_5.json`.
 type Metrics = Vec<(String, f64)>;
 
 fn main() {
@@ -34,7 +38,9 @@ fn main() {
     frontend_table(&mut metrics);
     capacity_table(&mut metrics);
     end_to_end_table(&mut metrics);
-    write_json("BENCH_4.json", &metrics);
+    pool_table(&mut metrics);
+    tier_table(&mut metrics);
+    write_json("BENCH_5.json", &metrics);
 }
 
 /// Median wall-clock of `reps` runs of `f`, in nanoseconds.
@@ -59,8 +65,164 @@ fn write_json(path: &str, metrics: &Metrics) {
         out.push_str(&format!("  \"{key}\": {value:.1}{sep}\n"));
     }
     out.push_str("}\n");
-    std::fs::write(path, out).expect("write BENCH_4.json");
+    std::fs::write(path, out).expect("write BENCH_5.json");
     println!("wrote {path}");
+}
+
+/// E23: `SessionPool` throughput on the 256-program mixed workload —
+/// worker-count series over one warmed frozen base, plus the
+/// cold-vs-warmed pool lifecycle. The worker series only shows
+/// wall-clock speedup when the machine has cores to give
+/// (`pool/available_parallelism` is recorded so the series is
+/// interpretable: on a 1-core container the workers time-slice and
+/// the 4-worker row measures queueing overhead, not parallelism).
+fn pool_table(metrics: &mut Metrics) {
+    println!("## E23 — SessionPool throughput (256-program mixed workload)");
+    println!();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("available parallelism: {cores} core(s)");
+    println!();
+    metrics.push(("pool/available_parallelism".into(), cores as f64));
+    let batch = sources::mixed(42, 256);
+    const FUEL: u64 = 5_000;
+
+    println!("| workers | batch ms | jobs/s |");
+    println!("|---------|----------|--------|");
+    let mut worker_medians = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let pool = SessionPool::builder()
+            .workers(workers)
+            .default_fuel(FUEL)
+            .warmup(sources::shapes())
+            .build()
+            .expect("warmup compiles");
+        let median = median_ns(9, || {
+            let handles: Vec<_> = batch
+                .iter()
+                .map(|s| pool.submit(s.as_str(), Engine::MachineS))
+                .collect();
+            for handle in handles {
+                let _ = std::hint::black_box(handle.wait());
+            }
+        });
+        println!(
+            "| {workers} | {:.1} | {:.0} |",
+            median / 1e6,
+            batch.len() as f64 / (median / 1e9)
+        );
+        metrics.push((format!("pool/mixed256/workers{workers}_ns"), median));
+        worker_medians.push((workers, median));
+        let stats = pool.shutdown();
+        assert_eq!(stats.local_coercion_nodes(), 0, "warmed pool re-interned");
+    }
+    if let (Some((_, t1)), Some((_, t4))) = (worker_medians.first(), worker_medians.last()) {
+        println!();
+        println!("speedup 4 workers over 1: {:.2}×", t1 / t4);
+        metrics.push(("pool/mixed256/speedup_4_over_1".into(), t1 / t4));
+    }
+
+    let lifecycle = |warmed: bool| {
+        median_ns(9, || {
+            let mut builder = SessionPool::builder().workers(4).default_fuel(FUEL);
+            if warmed {
+                builder = builder.warmup(sources::shapes());
+            }
+            let pool = builder.build().expect("builds");
+            for handle in
+                pool.submit_batch(batch.iter().take(64).map(String::as_str), Engine::MachineS)
+            {
+                let _ = std::hint::black_box(handle.wait());
+            }
+        })
+    };
+    let cold = lifecycle(false);
+    let warmed = lifecycle(true);
+    println!();
+    println!(
+        "pool lifecycle (build + 64 jobs + shutdown): cold {:.1} ms, warmed {:.1} ms",
+        cold / 1e6,
+        warmed / 1e6
+    );
+    metrics.push(("pool/lifecycle64/cold_ns".into(), cold));
+    metrics.push(("pool/lifecycle64/warmed_ns".into(), warmed));
+    println!();
+}
+
+/// E24: the single-thread cost of the tiered (overlay-over-base)
+/// lookup versus a flat arena — what the sharding layer charges one
+/// core for the privilege of sharing.
+fn tier_table(metrics: &mut Metrics) {
+    println!("## E24 — tiered-lookup overhead on one core (overlay vs flat)");
+    println!();
+    const REPS: usize = 41;
+
+    // Front end: elaborate the warm 16-program batch against a flat
+    // warm arena versus an overlay over its frozen snapshot.
+    let exprs: Vec<_> = (0..bc_bench::frontend_workload::BATCH as i64)
+        .map(|i| parse_source(&boundary_source(32 + i)))
+        .collect();
+    let mut flat_types = TypeArena::new();
+    for e in &exprs {
+        let _ = elaborate_in(e, &mut flat_types).expect("elaborates");
+    }
+    let base = Arc::new(flat_types.freeze());
+    let mut overlay_types = TypeArena::with_base(base, 1 << 16);
+    let flat = median_ns(REPS, || {
+        for e in &exprs {
+            std::hint::black_box(elaborate_in(e, &mut flat_types).expect("elaborates"));
+        }
+    });
+    let overlay = median_ns(REPS, || {
+        for e in &exprs {
+            std::hint::black_box(elaborate_in(e, &mut overlay_types).expect("elaborates"));
+        }
+    });
+
+    // Machine: the 512-crossing boundary loop on a flat warm arena
+    // versus an overlay+frozen-pair-table pair.
+    let tree = term_c_to_s(&term_b_to_c(&programs::boundary_loop(512)));
+    let mut ctx = CompileCtx::new();
+    let compiled = ctx.compile(&tree);
+    cek_s::run_compiled_in(&compiled, &mut ctx.arena, &mut ctx.cache, u64::MAX);
+    let machine_flat = median_ns(15, || {
+        std::hint::black_box(cek_s::run_compiled_in(
+            &compiled,
+            &mut ctx.arena,
+            &mut ctx.cache,
+            u64::MAX,
+        ));
+    });
+    let cbase = Arc::new(ctx.arena.freeze(&ctx.cache));
+    let mut overlay_arena = CoercionArena::with_base(Arc::clone(&cbase));
+    let mut overlay_cache = ComposeCache::with_base(cbase, 1 << 16);
+    let machine_overlay = median_ns(15, || {
+        std::hint::black_box(cek_s::run_compiled_in(
+            &compiled,
+            &mut overlay_arena,
+            &mut overlay_cache,
+            u64::MAX,
+        ));
+    });
+
+    println!("| workload | flat warm | overlay over frozen base | overhead |");
+    println!("|----------|-----------|--------------------------|----------|");
+    println!(
+        "| elaborate 16-program batch | {:.1} µs | {:.1} µs | {:+.1}% |",
+        flat / 1e3,
+        overlay / 1e3,
+        (overlay / flat - 1.0) * 100.0
+    );
+    println!(
+        "| boundary loop n=512 (λS machine, compiled) | {:.1} µs | {:.1} µs | {:+.1}% |",
+        machine_flat / 1e3,
+        machine_overlay / 1e3,
+        (machine_overlay / machine_flat - 1.0) * 100.0
+    );
+    println!();
+    metrics.push(("tier/elaborate_batch16/flat_ns".into(), flat));
+    metrics.push(("tier/elaborate_batch16/overlay_ns".into(), overlay));
+    metrics.push(("tier/boundary512/flat_ns".into(), machine_flat));
+    metrics.push(("tier/boundary512/overlay_ns".into(), machine_overlay));
 }
 
 /// E15: the space series — peak cast/coercion frames versus n.

@@ -63,6 +63,7 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use bc_syntax::{BaseType, ClockMap, Ground, Label, Type};
 
@@ -136,17 +137,65 @@ struct NodeMeta {
 /// answered by an already-interned node.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ArenaStats {
-    /// Distinct coercion nodes stored.
+    /// Distinct coercion nodes stored (both tiers, for an overlay).
     pub nodes: usize,
     /// Tree-interning operations performed (one per [`SpaceCoercion`]
     /// node walked by [`CoercionArena::intern`]). The compiled λS term
     /// IR exists to drive this to zero at run time.
     pub tree_interns: u64,
     /// Node interns answered by the hash-consing index (node already
-    /// present).
+    /// present — in either tier).
     pub node_hits: u64,
     /// Node interns that stored a new node.
     pub node_misses: u64,
+    /// The subset of [`ArenaStats::node_hits`] answered by the frozen
+    /// base tier's index (always zero for an arena without a base).
+    pub base_hits: u64,
+}
+
+/// A frozen, read-only snapshot of a [`CoercionArena`] *and* the
+/// composition pairs its [`ComposeCache`] had memoized — the shared
+/// base tier of the two-tier interning scheme.
+///
+/// Produced by [`CoercionArena::freeze`]; `Send + Sync` (only `Copy`
+/// node data behind plain collections), so an `Arc<FrozenCoercions>`
+/// can back any number of per-worker overlay arenas
+/// ([`CoercionArena::with_base`]) and caches
+/// ([`ComposeCache::with_base`]).
+///
+/// # Id-offset contract
+///
+/// Ids `0..len()` denote frozen nodes and mean the same coercion in
+/// every overlay over this base; overlay-local ids (`>= len()`) are
+/// private to the overlay that minted them. Every frozen compose pair
+/// maps base ids to a base id (compositions were interned before the
+/// freeze), so the pair table is sound in every overlay.
+#[derive(Debug)]
+pub struct FrozenCoercions {
+    nodes: Vec<SNode>,
+    meta: Vec<NodeMeta>,
+    index: HashMap<SNode, CoercionId, bc_syntax::FxBuildHasher>,
+    /// The frozen composition table: eviction-free (the base never
+    /// grows).
+    pairs: HashMap<(CoercionId, CoercionId), CoercionId, bc_syntax::FxBuildHasher>,
+}
+
+impl FrozenCoercions {
+    /// Number of frozen coercion nodes (the id offset of every
+    /// overlay built over this base).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the snapshot holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of frozen composition pairs.
+    pub fn pairs_len(&self) -> usize {
+        self.pairs.len()
+    }
 }
 
 /// A hash-consing interner for λS coercions.
@@ -154,11 +203,19 @@ pub struct ArenaStats {
 /// See the [module docs](self) for the interning invariants.
 #[derive(Debug)]
 pub struct CoercionArena {
+    /// The frozen base tier, when this arena is an overlay (see
+    /// [`FrozenCoercions`]); `None` for a flat arena.
+    base: Option<Arc<FrozenCoercions>>,
+    /// `base.len()`, cached (zero for a flat arena): the id offset of
+    /// the local tier.
+    base_len: usize,
+    /// Local (overlay) nodes; global id = `base_len` + local index.
     nodes: Vec<SNode>,
     meta: Vec<NodeMeta>,
-    /// The hash-consing index. Fx-hashed: keys are small `Copy` nodes
-    /// (discriminants plus ids), so hashing must not dominate the
-    /// probe.
+    /// The hash-consing index of the *local* tier (the base has its
+    /// own frozen index, probed first). Fx-hashed: keys are small
+    /// `Copy` nodes (discriminants plus ids), so hashing must not
+    /// dominate the probe.
     index: HashMap<SNode, CoercionId, bc_syntax::FxBuildHasher>,
     stats: ArenaStats,
     /// Identity of this id-space, used to catch a [`ComposeCache`]
@@ -172,6 +229,8 @@ pub struct CoercionArena {
 impl Clone for CoercionArena {
     fn clone(&self) -> CoercionArena {
         CoercionArena {
+            base: self.base.clone(),
+            base_len: self.base_len,
             nodes: self.nodes.clone(),
             meta: self.meta.clone(),
             index: self.index.clone(),
@@ -193,6 +252,8 @@ fn next_generation() -> u64 {
 impl Default for CoercionArena {
     fn default() -> CoercionArena {
         CoercionArena {
+            base: None,
+            base_len: 0,
             nodes: Vec::new(),
             meta: Vec::new(),
             index: HashMap::default(),
@@ -205,12 +266,15 @@ impl Default for CoercionArena {
 /// Hit/miss/eviction counters of a [`ComposeCache`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Compositions answered from the cache.
+    /// Compositions answered from the cache (either tier).
     pub hits: u64,
     /// Compositions computed structurally (then cached).
     pub misses: u64,
     /// Memoized pairs evicted by the second-chance policy.
     pub evictions: u64,
+    /// The subset of [`CacheStats::hits`] answered by the frozen base
+    /// tier's pair table (always zero for a cache without a base).
+    pub base_hits: u64,
 }
 
 /// A memo table for interned composition, keyed on the id pair, with
@@ -238,6 +302,11 @@ pub struct CacheStats {
 /// [`CoercionArena::compose`] panics on the mismatch instead.
 #[derive(Debug, Clone)]
 pub struct ComposeCache {
+    /// The frozen pair table of the base tier, when this cache backs
+    /// an overlay arena; consulted before the local clock. Must be
+    /// the same snapshot the arena was built over (checked on every
+    /// [`CoercionArena::compose`]).
+    base: Option<Arc<FrozenCoercions>>,
     /// Memoized pairs behind the shared second-chance eviction engine.
     pairs: ClockMap<(CoercionId, CoercionId), CoercionId>,
     stats: CacheStats,
@@ -272,10 +341,27 @@ impl ComposeCache {
     pub fn with_capacity(capacity: usize) -> ComposeCache {
         assert!(capacity > 0, "ComposeCache capacity must be at least 1");
         ComposeCache {
+            base: None,
             pairs: ClockMap::with_capacity(capacity),
             stats: CacheStats::default(),
             owner: None,
         }
+    }
+
+    /// An empty cache layered over a frozen base: compositions the
+    /// base had memoized are answered from its (shared, read-only)
+    /// pair table; only new pairs occupy the local, size-capped
+    /// clock. Use together with an arena built by
+    /// [`CoercionArena::with_base`] over the *same* snapshot —
+    /// [`CoercionArena::compose`] checks the pairing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_base(base: Arc<FrozenCoercions>, capacity: usize) -> ComposeCache {
+        let mut cache = ComposeCache::with_capacity(capacity);
+        cache.base = Some(base);
+        cache
     }
 
     /// The maximum number of memoized pairs.
@@ -320,6 +406,76 @@ impl CoercionArena {
         CoercionArena::default()
     }
 
+    /// An overlay arena over a frozen base (fresh generation): every
+    /// intern consults the shared, read-only base first and stores
+    /// only genuinely new nodes locally, with ids offset past the
+    /// base (see [`FrozenCoercions`] for the id-offset contract).
+    /// Pair it with a cache from [`ComposeCache::with_base`] over the
+    /// same snapshot.
+    pub fn with_base(base: Arc<FrozenCoercions>) -> CoercionArena {
+        let base_len = base.nodes.len();
+        CoercionArena {
+            base: Some(base),
+            base_len,
+            ..CoercionArena::default()
+        }
+    }
+
+    /// Freezes the arena's nodes, metadata, and index — together with
+    /// every composition pair `cache` has memoized — into an
+    /// immutable, thread-shareable snapshot. Freezing an overlay
+    /// flattens both tiers, so a base can be re-frozen after further
+    /// warmup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache` is bound to a *different* arena (its pairs
+    /// would freeze foreign ids into the snapshot).
+    pub fn freeze(&self, cache: &ComposeCache) -> FrozenCoercions {
+        assert!(
+            cache.owner.is_none() || cache.owner == Some(self.generation),
+            "CoercionArena::freeze called with a ComposeCache bound to a different arena"
+        );
+        let (mut nodes, mut meta, mut index, mut pairs) = match &self.base {
+            Some(base) => (
+                base.nodes.clone(),
+                base.meta.clone(),
+                base.index.clone(),
+                base.pairs.clone(),
+            ),
+            None => (
+                Vec::new(),
+                Vec::new(),
+                HashMap::default(),
+                HashMap::default(),
+            ),
+        };
+        nodes.extend(self.nodes.iter().copied());
+        meta.extend(self.meta.iter().copied());
+        // Local index entries already carry global (offset) ids.
+        index.extend(self.index.iter().map(|(&k, &v)| (k, v)));
+        pairs.extend(cache.pairs.iter().map(|(&k, &v)| (k, v)));
+        FrozenCoercions {
+            nodes,
+            meta,
+            index,
+            pairs,
+        }
+    }
+
+    /// Number of nodes in the frozen base tier (zero for a flat
+    /// arena).
+    pub fn base_len(&self) -> usize {
+        self.base_len
+    }
+
+    /// Number of nodes interned *locally*, past the base tier. For an
+    /// overlay serving inputs the base was warmed on, this staying at
+    /// zero is the base-sharing guarantee.
+    pub fn local_len(&self) -> usize {
+        self.nodes.len()
+    }
+
     /// Clones this arena *together with* a cache bound to it,
     /// re-binding the cloned cache to the clone's fresh generation.
     /// This is the only supported way to duplicate a warm arena+cache
@@ -345,34 +501,43 @@ impl CoercionArena {
         (arena, cache)
     }
 
-    /// Number of distinct coercions interned.
+    /// Number of distinct coercions interned (both tiers).
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.base_len + self.nodes.len()
     }
 
     /// Whether nothing has been interned yet.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.len() == 0
     }
 
     /// Interning and reuse counters so far.
     pub fn stats(&self) -> ArenaStats {
         ArenaStats {
-            nodes: self.nodes.len(),
+            nodes: self.len(),
             ..self.stats
         }
     }
 
     /// Interns a node whose children are already interned, returning
-    /// the id of the unique stored copy.
+    /// the id of the unique stored copy — from the frozen base when
+    /// the node is already there, locally otherwise.
     pub fn intern_node(&mut self, node: SNode) -> CoercionId {
+        if let Some(base) = &self.base {
+            if let Some(&id) = base.index.get(&node) {
+                self.stats.node_hits += 1;
+                self.stats.base_hits += 1;
+                return id;
+            }
+        }
         if let Some(&id) = self.index.get(&node) {
             self.stats.node_hits += 1;
             return id;
         }
         self.stats.node_misses += 1;
         let id = CoercionId(
-            u32::try_from(self.nodes.len()).expect("more than u32::MAX distinct coercions"),
+            u32::try_from(self.base_len + self.nodes.len())
+                .expect("more than u32::MAX distinct coercions"),
         );
         let meta = self.compute_meta(&node);
         self.nodes.push(node);
@@ -381,13 +546,23 @@ impl CoercionArena {
         id
     }
 
+    /// Per-node metadata across both tiers.
+    fn meta_of(&self, id: CoercionId) -> NodeMeta {
+        let i = id.index();
+        if i < self.base_len {
+            self.base.as_ref().expect("base ids imply a base").meta[i]
+        } else {
+            self.meta[i - self.base_len]
+        }
+    }
+
     fn compute_meta(&self, node: &SNode) -> NodeMeta {
         let imeta = |i: &INode| -> NodeMeta {
             let gmeta = |g: &GNode| -> NodeMeta {
                 match g {
                     GNode::IdBase(_) => NodeMeta { height: 1, size: 1 },
                     GNode::Fun(s, t) => {
-                        let (ms, mt) = (self.meta[s.index()], self.meta[t.index()]);
+                        let (ms, mt) = (self.meta_of(*s), self.meta_of(*t));
                         NodeMeta {
                             height: ms.height.max(mt.height).saturating_add(1),
                             size: ms.size.saturating_add(mt.size).saturating_add(1),
@@ -447,14 +622,20 @@ impl CoercionArena {
         }
     }
 
-    /// A shallow view of the interned node (children remain ids).
+    /// A shallow view of the interned node (children remain ids),
+    /// consulting the frozen base tier for ids below the offset.
     ///
     /// # Panics
     ///
     /// Panics if the id came from a different arena and is out of
     /// bounds (ids are only meaningful within their own arena).
     pub fn node(&self, id: CoercionId) -> SNode {
-        self.nodes[id.index()]
+        let i = id.index();
+        if i < self.base_len {
+            self.base.as_ref().expect("base ids imply a base").nodes[i]
+        } else {
+            self.nodes[i - self.base_len]
+        }
     }
 
     /// Rebuilds the tree form of an interned coercion (the exchange
@@ -555,14 +736,14 @@ impl CoercionArena {
 
     /// The height `‖s‖` (precomputed; O(1)).
     pub fn height(&self, id: CoercionId) -> usize {
-        self.meta[id.index()].height as usize
+        self.meta_of(id).height as usize
     }
 
     /// The number of syntax nodes of the coercion's tree form
     /// (precomputed; O(1)). Saturates at `usize::MAX` for DAG-shaped
     /// coercions whose implicit tree would not fit in memory.
     pub fn size(&self, id: CoercionId) -> usize {
-        usize::try_from(self.meta[id.index()].size).unwrap_or(usize::MAX)
+        usize::try_from(self.meta_of(id).size).unwrap_or(usize::MAX)
     }
 
     /// Whether the coercion is `id?` or `idι`.
@@ -612,6 +793,19 @@ impl CoercionArena {
         a: CoercionId,
         b: CoercionId,
     ) -> CoercionId {
+        // The frozen tiers must be the very same snapshot: a cache
+        // carrying base pairs from a different base would answer with
+        // ids from the wrong id-space.
+        let bases_agree = match (&self.base, &cache.base) {
+            (None, None) => true,
+            (Some(mine), Some(theirs)) => Arc::ptr_eq(mine, theirs),
+            _ => false,
+        };
+        assert!(
+            bases_agree,
+            "ComposeCache and CoercionArena disagree about their frozen base: \
+             build both over the same Arc<FrozenCoercions>"
+        );
         match cache.owner {
             None => cache.owner = Some(self.generation),
             Some(owner) => assert_eq!(
@@ -619,6 +813,13 @@ impl CoercionArena {
                 "ComposeCache replayed against a different CoercionArena: \
                  cached ids belong to another id-space"
             ),
+        }
+        if let Some(base) = &cache.base {
+            if let Some(&r) = base.pairs.get(&(a, b)) {
+                cache.stats.hits += 1;
+                cache.stats.base_hits += 1;
+                return r;
+            }
         }
         if let Some(r) = cache.lookup((a, b)) {
             cache.stats.hits += 1;
@@ -1123,6 +1324,151 @@ mod tests {
     #[should_panic(expected = "capacity must be at least 1")]
     fn zero_capacity_is_rejected() {
         ComposeCache::with_capacity(0);
+    }
+
+    fn _frozen_coercions_is_send_sync(f: FrozenCoercions) -> impl Send + Sync {
+        f
+    }
+
+    /// A warm arena+cache over the sample coercions and their
+    /// composable pairs, frozen.
+    fn warm_base() -> Arc<FrozenCoercions> {
+        let mut arena = CoercionArena::new();
+        let mut cache = ComposeCache::new();
+        for s in samples() {
+            arena.intern(&s);
+        }
+        let inj = arena.intern(&SpaceCoercion::inj(id_int(), gi()));
+        let proj = arena.intern(&SpaceCoercion::proj(
+            gi(),
+            p(0),
+            Intermediate::Ground(id_int()),
+        ));
+        arena.compose(&mut cache, inj, proj);
+        let idd = arena.id_dyn();
+        arena.compose(&mut cache, idd, proj);
+        Arc::new(arena.freeze(&cache))
+    }
+
+    #[test]
+    fn overlay_answers_warm_inputs_entirely_from_the_base() {
+        let base = warm_base();
+        let mut overlay = CoercionArena::with_base(Arc::clone(&base));
+        assert_eq!(overlay.base_len(), base.len());
+        // Re-interning the frozen trees stores nothing locally and
+        // returns base ids.
+        for s in samples() {
+            let id = overlay.intern(&s);
+            assert!(id.index() < base.len(), "{s} must resolve to a base id");
+            assert_eq!(overlay.resolve(id), s, "round trip through the base");
+        }
+        assert_eq!(overlay.local_len(), 0, "warm inputs must intern nothing");
+        assert!(overlay.stats().base_hits > 0);
+        assert_eq!(overlay.stats().node_misses, 0);
+    }
+
+    #[test]
+    fn overlay_compose_hits_the_frozen_pair_table() {
+        let base = warm_base();
+        let mut overlay = CoercionArena::with_base(Arc::clone(&base));
+        let mut cache = ComposeCache::with_base(Arc::clone(&base), 1 << 10);
+        let a = overlay.intern(&SpaceCoercion::inj(id_int(), gi()));
+        let b = overlay.intern(&SpaceCoercion::proj(
+            gi(),
+            p(0),
+            Intermediate::Ground(id_int()),
+        ));
+        let r = overlay.compose(&mut cache, a, b);
+        let stats = cache.stats();
+        assert_eq!(stats.base_hits, 1, "the warm pair lives in the base");
+        assert_eq!(stats.misses, 0);
+        assert_eq!(
+            overlay.resolve(r),
+            compose(
+                &SpaceCoercion::inj(id_int(), gi()),
+                &SpaceCoercion::proj(gi(), p(0), Intermediate::Ground(id_int()))
+            )
+        );
+        // A pair the base never saw is computed locally (and cached
+        // locally) — over operands from both tiers.
+        let novel = overlay.proj_ground(gb(), p(7));
+        assert!(novel.index() >= base.len(), "new node is overlay-local");
+        let inj_b = overlay.inj_ground(gb());
+        overlay.compose(&mut cache, inj_b, novel);
+        assert!(cache.stats().misses > 0);
+    }
+
+    #[test]
+    fn overlay_compose_agrees_with_flat_compose() {
+        let base = warm_base();
+        let mut overlay = CoercionArena::with_base(Arc::clone(&base));
+        let mut ocache = ComposeCache::with_base(base, 1 << 10);
+        let mut flat = CoercionArena::new();
+        let mut fcache = ComposeCache::new();
+        let inj = SpaceCoercion::inj(id_int(), gi());
+        let proj = SpaceCoercion::proj(gi(), p(0), Intermediate::Ground(id_int()));
+        let pairs = [
+            (SpaceCoercion::IdDyn, proj.clone()),
+            (inj.clone(), proj.clone()),
+            (
+                SpaceCoercion::fun(inj.clone(), inj.clone()),
+                SpaceCoercion::fun(proj.clone(), proj.clone()),
+            ),
+        ];
+        for (s, t) in &pairs {
+            let (oa, ob) = (overlay.intern(s), overlay.intern(t));
+            let (fa, fb) = (flat.intern(s), flat.intern(t));
+            let or = overlay.compose(&mut ocache, oa, ob);
+            let fr = flat.compose(&mut fcache, fa, fb);
+            assert_eq!(overlay.resolve(or), flat.resolve(fr), "{s} # {t}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree about their frozen base")]
+    fn overlay_arena_rejects_a_flat_cache() {
+        let base = warm_base();
+        let mut overlay = CoercionArena::with_base(base);
+        let mut cache = ComposeCache::new();
+        let a = overlay.intern(&SpaceCoercion::id_base(BaseType::Int));
+        overlay.compose(&mut cache, a, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree about their frozen base")]
+    fn overlay_cache_rejects_a_different_base() {
+        // Two separately frozen snapshots are different id-spaces even
+        // if structurally identical; mixing them must fail loudly.
+        let mut overlay = CoercionArena::with_base(warm_base());
+        let mut cache = ComposeCache::with_base(warm_base(), 1 << 10);
+        let a = overlay.intern(&SpaceCoercion::id_base(BaseType::Int));
+        overlay.compose(&mut cache, a, a);
+    }
+
+    #[test]
+    fn freezing_an_overlay_flattens_both_tiers() {
+        let base = warm_base();
+        let mut overlay = CoercionArena::with_base(Arc::clone(&base));
+        let mut cache = ComposeCache::with_base(Arc::clone(&base), 1 << 10);
+        let novel_proj = overlay.proj_ground(gb(), p(9));
+        let novel_inj = overlay.inj_ground(gb());
+        let composed = overlay.compose(&mut cache, novel_inj, novel_proj);
+        let refrozen = Arc::new(overlay.freeze(&cache));
+        assert_eq!(refrozen.len(), overlay.len());
+        assert!(refrozen.pairs_len() > base.pairs_len());
+
+        let mut second = CoercionArena::with_base(Arc::clone(&refrozen));
+        let mut second_cache = ComposeCache::with_base(refrozen, 1 << 10);
+        // The overlay's local nodes are base nodes of the new
+        // snapshot, and its memoized pair answers from the frozen
+        // table.
+        assert_eq!(second.proj_ground(gb(), p(9)), novel_proj);
+        assert_eq!(second.local_len(), 0);
+        assert_eq!(
+            second.compose(&mut second_cache, novel_inj, novel_proj),
+            composed
+        );
+        assert_eq!(second_cache.stats().base_hits, 1);
     }
 
     #[test]

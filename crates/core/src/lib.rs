@@ -70,7 +70,9 @@ pub mod subst;
 pub mod term;
 pub mod typing;
 
-pub use arena::{ArenaStats, CacheStats, CoercionArena, CoercionId, ComposeCache, MergeCtx};
+pub use arena::{
+    ArenaStats, CacheStats, CoercionArena, CoercionId, ComposeCache, FrozenCoercions, MergeCtx,
+};
 pub use coercion::{GroundCoercion, Intermediate, SpaceCoercion};
 pub use compose::compose;
 pub use sterm::{compile_term, decompile_term, CompileCtx, STerm};

@@ -98,6 +98,13 @@ impl<K: Copy + Eq + Hash, V: Copy> ClockMap<K, V> {
         self.evictions
     }
 
+    /// Iterates over the resident entries in unspecified order,
+    /// without touching any reference bit. Used to snapshot a warm
+    /// memo table into a frozen (read-only, shareable) base tier.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.map.iter().map(|(k, e)| (k, &e.value))
+    }
+
     /// Looks up an entry, marking it recently used.
     pub fn lookup(&mut self, key: &K) -> Option<V> {
         let entry = self.map.get_mut(key)?;

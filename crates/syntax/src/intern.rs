@@ -42,6 +42,18 @@
 //! 4. *Agreement*: every memoized query equals its tree specification
 //!    on resolved operands.
 //!
+//! # Tiered interning
+//!
+//! For parallel serving, a warm arena can be **frozen**
+//! ([`TypeArena::freeze`]) into an immutable, `Send + Sync`
+//! [`FrozenTypes`] snapshot, and any number of **overlay** arenas
+//! ([`TypeArena::with_base`]) layered over one `Arc` of it. An
+//! overlay consults the base first on every intern and every
+//! memoized query, and interns only genuinely new nodes locally,
+//! with ids offset past the base — so N worker threads share one
+//! warm working set and the invariants above hold per overlay (base
+//! ids mean the same type in all of them).
+//!
 //! ```
 //! use bc_syntax::{Type, TypeArena};
 //!
@@ -58,6 +70,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::clock::ClockMap;
 use crate::fxhash::FxBuildHasher;
@@ -118,6 +131,9 @@ pub struct QueryStats {
     pub misses: u64,
     /// Memoized verdicts evicted by the second-chance policy.
     pub evictions: u64,
+    /// The subset of [`QueryStats::hits`] answered by the frozen base
+    /// tier's verdict table (always zero for an arena without a base).
+    pub base_hits: u64,
 }
 
 /// The five memoized relations — `∼` plus the four subtyping
@@ -134,6 +150,55 @@ enum Rel {
     Neg,
     /// Naive subtyping `A <:n B`.
     Naive,
+}
+
+/// A frozen, read-only snapshot of a [`TypeArena`] — the shared base
+/// tier of the two-tier interning scheme.
+///
+/// Freezing a warm arena ([`TypeArena::freeze`]) captures its nodes,
+/// precomputed metadata, hash-consing index, and every memoized
+/// relational verdict into one immutable value. The snapshot is
+/// `Send + Sync` (it holds only `Copy` node data behind plain
+/// collections), so an `Arc<FrozenTypes>` can be shared across any
+/// number of worker threads; each worker layers a cheap private
+/// overlay arena on top via [`TypeArena::with_base`].
+///
+/// # Id-offset contract
+///
+/// Ids `0..len()` denote the frozen nodes and mean the same thing in
+/// *every* overlay built over this base (and in the arena that was
+/// frozen). Ids `>= len()` are overlay-local: each overlay mints its
+/// own, so they are only meaningful within the overlay that created
+/// them — exactly the pre-existing "ids are not meaningful across
+/// arenas" rule, restricted to the local tier.
+#[derive(Debug)]
+pub struct FrozenTypes {
+    nodes: Vec<TNode>,
+    meta: Vec<TypeMeta>,
+    index: HashMap<TNode, TypeId, FxBuildHasher>,
+    /// Every verdict the frozen arena had memoized, as a plain
+    /// (eviction-free) table: the base tier never grows, so it needs
+    /// no clock.
+    verdicts: HashMap<(Rel, TypeId, TypeId), bool, FxBuildHasher>,
+}
+
+impl FrozenTypes {
+    /// Number of frozen type nodes (the id-offset of every overlay
+    /// built over this base).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the snapshot holds no nodes (never true: the leaf
+    /// types are pre-interned in every arena).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of frozen relational verdicts.
+    pub fn verdicts_len(&self) -> usize {
+        self.verdicts.len()
+    }
 }
 
 /// A hash-consing interner for types, with memoized `compatible` and
@@ -158,23 +223,37 @@ enum Rel {
 /// relations.
 #[derive(Debug, Clone)]
 pub struct TypeArena {
+    /// The frozen base tier, when this arena is an overlay: a shared,
+    /// read-only snapshot consulted before the local tier on every
+    /// intern and every memoized query. `None` for a flat arena.
+    base: Option<Arc<FrozenTypes>>,
+    /// `base.len()`, cached (zero for a flat arena): the id offset of
+    /// the local tier.
+    base_len: usize,
+    /// Local (overlay) nodes; global id = `base_len` + local index.
     nodes: Vec<TNode>,
     meta: Vec<TypeMeta>,
-    /// The hash-consing index. Fx-hashed: keys are one discriminant
-    /// plus at most two u32 ids, so hashing must not dominate the
-    /// probe (interning a type walks this map once per node).
+    /// The hash-consing index of the *local* tier (the base has its
+    /// own frozen index, probed first). Fx-hashed: keys are one
+    /// discriminant plus at most two u32 ids, so hashing must not
+    /// dominate the probe (interning a type walks this map once per
+    /// node).
     index: HashMap<TNode, TypeId, FxBuildHasher>,
     /// Memoized verdicts of all five relations, tagged by [`Rel`]
     /// (compatibility keys are stored with `a <= b`: the relation is
     /// symmetric, so one entry serves both orders), behind the shared
     /// second-chance eviction engine.
     memo: ClockMap<(Rel, TypeId, TypeId), bool>,
-    /// Lazily materialised tree forms, one per node, shared via `Rc`
-    /// substructure: [`TypeArena::resolve_shared`] builds each
-    /// distinct type's tree exactly once per arena lifetime and hands
-    /// out refcount-bump clones thereafter.
+    /// Lazily materialised tree forms, one per node (spanning base
+    /// and local tiers), shared via `Rc` substructure:
+    /// [`TypeArena::resolve_shared`] builds each distinct type's tree
+    /// exactly once per arena lifetime and hands out refcount-bump
+    /// clones thereafter. Kept local even for base ids — `Rc` trees
+    /// are not shareable across threads.
     trees: Vec<Option<Type>>,
     stats: QueryStats,
+    /// Node interns answered by the frozen base index.
+    base_node_hits: u64,
 }
 
 impl Default for TypeArena {
@@ -204,12 +283,15 @@ impl TypeArena {
     /// verdict would make every query a miss *and* an eviction).
     pub fn with_memo_capacity(capacity: usize) -> TypeArena {
         let mut arena = TypeArena {
+            base: None,
+            base_len: 0,
             nodes: Vec::new(),
             meta: Vec::new(),
             index: HashMap::default(),
             memo: ClockMap::with_capacity(capacity),
             trees: Vec::new(),
             stats: QueryStats::default(),
+            base_node_hits: 0,
         };
         // Pre-intern the leaves every program mentions, so the common
         // constructors below are pure lookups.
@@ -219,15 +301,90 @@ impl TypeArena {
         arena
     }
 
-    /// Number of distinct type nodes interned.
+    /// An overlay arena over a frozen base: every intern and every
+    /// memoized query consults the (shared, read-only) base first and
+    /// touches local state only for genuinely new nodes or verdicts,
+    /// whose ids are offset past the base (see [`FrozenTypes`] for
+    /// the id-offset contract). The leaves need no re-interning: they
+    /// live in the base of every frozen arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `memo_capacity` is zero.
+    pub fn with_base(base: Arc<FrozenTypes>, memo_capacity: usize) -> TypeArena {
+        let base_len = base.nodes.len();
+        TypeArena {
+            base: Some(base),
+            base_len,
+            nodes: Vec::new(),
+            meta: Vec::new(),
+            index: HashMap::default(),
+            memo: ClockMap::with_capacity(memo_capacity),
+            trees: vec![None; base_len],
+            stats: QueryStats::default(),
+            base_node_hits: 0,
+        }
+    }
+
+    /// Freezes the arena's current state — nodes, metadata, index,
+    /// and every memoized verdict — into an immutable, thread-shareable
+    /// snapshot. Freezing an overlay flattens both tiers, so bases
+    /// can be re-frozen after further warmup.
+    pub fn freeze(&self) -> FrozenTypes {
+        let (mut nodes, mut meta, mut index, mut verdicts) = match &self.base {
+            Some(base) => (
+                base.nodes.clone(),
+                base.meta.clone(),
+                base.index.clone(),
+                base.verdicts.clone(),
+            ),
+            None => (
+                Vec::new(),
+                Vec::new(),
+                HashMap::default(),
+                HashMap::default(),
+            ),
+        };
+        nodes.extend(self.nodes.iter().copied());
+        meta.extend(self.meta.iter().copied());
+        // Local index entries already carry global (offset) ids.
+        index.extend(self.index.iter().map(|(&k, &v)| (k, v)));
+        verdicts.extend(self.memo.iter().map(|(&k, &v)| (k, v)));
+        FrozenTypes {
+            nodes,
+            meta,
+            index,
+            verdicts,
+        }
+    }
+
+    /// Number of distinct type nodes interned (both tiers).
     pub fn len(&self) -> usize {
+        self.base_len + self.nodes.len()
+    }
+
+    /// Number of nodes in the frozen base tier (zero for a flat
+    /// arena).
+    pub fn base_len(&self) -> usize {
+        self.base_len
+    }
+
+    /// Number of nodes interned *locally*, past the base tier. For an
+    /// overlay serving inputs the base was warmed on, this staying at
+    /// zero is the base-sharing guarantee.
+    pub fn local_len(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Node interns answered by the frozen base index.
+    pub fn base_node_hits(&self) -> u64 {
+        self.base_node_hits
     }
 
     /// Whether nothing has been interned (never true: the leaf types
     /// are pre-interned).
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.len() == 0
     }
 
     /// Hit/miss/eviction counters of the memoized relational queries.
@@ -249,19 +406,38 @@ impl TypeArena {
     }
 
     /// Interns a node whose children are already interned, returning
-    /// the id of the unique stored copy.
+    /// the id of the unique stored copy — from the frozen base when
+    /// the node is already there, locally otherwise.
     pub fn intern_node(&mut self, node: TNode) -> TypeId {
+        if let Some(base) = &self.base {
+            if let Some(&id) = base.index.get(&node) {
+                self.base_node_hits += 1;
+                return id;
+            }
+        }
         if let Some(&id) = self.index.get(&node) {
             return id;
         }
-        let id =
-            TypeId(u32::try_from(self.nodes.len()).expect("more than u32::MAX distinct types"));
+        let id = TypeId(
+            u32::try_from(self.base_len + self.nodes.len())
+                .expect("more than u32::MAX distinct types"),
+        );
         let meta = self.compute_meta(&node);
         self.nodes.push(node);
         self.meta.push(meta);
         self.trees.push(None);
         self.index.insert(node, id);
         id
+    }
+
+    /// Per-node metadata across both tiers.
+    fn meta_of(&self, id: TypeId) -> TypeMeta {
+        let i = id.index();
+        if i < self.base_len {
+            self.base.as_ref().expect("base ids imply a base").meta[i]
+        } else {
+            self.meta[i - self.base_len]
+        }
     }
 
     fn compute_meta(&self, node: &TNode) -> TypeMeta {
@@ -279,14 +455,12 @@ impl TypeArena {
                 as_ground: None,
             },
             TNode::Fun(a, b) => {
-                let (ma, mb) = (self.meta[a.index()], self.meta[b.index()]);
+                let (ma, mb) = (self.meta_of(*a), self.meta_of(*b));
                 TypeMeta {
                     height: ma.height.max(mb.height).saturating_add(1),
                     size: ma.size.saturating_add(mb.size).saturating_add(1),
                     ground_of: Some(Ground::Fun),
-                    as_ground: if self.nodes[a.index()] == TNode::Dyn
-                        && self.nodes[b.index()] == TNode::Dyn
-                    {
+                    as_ground: if self.node(*a) == TNode::Dyn && self.node(*b) == TNode::Dyn {
                         Some(Ground::Fun)
                     } else {
                         None
@@ -311,14 +485,20 @@ impl TypeArena {
         self.intern_node(node)
     }
 
-    /// A shallow view of the interned node (children remain ids).
+    /// A shallow view of the interned node (children remain ids),
+    /// consulting the frozen base tier for ids below the offset.
     ///
     /// # Panics
     ///
     /// Panics if the id came from a different arena and is out of
     /// bounds (ids are only meaningful within their own arena).
     pub fn node(&self, id: TypeId) -> TNode {
-        self.nodes[id.index()]
+        let i = id.index();
+        if i < self.base_len {
+            self.base.as_ref().expect("base ids imply a base").nodes[i]
+        } else {
+            self.nodes[i - self.base_len]
+        }
     }
 
     /// Rebuilds the tree form of an interned type (the exchange
@@ -406,14 +586,14 @@ impl TypeArena {
 
     /// The height of the type (precomputed; O(1)).
     pub fn height(&self, id: TypeId) -> usize {
-        self.meta[id.index()].height as usize
+        self.meta_of(id).height as usize
     }
 
     /// The number of syntax nodes of the type's tree form
     /// (precomputed; O(1)). Saturates for DAG-shaped types built via
     /// the id-level [`TypeArena::fun`] constructor.
     pub fn size(&self, id: TypeId) -> usize {
-        usize::try_from(self.meta[id.index()].size).unwrap_or(usize::MAX)
+        usize::try_from(self.meta_of(id).size).unwrap_or(usize::MAX)
     }
 
     /// Whether the type is the dynamic type `?` (O(1)).
@@ -424,13 +604,13 @@ impl TypeArena {
     /// The unique ground type compatible with the type, per Lemma 1
     /// (precomputed; O(1)). `None` exactly when the type is `?`.
     pub fn ground_of(&self, id: TypeId) -> Option<Ground> {
-        self.meta[id.index()].ground_of
+        self.meta_of(id).ground_of
     }
 
     /// `Some(G)` when the type *is* the ground type `G` (precomputed;
     /// O(1)); contrast with [`TypeArena::ground_of`].
     pub fn as_ground(&self, id: TypeId) -> Option<Ground> {
-        self.meta[id.index()].as_ground
+        self.meta_of(id).as_ground
     }
 
     /// Whether the type is a ground type (O(1)).
@@ -458,6 +638,9 @@ impl TypeArena {
         } else {
             (Rel::Compat, b, a)
         };
+        if let Some(r) = self.base_verdict(&key) {
+            return r;
+        }
         if let Some(r) = self.memo.lookup(&key) {
             self.stats.hits += 1;
             return r;
@@ -509,12 +692,24 @@ impl TypeArena {
         q == p.complement() && self.neg_subtype(a, b)
     }
 
+    /// A verdict answered by the frozen base tier, if there is one
+    /// (counting it as a hit).
+    fn base_verdict(&mut self, key: &(Rel, TypeId, TypeId)) -> Option<bool> {
+        let r = *self.base.as_ref()?.verdicts.get(key)?;
+        self.stats.hits += 1;
+        self.stats.base_hits += 1;
+        Some(r)
+    }
+
     fn rel(&mut self, rel: Rel, a: TypeId, b: TypeId) -> bool {
         // All four relations are reflexive; O(1) id equality makes
         // that the free fast path.
         if a == b {
             self.stats.hits += 1;
             return true;
+        }
+        if let Some(r) = self.base_verdict(&(rel, a, b)) {
+            return r;
         }
         if let Some(r) = self.memo.lookup(&(rel, a, b)) {
             self.stats.hits += 1;
@@ -824,6 +1019,163 @@ mod tests {
             }
             _ => None,
         }
+    }
+
+    fn _frozen_types_is_send_sync(f: FrozenTypes) -> impl Send + Sync {
+        f
+    }
+
+    #[test]
+    fn overlay_answers_warm_inputs_entirely_from_the_base() {
+        // Warm an arena (nodes + verdicts), freeze it, and layer an
+        // overlay: re-interning the same types finds every node in
+        // the base (zero local nodes, same ids), and re-asking the
+        // same relational questions computes zero new verdicts.
+        let mut warm = TypeArena::new();
+        let samples = sample_types(2);
+        let warm_ids: Vec<_> = samples.iter().map(|t| warm.intern(t)).collect();
+        for a in &warm_ids {
+            for b in &warm_ids {
+                warm.compatible(*a, *b);
+                warm.subtype(*a, *b);
+            }
+        }
+        let base = Arc::new(warm.freeze());
+        assert_eq!(base.len(), warm.len());
+        assert!(base.verdicts_len() > 0);
+
+        let mut overlay = TypeArena::with_base(base, 1 << 10);
+        assert_eq!(overlay.base_len(), warm.len());
+        for (t, id) in samples.iter().zip(&warm_ids) {
+            assert_eq!(
+                overlay.intern(t),
+                *id,
+                "base ids must mean the same type in the overlay: {t}"
+            );
+            assert_eq!(overlay.resolve(*id), *t, "round trip through the base");
+        }
+        assert_eq!(overlay.local_len(), 0, "warm inputs must intern nothing");
+        assert!(overlay.base_node_hits() > 0);
+        let ids: Vec<_> = samples.iter().map(|t| overlay.intern(t)).collect();
+        for a in &ids {
+            for b in &ids {
+                overlay.compatible(*a, *b);
+                overlay.subtype(*a, *b);
+            }
+        }
+        let stats = overlay.query_stats();
+        assert_eq!(
+            stats.misses, 0,
+            "warm questions must be answered by the frozen tier: {stats:?}"
+        );
+        assert!(stats.base_hits > 0);
+    }
+
+    #[test]
+    fn overlay_interns_new_nodes_past_the_base() {
+        let mut warm = TypeArena::new();
+        warm.intern(&Type::fun(Type::INT, Type::INT));
+        let base = Arc::new(warm.freeze());
+        let base_len = base.len();
+        let mut overlay = TypeArena::with_base(base, 1 << 10);
+        let novel = Type::fun(Type::BOOL, Type::fun(Type::INT, Type::DYN));
+        let id = overlay.intern(&novel);
+        assert!(
+            id.index() >= base_len,
+            "local ids must be offset past the base"
+        );
+        assert_eq!(overlay.local_len(), 2, "two genuinely new Fun nodes");
+        assert_eq!(overlay.resolve(id), novel, "mixed-tier round trip");
+        assert_eq!(overlay.intern(&novel), id, "local canonicity");
+        assert_eq!(overlay.height(id), novel.height());
+        assert_eq!(overlay.size(id), novel.size());
+        // resolve_shared spans both tiers.
+        assert_eq!(overlay.resolve_shared(id), novel);
+    }
+
+    #[test]
+    fn overlay_relations_agree_with_flat_relations() {
+        // Queries mixing base and local operands must equal the flat
+        // arena's answers (and the tree oracles, by transitivity with
+        // the existing agreement test).
+        let mut warm = TypeArena::new();
+        for t in sample_types(1) {
+            warm.intern(&t);
+        }
+        let base = Arc::new(warm.freeze());
+        let mut overlay = TypeArena::with_base(base, 1 << 10);
+        let mut flat = TypeArena::new();
+        let u = sample_types(2);
+        for a in &u {
+            for b in &u {
+                let (oa, ob) = (overlay.intern(a), overlay.intern(b));
+                let (fa, fb) = (flat.intern(a), flat.intern(b));
+                assert_eq!(
+                    overlay.compatible(oa, ob),
+                    flat.compatible(fa, fb),
+                    "{a} ∼ {b}"
+                );
+                assert_eq!(overlay.subtype(oa, ob), flat.subtype(fa, fb), "{a} <: {b}");
+                assert_eq!(
+                    overlay.pos_subtype(oa, ob),
+                    flat.pos_subtype(fa, fb),
+                    "{a} <:+ {b}"
+                );
+                assert_eq!(
+                    overlay.neg_subtype(oa, ob),
+                    flat.neg_subtype(fa, fb),
+                    "{a} <:- {b}"
+                );
+                assert_eq!(
+                    overlay.join(oa, ob).map(|id| overlay.resolve(id)),
+                    flat.join(fa, fb).map(|id| flat.resolve(id)),
+                    "{a} ⊔ {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn freezing_an_overlay_flattens_both_tiers() {
+        let mut warm = TypeArena::new();
+        let ii = warm.intern(&Type::fun(Type::INT, Type::INT));
+        let base = Arc::new(warm.freeze());
+        let mut overlay = TypeArena::with_base(base, 1 << 10);
+        let novel = Type::fun(Type::BOOL, Type::BOOL);
+        let novel_id = overlay.intern(&novel);
+        overlay.subtype(ii, novel_id);
+
+        let refrozen = Arc::new(overlay.freeze());
+        assert_eq!(refrozen.len(), overlay.len());
+        let mut second = TypeArena::with_base(refrozen, 1 << 10);
+        // Both the original base's nodes and the overlay's local
+        // nodes are base nodes of the re-frozen snapshot.
+        assert_eq!(second.intern(&Type::fun(Type::INT, Type::INT)), ii);
+        assert_eq!(second.intern(&novel), novel_id);
+        assert_eq!(second.local_len(), 0);
+        // The overlay's memoized verdict froze too.
+        second.subtype(ii, novel_id);
+        assert!(second.query_stats().base_hits > 0);
+        assert_eq!(second.query_stats().misses, 0);
+    }
+
+    #[test]
+    fn sibling_overlays_diverge_independently() {
+        // Two overlays over one base each mint their own local ids;
+        // neither sees the other's nodes, and base ids stay shared.
+        let mut warm = TypeArena::new();
+        let shared = warm.intern(&Type::fun(Type::INT, Type::INT));
+        let base = Arc::new(warm.freeze());
+        let mut left = TypeArena::with_base(Arc::clone(&base), 1 << 10);
+        let mut right = TypeArena::with_base(base, 1 << 10);
+        let l = left.intern(&Type::fun(Type::BOOL, Type::BOOL));
+        let r = right.intern(&Type::fun(Type::DYN, Type::BOOL));
+        // The numeric ids may coincide (both offset from the same
+        // base) but denote each overlay's own node.
+        assert_eq!(left.resolve(l), Type::fun(Type::BOOL, Type::BOOL));
+        assert_eq!(right.resolve(r), Type::fun(Type::DYN, Type::BOOL));
+        assert_eq!(left.intern(&Type::fun(Type::INT, Type::INT)), shared);
+        assert_eq!(right.intern(&Type::fun(Type::INT, Type::INT)), shared);
     }
 
     #[test]

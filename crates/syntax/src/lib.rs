@@ -53,7 +53,7 @@ pub use clock::ClockMap;
 pub use constant::Constant;
 pub use fresh::NameSupply;
 pub use fxhash::{FxBuildHasher, FxHasher};
-pub use intern::{TNode, TypeArena, TypeId};
+pub use intern::{FrozenTypes, TNode, TypeArena, TypeId};
 pub use label::{Label, LabelSupply};
 pub use op::Op;
 pub use pointed::{meet, PointedType};

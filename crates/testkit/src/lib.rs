@@ -376,6 +376,85 @@ impl Gen {
     }
 }
 
+/// Seeded GTLC *source-text* workloads for the multi-threaded serving
+/// tests and benches.
+///
+/// Pool jobs cross thread boundaries, so they travel as source text
+/// (term trees are `Rc`-shaped and deliberately not `Send`). This
+/// module generates deterministic mixed workloads: a fixed family of
+/// program *shapes* — boundary-crossing loops, cast-free loops,
+/// dynamic-reuse combinators, runtime-blame programs, divergent
+/// spinners — instantiated with seed-derived constants. Constants
+/// never change the set of types or coercions a shape interns, so a
+/// pool warmed on [`sources::shapes`] serves any [`sources::mixed`]
+/// batch with **zero** local interning (the base-sharing acceptance
+/// criterion).
+pub mod sources {
+    /// Number of distinct program shapes in the mix.
+    pub const SHAPES: usize = 6;
+
+    /// One representative source per shape — the warmup set that
+    /// covers every type and coercion the mixed workload can intern.
+    pub fn shapes() -> Vec<String> {
+        (0..SHAPES).map(|shape| render(shape, 2)).collect()
+    }
+
+    /// A deterministic mixed workload of `n` sources cycling through
+    /// the shapes, with seed-derived constants.
+    pub fn mixed(seed: u64, n: usize) -> Vec<String> {
+        (0..n)
+            .map(|i| {
+                // SplitMix64-style scramble: cheap, stable across
+                // platforms, and independent of the vendored rand.
+                let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1));
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                let k = ((z >> 33) % 24) as i64 + 1;
+                render(i % SHAPES, k)
+            })
+            .collect()
+    }
+
+    /// Renders shape `shape` with loop-bound/offset constant `k`
+    /// (`1 <= k`, kept small so tests stay fast).
+    fn render(shape: usize, k: i64) -> String {
+        match shape % SHAPES {
+            // Boundary-crossing loop: the λS space-efficiency
+            // workload (casts on every iteration).
+            0 => format!(
+                "letrec loop (n : Int) : Bool = \
+                   if n = 0 then true else ((loop : ?) : Int -> Bool) (n - 1) \
+                 in loop {k}"
+            ),
+            // Cast-free static loop: the no-overhead baseline.
+            1 => format!(
+                "letrec loop (n : Int) : Bool = \
+                   if n = 0 then true else loop (n - 1) \
+                 in loop {k}"
+            ),
+            // Dynamic-reuse combinator: higher-order flow through `?`.
+            2 => format!(
+                "let twice = fun (f : ? -> ?) => fun (x : ?) => f (f x) in \
+                 let inc = fun x => x + {k} in \
+                 (twice (inc : ? -> ?) {k} : Int)"
+            ),
+            // Runtime blame: a Bool flows into an Int operation.
+            3 => format!("let f = fun x => x + {k} in f true"),
+            // Mixed-recursion even/odd (typed body, dynamic results).
+            4 => format!(
+                "letrec even (n : Int) : Bool = \
+                   if n = 0 then true else \
+                   if n = 1 then false else even (n - 2) \
+                 in even {}",
+                2 * k
+            ),
+            // Divergent spinner: always exhausts its fuel, so
+            // fuel-exhaustion fingerprints are part of the mix.
+            _ => format!("letrec spin (n : Int) : Int = spin (n + 1) in spin {k}"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

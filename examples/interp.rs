@@ -90,7 +90,9 @@ fn main() -> ExitCode {
         // run so repeated coercion merges hit the compose cache.
         let mut ctx = blame_coercion::core::MergeCtx::new();
         let ty = program.ty.clone();
-        let mut cur = program.lambda_s.clone();
+        // The λS tree is decompiled lazily; the trace loop is the one
+        // consumer that genuinely needs it.
+        let mut cur = session.lambda_s(&program);
         let mut step_no = 0u64;
         println!("{step_no:>4}  {cur}");
         loop {

@@ -27,7 +27,7 @@ fn main() {
     println!("type:      {}", program.ty);
     println!("λB term:   {}", program.lambda_b);
     println!("λC term:   {}", program.lambda_c);
-    println!("λS term:   {}", program.lambda_s);
+    println!("λS term:   {}", session.lambda_s(&program));
     println!();
 
     // All six engines implement the same semantics; the run path

@@ -1,0 +1,80 @@
+//! A worker-pool serving demo: N threads, one shared frozen base.
+//!
+//! Builds a [`SessionPool`] warmed on one representative per program
+//! shape, serves a 128-program mixed workload across the workers, and
+//! prints what the two-tier sharing model bought: every worker's
+//! arenas stay at **zero** locally interned nodes — the whole warm
+//! working set lives in the `Arc`-shared read-only base — while
+//! outcomes (values, blame, fuel exhaustion) are exactly what a
+//! single-threaded session would produce.
+//!
+//! ```sh
+//! cargo run --example server --release -- [workers]
+//! ```
+
+use std::time::Instant;
+
+use bc_testkit::sources;
+use blame_coercion::{Engine, JobError, RunError, SessionPool};
+
+fn main() {
+    let workers: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4);
+    let batch = sources::mixed(2026, 128);
+
+    let t0 = Instant::now();
+    let pool = SessionPool::builder()
+        .workers(workers)
+        .default_fuel(100_000)
+        .warmup(sources::shapes())
+        .build()
+        .expect("warmup compiles");
+    let base = pool.base();
+    println!(
+        "pool up in {:?}: {} workers over a frozen base of {} coercion nodes, \
+         {} type nodes, {} compose pairs, {} verdicts",
+        t0.elapsed(),
+        pool.workers(),
+        base.coercion_nodes(),
+        base.type_nodes(),
+        base.compose_pairs(),
+        base.verdicts(),
+    );
+
+    let t1 = Instant::now();
+    let handles = pool.submit_batch(batch.iter().map(String::as_str), Engine::MachineS);
+    let (mut values, mut blamed, mut exhausted) = (0usize, 0usize, 0usize);
+    for handle in handles {
+        match handle.wait() {
+            Ok(out) => {
+                if out.observation.to_string().starts_with("blame") {
+                    blamed += 1;
+                } else {
+                    values += 1;
+                }
+            }
+            Err(JobError::Run(RunError::FuelExhausted { .. })) => exhausted += 1,
+            Err(e) => panic!("generated workload must compile and run: {e}"),
+        }
+    }
+    let served = t1.elapsed();
+    println!(
+        "served {} jobs in {:?} ({:.0} jobs/s): {values} values, {blamed} blamed, \
+         {exhausted} fuel-exhausted",
+        batch.len(),
+        served,
+        batch.len() as f64 / served.as_secs_f64(),
+    );
+
+    let stats = pool.shutdown();
+    println!();
+    println!("{stats}");
+    assert_eq!(stats.local_coercion_nodes(), 0);
+    assert_eq!(stats.local_type_nodes(), 0);
+    println!(
+        "zero nodes interned past the base by any worker — the warm working set \
+         is shared, not copied."
+    );
+}

@@ -73,6 +73,11 @@ pub use bc_machine as machine;
 pub use bc_syntax as syntax;
 pub use bc_translate as translate;
 
+pub mod pool;
 pub mod session;
 
-pub use session::{Engine, Program, RunError, RunReport, Session, SessionBuilder, SessionStats};
+pub use pool::{JobError, JobHandle, JobOutput, PoolStats, SessionPool, SessionPoolBuilder};
+pub use session::{
+    AdoptError, Engine, FrozenBase, Program, RunError, RunReport, Session, SessionBuilder,
+    SessionStats, TierStats,
+};

@@ -38,13 +38,15 @@
 //! assert_eq!(report.observation.to_string(), "42");
 //! ```
 
-use std::cell::{Cell, RefCell};
+use std::cell::{Cell, OnceCell, RefCell};
 use std::fmt;
+use std::sync::Arc;
 
-use bc_core::arena::{CoercionArena, ComposeCache};
+use bc_core::arena::{CoercionArena, ComposeCache, FrozenCoercions};
 use bc_core::sterm::{decompile_term, STerm};
 use bc_gtlc::Diagnostic;
 use bc_machine::metrics::Metrics;
+use bc_syntax::intern::FrozenTypes;
 use bc_syntax::{Label, Type, TypeArena};
 use bc_translate::bisim::{observe_b, observe_c, observe_s, Observation};
 use bc_translate::{term_b_to_c, term_c_to_s_compiled};
@@ -163,6 +165,156 @@ macro_rules! small_step_run_error {
     };
 }
 
+/// One hop of a session's fork history: an ancestor session's
+/// identity, with the arena watermarks (node counts) this lineage
+/// held at the moment it forked away from that ancestor (via
+/// [`Session::clone_state`] or [`Session::freeze`]).
+///
+/// A program compiled in the ancestor *before* those watermarks
+/// references only state every descendant inherited verbatim — the
+/// soundness condition [`Session::adopt`] checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct AncestryEntry {
+    session: u64,
+    coercions: usize,
+    types: usize,
+}
+
+/// A frozen, immutable snapshot of a warm [`Session`]'s shared state —
+/// the base tier of the two-tier (base + per-worker overlay) sharing
+/// model.
+///
+/// Produced by [`Session::freeze`]; consumed by
+/// [`SessionBuilder::base`]. The snapshot bundles the frozen type
+/// arena (nodes, metadata, and every memoized relational verdict) and
+/// the frozen coercion arena (nodes plus every memoized composition
+/// pair); it is `Send + Sync`, so one `Arc<FrozenBase>` can back any
+/// number of worker sessions on any number of threads, each layering
+/// a cheap private overlay on top. E22 measured the warm working set
+/// this captures at ≤ 16 type nodes and ≤ 10 compose pairs on every
+/// bench workload — a few hundred bytes buying every worker a fully
+/// warm start.
+///
+/// **When to freeze**: after compiling (and ideally running) a
+/// representative warmup workload, so the snapshot holds the types,
+/// coercions, verdicts, and compositions the real traffic repeats.
+/// Freezing is cheap but not free (it clones the warm tables); treat
+/// a base as a deployment artifact, not a per-request step.
+///
+/// **Id-offset contract**: ids below the frozen lengths denote
+/// snapshot nodes and mean the same thing in every session built over
+/// this base; each worker's locally interned ids start past them and
+/// are private to that worker (see `bc_syntax::intern::FrozenTypes`
+/// and `bc_core::arena::FrozenCoercions`).
+#[derive(Debug)]
+pub struct FrozenBase {
+    types: Arc<FrozenTypes>,
+    coercions: Arc<FrozenCoercions>,
+    /// The freezing session's own fork history plus the freezing
+    /// session itself — sessions built over this base extend it, so
+    /// programs compiled before the freeze can be adopted by them.
+    ancestry: Vec<AncestryEntry>,
+}
+
+impl FrozenBase {
+    /// Number of frozen coercion nodes.
+    pub fn coercion_nodes(&self) -> usize {
+        self.coercions.len()
+    }
+
+    /// Number of frozen type nodes.
+    pub fn type_nodes(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Number of frozen composition pairs.
+    pub fn compose_pairs(&self) -> usize {
+        self.coercions.pairs_len()
+    }
+
+    /// Number of frozen relational verdicts.
+    pub fn verdicts(&self) -> usize {
+        self.types.verdicts_len()
+    }
+}
+
+/// Why [`Session::adopt`] refused to re-bind a program — the typed
+/// error for cross-session handle transfer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdoptError {
+    /// The adopting session is not a descendant (via
+    /// [`Session::clone_state`] or a [`FrozenBase`]) of the session
+    /// that compiled the program, so the program's ids belong to an
+    /// unrelated id-space.
+    ForeignSession,
+    /// The adopting session *is* a descendant of the compiling
+    /// session, but the program was compiled **after** the fork: it
+    /// may reference nodes this session never inherited.
+    PostFork {
+        /// Coercion nodes the program's session held when the program
+        /// was compiled.
+        program_coercions: usize,
+        /// Coercion nodes inherited at the fork.
+        inherited_coercions: usize,
+        /// Type nodes the program's session held when the program was
+        /// compiled.
+        program_types: usize,
+        /// Type nodes inherited at the fork.
+        inherited_types: usize,
+    },
+}
+
+impl fmt::Display for AdoptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdoptError::ForeignSession => f.write_str(
+                "cannot adopt: the program was compiled by an unrelated session \
+                 (adopt only works in a session forked from the compiling one via \
+                 Session::clone_state or a FrozenBase; recompile the program here instead)",
+            ),
+            AdoptError::PostFork {
+                program_coercions,
+                inherited_coercions,
+                program_types,
+                inherited_types,
+            } => write!(
+                f,
+                "cannot adopt: the program was compiled after this session forked \
+                 from its owner (program watermarks: {program_coercions} coercion / \
+                 {program_types} type nodes; inherited: {inherited_coercions} / \
+                 {inherited_types}) — fork again after compiling, or recompile here"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdoptError {}
+
+/// The two-tier sharing counters of a [`Session`]: how much of its
+/// state lives in the frozen base versus the private overlay, and how
+/// often the base tier answered. All-zero for a session without a
+/// base.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierStats {
+    /// Coercion nodes in the frozen base tier.
+    pub base_coercion_nodes: usize,
+    /// Coercion nodes interned locally, past the base. Zero means the
+    /// base absorbed every coercion this session ever interned.
+    pub local_coercion_nodes: usize,
+    /// Type nodes in the frozen base tier.
+    pub base_type_nodes: usize,
+    /// Type nodes interned locally, past the base.
+    pub local_type_nodes: usize,
+    /// Coercion interns answered by the frozen base index.
+    pub coercion_base_hits: u64,
+    /// Type interns answered by the frozen base index.
+    pub type_base_hits: u64,
+    /// Compositions answered by the frozen pair table.
+    pub compose_base_hits: u64,
+    /// Relational verdicts answered by the frozen verdict table.
+    pub verdict_base_hits: u64,
+}
+
 /// A consolidated snapshot of everything a [`Session`] has
 /// accumulated — the replacement for the per-program
 /// `coercion_stats`/`type_stats` tuple trio.
@@ -187,6 +339,8 @@ pub struct SessionStats {
     pub type_memo_capacity: usize,
     /// Relational-query hit/miss/eviction counters.
     pub type_queries: bc_syntax::intern::QueryStats,
+    /// Two-tier sharing counters (all-zero without a [`FrozenBase`]).
+    pub tier: TierStats,
 }
 
 impl fmt::Display for SessionStats {
@@ -217,6 +371,7 @@ pub struct SessionBuilder {
     compose_cache_capacity: usize,
     type_memo_capacity: usize,
     default_fuel: u64,
+    base: Option<Arc<FrozenBase>>,
 }
 
 impl Default for SessionBuilder {
@@ -225,6 +380,7 @@ impl Default for SessionBuilder {
             compose_cache_capacity: SessionBuilder::DEFAULT_COMPOSE_CACHE_CAPACITY,
             type_memo_capacity: SessionBuilder::DEFAULT_TYPE_MEMO_CAPACITY,
             default_fuel: SessionBuilder::DEFAULT_FUEL,
+            base: None,
         }
     }
 }
@@ -293,17 +449,43 @@ impl SessionBuilder {
         self
     }
 
+    /// Builds the session as a cheap overlay over a frozen base (see
+    /// [`Session::freeze`]): every type, coercion, verdict, and
+    /// composition the base holds is shared read-only, and only
+    /// genuinely new state is interned locally. This is how
+    /// [`crate::pool::SessionPool`] gives every worker thread a warm
+    /// start from one snapshot.
+    pub fn base(mut self, base: Arc<FrozenBase>) -> SessionBuilder {
+        self.base = Some(base);
+        self
+    }
+
     /// Builds the session.
     ///
     /// # Panics
     ///
     /// Panics if either configured capacity is zero.
     pub fn build(self) -> Session {
+        let (arena, cache, types, ancestry) = match self.base {
+            Some(base) => (
+                CoercionArena::with_base(Arc::clone(&base.coercions)),
+                ComposeCache::with_base(Arc::clone(&base.coercions), self.compose_cache_capacity),
+                TypeArena::with_base(Arc::clone(&base.types), self.type_memo_capacity),
+                base.ancestry.clone(),
+            ),
+            None => (
+                CoercionArena::new(),
+                ComposeCache::with_capacity(self.compose_cache_capacity),
+                TypeArena::with_memo_capacity(self.type_memo_capacity),
+                Vec::new(),
+            ),
+        };
         Session {
             id: next_session_id(),
-            arena: RefCell::new(CoercionArena::new()),
-            cache: RefCell::new(ComposeCache::with_capacity(self.compose_cache_capacity)),
-            types: RefCell::new(TypeArena::with_memo_capacity(self.type_memo_capacity)),
+            ancestry,
+            arena: RefCell::new(arena),
+            cache: RefCell::new(cache),
+            types: RefCell::new(types),
             default_fuel: self.default_fuel,
             programs: Cell::new(0),
         }
@@ -332,6 +514,10 @@ pub struct Session {
     /// Identity of this session's id-spaces; programs record it so a
     /// handle can never be resolved against the wrong arenas.
     id: u64,
+    /// Fork history: the chain of ancestor sessions (with the
+    /// watermarks inherited from each), consulted by
+    /// [`Session::adopt`].
+    ancestry: Vec<AncestryEntry>,
     arena: RefCell<CoercionArena>,
     cache: RefCell<ComposeCache>,
     types: RefCell<TypeArena>,
@@ -358,8 +544,12 @@ pub struct Program {
     pub lambda_b: bc_lambda_b::Term,
     /// The λC translation `|·|BC`.
     pub lambda_c: bc_lambda_c::Term,
-    /// The λS translation `|·|CS ∘ |·|BC`.
-    pub lambda_s: bc_core::Term,
+    /// The tree-form λS translation `|·|CS ∘ |·|BC`, decompiled
+    /// **lazily** from the compiled IR on first access
+    /// ([`Session::lambda_s`]) — the hot compile path allocates no λS
+    /// tree; only the small-step λS engine and display code ever
+    /// materialise one.
+    lambda_s: OnceCell<bc_core::Term>,
     /// The program's (gradual) type.
     pub ty: Type,
     /// The λS term compiled to the id-carrying IR. Private: its ids
@@ -367,6 +557,12 @@ pub struct Program {
     lambda_s_compiled: STerm,
     /// Owning session id (checked by every [`Session::run`]).
     session: u64,
+    /// Coercion nodes the owning session held when this program was
+    /// compiled (every id this program references is below it).
+    coercion_watermark: usize,
+    /// Type nodes the owning session held when this program was
+    /// compiled.
+    type_watermark: usize,
     /// The source-program span map for blame reporting, if compiled
     /// from source.
     program: Option<bc_gtlc::ProgramI>,
@@ -384,6 +580,13 @@ impl Program {
     /// compiled IR.
     pub fn boundary_crossings(&self) -> usize {
         self.lambda_s_compiled.coercion_nodes()
+    }
+
+    /// Whether the tree-form λS term has been materialised (it is
+    /// decompiled lazily by [`Session::lambda_s`]; compilation leaves
+    /// it empty).
+    pub fn lambda_s_materialized(&self) -> bool {
+        self.lambda_s.get().is_some()
     }
 
     /// Explains a blame label as a source-level diagnostic, when the
@@ -498,10 +701,11 @@ impl Session {
         // coercion lands in the shared arena as an id (no intermediate
         // tree, no re-interning pass) and every type annotation
         // interns once per session. The tree λS term — the exchange
-        // form the small-step engine reads — is decompiled from the
-        // IR, sharing the arenas' memoized resolves.
+        // form the small-step engine and display code read — is *not*
+        // built here: [`Session::lambda_s`] decompiles it from the IR
+        // on first access, so the hot compile path allocates no λS
+        // tree at all.
         let lambda_s_compiled = term_c_to_s_compiled(&mut arena, &mut cache, &mut types, &lambda_c);
-        let lambda_s = decompile_term(&lambda_s_compiled, &arena, &types);
         // Cast insertion and both translations preserve typing; audit
         // the intermediate forms with the interned checkers on debug
         // builds (the machine-ready IR is validated in place, never
@@ -529,13 +733,39 @@ impl Session {
         Program {
             lambda_b: term,
             lambda_c,
-            lambda_s,
+            lambda_s: OnceCell::new(),
             lambda_s_compiled,
             ty,
             session: self.id,
+            coercion_watermark: arena.len(),
+            type_watermark: types.len(),
             program: None,
             source: None,
         }
+    }
+
+    /// The tree-form λS term of a program, decompiled from the
+    /// compiled IR through this session's arenas on first access and
+    /// cached in the handle thereafter (cheap `Rc`-spine clones).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `program` was compiled by a different session.
+    pub fn lambda_s(&self, program: &Program) -> bc_core::Term {
+        assert_eq!(
+            program.session, self.id,
+            "program was compiled by a different Session"
+        );
+        program
+            .lambda_s
+            .get_or_init(|| {
+                decompile_term(
+                    &program.lambda_s_compiled,
+                    &self.arena.borrow(),
+                    &self.types.borrow(),
+                )
+            })
+            .clone()
     }
 
     /// Runs a program on the chosen engine with the session's default
@@ -596,8 +826,11 @@ impl Session {
                 })
             }
             Engine::LambdaS => {
-                let r = bc_core::eval::run(&program.lambda_s, fuel)
-                    .map_err(small_step_run_error!(bc_core))?;
+                // The small-step engine rewrites trees; materialise
+                // the (lazily decompiled) tree form first.
+                let lambda_s = self.lambda_s(program);
+                let r =
+                    bc_core::eval::run(&lambda_s, fuel).map_err(small_step_run_error!(bc_core))?;
                 Ok(RunReport {
                     observation: observe_s(&r.outcome),
                     steps: r.steps,
@@ -638,7 +871,40 @@ impl Session {
             type_memo_pairs: types.memo_len(),
             type_memo_capacity: types.memo_capacity(),
             type_queries: types.query_stats(),
+            tier: TierStats {
+                base_coercion_nodes: arena.base_len(),
+                local_coercion_nodes: arena.local_len(),
+                base_type_nodes: types.base_len(),
+                local_type_nodes: types.local_len(),
+                coercion_base_hits: arena.stats().base_hits,
+                type_base_hits: types.base_node_hits(),
+                compose_base_hits: cache.stats().base_hits,
+                verdict_base_hits: types.query_stats().base_hits,
+            },
         }
+    }
+
+    /// Freezes the session's current arenas, memo tables, and
+    /// composition pairs into an immutable [`FrozenBase`] snapshot
+    /// that any number of sessions — on any number of threads — can
+    /// be built over via [`SessionBuilder::base`]. The freezing
+    /// session keeps working unchanged; programs it compiled *before*
+    /// the freeze can be [`Session::adopt`]ed by sessions built over
+    /// the snapshot.
+    pub fn freeze(&self) -> Arc<FrozenBase> {
+        let types = Arc::new(self.types.borrow().freeze());
+        let coercions = Arc::new(self.arena.borrow().freeze(&self.cache.borrow()));
+        let mut ancestry = self.ancestry.clone();
+        ancestry.push(AncestryEntry {
+            session: self.id,
+            coercions: coercions.len(),
+            types: types.len(),
+        });
+        Arc::new(FrozenBase {
+            types,
+            coercions,
+            ancestry,
+        })
     }
 
     /// Renders a program's compiled λS IR in the paper grammar,
@@ -662,8 +928,15 @@ impl Session {
     /// re-bound via [`Session::adopt`] to run here.
     pub fn clone_state(&self) -> Session {
         let (arena, cache) = self.arena.borrow().clone_pair(&self.cache.borrow());
+        let mut ancestry = self.ancestry.clone();
+        ancestry.push(AncestryEntry {
+            session: self.id,
+            coercions: arena.len(),
+            types: self.types.borrow().len(),
+        });
         Session {
             id: next_session_id(),
+            ancestry,
             arena: RefCell::new(arena),
             cache: RefCell::new(cache),
             types: RefCell::new(self.types.borrow().clone()),
@@ -672,13 +945,41 @@ impl Session {
         }
     }
 
-    /// Re-binds a program to this session. Only sound when this
-    /// session's arenas are an identical snapshot of the program's
-    /// original owner (i.e. straight after [`Session::clone_state`]).
-    pub fn adopt(&self, program: &Program) -> Program {
-        Program {
-            session: self.id,
-            ..program.clone()
+    /// Re-binds a program compiled by an ancestor session to this
+    /// one. Sound exactly when this session inherited every id the
+    /// program references — i.e. this session descends (via
+    /// [`Session::clone_state`] or a [`FrozenBase`]) from the
+    /// compiling session *at or after* the point the program was
+    /// compiled; anything else is a typed [`AdoptError`], never a
+    /// silent id-space confusion.
+    ///
+    /// # Errors
+    ///
+    /// [`AdoptError::ForeignSession`] when this session does not
+    /// descend from the compiling one; [`AdoptError::PostFork`] when
+    /// it does, but the program was compiled after the fork (its ids
+    /// may exceed what was inherited).
+    pub fn adopt(&self, program: &Program) -> Result<Program, AdoptError> {
+        if program.session == self.id {
+            return Ok(program.clone());
+        }
+        let fork = self
+            .ancestry
+            .iter()
+            .find(|e| e.session == program.session)
+            .ok_or(AdoptError::ForeignSession)?;
+        if program.coercion_watermark <= fork.coercions && program.type_watermark <= fork.types {
+            Ok(Program {
+                session: self.id,
+                ..program.clone()
+            })
+        } else {
+            Err(AdoptError::PostFork {
+                program_coercions: program.coercion_watermark,
+                inherited_coercions: fork.coercions,
+                program_types: program.type_watermark,
+                inherited_types: fork.types,
+            })
         }
     }
 }
@@ -942,7 +1243,7 @@ mod tests {
         let program = session.compile(LOOP_32).expect("compiles");
         let before = session.run(&program, Engine::MachineS).expect("runs");
         let clone = session.clone_state();
-        let adopted = clone.adopt(&program);
+        let adopted = clone.adopt(&program).expect("sibling adoption is sound");
         let from_clone = clone.run(&adopted, Engine::MachineS).expect("runs");
         let from_original = session.run(&program, Engine::MachineS).expect("runs");
         assert_eq!(before.observation, from_clone.observation);
@@ -956,6 +1257,145 @@ mod tests {
             let _ = clone.run(&program, Engine::MachineS);
         }));
         assert!(err.is_err(), "foreign program must fail loudly");
+    }
+
+    #[test]
+    fn adopt_rejects_a_foreign_session() {
+        // Two unrelated sessions: adoption is a typed error, not a
+        // silent id-space confusion (satellite: adopt ergonomics).
+        let a = Session::new();
+        let b = Session::new();
+        let program = a.compile("1 + 2").expect("compiles");
+        assert!(matches!(b.adopt(&program), Err(AdoptError::ForeignSession)));
+        // The error message tells the caller what to do instead.
+        let msg = AdoptError::ForeignSession.to_string();
+        assert!(msg.contains("clone_state"), "{msg}");
+    }
+
+    #[test]
+    fn adopt_rejects_a_post_fork_program() {
+        // Fork first, compile after: the clone never inherited the
+        // new program's nodes, so adoption must fail typed-ly.
+        let session = Session::new();
+        let early = session.compile("1 + 2").expect("compiles");
+        let clone = session.clone_state();
+        let late = session
+            .compile("let f = fun (x : Int -> Bool) => x in 3")
+            .expect("compiles");
+        match clone.adopt(&late) {
+            Err(AdoptError::PostFork {
+                program_types,
+                inherited_types,
+                ..
+            }) => {
+                // The late program's annotation interned new type
+                // nodes past what the clone inherited.
+                assert!(program_types > inherited_types);
+            }
+            other => panic!("expected PostFork, got {other:?}"),
+        }
+        // The program compiled *before* the fork still adopts fine.
+        clone.adopt(&early).expect("pre-fork program is inherited");
+    }
+
+    #[test]
+    fn adopting_into_the_same_session_is_a_noop() {
+        let session = Session::new();
+        let program = session.compile("1 + 2").expect("compiles");
+        let adopted = session.adopt(&program).expect("self-adoption");
+        let report = session.run(&adopted, Engine::MachineS).expect("runs");
+        assert_eq!(report.observation.to_string(), "3");
+    }
+
+    #[test]
+    fn lambda_s_is_decompiled_lazily() {
+        // Satellite: the hot compile path allocates no λS tree; the
+        // tree form materialises on first access and is cached in the
+        // handle.
+        let session = Session::new();
+        let program = session.compile(LOOP_32).expect("compiles");
+        assert!(
+            !program.lambda_s_materialized(),
+            "compile must not build the λS tree"
+        );
+        let tree = session.lambda_s(&program);
+        assert!(program.lambda_s_materialized());
+        // The decompiled tree is exactly what the old eager path
+        // stored: the tree-level λC → λS translation.
+        assert_eq!(tree, bc_translate::term_c_to_s(&program.lambda_c));
+        // Cached: the second access is a handle clone of the same tree.
+        assert_eq!(session.lambda_s(&program), tree);
+        // The λS small-step engine materialises it on demand too.
+        let fresh = session.compile(LOOP_32).expect("compiles");
+        assert!(!fresh.lambda_s_materialized());
+        let report = session.run(&fresh, Engine::LambdaS).expect("runs");
+        assert_eq!(report.observation.to_string(), "true");
+        assert!(fresh.lambda_s_materialized());
+    }
+
+    #[test]
+    fn frozen_base_sessions_share_the_warm_working_set() {
+        // The tiered-interning tentpole at the session level: freeze
+        // a warm session, build a fresh session over the base, and
+        // compile a structurally similar program — zero local
+        // interning, everything answered by the frozen tier.
+        let warm = Session::builder().default_fuel(10_000_000).build();
+        let p = warm.compile(LOOP_32).expect("compiles");
+        warm.run(&p, Engine::MachineS).expect("runs");
+        let base = warm.freeze();
+        assert!(base.coercion_nodes() > 0);
+        assert!(base.type_nodes() > 0);
+        assert!(base.compose_pairs() > 0);
+
+        let worker = Session::builder()
+            .default_fuel(10_000_000)
+            .base(Arc::clone(&base))
+            .build();
+        let q = worker
+            .compile(
+                "letrec loop (n : Int) : Bool = \
+                   if n = 0 then true else ((loop : ?) : Int -> Bool) (n - 1) \
+                 in loop 48",
+            )
+            .expect("compiles");
+        let report = worker.run(&q, Engine::MachineS).expect("runs");
+        assert_eq!(report.observation.to_string(), "true");
+        let tier = worker.stats().tier;
+        assert_eq!(tier.base_coercion_nodes, base.coercion_nodes());
+        assert_eq!(
+            tier.local_coercion_nodes, 0,
+            "warm-shaped program must intern zero coercions locally: {tier:?}"
+        );
+        assert_eq!(
+            tier.local_type_nodes, 0,
+            "warm-shaped program must intern zero types locally: {tier:?}"
+        );
+        assert!(tier.coercion_base_hits > 0);
+        assert!(tier.type_base_hits > 0);
+        assert!(tier.compose_base_hits > 0, "{tier:?}");
+        // This workload answers its relational questions entirely
+        // from the O(1) fast paths (reflexivity and the ?-absorbing
+        // rules), so there may be nothing to freeze; when there is,
+        // the worker must hit it.
+        if base.verdicts() > 0 {
+            assert!(tier.verdict_base_hits > 0, "{tier:?}");
+        }
+
+        // A program compiled before the freeze adopts into the
+        // base-child (the base inherited its ids).
+        let adopted = worker.adopt(&p).expect("pre-freeze program adopts");
+        let r = worker.run(&adopted, Engine::MachineS).expect("runs");
+        assert_eq!(r.observation.to_string(), "true");
+
+        // A program compiled in the warm session *after* the freeze
+        // does not (the base never saw its ids) — unless it interned
+        // nothing new past the frozen watermarks.
+        warm.compile("let g = fun (x : (Int -> Int) -> Bool) => 7 in 1")
+            .expect("compiles");
+        // Sessions without lineage are still rejected outright.
+        let stranger = Session::new();
+        let sp = stranger.compile("1 + 2").expect("compiles");
+        assert!(matches!(worker.adopt(&sp), Err(AdoptError::ForeignSession)));
     }
 
     #[test]

@@ -1,0 +1,239 @@
+//! Integration tests for the multi-threaded `SessionPool`: a pool
+//! must be observationally identical to a single warm session run
+//! sequentially (sharding is an optimisation, never a semantic
+//! change), and a warmed pool must prove base-tier sharing — zero
+//! local interning across all workers on structurally-covered
+//! traffic.
+
+use bc_testkit::sources;
+use blame_coercion::{Engine, JobError, RunError, Session, SessionPool};
+
+const FUEL: u64 = 50_000;
+
+/// The outcome fingerprint shared by pool jobs and sequential runs:
+/// observation (including blame labels), step count, and typed
+/// errors with their step counts. Worker assignment and cache/tier
+/// metrics are deliberately excluded — sharing shows up there, the
+/// semantics must not.
+fn job_fingerprint(result: Result<blame_coercion::JobOutput, JobError>) -> String {
+    match result {
+        Ok(out) => format!("{} in {} steps", out.observation, out.steps),
+        Err(JobError::Compile(d)) => format!("compile error: {}", d.message),
+        Err(JobError::Run(RunError::FuelExhausted { steps, .. })) => {
+            format!("fuel exhausted at {steps}")
+        }
+        Err(JobError::Run(RunError::IllTyped(d))) => format!("ill typed: {}", d.message),
+        Err(JobError::Lost) => "lost".to_owned(),
+    }
+}
+
+fn session_fingerprint(session: &Session, source: &str, engine: Engine) -> String {
+    let program = match session.compile(source) {
+        Ok(p) => p,
+        Err(d) => return format!("compile error: {}", d.message),
+    };
+    match session.run_with_fuel(&program, engine, FUEL) {
+        Ok(r) => format!("{} in {} steps", r.observation, r.steps),
+        Err(RunError::FuelExhausted { steps, .. }) => format!("fuel exhausted at {steps}"),
+        Err(RunError::IllTyped(d)) => format!("ill typed: {}", d.message),
+    }
+}
+
+#[test]
+fn four_worker_pool_matches_a_sequential_warm_session() {
+    // Satellite acceptance: a 64-program generated batch through a
+    // 4-worker pool is observationally identical — outcomes, blame
+    // labels, fuel-exhaustion fingerprints — to a single warm
+    // session running the batch sequentially.
+    let batch = sources::mixed(0xB1A3E, 64);
+    let pool = SessionPool::builder()
+        .workers(4)
+        .default_fuel(FUEL)
+        .warmup(sources::shapes())
+        .build()
+        .expect("warmup compiles");
+    let handles: Vec<_> = batch
+        .iter()
+        .map(|s| pool.submit_with_fuel(s.as_str(), Engine::MachineS, FUEL))
+        .collect();
+    let from_pool: Vec<String> = handles
+        .into_iter()
+        .map(|h| job_fingerprint(h.wait()))
+        .collect();
+
+    let sequential = Session::builder().default_fuel(FUEL).build();
+    let from_session: Vec<String> = batch
+        .iter()
+        .map(|s| session_fingerprint(&sequential, s, Engine::MachineS))
+        .collect();
+
+    assert_eq!(from_pool, from_session);
+    // The mix actually exercised the interesting outcomes.
+    assert!(
+        from_pool.iter().any(|f| f.contains("blame")),
+        "{from_pool:?}"
+    );
+    assert!(from_pool.iter().any(|f| f.contains("fuel exhausted")));
+    assert_eq!(pool.shutdown().jobs(), 64);
+}
+
+#[test]
+fn warmed_pool_workers_intern_nothing_past_the_base() {
+    // The tentpole acceptance criterion: after warmup on one
+    // representative per shape, a 64-program structurally-similar
+    // batch leaves every worker with zero locally interned coercion
+    // and type nodes — the whole warm working set is served from the
+    // shared frozen base.
+    let pool = SessionPool::builder()
+        .workers(4)
+        .default_fuel(10_000)
+        .warmup(sources::shapes())
+        .build()
+        .expect("warmup compiles");
+    let base = std::sync::Arc::clone(pool.base());
+    assert!(base.coercion_nodes() > 0);
+    assert!(base.compose_pairs() > 0);
+
+    let handles = pool.submit_batch(sources::mixed(7, 64), Engine::MachineS);
+    for handle in handles {
+        // Run errors (the divergent shape's fuel exhaustion) are
+        // legitimate outcomes; compile errors are not.
+        if let Err(e) = handle.wait() {
+            assert!(matches!(e, JobError::Run(_)), "unexpected job error: {e}");
+        }
+    }
+    let stats = pool.shutdown();
+    assert_eq!(stats.jobs(), 64);
+    assert_eq!(
+        stats.local_coercion_nodes(),
+        0,
+        "a warmed pool must re-intern zero coercions: {stats}"
+    );
+    assert_eq!(
+        stats.local_type_nodes(),
+        0,
+        "a warmed pool must re-intern zero types: {stats}"
+    );
+    // Per-worker: everyone who served traffic proves base-tier
+    // sharing individually.
+    let mut served = 0usize;
+    for w in &stats.workers {
+        if w.jobs == 0 {
+            continue;
+        }
+        served += 1;
+        let s = w.session.expect("served workers publish stats");
+        assert_eq!(s.tier.base_coercion_nodes, base.coercion_nodes());
+        assert_eq!(s.tier.local_coercion_nodes, 0, "worker {}", w.worker);
+        assert_eq!(s.tier.local_type_nodes, 0, "worker {}", w.worker);
+        assert!(s.tier.coercion_base_hits > 0, "worker {}", w.worker);
+        assert!(s.tier.type_base_hits > 0, "worker {}", w.worker);
+    }
+    assert!(served >= 1);
+    // Every intern probe across the pool was answered by the base.
+    assert!(
+        stats.coercion_base_hit_rate() > 0.999,
+        "rate {}",
+        stats.coercion_base_hit_rate()
+    );
+}
+
+#[test]
+fn cold_pool_still_serves_correctly() {
+    // Without warmup each worker interns its own working set — more
+    // memory, same answers.
+    let pool = SessionPool::builder()
+        .workers(2)
+        .default_fuel(FUEL)
+        .build()
+        .expect("no warmup to fail");
+    assert!(pool.base().coercion_nodes() == 0);
+    let out = pool
+        .submit(
+            "let inc = fun x => x + 1 in (inc 41 : Int)",
+            Engine::MachineS,
+        )
+        .wait()
+        .expect("runs");
+    assert_eq!(out.observation.to_string(), "42");
+    let stats = pool.shutdown();
+    assert_eq!(stats.jobs(), 1);
+    assert!(stats.local_coercion_nodes() > 0, "cold pool pays locally");
+}
+
+#[test]
+fn compile_errors_are_typed_job_errors() {
+    let pool = SessionPool::builder().workers(2).build().expect("builds");
+    match pool.submit("let x = in", Engine::MachineS).wait() {
+        Err(JobError::Compile(d)) => assert!(!d.message.is_empty()),
+        other => panic!("expected Compile error, got {other:?}"),
+    }
+    // An ill-typed (but parseable) program too.
+    match pool.submit("1 true", Engine::MachineS).wait() {
+        Err(JobError::Compile(_)) => {}
+        other => panic!("expected Compile error, got {other:?}"),
+    }
+}
+
+#[test]
+fn fuel_exhaustion_reports_the_real_step_count_through_the_pool() {
+    let pool = SessionPool::builder().workers(2).build().expect("builds");
+    let spin = "letrec spin (n : Int) : Int = spin (n + 1) in spin 0";
+    match pool.submit_with_fuel(spin, Engine::MachineS, 123).wait() {
+        Err(JobError::Run(RunError::FuelExhausted { steps, metrics })) => {
+            assert_eq!(steps, 123);
+            assert!(metrics.is_some(), "machine engines carry metrics");
+        }
+        other => panic!("expected FuelExhausted, got {other:?}"),
+    }
+}
+
+#[test]
+fn all_engines_agree_through_the_pool() {
+    let pool = SessionPool::builder()
+        .workers(3)
+        .default_fuel(FUEL)
+        .warmup(sources::shapes())
+        .build()
+        .expect("warmup compiles");
+    let source = "letrec even (n : Int) : Bool = \
+                    if n = 0 then true else \
+                    if n = 1 then false else even (n - 2) \
+                  in even 10";
+    let handles: Vec<_> = Engine::ALL
+        .iter()
+        .map(|&engine| pool.submit(source, engine))
+        .collect();
+    let outs: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.wait().expect("runs").observation.to_string())
+        .collect();
+    assert!(outs.iter().all(|o| o == "true"), "{outs:?}");
+}
+
+#[test]
+fn shutdown_drains_already_submitted_jobs() {
+    // Graceful shutdown: closing the queue lets the workers finish
+    // every job already in it; every handle resolves.
+    let pool = SessionPool::builder()
+        .workers(2)
+        .default_fuel(FUEL)
+        .build()
+        .expect("builds");
+    let handles = pool.submit_batch(
+        (0..16).map(|k| format!("let inc = fun x => x + {k} in (inc 1 : Int)")),
+        Engine::MachineS,
+    );
+    let stats = pool.shutdown();
+    assert_eq!(stats.jobs(), 16);
+    for (k, handle) in handles.into_iter().enumerate() {
+        let out = handle.wait().expect("drained before shutdown");
+        assert_eq!(out.observation.to_string(), (k as i64 + 1).to_string());
+    }
+}
+
+#[test]
+#[should_panic(expected = "at least 1 worker")]
+fn zero_worker_pools_are_rejected() {
+    let _ = SessionPool::builder().workers(0).build();
+}
