@@ -16,12 +16,19 @@
 //!   against a warm arena: the tree checker re-walks the domain type
 //!   at every site, the interned checker answers each with an O(1) id
 //!   equality. `elaborate_tower` asks the harder question — the full
-//!   elaboration pass on the wrapper tower, where annotations dominate
-//!   and interning has to beat structural comparison outright.
+//!   elaboration pass on the wrapper tower, where annotations dominate.
+//!   Its `interned_warm` row measures the **compiled** front end
+//!   (`elaborate_compiled` over a pre-parsed `ExprI`): annotations are
+//!   interned once at parse time, so warm elaboration never re-walks
+//!   an annotation tree — the per-annotation re-walk was exactly what
+//!   made the old `elaborate_in` row slower than the tree baseline on
+//!   this shape.
 
 use bc_bench::frontend_workload::{BATCH, CALLS, CALL_DEPTH, TOWER};
-use bc_bench::{boundary_source, call_heavy_source, parse_source, wrapper_tower_source};
-use bc_gtlc::{elaborate, elaborate_in};
+use bc_bench::{
+    boundary_source, call_heavy_source, parse_source, parse_source_in, wrapper_tower_source,
+};
+use bc_gtlc::{elaborate, elaborate_compiled, elaborate_in};
 use bc_lambda_b::typing::{type_of, type_of_interned};
 use bc_syntax::TypeArena;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -93,10 +100,34 @@ fn bench_frontend(c: &mut Criterion) {
     group.bench_function("elaborate_tower/tree", |b| {
         b.iter(|| black_box(elaborate(black_box(&tower)).expect("elaborates")))
     });
+    // The compiled front end: the tower is parsed once into an
+    // `ExprI` (annotations interned at parse time), so the timed
+    // region is pure elaboration on `TypeId`s — no annotation tree is
+    // walked, matching what `Session::compile` actually runs.
     group.bench_function("elaborate_tower/interned_warm", |b| {
         let mut types = TypeArena::new();
-        let _ = elaborate_in(&tower, &mut types);
-        b.iter(|| black_box(elaborate_in(black_box(&tower), &mut types).expect("elaborates")))
+        let tower_i = parse_source_in(&wrapper_tower_source(TOWER), &mut types);
+        let _ = elaborate_compiled(&tower_i, &mut types);
+        b.iter(|| {
+            black_box(elaborate_compiled(black_box(&tower_i), &mut types).expect("elaborates"))
+        })
+    });
+    // The same compiled pass on the 16-program batch, for comparison
+    // with the `elaborate_in` warm row above: the gap is the
+    // per-annotation re-walk the intern-at-parse front end removed.
+    group.bench_function("elaborate_batch16/compiled_warm", |b| {
+        let mut types = TypeArena::new();
+        let exprs_i: Vec<_> = (0..BATCH as i64)
+            .map(|i| parse_source_in(&boundary_source(32 + i), &mut types))
+            .collect();
+        for e in &exprs_i {
+            let _ = elaborate_compiled(e, &mut types).expect("elaborates");
+        }
+        b.iter(|| {
+            for e in &exprs_i {
+                black_box(elaborate_compiled(black_box(e), &mut types).expect("elaborates"));
+            }
+        })
     });
 
     group.finish();

@@ -11,9 +11,15 @@
 //!   worker-count series isolates the parallel speedup (1 worker also
 //!   quantifies the queue + channel overhead versus a bare session).
 //! * `lifecycle64/{cold,warmed}` — the full pool lifecycle (build,
-//!   warm up, serve 64 jobs, shut down) with and without warmup:
-//!   cold workers each intern their own working set, warmed workers
-//!   share the frozen base and intern nothing.
+//!   warm up, serve 64 jobs, shut down) with and without warmup. The
+//!   warmed pool is warmed on the *actual* batch sources, so every
+//!   submission auto-upgrades to a pre-compiled job (`JobSpec`
+//!   carries the λB IR): workers never lex, parse, or elaborate, and
+//!   they share the frozen base instead of interning their own
+//!   working sets. Warmed must not be slower than cold — the
+//!   regression assertion lives in `tests/pool.rs`
+//!   (`warmed_lifecycle_is_not_slower_than_cold`) and in the `report`
+//!   binary.
 //!
 //! Wall-clock per iteration is the whole batch, so the reported time
 //! is batch latency; divide by the batch size for per-job throughput.
@@ -70,12 +76,17 @@ fn bench_pool_throughput(c: &mut Criterion) {
             }
         })
     });
+    // Warm on the actual 64-job sources (deduplicated): submissions
+    // then travel as compiled jobs and skip the front end entirely.
+    let mut warmup_sources: Vec<String> = batch.iter().take(64).cloned().collect();
+    warmup_sources.sort();
+    warmup_sources.dedup();
     group.bench_function("lifecycle64/warmed", |b| {
         b.iter(|| {
             let pool = SessionPool::builder()
                 .workers(4)
                 .default_fuel(FUEL)
-                .warmup(sources::shapes())
+                .warmup(warmup_sources.iter().cloned())
                 .build()
                 .expect("warmup compiles");
             for handle in

@@ -1,0 +1,122 @@
+//! Diffs two flat `BENCH_*.json` files (as written by the `report`
+//! binary) and fails when any shared **timing** key regressed beyond a
+//! threshold.
+//!
+//! ```sh
+//! cargo run -p bc-bench --bin bench_diff -- BENCH_5.json BENCH_6.json
+//! ```
+//!
+//! Keys ending in `_ns` are wall-clock medians (lower is better); a
+//! shared timing key whose new value exceeds the old by more than the
+//! threshold (default 25%, container-noise-tolerant) is a regression
+//! and the process exits non-zero. Non-timing keys (capacity counts,
+//! speedup ratios, core counts) and keys present in only one file are
+//! reported but never fail the diff — benches come and go between
+//! PRs; regressions on what both measured are what CI guards.
+//!
+//! The JSON parsing is hand-rolled on purpose: the files are flat
+//! `"key": number` objects emitted by `report`, and the container
+//! builds offline, so no serde.
+
+use std::process::ExitCode;
+
+/// Relative slowdown on a shared `_ns` key above which the diff fails.
+const DEFAULT_THRESHOLD: f64 = 0.25;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (old_path, new_path) = match args.as_slice() {
+        [old, new, ..] => (old.as_str(), new.as_str()),
+        _ => {
+            eprintln!("usage: bench_diff <OLD.json> <NEW.json> [threshold]");
+            return ExitCode::from(2);
+        }
+    };
+    let threshold = args
+        .get(2)
+        .map(|t| t.parse::<f64>().expect("threshold parses as f64"))
+        .unwrap_or(DEFAULT_THRESHOLD);
+
+    let old = parse_flat_json(old_path);
+    let new = parse_flat_json(new_path);
+    println!(
+        "bench_diff: {old_path} ({} keys) vs {new_path} ({} keys), threshold +{:.0}%",
+        old.len(),
+        new.len(),
+        threshold * 100.0
+    );
+
+    let mut regressions = Vec::new();
+    let mut improved = 0usize;
+    let mut shared = 0usize;
+    for (key, old_value) in &old {
+        let Some((_, new_value)) = new.iter().find(|(k, _)| k == key) else {
+            println!("  (dropped)  {key}");
+            continue;
+        };
+        if !key.ends_with("_ns") {
+            continue; // counts and ratios are informational, not timings
+        }
+        shared += 1;
+        let ratio = new_value / old_value.max(1.0);
+        if ratio > 1.0 + threshold {
+            regressions.push(format!(
+                "  REGRESSED  {key}: {old_value:.0} -> {new_value:.0} ({:+.1}%)",
+                (ratio - 1.0) * 100.0
+            ));
+        } else if ratio < 1.0 - threshold {
+            improved += 1;
+            println!(
+                "  improved   {key}: {old_value:.0} -> {new_value:.0} ({:+.1}%)",
+                (ratio - 1.0) * 100.0
+            );
+        }
+    }
+    for (key, _) in &new {
+        if !old.iter().any(|(k, _)| k == key) {
+            println!("  (new)      {key}");
+        }
+    }
+
+    println!(
+        "{shared} shared timing keys: {improved} improved >{:.0}%, {} regressed >{:.0}%",
+        threshold * 100.0,
+        regressions.len(),
+        threshold * 100.0
+    );
+    if regressions.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for line in &regressions {
+            eprintln!("{line}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+/// Parses a flat `{"key": number, ...}` object, one pair per line —
+/// the exact shape `report`'s `write_json` emits.
+fn parse_flat_json(path: &str) -> Vec<(String, f64)> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("bench_diff: cannot read {path}: {e}"));
+    let mut pairs = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else {
+            continue; // `{`, `}`, blank
+        };
+        let Some((key, value)) = rest.split_once('"') else {
+            continue;
+        };
+        let Some(value) = value.trim().strip_prefix(':') else {
+            continue;
+        };
+        let value: f64 = value
+            .trim()
+            .parse()
+            .unwrap_or_else(|e| panic!("bench_diff: bad value for {key:?} in {path}: {e}"));
+        pairs.push((key.to_owned(), value));
+    }
+    assert!(!pairs.is_empty(), "bench_diff: no metrics found in {path}");
+    pairs
+}

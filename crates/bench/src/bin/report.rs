@@ -1,7 +1,10 @@
 //! Regenerates the measurement tables recorded in EXPERIMENTS.md, and
-//! emits the machine-readable `BENCH_5.json` (per-bench medians,
-//! including the pool-throughput and tier-overhead numbers) alongside
-//! the human output.
+//! emits the machine-readable `BENCH_6.json` (per-bench medians,
+//! including the end-to-end compile+run, pool-throughput, and
+//! tier-overhead numbers) alongside the human output. CI diffs the
+//! checked-in `BENCH_6.json` against its predecessor with the
+//! `bench_diff` binary and fails on >25% regression of any shared
+//! timing key.
 //!
 //! ```sh
 //! cargo run -p bc-bench --bin report --release
@@ -12,11 +15,12 @@ use std::time::Instant;
 
 use bc_baselines::{naive, threesome};
 use bc_bench::{
-    boundary_source, call_heavy_source, composable_batch, parse_source, wrapper_tower_source,
+    boundary_source, call_heavy_source, composable_batch, parse_source, parse_source_in,
+    wrapper_tower_source,
 };
 use bc_core::compose::compose;
 use bc_core::{CoercionArena, CompileCtx, ComposeCache};
-use bc_gtlc::{elaborate, elaborate_in};
+use bc_gtlc::{elaborate, elaborate_compiled, elaborate_in};
 use bc_lambda_b::programs;
 use bc_lambda_b::typing::{type_of, type_of_interned};
 use bc_machine::{cek_b, cek_c, cek_s};
@@ -26,7 +30,7 @@ use bc_translate::bisim::{aligned_cs, lockstep_bc};
 use bc_translate::{term_b_to_c, term_c_to_s};
 use blame_coercion::{Engine, Session, SessionPool};
 
-/// Collected `(key, value)` measurements for `BENCH_5.json`.
+/// Collected `(key, value)` measurements for `BENCH_6.json`.
 type Metrics = Vec<(String, f64)>;
 
 fn main() {
@@ -38,9 +42,10 @@ fn main() {
     frontend_table(&mut metrics);
     capacity_table(&mut metrics);
     end_to_end_table(&mut metrics);
+    compile_run_table(&mut metrics);
     pool_table(&mut metrics);
     tier_table(&mut metrics);
-    write_json("BENCH_5.json", &metrics);
+    write_json("BENCH_6.json", &metrics);
 }
 
 /// Median wall-clock of `reps` runs of `f`, in nanoseconds.
@@ -65,8 +70,58 @@ fn write_json(path: &str, metrics: &Metrics) {
         out.push_str(&format!("  \"{key}\": {value:.1}{sep}\n"));
     }
     out.push_str("}\n");
-    std::fs::write(path, out).expect("write BENCH_5.json");
+    std::fs::write(path, out).expect("write BENCH_6.json");
     println!("wrote {path}");
+}
+
+/// E25: the whole pipeline per verdict — `Session::compile` (lex,
+/// parse-and-intern, elaborate to the compiled λB IR, lower to the
+/// compiled λS IR) *plus* the run, source to verdict. `cold` builds a
+/// fresh session per iteration and pays the interning bill; `warm`
+/// recompiles a structurally similar source (different loop bound)
+/// into one warm session — the allocation-free path: zero type or
+/// coercion interns, zero `|·|CS` normalisations, zero `Rc` term
+/// trees, verified by the session's own counters after timing.
+fn compile_run_table(metrics: &mut Metrics) {
+    println!("## E25 — end-to-end compile+run (source → verdict, n = 64)");
+    println!();
+    println!("| engine | cold session | warm session |");
+    println!("|--------|--------------|--------------|");
+    const REPS: usize = 21;
+    for (slug, engine) in [
+        ("machine_s", Engine::MachineS),
+        ("lambda_s", Engine::LambdaS),
+    ] {
+        let cold = median_ns(REPS, || {
+            let session = Session::builder().default_fuel(u64::MAX).build();
+            let program = session.compile(&boundary_source(64)).expect("compiles");
+            std::hint::black_box(session.run(&program, engine).expect("terminates"));
+        });
+        let session = Session::builder().default_fuel(u64::MAX).build();
+        let seed = session.compile(&boundary_source(64)).expect("compiles");
+        session.run(&seed, engine).expect("terminates");
+        let warm_stats = session.stats();
+        let mut bound = 64i64;
+        let warm = median_ns(REPS, || {
+            bound = 57 + (bound + 1) % 16; // similar shape, fresh constant
+            let program = session.compile(&boundary_source(bound)).expect("compiles");
+            std::hint::black_box(session.run(&program, engine).expect("terminates"));
+        });
+        let after = session.stats();
+        assert_eq!(after.tree_builds, 0, "warm path built a term tree");
+        assert_eq!(
+            after.coercions.nodes, warm_stats.coercions.nodes,
+            "warm path interned coercions"
+        );
+        assert_eq!(
+            after.type_nodes, warm_stats.type_nodes,
+            "warm path interned types"
+        );
+        println!("| {engine} | {:.1} µs | {:.1} µs |", cold / 1e3, warm / 1e3);
+        metrics.push((format!("compile_run/{slug}/cold_ns"), cold));
+        metrics.push((format!("compile_run/{slug}/warm_ns"), warm));
+    }
+    println!();
 }
 
 /// E23: `SessionPool` throughput on the 256-program mixed workload —
@@ -121,11 +176,21 @@ fn pool_table(metrics: &mut Metrics) {
         metrics.push(("pool/mixed256/speedup_4_over_1".into(), t1 / t4));
     }
 
+    // The warmed lifecycle warms on the *actual* 64-job sources
+    // (deduplicated), so every submission auto-upgrades to a
+    // pre-compiled job: workers never lex, parse, or elaborate —
+    // warmup's compile work is what serves the batch. (Warming on
+    // `sources::shapes()` alone shares arenas but still re-parsed
+    // every job, which is how the warmed lifecycle used to come out
+    // *slower* than cold.)
+    let mut warmup_sources: Vec<String> = batch.iter().take(64).cloned().collect();
+    warmup_sources.sort();
+    warmup_sources.dedup();
     let lifecycle = |warmed: bool| {
         median_ns(9, || {
             let mut builder = SessionPool::builder().workers(4).default_fuel(FUEL);
             if warmed {
-                builder = builder.warmup(sources::shapes());
+                builder = builder.warmup(warmup_sources.iter().cloned());
             }
             let pool = builder.build().expect("builds");
             for handle in
@@ -142,6 +207,18 @@ fn pool_table(metrics: &mut Metrics) {
         "pool lifecycle (build + 64 jobs + shutdown): cold {:.1} ms, warmed {:.1} ms",
         cold / 1e6,
         warmed / 1e6
+    );
+    // Parity within noise is the bar, not strict dominance: the batch
+    // is run-dominated (5 000 fuel per job), so the warmed savings —
+    // no per-worker front end, no re-lowering, shared base — show up
+    // as warmed ≈ cold instead of the former +13% inversion. The 10%
+    // band trips on systematic regressions (warmup burning job fuel
+    // at build, workers re-lowering compiled jobs) without flaking on
+    // scheduler jitter; `tests/pool.rs` carries the same guard.
+    assert!(
+        warmed <= cold * 1.10,
+        "regression: the warmed pool lifecycle ({warmed:.0} ns) must not be slower than cold \
+         ({cold:.0} ns) — compiled jobs skip the whole front end"
     );
     metrics.push(("pool/lifecycle64/cold_ns".into(), cold));
     metrics.push(("pool/lifecycle64/warmed_ns".into(), warmed));
@@ -333,6 +410,22 @@ fn frontend_table(metrics: &mut Metrics) {
             std::hint::black_box(elaborate_in(e, &mut warm_types).expect("elaborates"));
         }
     });
+    // The compiled front end on the same batch: sources pre-parsed
+    // into `ExprI` (annotations interned at parse time), the timed
+    // region is pure elaboration on ids — the path `Session::compile`
+    // actually runs.
+    let mut compiled_types = TypeArena::new();
+    let exprs_i: Vec<_> = (0..BATCH as i64)
+        .map(|i| parse_source_in(&boundary_source(32 + i), &mut compiled_types))
+        .collect();
+    for e in &exprs_i {
+        let _ = elaborate_compiled(e, &mut compiled_types).expect("elaborates");
+    }
+    let compiled_warm = median_ns(REPS, || {
+        for e in &exprs_i {
+            std::hint::black_box(elaborate_compiled(e, &mut compiled_types).expect("elaborates"));
+        }
+    });
     let check_tree = median_ns(REPS, || {
         std::hint::black_box(type_of(&calls_b).expect("well typed"));
     });
@@ -341,13 +434,19 @@ fn frontend_table(metrics: &mut Metrics) {
     let check_interned = median_ns(REPS, || {
         std::hint::black_box(type_of_interned(&calls_b, &mut check_types).expect("well typed"));
     });
+    // The tower's interned row runs the compiled front end: the old
+    // `elaborate_in` row re-interned every annotation tree per pass
+    // (an O(size) walk on an annotation-dominated shape — *slower*
+    // than the tree elaborator's Rc clones); `parse_in` interns each
+    // annotation once, and warm `elaborate_compiled` never walks one.
     let mut tower_types = TypeArena::new();
-    let _ = elaborate_in(&tower, &mut tower_types);
+    let tower_i = parse_source_in(&wrapper_tower_source(TOWER), &mut tower_types);
+    let _ = elaborate_compiled(&tower_i, &mut tower_types);
     let tower_tree = median_ns(REPS, || {
         std::hint::black_box(elaborate(&tower).expect("elaborates"));
     });
     let tower_interned = median_ns(REPS, || {
-        std::hint::black_box(elaborate_in(&tower, &mut tower_types).expect("elaborates"));
+        std::hint::black_box(elaborate_compiled(&tower_i, &mut tower_types).expect("elaborates"));
     });
 
     println!("| workload | tree | interned cold | interned warm |");
@@ -357,6 +456,10 @@ fn frontend_table(metrics: &mut Metrics) {
         tree / 1e3,
         cold / 1e3,
         warm / 1e3
+    );
+    println!(
+        "| elaborate 16-program batch (compiled, warm) | — | — | {:.1} µs |",
+        compiled_warm / 1e3
     );
     println!(
         "| typecheck call-heavy (2⁹-node annotation, 64 sites) | {:.1} µs | — | {:.1} µs |",
@@ -372,6 +475,10 @@ fn frontend_table(metrics: &mut Metrics) {
     metrics.push(("frontend/elaborate_batch16/tree_ns".into(), tree));
     metrics.push(("frontend/elaborate_batch16/cold_ns".into(), cold));
     metrics.push(("frontend/elaborate_batch16/warm_ns".into(), warm));
+    metrics.push((
+        "frontend/elaborate_batch16/compiled_warm_ns".into(),
+        compiled_warm,
+    ));
     metrics.push(("frontend/typecheck_calls/tree_ns".into(), check_tree));
     metrics.push((
         "frontend/typecheck_calls/interned_warm_ns".into(),

@@ -142,5 +142,17 @@ pub fn parse_source(source: &str) -> bc_gtlc::ast::Expr {
     bc_gtlc::parser::parse(&tokens).expect("bench source parses")
 }
 
+/// Parses a GTLC source to the *interned* surface AST against a
+/// caller-owned arena (panicking on syntax errors): annotations are
+/// interned at parse time, so front-end benches can measure the
+/// compiled elaboration pass ([`bc_gtlc::elaborate_compiled`]) with
+/// zero per-annotation tree walks inside the timed region — symmetric
+/// to [`parse_source`], which pre-builds the `Rc<Type>` annotation
+/// trees for the tree elaborator.
+pub fn parse_source_in(source: &str, types: &mut bc_syntax::TypeArena) -> bc_gtlc::ast::ExprI {
+    let tokens = bc_gtlc::lexer::lex(source).expect("bench source lexes");
+    bc_gtlc::parser::parse_in(&tokens, types).expect("bench source parses")
+}
+
 /// Checks a type is exported (keeps the facade crates linked in).
 pub fn _touch(_: &Type) {}

@@ -65,7 +65,7 @@ use std::fmt;
 use std::rc::Rc;
 use std::sync::Arc;
 
-use bc_syntax::{BaseType, ClockMap, Ground, Label, Type};
+use bc_syntax::{BaseType, ClockMap, Ground, Label, TNode, Type, TypeArena, TypeId};
 
 use crate::coercion::{GroundCoercion, Intermediate, SpaceCoercion};
 
@@ -688,6 +688,21 @@ impl CoercionArena {
             Type::Fun(a, b) => {
                 let dom = self.id(a);
                 let cod = self.id(b);
+                self.fun(dom, cod)
+            }
+        }
+    }
+
+    /// [`CoercionArena::id`] on an interned type: the canonical
+    /// identity coercion computed directly from [`TNode`]s, with no
+    /// type tree in sight.
+    pub fn id_interned(&mut self, ty: TypeId, types: &TypeArena) -> CoercionId {
+        match types.node(ty) {
+            TNode::Dyn => self.id_dyn(),
+            TNode::Base(b) => self.id_base(b),
+            TNode::Fun(a, b) => {
+                let dom = self.id_interned(a, types);
+                let cod = self.id_interned(b, types);
                 self.fun(dom, cod)
             }
         }

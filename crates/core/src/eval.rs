@@ -29,11 +29,13 @@
 
 use std::fmt;
 
-use bc_syntax::{Constant, Label, Type};
+use bc_syntax::{Constant, Label, Type, TypeArena, TypeId};
 
-use crate::arena::MergeCtx;
+use crate::arena::{CoercionArena, ComposeCache, GNode, INode, MergeCtx, SNode};
 use crate::coercion::{GroundCoercion, Intermediate, SpaceCoercion};
-use crate::subst::subst;
+use crate::sterm::STerm;
+use crate::styping::type_of_interned;
+use crate::subst::{subst, subst_compiled};
 use crate::term::Term;
 use crate::typing::{type_of, TypeError};
 
@@ -310,6 +312,262 @@ pub fn run(term: &Term, fuel: u64) -> Result<Run, RunError> {
     }
 }
 
+// ---------------------------------------------------------------------
+// The compiled-IR small-step: Figure 5 on `STerm`
+// ---------------------------------------------------------------------
+
+/// The result of attempting one reduction step on the compiled IR.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StepC {
+    /// `M ⟶S N`.
+    Next(STerm),
+    /// The term is a value.
+    Value,
+    /// The term is `blame p`.
+    Blame(Label),
+}
+
+/// The final outcome of evaluating a compiled term.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OutcomeC {
+    /// Evaluation converged to a value.
+    Value(STerm),
+    /// Evaluation allocated blame.
+    Blame(Label),
+}
+
+/// Metrics and result of a fueled compiled run. The peaks measure the
+/// *implicit tree* sizes (each coercion handle weighs its resolved
+/// tree), so they are number-for-number comparable with [`Run`] — the
+/// tree small-step is the property-test oracle for this engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunC {
+    /// The final outcome.
+    pub outcome: OutcomeC,
+    /// Number of reduction steps taken.
+    pub steps: u64,
+    /// Peak term size observed (tree-equivalent measure).
+    pub peak_size: usize,
+    /// Peak total coercion size observed — bounded in λS.
+    pub peak_coercion_size: usize,
+}
+
+enum SubC {
+    Stepped(STerm),
+    Value,
+    Raise(Label),
+}
+
+/// Performs one reduction step on a closed, well-typed compiled λS
+/// term — [`step_in`] transcribed onto the IR the machine actually
+/// runs. The merge rule composes *ids* through the arena's memoized
+/// [`CoercionArena::compose`], so stepping never materialises a
+/// coercion tree: a loop crossing the same boundary repeatedly is pure
+/// cache hits.
+///
+/// # Panics
+///
+/// Panics if the term is open or ill-typed.
+pub fn step_compiled(
+    arena: &mut CoercionArena,
+    cache: &mut ComposeCache,
+    term: &STerm,
+    program_ty: TypeId,
+) -> StepC {
+    if let STerm::Blame(p, _) = term {
+        return StepC::Blame(*p);
+    }
+    if term.is_value(arena) {
+        return StepC::Value;
+    }
+    match step_sub_compiled(arena, cache, term) {
+        SubC::Stepped(t) => StepC::Next(t),
+        SubC::Raise(p) => StepC::Next(STerm::Blame(p, program_ty)),
+        SubC::Value => unreachable!("non-value compiled term did not step"),
+    }
+}
+
+fn step_sub_compiled(arena: &mut CoercionArena, cache: &mut ComposeCache, term: &STerm) -> SubC {
+    if term.is_value(arena) {
+        return SubC::Value;
+    }
+    match term {
+        STerm::Const(_) | STerm::Lam(_, _, _) | STerm::Fix(_, _, _, _, _) => SubC::Value,
+        STerm::Var(x) => panic!("evaluation reached a free variable `{x}`"),
+        STerm::Blame(p, _) => SubC::Raise(*p),
+        STerm::Op(op, args) => {
+            for (i, arg) in args.iter().enumerate() {
+                match step_sub_compiled(arena, cache, arg) {
+                    SubC::Stepped(a2) => {
+                        let mut args2 = args.clone();
+                        args2[i] = a2;
+                        return SubC::Stepped(STerm::Op(*op, args2));
+                    }
+                    SubC::Raise(p) => return SubC::Raise(p),
+                    SubC::Value => continue,
+                }
+            }
+            let consts: Vec<Constant> = args
+                .iter()
+                .map(|a| match a {
+                    STerm::Const(k) => *k,
+                    _ => panic!("operator argument is not a constant"),
+                })
+                .collect();
+            SubC::Stepped(STerm::Const(op.apply(&consts)))
+        }
+        STerm::If(cond, then_, else_) => match step_sub_compiled(arena, cache, cond) {
+            SubC::Stepped(c2) => SubC::Stepped(STerm::If(c2.into(), then_.clone(), else_.clone())),
+            SubC::Raise(p) => SubC::Raise(p),
+            SubC::Value => match &**cond {
+                STerm::Const(Constant::Bool(true)) => SubC::Stepped((**then_).clone()),
+                STerm::Const(Constant::Bool(false)) => SubC::Stepped((**else_).clone()),
+                _ => panic!("if condition is not a boolean"),
+            },
+        },
+        STerm::Let(x, m, n) => match step_sub_compiled(arena, cache, m) {
+            SubC::Stepped(m2) => SubC::Stepped(STerm::Let(x.clone(), m2.into(), n.clone())),
+            SubC::Raise(p) => SubC::Raise(p),
+            SubC::Value => SubC::Stepped(subst_compiled(n, x, m)),
+        },
+        STerm::App(l, m) => match step_sub_compiled(arena, cache, l) {
+            SubC::Stepped(l2) => SubC::Stepped(STerm::App(l2.into(), m.clone())),
+            SubC::Raise(p) => SubC::Raise(p),
+            SubC::Value => match step_sub_compiled(arena, cache, m) {
+                SubC::Stepped(m2) => SubC::Stepped(STerm::App(l.clone(), m2.into())),
+                SubC::Raise(p) => SubC::Raise(p),
+                SubC::Value => apply_compiled(arena, l, m),
+            },
+        },
+        STerm::Coerce(m, t) => {
+            // Merge FIRST: F[M⟨s⟩⟨t⟩] ⟶ F[M⟨s # t⟩], for any M —
+            // on ids through the memoized composition, so the same
+            // pair is composed structurally only once per arena.
+            if let STerm::Coerce(inner, s) = &**m {
+                return SubC::Stepped(STerm::Coerce(inner.clone(), arena.compose(cache, *s, *t)));
+            }
+            match step_sub_compiled(arena, cache, m) {
+                SubC::Stepped(m2) => SubC::Stepped(STerm::Coerce(m2.into(), *t)),
+                SubC::Raise(p) => SubC::Raise(p),
+                SubC::Value => coerce_value_compiled(arena, m, *t),
+            }
+        }
+    }
+}
+
+/// Contracts an application of compiled values.
+fn apply_compiled(arena: &CoercionArena, fun: &STerm, arg: &STerm) -> SubC {
+    match fun {
+        STerm::Lam(x, _, body) => SubC::Stepped(subst_compiled(body, x, arg)),
+        STerm::Fix(f, x, _, _, body) => {
+            let unrolled = subst_compiled(body, f, fun);
+            SubC::Stepped(subst_compiled(&unrolled, x, arg))
+        }
+        // (U⟨s→t⟩) V ⟶ (U (V⟨s⟩))⟨t⟩
+        STerm::Coerce(u, c) => match arena.node(*c) {
+            SNode::Mid(INode::Ground(GNode::Fun(s, t))) => {
+                let coerced_arg = STerm::Coerce(arg.clone().into(), s);
+                SubC::Stepped(STerm::Coerce(
+                    STerm::App(u.clone(), coerced_arg.into()).into(),
+                    t,
+                ))
+            }
+            _ => panic!("applied a non-function coerced value"),
+        },
+        _ => panic!("applied a non-function value"),
+    }
+}
+
+/// Reduces `U⟨s⟩` where `U` is an uncoerced value and the whole term
+/// is not a value, deciding the rule from the interned node.
+fn coerce_value_compiled(
+    arena: &CoercionArena,
+    value: &STerm,
+    s: crate::arena::CoercionId,
+) -> SubC {
+    debug_assert!(value.is_uncoerced_value());
+    match arena.node(s) {
+        // F[U⟨id?⟩] ⟶ F[U]
+        SNode::IdDyn => SubC::Stepped(value.clone()),
+        SNode::Mid(i) => match i {
+            // F[U⟨idι⟩] ⟶ F[U]
+            INode::Ground(GNode::IdBase(_)) => SubC::Stepped(value.clone()),
+            // F[U⟨⊥GpH⟩] ⟶ blame p
+            INode::Fail(_, p, _) => SubC::Raise(p),
+            INode::Ground(GNode::Fun(_, _)) | INode::Inj(_, _) => {
+                unreachable!("function coercions and injections of values are values")
+            }
+        },
+        SNode::Proj(_, _, _) => {
+            unreachable!("an uncoerced value cannot have type ? (so no projection applies)")
+        }
+    }
+}
+
+/// Evaluates a closed, well-typed compiled λS term for at most `fuel`
+/// steps — [`run`] on the IR the machine actually executes, against
+/// caller-owned arenas. This is the production engine; the tree
+/// [`run`] is its property-test oracle (same outcome, same step count,
+/// same space peaks — pinned by the equivalence suite in
+/// `tests/`/testkit).
+///
+/// # Errors
+///
+/// Returns [`RunError::IllTyped`] if the term is not closed and well
+/// typed, and [`RunError::FuelExhausted`] (carrying the steps actually
+/// taken) if the fuel bound is reached.
+pub fn run_compiled(
+    term: &STerm,
+    fuel: u64,
+    arena: &mut CoercionArena,
+    cache: &mut ComposeCache,
+    types: &mut TypeArena,
+) -> Result<RunC, RunError> {
+    let ty = type_of_interned(term, arena, types)?;
+    let mut current = term.clone();
+    let mut steps = 0u64;
+    // Tree-equivalent measures: node count includes each coercion's
+    // implicit tree size, matching `Term::size`/`Term::coercion_size`.
+    let mut peak_coercion_size = current.coercion_size(arena);
+    let mut peak_size = current.size() + peak_coercion_size;
+    loop {
+        match step_compiled(arena, cache, &current, ty) {
+            StepC::Value => {
+                return Ok(RunC {
+                    outcome: OutcomeC::Value(current),
+                    steps,
+                    peak_size,
+                    peak_coercion_size,
+                })
+            }
+            StepC::Blame(p) => {
+                return Ok(RunC {
+                    outcome: OutcomeC::Blame(p),
+                    steps,
+                    peak_size,
+                    peak_coercion_size,
+                })
+            }
+            StepC::Next(next) => {
+                // Charge fuel *before* committing the step, exactly as
+                // the tree engine does.
+                if steps >= fuel {
+                    return Err(RunError::FuelExhausted {
+                        steps,
+                        peak_size,
+                        peak_coercion_size,
+                    });
+                }
+                steps += 1;
+                let coercion_size = next.coercion_size(arena);
+                peak_size = peak_size.max(next.size() + coercion_size);
+                peak_coercion_size = peak_coercion_size.max(coercion_size);
+                current = next;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -447,6 +705,86 @@ mod tests {
     fn failure_blames() {
         let m = Term::int(1).coerce(SpaceCoercion::fail(gi(), p(3), gb()));
         assert_eq!(eval_blame(&m), p(3));
+    }
+
+    #[test]
+    fn compiled_run_agrees_with_tree_run() {
+        use crate::sterm::compile_term;
+
+        let inc = Term::lam(
+            "x",
+            Type::INT,
+            Term::op2(Op::Add, Term::var("x"), Term::int(1)),
+        );
+        let s = SpaceCoercion::proj(gi(), p(0), Intermediate::Ground(id_int()));
+        let t = SpaceCoercion::inj(id_int(), gi());
+        let samples = [
+            // Value via a wrapped function.
+            inc.clone()
+                .coerce(SpaceCoercion::fun(s.clone(), t.clone()))
+                .app(Term::int(1).coerce(SpaceCoercion::inj(id_int(), gi()))),
+            // Blame via a ground mismatch.
+            Term::int(7)
+                .coerce(SpaceCoercion::inj(id_int(), gi()))
+                .coerce(SpaceCoercion::proj(
+                    gb(),
+                    p(1),
+                    Intermediate::Ground(GroundCoercion::IdBase(BaseType::Bool)),
+                )),
+            // Merge-heavy stacking.
+            Term::int(1)
+                .coerce(SpaceCoercion::inj(id_int(), gi()))
+                .coerce(SpaceCoercion::proj(
+                    gi(),
+                    p(2),
+                    Intermediate::Ground(id_int()),
+                ))
+                .coerce(SpaceCoercion::inj(id_int(), gi()))
+                .coerce(SpaceCoercion::proj(
+                    gi(),
+                    p(3),
+                    Intermediate::Ground(id_int()),
+                )),
+        ];
+        for m in &samples {
+            let tree = run(m, 10_000).unwrap();
+            let mut arena = CoercionArena::new();
+            let mut cache = ComposeCache::new();
+            let mut types = TypeArena::new();
+            let st = compile_term(m, &mut arena, &mut types);
+            let compiled = run_compiled(&st, 10_000, &mut arena, &mut cache, &mut types).unwrap();
+            match (&tree.outcome, &compiled.outcome) {
+                (Outcome::Value(v), OutcomeC::Value(cv)) => {
+                    assert_eq!(
+                        crate::sterm::decompile_term(cv, &arena, &types),
+                        *v,
+                        "outcome of {m}"
+                    );
+                }
+                (Outcome::Blame(l), OutcomeC::Blame(cl)) => assert_eq!(l, cl, "blame of {m}"),
+                (a, b) => panic!("outcomes diverge on {m}: {a:?} vs {b:?}"),
+            }
+            assert_eq!(tree.steps, compiled.steps, "steps of {m}");
+            assert_eq!(tree.peak_size, compiled.peak_size, "peak size of {m}");
+            assert_eq!(
+                tree.peak_coercion_size, compiled.peak_coercion_size,
+                "peak coercion size of {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn compiled_run_rejects_ill_typed_terms() {
+        use crate::sterm::compile_term;
+        let bad = Term::op2(Op::Add, Term::int(1), Term::Const(Constant::Bool(true)));
+        let mut arena = CoercionArena::new();
+        let mut cache = ComposeCache::new();
+        let mut types = TypeArena::new();
+        let st = compile_term(&bad, &mut arena, &mut types);
+        assert!(matches!(
+            run_compiled(&st, 10, &mut arena, &mut cache, &mut types),
+            Err(RunError::IllTyped(_))
+        ));
     }
 
     #[test]

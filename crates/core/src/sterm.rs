@@ -47,7 +47,13 @@ use crate::term::Term;
 /// [`CoercionId`]s and type annotations as [`TypeId`]s.
 ///
 /// Ids are only meaningful together with the [`CoercionArena`] and
-/// [`TypeArena`] that [`compile_term`] interned them into.
+/// [`TypeArena`] that [`compile_term`] interned them into. The spine
+/// is `Rc` on purpose — and therefore deliberately **not** `Send`:
+/// the reduction path clones spine nodes constantly, and switching to
+/// atomic refcounts costs the λS machine ~30% end to end (measured on
+/// the compiled boundary loop). Lowered programs stay inside the
+/// session that lowered them; what travels between threads is the
+/// compiled λB term, whose `Arc` spine is cloned rarely.
 #[derive(Debug, Clone, PartialEq)]
 pub enum STerm {
     /// A constant `k`.
@@ -98,6 +104,55 @@ impl STerm {
             STerm::Coerce(m, _) => 1 + m.coercion_nodes(),
             STerm::App(a, b) | STerm::Let(_, a, b) => a.coercion_nodes() + b.coercion_nodes(),
             STerm::If(a, b, c) => a.coercion_nodes() + b.coercion_nodes() + c.coercion_nodes(),
+        }
+    }
+
+    /// The total implicit *tree* size of all coercions in the term —
+    /// the λS space metric, equal to
+    /// [`Term::coercion_size`](crate::term::Term::coercion_size) of
+    /// the decompiled tree (each handle weighs its resolved tree, not
+    /// one word).
+    pub fn coercion_size(&self, arena: &CoercionArena) -> usize {
+        match self {
+            STerm::Const(_) | STerm::Var(_) | STerm::Blame(_, _) => 0,
+            STerm::Op(_, args) => args.iter().map(|a| a.coercion_size(arena)).sum(),
+            STerm::Lam(_, _, b) | STerm::Fix(_, _, _, _, b) => b.coercion_size(arena),
+            STerm::Coerce(m, s) => m.coercion_size(arena) + arena.size(*s),
+            STerm::App(a, b) | STerm::Let(_, a, b) => {
+                a.coercion_size(arena) + b.coercion_size(arena)
+            }
+            STerm::If(a, b, c) => {
+                a.coercion_size(arena) + b.coercion_size(arena) + c.coercion_size(arena)
+            }
+        }
+    }
+
+    /// Whether the term is an *uncoerced value* `U ::= k | λx:A.N`
+    /// (including `fix`) — the compiled counterpart of
+    /// [`Term::is_uncoerced_value`](crate::term::Term::is_uncoerced_value).
+    pub fn is_uncoerced_value(&self) -> bool {
+        matches!(
+            self,
+            STerm::Const(_) | STerm::Lam(_, _, _) | STerm::Fix(_, _, _, _, _)
+        )
+    }
+
+    /// Whether the term is a value `V ::= U | U⟨s→t⟩ | U⟨g;G!⟩`
+    /// (Figure 5), deciding the coercion shape from its interned node
+    /// — the compiled counterpart of
+    /// [`Term::is_value`](crate::term::Term::is_value).
+    pub fn is_value(&self, arena: &CoercionArena) -> bool {
+        use crate::arena::{GNode, INode, SNode};
+        match self {
+            _ if self.is_uncoerced_value() => true,
+            STerm::Coerce(u, s) => {
+                u.is_uncoerced_value()
+                    && matches!(
+                        arena.node(*s),
+                        SNode::Mid(INode::Ground(GNode::Fun(_, _))) | SNode::Mid(INode::Inj(_, _))
+                    )
+            }
+            _ => false,
         }
     }
 

@@ -7,6 +7,7 @@ use std::rc::Rc;
 use bc_syntax::fresh::fresh_avoiding;
 use bc_syntax::Name;
 
+use crate::sterm::STerm;
 use crate::term::Term;
 
 /// The set of free variables of a term.
@@ -141,6 +142,173 @@ fn subst_go(term: &Term, x: &Name, value: &Term, fv: &HashSet<Name>) -> Term {
             }
         }
     }
+}
+
+/// The set of free variables of a compiled term (mirrors
+/// [`free_vars`]; coercion and type handles bind nothing).
+pub fn free_vars_compiled(term: &STerm) -> HashSet<Name> {
+    fn go(t: &STerm, bound: &mut Vec<Name>, out: &mut HashSet<Name>) {
+        match t {
+            STerm::Const(_) | STerm::Blame(_, _) => {}
+            STerm::Var(x) => {
+                if !bound.contains(x) {
+                    out.insert(x.clone());
+                }
+            }
+            STerm::Op(_, args) => args.iter().for_each(|a| go(a, bound, out)),
+            STerm::Lam(x, _, b) => {
+                bound.push(x.clone());
+                go(b, bound, out);
+                bound.pop();
+            }
+            STerm::Fix(f, x, _, _, b) => {
+                bound.push(f.clone());
+                bound.push(x.clone());
+                go(b, bound, out);
+                bound.pop();
+                bound.pop();
+            }
+            STerm::App(a, b) => {
+                go(a, bound, out);
+                go(b, bound, out);
+            }
+            STerm::Coerce(m, _) => go(m, bound, out),
+            STerm::If(a, b, c) => {
+                go(a, bound, out);
+                go(b, bound, out);
+                go(c, bound, out);
+            }
+            STerm::Let(x, m, n) => {
+                go(m, bound, out);
+                bound.push(x.clone());
+                go(n, bound, out);
+                bound.pop();
+            }
+        }
+    }
+    let mut out = HashSet::new();
+    go(term, &mut Vec::new(), &mut out);
+    out
+}
+
+/// Capture-avoiding substitution on the compiled IR: [`subst`]
+/// transcribed onto [`STerm`], with coercion and type handles copied
+/// as the plain words they are.
+pub fn subst_compiled(term: &STerm, x: &Name, value: &STerm) -> STerm {
+    let fv = free_vars_compiled(value);
+    subst_compiled_go(term, x, value, &fv)
+}
+
+fn subst_compiled_go(term: &STerm, x: &Name, value: &STerm, fv: &HashSet<Name>) -> STerm {
+    match term {
+        STerm::Const(_) | STerm::Blame(_, _) => term.clone(),
+        STerm::Var(y) => {
+            if y == x {
+                value.clone()
+            } else {
+                term.clone()
+            }
+        }
+        STerm::Op(op, args) => STerm::Op(
+            *op,
+            args.iter()
+                .map(|a| subst_compiled_go(a, x, value, fv))
+                .collect(),
+        ),
+        STerm::Lam(y, ty, body) => {
+            if y == x {
+                term.clone()
+            } else if fv.contains(y) {
+                let (y2, body2) = rename_binder_compiled(y, body, fv, &[x]);
+                STerm::Lam(y2, *ty, Rc::new(subst_compiled_go(&body2, x, value, fv)))
+            } else {
+                STerm::Lam(
+                    y.clone(),
+                    *ty,
+                    Rc::new(subst_compiled_go(body, x, value, fv)),
+                )
+            }
+        }
+        STerm::Fix(f, y, dom, cod, body) => {
+            if f == x || y == x {
+                term.clone()
+            } else if fv.contains(f) || fv.contains(y) {
+                let mut avoid: HashSet<Name> = fv.clone();
+                avoid.extend(free_vars_compiled(body));
+                avoid.insert(x.clone());
+                avoid.insert(y.clone());
+                let f2 = fresh_avoiding(f, &avoid);
+                avoid.insert(f2.clone());
+                let y2 = fresh_avoiding(y, &avoid);
+                let body2 = subst_compiled(
+                    &subst_compiled(body, f, &STerm::Var(f2.clone())),
+                    y,
+                    &STerm::Var(y2.clone()),
+                );
+                STerm::Fix(
+                    f2,
+                    y2,
+                    *dom,
+                    *cod,
+                    Rc::new(subst_compiled_go(&body2, x, value, fv)),
+                )
+            } else {
+                STerm::Fix(
+                    f.clone(),
+                    y.clone(),
+                    *dom,
+                    *cod,
+                    Rc::new(subst_compiled_go(body, x, value, fv)),
+                )
+            }
+        }
+        STerm::App(a, b) => STerm::App(
+            Rc::new(subst_compiled_go(a, x, value, fv)),
+            Rc::new(subst_compiled_go(b, x, value, fv)),
+        ),
+        STerm::Coerce(m, s) => STerm::Coerce(Rc::new(subst_compiled_go(m, x, value, fv)), *s),
+        STerm::If(a, b, c) => STerm::If(
+            Rc::new(subst_compiled_go(a, x, value, fv)),
+            Rc::new(subst_compiled_go(b, x, value, fv)),
+            Rc::new(subst_compiled_go(c, x, value, fv)),
+        ),
+        STerm::Let(y, m, n) => {
+            let m2 = subst_compiled_go(m, x, value, fv);
+            if y == x {
+                STerm::Let(y.clone(), Rc::new(m2), n.clone())
+            } else if fv.contains(y) {
+                let (y2, n2) = rename_binder_compiled(y, n, fv, &[x]);
+                STerm::Let(
+                    y2,
+                    Rc::new(m2),
+                    Rc::new(subst_compiled_go(&n2, x, value, fv)),
+                )
+            } else {
+                STerm::Let(
+                    y.clone(),
+                    Rc::new(m2),
+                    Rc::new(subst_compiled_go(n, x, value, fv)),
+                )
+            }
+        }
+    }
+}
+
+fn rename_binder_compiled(
+    y: &Name,
+    body: &STerm,
+    fv: &HashSet<Name>,
+    extra: &[&Name],
+) -> (Name, STerm) {
+    let mut avoid: HashSet<Name> = fv.clone();
+    avoid.extend(free_vars_compiled(body));
+    for e in extra {
+        avoid.insert((*e).clone());
+    }
+    avoid.insert(y.clone());
+    let y2 = fresh_avoiding(y, &avoid);
+    let body2 = subst_compiled(body, y, &STerm::Var(y2.clone()));
+    (y2, body2)
 }
 
 fn rename_binder(y: &Name, body: &Term, fv: &HashSet<Name>, extra: &[&Name]) -> (Name, Term) {

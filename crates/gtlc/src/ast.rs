@@ -1,28 +1,46 @@
 //! The surface abstract syntax of the GTLC.
+//!
+//! The AST is generic in its type-annotation representation `T`: the
+//! tree-building parse path uses [`Expr`]`<Type>` (the default), and
+//! the intern-at-parse path uses [`ExprI`] = [`Expr`]`<TypeId>`, whose
+//! annotations are `Copy` handles into the [`TypeArena`] the parser
+//! interned against — no `Rc<Type>` spine is ever built for an
+//! annotation on that path. An `ExprI` is only meaningful alongside
+//! its arena (ids are plain indices; see the id-offset contract on
+//! `bc_lambda_b::bterm`).
+//!
+//! [`TypeArena`]: bc_syntax::TypeArena
 
-use bc_syntax::{Op, Type};
+use bc_syntax::{Op, Type, TypeId};
 
 use crate::diagnostics::Span;
 
 /// A surface expression, carrying the source span it was parsed from.
+///
+/// `T` is the type-annotation representation: tree [`Type`] (default)
+/// or interned [`TypeId`].
 #[derive(Debug, Clone, PartialEq)]
-pub struct Expr {
+pub struct Expr<T = Type> {
     /// The expression proper.
-    pub kind: ExprKind,
+    pub kind: ExprKind<T>,
     /// Where it appears in the source.
     pub span: Span,
 }
 
-impl Expr {
+/// A surface expression with interned type annotations, as produced by
+/// [`parse_in`](crate::parser::parse_in).
+pub type ExprI = Expr<TypeId>;
+
+impl<T> Expr<T> {
     /// Creates an expression node.
-    pub fn new(kind: ExprKind, span: Span) -> Expr {
+    pub fn new(kind: ExprKind<T>, span: Span) -> Expr<T> {
         Expr { kind, span }
     }
 }
 
-/// Expression shapes.
+/// Expression shapes, generic in the annotation representation `T`.
 #[derive(Debug, Clone, PartialEq)]
-pub enum ExprKind {
+pub enum ExprKind<T = Type> {
     /// An integer literal.
     Int(i64),
     /// A boolean literal.
@@ -36,26 +54,26 @@ pub enum ExprKind {
         /// Parameter name.
         param: String,
         /// Parameter type (`?` if unannotated).
-        ty: Type,
+        ty: T,
         /// Function body.
-        body: Box<Expr>,
+        body: Box<Expr<T>>,
     },
     /// Application `e1 e2`.
-    App(Box<Expr>, Box<Expr>),
+    App(Box<Expr<T>>, Box<Expr<T>>),
     /// A primitive operator application (from `+`, `and`, `not`, …).
-    Prim(Op, Vec<Expr>),
+    Prim(Op, Vec<Expr<T>>),
     /// `if c then t else e`.
-    If(Box<Expr>, Box<Expr>, Box<Expr>),
+    If(Box<Expr<T>>, Box<Expr<T>>, Box<Expr<T>>),
     /// `let x = e1 in e2` with optional annotation on `x`.
     Let {
         /// Bound name.
         name: String,
         /// Optional annotation.
-        ty: Option<Type>,
+        ty: Option<T>,
         /// Bound expression.
-        bound: Box<Expr>,
+        bound: Box<Expr<T>>,
         /// Body.
-        body: Box<Expr>,
+        body: Box<Expr<T>>,
     },
     /// `letrec f (x : T1) : T2 = e1 in e2` — a recursive function.
     Letrec {
@@ -64,16 +82,16 @@ pub enum ExprKind {
         /// Parameter name.
         param: String,
         /// Parameter type.
-        param_ty: Type,
+        param_ty: T,
         /// Result type.
-        result_ty: Type,
+        result_ty: T,
         /// Function body.
-        fun_body: Box<Expr>,
+        fun_body: Box<Expr<T>>,
         /// Continuation.
-        body: Box<Expr>,
+        body: Box<Expr<T>>,
     },
     /// A type ascription `(e : T)`.
-    Ascribe(Box<Expr>, Type),
+    Ascribe(Box<Expr<T>>, T),
 }
 
 #[cfg(test)]
@@ -82,7 +100,7 @@ mod tests {
 
     #[test]
     fn construction() {
-        let e = Expr::new(ExprKind::Int(1), Span::new(0, 1));
+        let e: Expr = Expr::new(ExprKind::Int(1), Span::new(0, 1));
         assert_eq!(e.span.end, 1);
         assert!(matches!(e.kind, ExprKind::Int(1)));
     }

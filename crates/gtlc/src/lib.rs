@@ -42,7 +42,7 @@ pub mod parser;
 pub mod token;
 
 pub use diagnostics::{Diagnostic, Span};
-pub use elaborate::{elaborate, elaborate_in, Program, ProgramI};
+pub use elaborate::{elaborate, elaborate_compiled, elaborate_in, Program, ProgramC, ProgramI};
 
 /// Parses and elaborates a GTLC source program into a λB term.
 ///
@@ -70,4 +70,23 @@ pub fn compile_in(source: &str, types: &mut bc_syntax::TypeArena) -> Result<Prog
     let tokens = lexer::lex(source)?;
     let expr = parser::parse(&tokens)?;
     elaborate_in(&expr, types)
+}
+
+/// The allocation-free front end: annotations are interned *at parse
+/// time* ([`parser::parse_in`]) and elaboration emits the compiled λB
+/// IR directly ([`elaborate_compiled`]) — no `Rc<Type>` spine and no
+/// `Rc<Term>` tree is ever built. Against a warm arena the whole
+/// source-to-λB pass allocates nothing in the arena at all.
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] (with source span) on lexical, syntactic,
+/// or type errors — identical to the one [`compile`] produces.
+pub fn compile_compiled(
+    source: &str,
+    types: &mut bc_syntax::TypeArena,
+) -> Result<ProgramC, Diagnostic> {
+    let tokens = lexer::lex(source)?;
+    let expr = parser::parse_in(&tokens, types)?;
+    elaborate_compiled(&expr, types)
 }

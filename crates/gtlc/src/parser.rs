@@ -18,11 +18,58 @@
 //! tyatom   := "Int" | "Bool" | "?" | "(" type ")"
 //! ```
 
-use bc_syntax::{Op, Type};
+use bc_syntax::{BaseType, Op, Type, TypeArena, TypeId};
 
-use crate::ast::{Expr, ExprKind};
+use crate::ast::{Expr, ExprI, ExprKind};
 use crate::diagnostics::{Diagnostic, Span};
 use crate::token::{Token, TokenKind};
+
+/// How the parser builds type annotations: either as `Rc<Type>` trees
+/// (the classic path) or by interning directly into a [`TypeArena`]
+/// (the allocation-free path — the annotation never exists as a tree).
+trait TyBuild {
+    /// The annotation representation.
+    type Ty;
+    /// The base type `Int` / `Bool`.
+    fn base(&mut self, b: BaseType) -> Self::Ty;
+    /// The dynamic type `?`.
+    fn dynamic(&mut self) -> Self::Ty;
+    /// The function type `dom -> cod`.
+    fn fun(&mut self, dom: Self::Ty, cod: Self::Ty) -> Self::Ty;
+}
+
+/// Tree-building annotations.
+struct TreeTy;
+
+impl TyBuild for TreeTy {
+    type Ty = Type;
+    fn base(&mut self, b: BaseType) -> Type {
+        b.ty()
+    }
+    fn dynamic(&mut self) -> Type {
+        Type::DYN
+    }
+    fn fun(&mut self, dom: Type, cod: Type) -> Type {
+        Type::fun(dom, cod)
+    }
+}
+
+/// Intern-at-parse annotations: types are built bottom-up as arena
+/// ids, so a warm arena hands back existing ids and allocates nothing.
+struct ArenaTy<'t>(&'t mut TypeArena);
+
+impl TyBuild for ArenaTy<'_> {
+    type Ty = TypeId;
+    fn base(&mut self, b: BaseType) -> TypeId {
+        self.0.base(b)
+    }
+    fn dynamic(&mut self) -> TypeId {
+        self.0.dyn_ty()
+    }
+    fn fun(&mut self, dom: TypeId, cod: TypeId) -> TypeId {
+        self.0.fun(dom, cod)
+    }
+}
 
 /// Parses a token stream (as produced by [`crate::lexer::lex`]) into
 /// an expression.
@@ -31,18 +78,44 @@ use crate::token::{Token, TokenKind};
 ///
 /// Returns a [`Diagnostic`] at the first syntax error.
 pub fn parse(tokens: &[Token]) -> Result<Expr, Diagnostic> {
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        ty_build: TreeTy,
+    };
     let e = p.expr()?;
     p.expect(&TokenKind::Eof, "expected end of input")?;
     Ok(e)
 }
 
-struct Parser<'a> {
-    tokens: &'a [Token],
-    pos: usize,
+/// Parses a token stream with type annotations interned directly into
+/// `types`: the same grammar as [`parse`], but no `Rc<Type>` spine is
+/// ever built — each annotation is hash-consed bottom-up, so parsing
+/// structurally similar source against a warm arena allocates no type
+/// nodes at all.
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] at the first syntax error — identical to
+/// the one [`parse`] produces.
+pub fn parse_in(tokens: &[Token], types: &mut TypeArena) -> Result<ExprI, Diagnostic> {
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        ty_build: ArenaTy(types),
+    };
+    let e = p.expr()?;
+    p.expect(&TokenKind::Eof, "expected end of input")?;
+    Ok(e)
 }
 
-impl<'a> Parser<'a> {
+struct Parser<'a, B> {
+    tokens: &'a [Token],
+    pos: usize,
+    ty_build: B,
+}
+
+impl<'a, B: TyBuild> Parser<'a, B> {
     fn peek(&self) -> &Token {
         &self.tokens[self.pos.min(self.tokens.len() - 1)]
     }
@@ -90,7 +163,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expr(&mut self) -> Result<Expr, Diagnostic> {
+    fn expr(&mut self) -> Result<Expr<B::Ty>, Diagnostic> {
         match self.peek().kind {
             TokenKind::Fun => self.lambda(),
             TokenKind::Let => self.let_(),
@@ -100,7 +173,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn lambda(&mut self) -> Result<Expr, Diagnostic> {
+    fn lambda(&mut self) -> Result<Expr<B::Ty>, Diagnostic> {
         let start = self.expect(&TokenKind::Fun, "expected `fun`")?.span;
         let (param, ty) = if self.eat(&TokenKind::LParen) {
             let (name, _) = self.ident("expected a parameter name")?;
@@ -111,7 +184,8 @@ impl<'a> Parser<'a> {
         } else {
             // Unannotated parameter: dynamically typed.
             let (name, _) = self.ident("expected a parameter")?;
-            (name, Type::DYN)
+            let dyn_ty = self.ty_build.dynamic();
+            (name, dyn_ty)
         };
         self.expect(&TokenKind::FatArrow, "expected `=>` after parameter")?;
         let body = self.expr()?;
@@ -126,7 +200,7 @@ impl<'a> Parser<'a> {
         ))
     }
 
-    fn let_(&mut self) -> Result<Expr, Diagnostic> {
+    fn let_(&mut self) -> Result<Expr<B::Ty>, Diagnostic> {
         let start = self.expect(&TokenKind::Let, "expected `let`")?.span;
         let (name, _) = self.ident("expected a name after `let`")?;
         let ty = if self.eat(&TokenKind::Colon) {
@@ -150,7 +224,7 @@ impl<'a> Parser<'a> {
         ))
     }
 
-    fn letrec(&mut self) -> Result<Expr, Diagnostic> {
+    fn letrec(&mut self) -> Result<Expr<B::Ty>, Diagnostic> {
         let start = self.expect(&TokenKind::Letrec, "expected `letrec`")?.span;
         let (name, _) = self.ident("expected a function name after `letrec`")?;
         self.expect(&TokenKind::LParen, "expected `(` after function name")?;
@@ -178,7 +252,7 @@ impl<'a> Parser<'a> {
         ))
     }
 
-    fn if_(&mut self) -> Result<Expr, Diagnostic> {
+    fn if_(&mut self) -> Result<Expr<B::Ty>, Diagnostic> {
         let start = self.expect(&TokenKind::If, "expected `if`")?.span;
         let cond = self.expr()?;
         self.expect(&TokenKind::Then, "expected `then`")?;
@@ -192,7 +266,7 @@ impl<'a> Parser<'a> {
         ))
     }
 
-    fn or(&mut self) -> Result<Expr, Diagnostic> {
+    fn or(&mut self) -> Result<Expr<B::Ty>, Diagnostic> {
         let mut lhs = self.and()?;
         while self.eat(&TokenKind::Or) {
             let rhs = self.and()?;
@@ -202,7 +276,7 @@ impl<'a> Parser<'a> {
         Ok(lhs)
     }
 
-    fn and(&mut self) -> Result<Expr, Diagnostic> {
+    fn and(&mut self) -> Result<Expr<B::Ty>, Diagnostic> {
         let mut lhs = self.cmp()?;
         while self.eat(&TokenKind::And) {
             let rhs = self.cmp()?;
@@ -212,7 +286,7 @@ impl<'a> Parser<'a> {
         Ok(lhs)
     }
 
-    fn cmp(&mut self) -> Result<Expr, Diagnostic> {
+    fn cmp(&mut self) -> Result<Expr<B::Ty>, Diagnostic> {
         let lhs = self.add()?;
         let op = match self.peek().kind {
             TokenKind::Equals => Some(Op::Eq),
@@ -230,7 +304,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn add(&mut self) -> Result<Expr, Diagnostic> {
+    fn add(&mut self) -> Result<Expr<B::Ty>, Diagnostic> {
         let mut lhs = self.mul()?;
         loop {
             let op = match self.peek().kind {
@@ -246,7 +320,7 @@ impl<'a> Parser<'a> {
         Ok(lhs)
     }
 
-    fn mul(&mut self) -> Result<Expr, Diagnostic> {
+    fn mul(&mut self) -> Result<Expr<B::Ty>, Diagnostic> {
         let mut lhs = self.unary()?;
         loop {
             let op = match self.peek().kind {
@@ -263,7 +337,7 @@ impl<'a> Parser<'a> {
         Ok(lhs)
     }
 
-    fn unary(&mut self) -> Result<Expr, Diagnostic> {
+    fn unary(&mut self) -> Result<Expr<B::Ty>, Diagnostic> {
         match self.peek().kind {
             TokenKind::Not => {
                 let start = self.bump().span;
@@ -281,7 +355,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn app(&mut self) -> Result<Expr, Diagnostic> {
+    fn app(&mut self) -> Result<Expr<B::Ty>, Diagnostic> {
         let mut fun = self.atom()?;
         while self.starts_atom() {
             let arg = self.atom()?;
@@ -302,7 +376,7 @@ impl<'a> Parser<'a> {
         )
     }
 
-    fn atom(&mut self) -> Result<Expr, Diagnostic> {
+    fn atom(&mut self) -> Result<Expr<B::Ty>, Diagnostic> {
         let tok = self.peek().clone();
         match tok.kind {
             TokenKind::Int(n) => {
@@ -342,30 +416,30 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn ty(&mut self) -> Result<Type, Diagnostic> {
+    fn ty(&mut self) -> Result<B::Ty, Diagnostic> {
         let lhs = self.ty_atom()?;
         if self.eat(&TokenKind::Arrow) {
             let rhs = self.ty()?;
-            Ok(Type::fun(lhs, rhs))
+            Ok(self.ty_build.fun(lhs, rhs))
         } else {
             Ok(lhs)
         }
     }
 
-    fn ty_atom(&mut self) -> Result<Type, Diagnostic> {
+    fn ty_atom(&mut self) -> Result<B::Ty, Diagnostic> {
         let tok = self.peek().clone();
         match tok.kind {
             TokenKind::TyInt => {
                 self.bump();
-                Ok(Type::INT)
+                Ok(self.ty_build.base(BaseType::Int))
             }
             TokenKind::TyBool => {
                 self.bump();
-                Ok(Type::BOOL)
+                Ok(self.ty_build.base(BaseType::Bool))
             }
             TokenKind::Question => {
                 self.bump();
-                Ok(Type::DYN)
+                Ok(self.ty_build.dynamic())
             }
             TokenKind::LParen => {
                 self.bump();

@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bterm;
 pub mod embed;
 pub mod eval;
 pub mod programs;
@@ -45,5 +46,6 @@ pub mod subst;
 pub mod term;
 pub mod typing;
 
+pub use bterm::{type_of_compiled, BTerm};
 pub use term::{Cast, Term};
 pub use typing::{type_of, type_of_interned, TypeError};

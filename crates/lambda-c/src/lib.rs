@@ -35,13 +35,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod carena;
 pub mod coercion;
+pub mod cterm;
 pub mod eval;
 pub mod safety;
 pub mod subst;
 pub mod term;
 pub mod typing;
 
+pub use carena::{CArena, CArenaStats, CCoercionId, CNode};
 pub use coercion::Coercion;
+pub use cterm::{has_type_compiled, CTerm};
 pub use term::Term;
 pub use typing::{type_of, type_of_interned};

@@ -63,5 +63,8 @@ pub use types::{BaseType, Ground, Type};
 /// Variable names.
 ///
 /// Names are reference-counted strings so that terms can be cloned
-/// cheaply during substitution-based evaluation.
-pub type Name = std::rc::Rc<str>;
+/// cheaply during substitution-based evaluation. They are atomically
+/// counted (`Arc`, not `Rc`) so that the *compiled* term IRs — which
+/// carry only `Name`s and `Copy` ids — are `Send` and can travel to
+/// pool workers without re-parsing.
+pub type Name = std::sync::Arc<str>;

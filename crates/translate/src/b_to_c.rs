@@ -15,9 +15,11 @@
 //! makes the bisimulation of Proposition 11 lockstep.
 
 use bc_lambda_b as lb;
+use bc_lambda_b::BTerm;
 use bc_lambda_c as lc;
 use bc_lambda_c::coercion::Coercion;
-use bc_syntax::{Label, Type};
+use bc_lambda_c::{CArena, CCoercionId, CTerm};
+use bc_syntax::{Label, TNode, Type, TypeArena, TypeId};
 
 /// Translates a cast `A ⇒p B` to a coercion: `|A ⇒p B|BC`.
 ///
@@ -84,6 +86,119 @@ pub fn term_b_to_c(term: &lb::Term) -> lc::Term {
             dom.clone(),
             cod.clone(),
             term_b_to_c(b).into(),
+        ),
+    }
+}
+
+/// [`cast_to_coercion`] on interned endpoints, emitting an interned
+/// λC coercion: `|A ⇒p B|BC` as a [`CCoercionId`] in `carena`.
+///
+/// The case analysis runs entirely on [`TNode`]s and the result is
+/// hash-consed bottom-up, so translating the same cast twice returns
+/// the same id and interns nothing — the coercion never exists as a
+/// tree. Agreement with the tree translation is pinned by test:
+/// `carena.resolve(cast_to_coercion_in(a, p, b)) =
+/// cast_to_coercion(A, p, B)`.
+///
+/// # Panics
+///
+/// Panics if `A ≁ B` (no cast exists between incompatible types).
+pub fn cast_to_coercion_in(
+    types: &mut TypeArena,
+    carena: &mut CArena,
+    source: TypeId,
+    p: Label,
+    target: TypeId,
+) -> CCoercionId {
+    assert!(
+        types.compatible(source, target),
+        "no cast between incompatible types {} and {}",
+        types.display(source),
+        types.display(target)
+    );
+    match (types.node(source), types.node(target)) {
+        (TNode::Base(_), TNode::Base(_)) => carena.id(source, types),
+        (TNode::Fun(a, b), TNode::Fun(a2, b2)) => {
+            let dom = cast_to_coercion_in(types, carena, a2, p.complement(), a);
+            let cod = cast_to_coercion_in(types, carena, b, p, b2);
+            carena.fun(dom, cod, types)
+        }
+        (TNode::Dyn, TNode::Dyn) => carena.id(source, types),
+        (_, TNode::Dyn) => {
+            let g = types
+                .ground_of(source)
+                .expect("source is not ? in this branch");
+            if source == types.ground(g) {
+                carena.inj(g, types)
+            } else {
+                let g_id = types.ground(g);
+                let inner = cast_to_coercion_in(types, carena, source, p, g_id);
+                let inj = carena.inj(g, types);
+                carena.seq(inner, inj, types)
+            }
+        }
+        (TNode::Dyn, _) => {
+            let g = types
+                .ground_of(target)
+                .expect("target is not ? in this branch");
+            if target == types.ground(g) {
+                carena.proj(g, p, types)
+            } else {
+                let g_id = types.ground(g);
+                let proj = carena.proj(g, p, types);
+                let inner = cast_to_coercion_in(types, carena, g_id, p, target);
+                carena.seq(proj, inner, types)
+            }
+        }
+        _ => unreachable!("incompatible cast slipped past the guard"),
+    }
+}
+
+/// Translates a compiled λB term to a compiled λC term: every
+/// [`BTerm::Cast`] becomes a [`CTerm::Coerce`] whose coercion is built
+/// by [`cast_to_coercion_in`] directly in `carena` — the interned
+/// counterpart of [`term_b_to_c`], with no tree term or tree coercion
+/// anywhere. Against warm arenas the whole pass interns nothing.
+pub fn term_b_to_c_compiled(term: &BTerm, carena: &mut CArena, types: &mut TypeArena) -> CTerm {
+    match term {
+        BTerm::Const(k) => CTerm::Const(*k),
+        BTerm::Op(op, args) => CTerm::Op(
+            *op,
+            args.iter()
+                .map(|a| term_b_to_c_compiled(a, carena, types))
+                .collect(),
+        ),
+        BTerm::Var(x) => CTerm::Var(x.clone()),
+        BTerm::Lam(x, ty, b) => CTerm::Lam(
+            x.clone(),
+            *ty,
+            term_b_to_c_compiled(b, carena, types).into(),
+        ),
+        BTerm::App(a, b) => CTerm::App(
+            term_b_to_c_compiled(a, carena, types).into(),
+            term_b_to_c_compiled(b, carena, types).into(),
+        ),
+        BTerm::Cast(m, source, p, target) => {
+            let c = cast_to_coercion_in(types, carena, *source, *p, *target);
+            CTerm::Coerce(term_b_to_c_compiled(m, carena, types).into(), c)
+        }
+        BTerm::Blame(p, ty) => CTerm::Blame(*p, *ty),
+        BTerm::If(c, t, e) => CTerm::If(
+            term_b_to_c_compiled(c, carena, types).into(),
+            term_b_to_c_compiled(t, carena, types).into(),
+            term_b_to_c_compiled(e, carena, types).into(),
+        ),
+        BTerm::Let(x, m, n) => CTerm::Let(
+            x.clone(),
+            term_b_to_c_compiled(m, carena, types).into(),
+            term_b_to_c_compiled(n, carena, types).into(),
+        ),
+        BTerm::Fix(f, x, dom, cod, b) => CTerm::Fix(
+            f.clone(),
+            x.clone(),
+            *dom,
+            *cod,
+            term_b_to_c_compiled(b, carena, types).into(),
         ),
     }
 }
@@ -167,6 +282,70 @@ mod tests {
             let c = cast_to_coercion(a, p(7), b);
             assert!(c.check(a, b), "|{a} ⇒ {b}| = {c} must coerce {a} ⇒ {b}");
         }
+    }
+
+    #[test]
+    fn interned_cast_translation_agrees_with_tree_translation() {
+        let samples = [
+            (Type::INT, Type::INT),
+            (Type::INT, Type::DYN),
+            (Type::DYN, Type::INT),
+            (Type::DYN, Type::DYN),
+            (Type::fun(Type::INT, Type::BOOL), Type::DYN),
+            (Type::DYN, Type::fun(Type::DYN, Type::BOOL)),
+            (
+                Type::fun(Type::INT, Type::BOOL),
+                Type::fun(Type::DYN, Type::DYN),
+            ),
+        ];
+        let mut types = TypeArena::new();
+        let mut carena = CArena::new();
+        for (a, b) in &samples {
+            let a_id = types.intern(a);
+            let b_id = types.intern(b);
+            let id = cast_to_coercion_in(&mut types, &mut carena, a_id, p(7), b_id);
+            assert_eq!(
+                carena.resolve(id, &types),
+                cast_to_coercion(a, p(7), b),
+                "|{a} ⇒ {b}|"
+            );
+            // Idempotent: the same cast maps to the same id.
+            assert_eq!(
+                id,
+                cast_to_coercion_in(&mut types, &mut carena, a_id, p(7), b_id)
+            );
+        }
+    }
+
+    #[test]
+    fn compiled_term_translation_decompiles_to_tree_translation() {
+        use bc_lambda_b::programs;
+        let mut types = TypeArena::new();
+        let mut carena = CArena::new();
+        for (name, b) in [
+            ("boundary_loop", programs::boundary_loop(4)),
+            ("even_odd_mixed", programs::even_odd_mixed(3)),
+            ("wrapped_identity", programs::wrapped_identity(3)),
+        ] {
+            let bterm = bc_lambda_b::bterm::compile(&b, &mut types);
+            let compiled = term_b_to_c_compiled(&bterm, &mut carena, &mut types);
+            assert_eq!(
+                bc_lambda_c::cterm::decompile(&compiled, &carena, &types),
+                term_b_to_c(&b),
+                "{name}"
+            );
+        }
+        // A second pass over the same programs interns nothing.
+        let (t_len, c_len) = (types.len(), carena.len());
+        for b in [
+            programs::boundary_loop(4),
+            programs::even_odd_mixed(3),
+            programs::wrapped_identity(3),
+        ] {
+            let bterm = bc_lambda_b::bterm::compile(&b, &mut types);
+            let _ = term_b_to_c_compiled(&bterm, &mut carena, &mut types);
+        }
+        assert_eq!((types.len(), carena.len()), (t_len, c_len));
     }
 
     #[test]

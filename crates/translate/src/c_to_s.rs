@@ -12,6 +12,8 @@
 //! |⊥GpH|   = ⊥GpH
 //! ```
 
+use std::collections::HashMap;
+
 use bc_core::arena::{CoercionArena, CoercionId, ComposeCache};
 use bc_core::coercion::{GroundCoercion, Intermediate, SpaceCoercion};
 use bc_core::compose::compose;
@@ -19,7 +21,8 @@ use bc_core::sterm::{CompileCtx, STerm as CompiledTerm};
 use bc_core::term::Term as STerm;
 use bc_lambda_c::coercion::Coercion;
 use bc_lambda_c::term::Term as CTerm;
-use bc_syntax::{Ground, TypeArena};
+use bc_lambda_c::{CArena, CCoercionId, CNode, CTerm as CTermC};
+use bc_syntax::{FxBuildHasher, Ground, TypeArena};
 
 /// The identity ground coercion at ground type `G`: `idι` at base
 /// types, `id? → id?` at `? → ?`.
@@ -201,6 +204,151 @@ pub fn term_c_to_s_compiled_in(ctx: &mut CompileCtx, term: &CTerm) -> CompiledTe
     term_c_to_s_compiled(&mut ctx.arena, &mut ctx.cache, &mut ctx.types, term)
 }
 
+/// Statistics for a [`CNormalizer`]: memo size and hit/miss counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CNormalizerStats {
+    /// Distinct λC coercions normalised so far.
+    pub entries: usize,
+    /// Normalisations answered from the memo.
+    pub hits: u64,
+    /// Normalisations that had to walk the coercion.
+    pub misses: u64,
+}
+
+/// A memo from interned λC coercions to their normalised
+/// space-efficient forms: `|·|CS` as a table from [`CCoercionId`] to
+/// [`CoercionId`].
+///
+/// Because both sides are hash-consed, one table entry covers *every*
+/// occurrence of a λC coercion across every term translated through
+/// the same arenas — a recompile of a structurally similar program
+/// normalises nothing at all (all hits). The stats make that claim
+/// checkable: a warm pipeline asserts `misses` stays flat.
+#[derive(Debug, Clone, Default)]
+pub struct CNormalizer {
+    memo: HashMap<CCoercionId, CoercionId, FxBuildHasher>,
+    hits: u64,
+}
+
+impl CNormalizer {
+    /// An empty memo.
+    pub fn new() -> CNormalizer {
+        CNormalizer::default()
+    }
+
+    /// Normalises an interned λC coercion into the space arena:
+    /// [`coercion_to_space_in`] on ids, memoized per [`CCoercionId`].
+    pub fn normalize(
+        &mut self,
+        c: CCoercionId,
+        carena: &CArena,
+        arena: &mut CoercionArena,
+        cache: &mut ComposeCache,
+        types: &TypeArena,
+    ) -> CoercionId {
+        if let Some(&s) = self.memo.get(&c) {
+            self.hits += 1;
+            return s;
+        }
+        let s = match carena.node(c) {
+            CNode::Id(ty) => arena.id_interned(ty, types),
+            CNode::Inj(g) => arena.inj_ground(g),
+            CNode::Proj(g, p) => arena.proj_ground(g, p),
+            CNode::Fun(d, e) => {
+                let dom = self.normalize(d, carena, arena, cache, types);
+                let cod = self.normalize(e, carena, arena, cache, types);
+                arena.fun(dom, cod)
+            }
+            CNode::Seq(d, e) => {
+                let a = self.normalize(d, carena, arena, cache, types);
+                let b = self.normalize(e, carena, arena, cache, types);
+                arena.compose(cache, a, b)
+            }
+            CNode::Fail(g, p, h) => arena.fail(g, p, h),
+        };
+        self.memo.insert(c, s);
+        s
+    }
+
+    /// The number of memoized coercions.
+    pub fn len(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// Whether the memo is empty.
+    pub fn is_empty(&self) -> bool {
+        self.memo.is_empty()
+    }
+
+    /// Memo size and hit/miss counts.
+    pub fn stats(&self) -> CNormalizerStats {
+        CNormalizerStats {
+            entries: self.memo.len(),
+            hits: self.hits,
+            misses: self.memo.len() as u64,
+        }
+    }
+}
+
+/// Translates a *compiled* λC term into the compiled λS IR — the final
+/// leg of the allocation-free pipeline. Type annotations are already
+/// ids and pass through untouched; each coercion goes through the
+/// [`CNormalizer`] memo, so against warm arenas the pass interns
+/// nothing and composes nothing.
+pub fn term_c_to_s_from_compiled(
+    term: &CTermC,
+    carena: &CArena,
+    norm: &mut CNormalizer,
+    arena: &mut CoercionArena,
+    cache: &mut ComposeCache,
+    types: &TypeArena,
+) -> CompiledTerm {
+    match term {
+        CTermC::Const(k) => CompiledTerm::Const(*k),
+        CTermC::Op(op, args) => CompiledTerm::Op(
+            *op,
+            args.iter()
+                .map(|a| term_c_to_s_from_compiled(a, carena, norm, arena, cache, types))
+                .collect(),
+        ),
+        CTermC::Var(x) => CompiledTerm::Var(x.clone()),
+        CTermC::Lam(x, ty, b) => CompiledTerm::Lam(
+            x.clone(),
+            *ty,
+            term_c_to_s_from_compiled(b, carena, norm, arena, cache, types).into(),
+        ),
+        CTermC::App(a, b) => CompiledTerm::App(
+            term_c_to_s_from_compiled(a, carena, norm, arena, cache, types).into(),
+            term_c_to_s_from_compiled(b, carena, norm, arena, cache, types).into(),
+        ),
+        CTermC::Coerce(m, c) => {
+            let id = norm.normalize(*c, carena, arena, cache, types);
+            CompiledTerm::Coerce(
+                term_c_to_s_from_compiled(m, carena, norm, arena, cache, types).into(),
+                id,
+            )
+        }
+        CTermC::Blame(p, ty) => CompiledTerm::Blame(*p, *ty),
+        CTermC::If(c, t, e) => CompiledTerm::If(
+            term_c_to_s_from_compiled(c, carena, norm, arena, cache, types).into(),
+            term_c_to_s_from_compiled(t, carena, norm, arena, cache, types).into(),
+            term_c_to_s_from_compiled(e, carena, norm, arena, cache, types).into(),
+        ),
+        CTermC::Let(x, m, n) => CompiledTerm::Let(
+            x.clone(),
+            term_c_to_s_from_compiled(m, carena, norm, arena, cache, types).into(),
+            term_c_to_s_from_compiled(n, carena, norm, arena, cache, types).into(),
+        ),
+        CTermC::Fix(f, x, dom, cod, b) => CompiledTerm::Fix(
+            f.clone(),
+            x.clone(),
+            *dom,
+            *cod,
+            term_c_to_s_from_compiled(b, carena, norm, arena, cache, types).into(),
+        ),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -326,6 +474,70 @@ mod tests {
                 "{name}"
             );
         }
+    }
+
+    #[test]
+    fn from_compiled_translation_agrees_with_tree_pipeline() {
+        use crate::{term_b_to_c, term_b_to_c_compiled};
+        use bc_lambda_b::programs;
+        use bc_lambda_c::CArena;
+
+        let mut ctx = CompileCtx::new();
+        let mut carena = CArena::new();
+        let mut norm = CNormalizer::new();
+        for (name, b) in [
+            ("boundary_loop", programs::boundary_loop(4)),
+            ("even_odd_mixed", programs::even_odd_mixed(3)),
+            ("wrapped_identity", programs::wrapped_identity(3)),
+        ] {
+            // Compiled pipeline: BTerm → CTerm (interned) → STerm.
+            let bterm = bc_lambda_b::bterm::compile(&b, &mut ctx.types);
+            let cterm = term_b_to_c_compiled(&bterm, &mut carena, &mut ctx.types);
+            let direct = term_c_to_s_from_compiled(
+                &cterm,
+                &carena,
+                &mut norm,
+                &mut ctx.arena,
+                &mut ctx.cache,
+                &ctx.types,
+            );
+            // Tree pipeline through the same arenas yields the same
+            // ids — canonicity end to end.
+            let via_tree = term_c_to_s_compiled_in(&mut ctx, &term_b_to_c(&b));
+            assert_eq!(direct, via_tree, "{name}");
+        }
+        // A warm second pass normalises from the memo alone: no new
+        // space coercions, no new λC coercions, no new types.
+        let before = (
+            ctx.types.len(),
+            ctx.arena.len(),
+            carena.len(),
+            norm.stats().misses,
+        );
+        for b in [
+            programs::boundary_loop(4),
+            programs::even_odd_mixed(3),
+            programs::wrapped_identity(3),
+        ] {
+            let bterm = bc_lambda_b::bterm::compile(&b, &mut ctx.types);
+            let cterm = term_b_to_c_compiled(&bterm, &mut carena, &mut ctx.types);
+            let _ = term_c_to_s_from_compiled(
+                &cterm,
+                &carena,
+                &mut norm,
+                &mut ctx.arena,
+                &mut ctx.cache,
+                &ctx.types,
+            );
+        }
+        let after = (
+            ctx.types.len(),
+            ctx.arena.len(),
+            carena.len(),
+            norm.stats().misses,
+        );
+        assert_eq!(before, after, "warm translation interned something");
+        assert!(norm.stats().hits > 0, "warm translation must hit the memo");
     }
 
     #[test]

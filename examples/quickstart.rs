@@ -25,8 +25,8 @@ fn main() {
     println!("source:\n  {}", source.trim());
     println!();
     println!("type:      {}", program.ty);
-    println!("λB term:   {}", program.lambda_b);
-    println!("λC term:   {}", program.lambda_c);
+    println!("λB term:   {}", session.lambda_b(&program));
+    println!("λC term:   {}", session.lambda_c(&program));
     println!("λS term:   {}", session.lambda_s(&program));
     println!();
 

@@ -60,6 +60,18 @@
 //! snapshot. (The pre-session `Compiled` shim is gone — its one
 //! deprecation release has passed; the migration recipe lives in
 //! CHANGES.md.)
+//!
+//! The whole pipeline is **allocation-free once warm**: the parser
+//! interns annotations as it reads them, elaboration and both
+//! lowerings run on interned ids, and [`Program`] handles keep only
+//! the compiled λB/λS forms — the term *trees* are built lazily, and
+//! only if something asks for one ([`SessionStats::tree_builds`]).
+//! The [`pool`] module scales this across threads: a [`SessionPool`]
+//! freezes a warm session into a shared base, and jobs matching a
+//! warmup source travel as [`CompiledProgram`]s — interned λB plus the
+//! lowered λS, both `Arc`-spined with ids below the frozen
+//! watermarks — so workers adopt them without parsing, elaborating,
+//! or re-lowering anything.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -76,7 +88,9 @@ pub use bc_translate as translate;
 pub mod pool;
 pub mod session;
 
-pub use pool::{JobError, JobHandle, JobOutput, PoolStats, SessionPool, SessionPoolBuilder};
+pub use pool::{
+    CompiledProgram, JobError, JobHandle, JobOutput, PoolStats, SessionPool, SessionPoolBuilder,
+};
 pub use session::{
     AdoptError, Engine, FrozenBase, Program, RunError, RunReport, Session, SessionBuilder,
     SessionStats, TierStats,

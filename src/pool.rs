@@ -45,6 +45,19 @@
 //! enforces by keeping [`Program`](crate::Program) handles inside the
 //! worker that compiled them and returning only `Send` observations.
 //!
+//! # Compiled jobs
+//!
+//! The one payload that *may* travel is a [`CompiledProgram`]: the
+//! warmup's interned λB term plus its type id, compiled **before**
+//! the freeze, so every id it references is below the base watermarks
+//! and denotes the same node in every worker. [`SessionPool::submit`]
+//! upgrades any submission whose source text exactly matches a warmup
+//! source to this path automatically ([`SessionPool::submit_compiled`]
+//! is the explicit form); the serving worker
+//! [`Session::load_compiled`]s the term — no lexing, no parsing, no
+//! elaboration — and caches the lowered program locally, so repeats
+//! are pure lookups.
+//!
 //! # Example
 //!
 //! ```
@@ -70,13 +83,16 @@
 //! assert_eq!(stats.local_type_nodes(), 0);
 //! ```
 
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use bc_gtlc::Diagnostic;
+use bc_lambda_b::BTerm;
 use bc_machine::metrics::Metrics;
+use bc_syntax::TypeId;
 use bc_translate::bisim::Observation;
 
 use crate::session::{Engine, FrozenBase, RunError, Session, SessionBuilder, SessionStats};
@@ -95,6 +111,35 @@ pub struct JobOutput {
     /// jobs are claimed from a shared queue, so the assignment is
     /// load-dependent).
     pub worker: usize,
+    /// Whether the job travelled as a compiled program (the warmup's
+    /// interned λB term) rather than source text — `true` means the
+    /// serving worker never touched the parser or the elaborator.
+    pub compiled: bool,
+}
+
+/// A program compiled once at warmup and shipped to workers by id:
+/// the interned λB term plus its type id, with every id below the
+/// pool base's frozen watermarks (the warmup compiles *before* the
+/// freeze), so any worker session built over the base adopts it with
+/// no lexing, no parsing, no elaboration, and no λB re-check — the
+/// worker only re-lowers λB → λC → λS, which on a warm base is pure
+/// arena and memo hits. (The lowered λS form itself deliberately does
+/// not travel: its `Rc` spine is `!Send` because atomic refcounts
+/// would tax every machine step; see `bc_core::sterm`.) `Send + Sync`
+/// by construction: the λB spine is `Arc`, the ids plain integers.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    source: String,
+    term: BTerm,
+    ty: TypeId,
+}
+
+impl CompiledProgram {
+    /// The source text this program was compiled from (the key
+    /// [`SessionPool::submit`] uses to upgrade matching submissions).
+    pub fn source(&self) -> &str {
+        &self.source
+    }
 }
 
 /// Why a pool job produced no [`JobOutput`].
@@ -150,10 +195,34 @@ impl JobHandle {
     }
 }
 
-/// A unit of work travelling the queue: source text plus run options,
+/// What a job asks a worker to execute: source text (parsed and
+/// elaborated by the worker) or an already-compiled program (loaded
+/// straight into the worker's session — the no-re-parse path).
+enum JobSpec {
+    /// Source text; the worker compiles it (consulting its local
+    /// program cache first, so a repeated source parses once per
+    /// worker).
+    Source(String),
+    /// A warmup-compiled program shipped by reference; the worker
+    /// loads the interned term without ever seeing the source.
+    Compiled(Arc<CompiledProgram>),
+}
+
+impl JobSpec {
+    /// The cache key: compiled jobs and their source-text twins hash
+    /// to the same worker-local program.
+    fn key(&self) -> &str {
+        match self {
+            JobSpec::Source(s) => s,
+            JobSpec::Compiled(p) => &p.source,
+        }
+    }
+}
+
+/// A unit of work travelling the queue: the spec plus run options,
 /// with the reply channel riding along.
 struct Job {
-    source: String,
+    spec: JobSpec,
     engine: Engine,
     fuel: Option<u64>,
     reply: mpsc::Sender<Result<JobOutput, JobError>>,
@@ -370,11 +439,37 @@ impl SessionPoolBuilder {
             warm = warm.base(base);
         }
         let warm = warm.build();
+        let mut compiled = HashMap::new();
+        // Warmup runs exist to seed the compose cache, and a
+        // space-efficient loop reaches its steady-state coercion
+        // working set within its first iterations — so the bound is
+        // small and *independent* of the pool's job fuel: a divergent
+        // warmup source must not burn `default_fuel` at build time.
+        const WARMUP_RUN_FUEL: u64 = 64;
         for source in &self.warmup {
             let program = warm.compile(source)?;
             // Warm the compose pairs; outcome (including fuel
-            // exhaustion) is irrelevant here.
-            let _ = warm.run(&program, Engine::MachineS);
+            // exhaustion) is irrelevant here. Every warmup source runs:
+            // even one whose compile interned nothing new can reach
+            // compose *pairs* no earlier program composed (same nodes,
+            // different dynamic order), and a redundant run is pure
+            // cache hits — microseconds at this fuel bound.
+            let _ = warm.run_with_fuel(
+                &program,
+                Engine::MachineS,
+                WARMUP_RUN_FUEL.min(self.default_fuel),
+            );
+            // Keep the compiled form: every id it references is about
+            // to be frozen into the base, so workers can load it
+            // without re-parsing (`SessionPool::submit_compiled`).
+            compiled.insert(
+                source.clone(),
+                Arc::new(CompiledProgram {
+                    source: source.clone(),
+                    term: program.lambda_b_compiled().clone(),
+                    ty: program.ty_id(),
+                }),
+            );
         }
         let base = warm.freeze();
 
@@ -406,6 +501,7 @@ impl SessionPoolBuilder {
             handles,
             slots,
             base,
+            compiled,
             default_fuel: self.default_fuel,
         })
     }
@@ -428,6 +524,11 @@ fn worker_loop(
         .type_memo_capacity(type_memo_capacity)
         .default_fuel(default_fuel)
         .build();
+    // The worker-local program cache: one lowered Program per distinct
+    // job key. Programs hold session-bound ids, so the cache lives and
+    // dies with this worker; it is what makes a repeated job (compiled
+    // or source) a pure lookup — zero parsing, zero lowering.
+    let mut programs: HashMap<String, crate::session::Program> = HashMap::new();
     loop {
         // Hold the queue lock only for the claim, never during a job.
         let job = {
@@ -438,7 +539,7 @@ fn worker_loop(
                 Err(mpsc::RecvError) => break,
             }
         };
-        let result = serve(&session, index, &job);
+        let result = serve(&session, &mut programs, index, &job);
         // Publish the slot *before* replying: a caller that observes
         // a job as complete via its handle must find it counted in
         // `SessionPool::stats` too.
@@ -455,18 +556,47 @@ fn worker_loop(
     }
 }
 
-/// Serves one job in the worker's session: compile, run, observe.
-fn serve(session: &Session, worker: usize, job: &Job) -> Result<JobOutput, JobError> {
-    let program = session.compile(&job.source).map_err(JobError::Compile)?;
+/// Bound on the worker-local program cache; beyond it the cache is
+/// dropped wholesale (recompiling is always safe — the arenas stay
+/// warm, so a re-lower interns nothing).
+const WORKER_PROGRAM_CACHE_CAP: usize = 1024;
+
+/// Serves one job in the worker's session: resolve the program
+/// (worker cache → compiled payload → source compile), run, observe.
+fn serve(
+    session: &Session,
+    programs: &mut HashMap<String, crate::session::Program>,
+    worker: usize,
+    job: &Job,
+) -> Result<JobOutput, JobError> {
+    let compiled = matches!(job.spec, JobSpec::Compiled(_));
+    let key = job.spec.key();
+    if !programs.contains_key(key) {
+        let program = match &job.spec {
+            // Pool-made `CompiledProgram`s were elaborated and checked
+            // by warmup itself before the freeze, so the worker skips
+            // the λB re-check and goes straight to lowering — every
+            // intern, normalisation, and compose a base-covered term
+            // needs is already frozen, so this is memo lookups only.
+            JobSpec::Compiled(p) => session.load_compiled_trusted(p.term.clone(), p.ty),
+            JobSpec::Source(source) => session.compile(source).map_err(JobError::Compile)?,
+        };
+        if programs.len() >= WORKER_PROGRAM_CACHE_CAP {
+            programs.clear();
+        }
+        programs.insert(key.to_owned(), program);
+    }
+    let program = &programs[key];
     let fuel = job.fuel.unwrap_or_else(|| session.default_fuel());
     let report = session
-        .run_with_fuel(&program, job.engine, fuel)
+        .run_with_fuel(program, job.engine, fuel)
         .map_err(JobError::Run)?;
     Ok(JobOutput {
         observation: report.observation,
         steps: report.steps,
         metrics: report.metrics,
         worker,
+        compiled,
     })
 }
 
@@ -482,6 +612,10 @@ pub struct SessionPool {
     handles: Vec<JoinHandle<()>>,
     slots: Arc<Vec<Mutex<WorkerSlot>>>,
     base: Arc<FrozenBase>,
+    /// The warmup's compiled programs, keyed by their source text:
+    /// the payloads [`SessionPool::submit_compiled`] ships and
+    /// [`SessionPool::submit`] upgrades matching submissions to.
+    compiled: HashMap<String, Arc<CompiledProgram>>,
     default_fuel: u64,
 }
 
@@ -508,8 +642,12 @@ impl SessionPool {
     }
 
     /// Submits one compile+run job; any idle worker claims it.
+    ///
+    /// If `source` is byte-for-byte one of the warmup sources, the job
+    /// is upgraded to the compiled path automatically: the worker
+    /// receives the warmup's interned λB term and never re-parses.
     pub fn submit(&self, source: impl Into<String>, engine: Engine) -> JobHandle {
-        self.submit_job(source.into(), engine, None)
+        self.submit_job(self.spec_for(source.into()), engine, None)
     }
 
     /// [`SessionPool::submit`] with an explicit step bound.
@@ -519,11 +657,13 @@ impl SessionPool {
         engine: Engine,
         fuel: u64,
     ) -> JobHandle {
-        self.submit_job(source.into(), engine, Some(fuel))
+        self.submit_job(self.spec_for(source.into()), engine, Some(fuel))
     }
 
     /// Submits a batch of jobs, returning one handle per source (in
-    /// submission order; completion order is up to the workers).
+    /// submission order; completion order is up to the workers). Each
+    /// source gets the same compiled-path upgrade as
+    /// [`SessionPool::submit`].
     pub fn submit_batch<I, S>(&self, sources: I, engine: Engine) -> Vec<JobHandle>
     where
         I: IntoIterator<Item = S>,
@@ -531,14 +671,52 @@ impl SessionPool {
     {
         sources
             .into_iter()
-            .map(|s| self.submit_job(s.into(), engine, None))
+            .map(|s| self.submit_job(self.spec_for(s.into()), engine, None))
             .collect()
     }
 
-    fn submit_job(&self, source: String, engine: Engine, fuel: Option<u64>) -> JobHandle {
+    /// Submits a warmup source by name as a compiled job — the
+    /// explicit form of the upgrade [`SessionPool::submit`] applies:
+    /// the worker loads the warmup's interned λB term
+    /// ([`Session::load_compiled`]) instead of parsing. Returns `None`
+    /// if `source` was not among the pool's warmup sources (nothing
+    /// compiled exists to ship — use [`SessionPool::submit`], which
+    /// compiles on the worker).
+    pub fn submit_compiled(&self, source: &str, engine: Engine) -> Option<JobHandle> {
+        let program = self.compiled.get(source)?;
+        Some(self.submit_job(JobSpec::Compiled(Arc::clone(program)), engine, None))
+    }
+
+    /// [`SessionPool::submit_compiled`] with an explicit step bound.
+    pub fn submit_compiled_with_fuel(
+        &self,
+        source: &str,
+        engine: Engine,
+        fuel: u64,
+    ) -> Option<JobHandle> {
+        let program = self.compiled.get(source)?;
+        Some(self.submit_job(JobSpec::Compiled(Arc::clone(program)), engine, Some(fuel)))
+    }
+
+    /// The warmup sources with a compiled program ready to ship
+    /// (the keys [`SessionPool::submit_compiled`] accepts).
+    pub fn compiled_sources(&self) -> impl Iterator<Item = &str> {
+        self.compiled.keys().map(String::as_str)
+    }
+
+    /// Upgrades a source submission to the compiled path when the
+    /// warmup compiled exactly this text.
+    fn spec_for(&self, source: String) -> JobSpec {
+        match self.compiled.get(&source) {
+            Some(program) => JobSpec::Compiled(Arc::clone(program)),
+            None => JobSpec::Source(source),
+        }
+    }
+
+    fn submit_job(&self, spec: JobSpec, engine: Engine, fuel: Option<u64>) -> JobHandle {
         let (reply, rx) = mpsc::channel();
         let job = Job {
-            source,
+            spec,
             engine,
             fuel,
             reply,

@@ -45,11 +45,15 @@ use std::sync::Arc;
 use bc_core::arena::{CoercionArena, ComposeCache, FrozenCoercions};
 use bc_core::sterm::{decompile_term, STerm};
 use bc_gtlc::Diagnostic;
+use bc_lambda_b::BTerm;
+use bc_lambda_c::CArena;
 use bc_machine::metrics::Metrics;
 use bc_syntax::intern::FrozenTypes;
-use bc_syntax::{Label, Type, TypeArena};
-use bc_translate::bisim::{observe_b, observe_c, observe_s, Observation};
-use bc_translate::{term_b_to_c, term_c_to_s_compiled};
+use bc_syntax::{Label, Type, TypeArena, TypeId};
+use bc_translate::bisim::{observe_b, observe_c, observe_s_compiled, Observation};
+use bc_translate::{
+    term_b_to_c, term_b_to_c_compiled, term_c_to_s_from_compiled, CNormalizer, CNormalizerStats,
+};
 
 /// Which semantics executes the program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -339,6 +343,18 @@ pub struct SessionStats {
     pub type_memo_capacity: usize,
     /// Relational-query hit/miss/eviction counters.
     pub type_queries: bc_syntax::intern::QueryStats,
+    /// Distinct λC coercion nodes interned (the derived λC tier is
+    /// session-local; see [`Session`]'s field docs).
+    pub lambda_c_nodes: usize,
+    /// The `|·|CS` normalisation memo's entry/hit/miss counters — a
+    /// warm recompile is all hits.
+    pub normalizer: CNormalizerStats,
+    /// Tree views materialised since the session was built
+    /// ([`Session::lambda_b`]/[`Session::lambda_c`]/
+    /// [`Session::lambda_s`] first accesses). Zero for a session that
+    /// only compiled and ran on the compiled engines — the
+    /// allocation-free-pipeline acceptance counter.
+    pub tree_builds: u64,
     /// Two-tier sharing counters (all-zero without a [`FrozenBase`]).
     pub tier: TierStats,
 }
@@ -486,8 +502,11 @@ impl SessionBuilder {
             arena: RefCell::new(arena),
             cache: RefCell::new(cache),
             types: RefCell::new(types),
+            carena: RefCell::new(CArena::default()),
+            normalizer: RefCell::new(CNormalizer::new()),
             default_fuel: self.default_fuel,
             programs: Cell::new(0),
+            tree_builds: Cell::new(0),
         }
     }
 }
@@ -521,8 +540,21 @@ pub struct Session {
     arena: RefCell<CoercionArena>,
     cache: RefCell<ComposeCache>,
     types: RefCell<TypeArena>,
+    /// The λC coercion arena: one hash-consed node per distinct cast
+    /// the session's programs cross. Session-local (not part of a
+    /// [`FrozenBase`]) — λC forms are derived, so workers re-intern
+    /// them privately; the memo below makes that a per-shape cost.
+    carena: RefCell<CArena>,
+    /// The `|·|CS` memo: λC coercion id → normalised space coercion
+    /// id. A warm recompile normalises nothing (all hits).
+    normalizer: RefCell<CNormalizer>,
     default_fuel: u64,
     programs: Cell<usize>,
+    /// How many tree views ([`Session::lambda_b`]/[`Session::lambda_c`]/
+    /// [`Session::lambda_s`]) have been materialised — the
+    /// zero-allocation acceptance counter: a compile+run on the
+    /// compiled engines leaves it untouched.
+    tree_builds: Cell<u64>,
 }
 
 impl Default for Session {
@@ -531,30 +563,41 @@ impl Default for Session {
     }
 }
 
-/// A program compiled into a [`Session`], with all three intermediate
-/// representations available.
+/// A program compiled into a [`Session`], held entirely in compiled
+/// (id-carrying) form.
 ///
-/// The handle is lightweight: it owns its term trees and compiled IR
-/// but *not* the arenas its ids point into — those live in the session
-/// that compiled it, which is also the only session that can run it
-/// (enforced at run time).
+/// The handle owns its compiled IRs — the interned λB term
+/// ([`Program::lambda_b_compiled`]) and the λS term the machines run —
+/// but *not* the arenas their ids point into: those live in the
+/// session that compiled it, which is also the only session that can
+/// run it (enforced at run time). No `Rc` term tree is built at
+/// compile time; the three tree views exist only as lazily decompiled
+/// caches ([`Session::lambda_b`], [`Session::lambda_c`],
+/// [`Session::lambda_s`]) for the tree engines, docs, and tests.
 #[derive(Debug, Clone)]
 pub struct Program {
-    /// The elaborated λB term (with inserted casts).
-    pub lambda_b: bc_lambda_b::Term,
-    /// The λC translation `|·|BC`.
-    pub lambda_c: bc_lambda_c::Term,
-    /// The tree-form λS translation `|·|CS ∘ |·|BC`, decompiled
-    /// **lazily** from the compiled IR on first access
-    /// ([`Session::lambda_s`]) — the hot compile path allocates no λS
-    /// tree; only the small-step λS engine and display code ever
-    /// materialise one.
-    lambda_s: OnceCell<bc_core::Term>,
-    /// The program's (gradual) type.
-    pub ty: Type,
+    /// The elaborated λB term in compiled form: type annotations and
+    /// cast endpoints are interned `TypeId`s, the spine is `Arc` (and
+    /// therefore `Send` — this is the form pool jobs travel in).
+    lambda_b_compiled: BTerm,
     /// The λS term compiled to the id-carrying IR. Private: its ids
     /// are only meaningful in the owning session's arenas.
     lambda_s_compiled: STerm,
+    /// The program's (gradual) type, as a shared tree handle (resolved
+    /// once per distinct type per session — a warm recompile clones an
+    /// `Rc`, allocating nothing).
+    pub ty: Type,
+    /// The program's type as an id in the owning session's arena.
+    ty_id: TypeId,
+    /// The tree-form λB view, decompiled lazily by
+    /// [`Session::lambda_b`]; compilation leaves it empty.
+    lambda_b: OnceCell<bc_lambda_b::Term>,
+    /// The tree-form λC view (`|·|BC` on trees), built lazily by
+    /// [`Session::lambda_c`].
+    lambda_c: OnceCell<bc_lambda_c::Term>,
+    /// The tree-form λS view, decompiled lazily by
+    /// [`Session::lambda_s`].
+    lambda_s: OnceCell<bc_core::Term>,
     /// Owning session id (checked by every [`Session::run`]).
     session: u64,
     /// Coercion nodes the owning session held when this program was
@@ -565,7 +608,7 @@ pub struct Program {
     type_watermark: usize,
     /// The source-program span map for blame reporting, if compiled
     /// from source.
-    program: Option<bc_gtlc::ProgramI>,
+    program: Option<bc_gtlc::ProgramC>,
     source: Option<String>,
 }
 
@@ -580,6 +623,44 @@ impl Program {
     /// compiled IR.
     pub fn boundary_crossings(&self) -> usize {
         self.lambda_s_compiled.coercion_nodes()
+    }
+
+    /// The compiled λB term: cast insertion's output with every type
+    /// annotation an interned id. Paired with [`Program::ty_id`], this
+    /// is the session-independent job payload —
+    /// `Arc`-spined and `Send`, with every id below the owning
+    /// session's watermarks, so a session sharing those ids (via a
+    /// [`FrozenBase`]) can [`Session::load_compiled`] it without
+    /// re-parsing or re-elaborating.
+    pub fn lambda_b_compiled(&self) -> &BTerm {
+        &self.lambda_b_compiled
+    }
+
+    /// The compiled λS form the engines execute — the other half of
+    /// the job payload. Also `Arc`-spined and `Send`: when its
+    /// `CoercionId`s/`TypeId`s sit below a frozen base, a sharing
+    /// session can run it directly, skipping the λB → λC → λS
+    /// lowering altogether (how pool workers serve compiled jobs).
+    pub fn lambda_s_compiled(&self) -> &STerm {
+        &self.lambda_s_compiled
+    }
+
+    /// The program's type as an id in the owning session's type arena.
+    pub fn ty_id(&self) -> TypeId {
+        self.ty_id
+    }
+
+    /// Whether the tree-form λB term has been materialised (it is
+    /// decompiled lazily by [`Session::lambda_b`]; compilation leaves
+    /// it empty).
+    pub fn lambda_b_materialized(&self) -> bool {
+        self.lambda_b.get().is_some()
+    }
+
+    /// Whether the tree-form λC term has been materialised (built
+    /// lazily by [`Session::lambda_c`]).
+    pub fn lambda_c_materialized(&self) -> bool {
+        self.lambda_c.get().is_some()
     }
 
     /// Whether the tree-form λS term has been materialised (it is
@@ -618,28 +699,25 @@ impl Session {
     /// Compiles GTLC source text through cast insertion and the two
     /// translations, interning into this session's shared arenas.
     ///
-    /// The front end runs on interned types end to end: the gradual
-    /// type checker ([`bc_gtlc::elaborate_in`]) infers, checks
+    /// The front end runs on interned types end to end and emits the
+    /// compiled λB IR directly: the parser interns every annotation as
+    /// it reads it ([`bc_gtlc::parser::parse_in`]) and the gradual
+    /// type checker ([`bc_gtlc::elaborate_compiled`]) infers, checks
     /// consistency, and joins on `TypeId`s against this session's
-    /// [`TypeArena`], so a warm session answers every repeated
-    /// subtyping/compatibility question from its memo tables and a
-    /// structurally similar recompile interns **zero** new type nodes
-    /// at compile time.
+    /// [`TypeArena`] — no `Rc<Type>` spine and no `Rc` term tree is
+    /// ever built, and a structurally similar recompile in a warm
+    /// session interns **zero** new nodes of any kind.
     ///
     /// # Errors
     ///
     /// Returns a [`Diagnostic`] on lexical, syntax, or gradual type
     /// errors.
     pub fn compile(&self, source: &str) -> Result<Program, Diagnostic> {
-        let tokens = bc_gtlc::lexer::lex(source)?;
-        let expr = bc_gtlc::parser::parse(&tokens)?;
-        let (program, ty) = {
+        let program = {
             let mut types = self.types.borrow_mut();
-            let program = bc_gtlc::elaborate_in(&expr, &mut types)?;
-            let ty = types.resolve_shared(program.ty);
-            (program, ty)
+            bc_gtlc::compile_compiled(source, &mut types)?
         };
-        let mut compiled = self.lower(program.term.clone(), ty);
+        let mut compiled = self.lower(program.term.clone(), program.ty);
         compiled.program = Some(program);
         compiled.source = Some(source.to_owned());
         Ok(compiled)
@@ -672,12 +750,13 @@ impl Session {
     /// Returns [`RunError::IllTyped`] if the term is open, ill typed,
     /// or well typed at a different type than stated.
     pub fn load_lambda_b(&self, term: bc_lambda_b::Term, ty: Type) -> Result<Program, RunError> {
-        {
+        let (compiled, stated) = {
             let mut types = self.types.borrow_mut();
-            match bc_lambda_b::type_of_interned(&term, &mut types) {
+            let compiled = bc_lambda_b::bterm::compile(&term, &mut types);
+            let stated = types.intern(&ty);
+            match bc_lambda_b::type_of_compiled(&compiled, &mut types) {
                 Err(e) => return Err(ill_typed(e)),
                 Ok(actual) => {
-                    let stated = types.intern(&ty);
                     if actual != stated {
                         return Err(ill_typed(format!(
                             "term has type `{}`, not the stated `{ty}`",
@@ -686,62 +765,151 @@ impl Session {
                     }
                 }
             }
+            (compiled, stated)
+        };
+        Ok(self.lower(compiled, stated))
+    }
+
+    /// Wraps an already-compiled λB term — the `Send` job payload a
+    /// warm sibling produced ([`Program::lambda_b_compiled`] /
+    /// [`Program::ty_id`]) — checking it with the compiled λB checker
+    /// before lowering. This is the no-re-parse path the
+    /// [`crate::pool::SessionPool`] uses for warmed jobs.
+    ///
+    /// Every id in `term` and `ty` must be valid in this session's
+    /// type arena: either interned here, or below the frozen-base
+    /// watermark of a shared [`FrozenBase`] (the id-offset contract).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::IllTyped`] if the term is open, ill typed,
+    /// or well typed at a different type than stated.
+    ///
+    /// # Panics
+    ///
+    /// May panic if an id does not denote a node in this session's
+    /// arenas — a foreign id-space is a caller bug, not a typed error.
+    pub fn load_compiled(&self, term: BTerm, ty: TypeId) -> Result<Program, RunError> {
+        {
+            let mut types = self.types.borrow_mut();
+            match bc_lambda_b::type_of_compiled(&term, &mut types) {
+                Err(e) => return Err(ill_typed(e)),
+                Ok(actual) if actual != ty => {
+                    return Err(ill_typed(format!(
+                        "term has type `{}`, not the stated `{}`",
+                        types.display(actual),
+                        types.display(ty)
+                    )))
+                }
+                Ok(_) => {}
+            }
         }
         Ok(self.lower(term, ty))
     }
 
-    /// Lowers a well-typed λB term into a session-bound program:
-    /// λB → λC → compiled λS IR, interning into the shared arenas.
-    fn lower(&self, term: bc_lambda_b::Term, ty: Type) -> Program {
-        let lambda_c = term_b_to_c(&term);
+    /// [`Session::load_compiled`] without the λB re-check, for terms
+    /// whose well-typedness is already established — the pool's
+    /// compiled jobs, which its own warmup elaborated and checked
+    /// before the freeze. Lowering still happens here (the λS form is
+    /// session-local by design; see `bc_core::sterm`), but against a
+    /// warm base it is pure arena and memo hits. (The debug assertions
+    /// in `lower` still verify both intermediate forms in debug
+    /// builds.)
+    pub(crate) fn load_compiled_trusted(&self, term: BTerm, ty: TypeId) -> Program {
+        self.lower(term, ty)
+    }
+
+    /// Lowers a well-typed compiled λB term into a session-bound
+    /// program: λB → λC → λS entirely on interned ids. Casts become
+    /// hash-consed λC coercions in the session's [`CArena`], which the
+    /// session-wide [`CNormalizer`] memo normalises into the space
+    /// arena — so a warm recompile interns nothing, normalises
+    /// nothing, and builds no tree of any kind.
+    fn lower(&self, term: BTerm, ty: TypeId) -> Program {
         let mut arena = self.arena.borrow_mut();
         let mut cache = self.cache.borrow_mut();
         let mut types = self.types.borrow_mut();
-        // Translate straight into the compiled IR: every normalised
-        // coercion lands in the shared arena as an id (no intermediate
-        // tree, no re-interning pass) and every type annotation
-        // interns once per session. The tree λS term — the exchange
-        // form the small-step engine and display code read — is *not*
-        // built here: [`Session::lambda_s`] decompiles it from the IR
-        // on first access, so the hot compile path allocates no λS
-        // tree at all.
-        let lambda_s_compiled = term_c_to_s_compiled(&mut arena, &mut cache, &mut types, &lambda_c);
+        let mut carena = self.carena.borrow_mut();
+        let mut normalizer = self.normalizer.borrow_mut();
+        let lambda_c_compiled = term_b_to_c_compiled(&term, &mut carena, &mut types);
+        let lambda_s_compiled = term_c_to_s_from_compiled(
+            &lambda_c_compiled,
+            &carena,
+            &mut normalizer,
+            &mut arena,
+            &mut cache,
+            &types,
+        );
         // Cast insertion and both translations preserve typing; audit
-        // the intermediate forms with the interned checkers on debug
-        // builds (the machine-ready IR is validated in place, never
-        // decompiled for checking).
+        // the intermediate forms with the compiled checkers on debug
+        // builds (each IR is validated in place, never decompiled for
+        // checking).
         debug_assert!(
-            {
-                let expected = types.intern(&ty);
-                bc_lambda_c::typing::has_type_interned(&lambda_c, expected, &mut types)
-            },
+            bc_lambda_c::has_type_compiled(&lambda_c_compiled, ty, &carena, &mut types),
             "λB → λC translation must preserve the program type"
         );
         debug_assert!(
-            {
-                let expected = types.intern(&ty);
-                bc_core::styping::has_type_interned(
-                    &lambda_s_compiled,
-                    expected,
-                    &arena,
-                    &mut types,
-                )
-            },
+            bc_core::styping::has_type_interned(&lambda_s_compiled, ty, &arena, &mut types),
             "λC → λS lowering must preserve the program type"
         );
         self.programs.set(self.programs.get() + 1);
         Program {
-            lambda_b: term,
-            lambda_c,
-            lambda_s: OnceCell::new(),
+            lambda_b_compiled: term,
             lambda_s_compiled,
-            ty,
+            ty: types.resolve_shared(ty),
+            ty_id: ty,
+            lambda_b: OnceCell::new(),
+            lambda_c: OnceCell::new(),
+            lambda_s: OnceCell::new(),
             session: self.id,
             coercion_watermark: arena.len(),
             type_watermark: types.len(),
             program: None,
             source: None,
         }
+    }
+
+    /// The tree-form λB term of a program (cast insertion's output),
+    /// decompiled from the compiled IR through this session's type
+    /// arena on first access and cached in the handle thereafter
+    /// (cheap `Rc`-spine clones).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `program` was compiled by a different session.
+    pub fn lambda_b(&self, program: &Program) -> bc_lambda_b::Term {
+        assert_eq!(
+            program.session, self.id,
+            "program was compiled by a different Session"
+        );
+        program
+            .lambda_b
+            .get_or_init(|| {
+                self.tree_builds.set(self.tree_builds.get() + 1);
+                bc_lambda_b::bterm::decompile(&program.lambda_b_compiled, &self.types.borrow())
+            })
+            .clone()
+    }
+
+    /// The tree-form λC term of a program (`|·|BC`), built lazily from
+    /// the λB tree view on first access and cached in the handle
+    /// thereafter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `program` was compiled by a different session.
+    pub fn lambda_c(&self, program: &Program) -> bc_lambda_c::Term {
+        assert_eq!(
+            program.session, self.id,
+            "program was compiled by a different Session"
+        );
+        program
+            .lambda_c
+            .get_or_init(|| {
+                self.tree_builds.set(self.tree_builds.get() + 1);
+                term_b_to_c(&self.lambda_b(program))
+            })
+            .clone()
     }
 
     /// The tree-form λS term of a program, decompiled from the
@@ -759,6 +927,7 @@ impl Session {
         program
             .lambda_s
             .get_or_init(|| {
+                self.tree_builds.set(self.tree_builds.get() + 1);
                 decompile_term(
                     &program.lambda_s_compiled,
                     &self.arena.borrow(),
@@ -808,7 +977,10 @@ impl Session {
         );
         match engine {
             Engine::LambdaB => {
-                let r = bc_lambda_b::eval::run(&program.lambda_b, fuel)
+                // The λB small-step engine rewrites trees; materialise
+                // the (lazily decompiled) tree view first.
+                let lambda_b = self.lambda_b(program);
+                let r = bc_lambda_b::eval::run(&lambda_b, fuel)
                     .map_err(small_step_run_error!(bc_lambda_b))?;
                 Ok(RunReport {
                     observation: observe_b(&r.outcome),
@@ -817,7 +989,8 @@ impl Session {
                 })
             }
             Engine::LambdaC => {
-                let r = bc_lambda_c::eval::run(&program.lambda_c, fuel)
+                let lambda_c = self.lambda_c(program);
+                let r = bc_lambda_c::eval::run(&lambda_c, fuel)
                     .map_err(small_step_run_error!(bc_lambda_c))?;
                 Ok(RunReport {
                     observation: observe_c(&r.outcome),
@@ -826,19 +999,34 @@ impl Session {
                 })
             }
             Engine::LambdaS => {
-                // The small-step engine rewrites trees; materialise
-                // the (lazily decompiled) tree form first.
-                let lambda_s = self.lambda_s(program);
-                let r =
-                    bc_core::eval::run(&lambda_s, fuel).map_err(small_step_run_error!(bc_core))?;
+                // λS small-steps on the compiled IR directly: merges
+                // go through the session's compose cache and no tree
+                // is ever materialised (the tree-rewriting
+                // `bc_core::eval::run` survives as this engine's
+                // property-test oracle).
+                let mut arena = self.arena.borrow_mut();
+                let mut cache = self.cache.borrow_mut();
+                let mut types = self.types.borrow_mut();
+                let r = bc_core::eval::run_compiled(
+                    &program.lambda_s_compiled,
+                    fuel,
+                    &mut arena,
+                    &mut cache,
+                    &mut types,
+                )
+                .map_err(small_step_run_error!(bc_core))?;
                 Ok(RunReport {
-                    observation: observe_s(&r.outcome),
+                    observation: observe_s_compiled(&r.outcome, &arena),
                     steps: r.steps,
                     metrics: None,
                 })
             }
-            Engine::MachineB => machine_report(bc_machine::cek_b::run(&program.lambda_b, fuel)),
-            Engine::MachineC => machine_report(bc_machine::cek_c::run(&program.lambda_c, fuel)),
+            Engine::MachineB => {
+                machine_report(bc_machine::cek_b::run(&self.lambda_b(program), fuel))
+            }
+            Engine::MachineC => {
+                machine_report(bc_machine::cek_c::run(&self.lambda_c(program), fuel))
+            }
             Engine::MachineS => {
                 // The compiled fast path: the IR's coercions are
                 // already interned in the shared arena, so each run
@@ -871,6 +1059,9 @@ impl Session {
             type_memo_pairs: types.memo_len(),
             type_memo_capacity: types.memo_capacity(),
             type_queries: types.query_stats(),
+            lambda_c_nodes: self.carena.borrow().len(),
+            normalizer: self.normalizer.borrow().stats(),
+            tree_builds: self.tree_builds.get(),
             tier: TierStats {
                 base_coercion_nodes: arena.base_len(),
                 local_coercion_nodes: arena.local_len(),
@@ -940,8 +1131,11 @@ impl Session {
             arena: RefCell::new(arena),
             cache: RefCell::new(cache),
             types: RefCell::new(self.types.borrow().clone()),
+            carena: RefCell::new(self.carena.borrow().clone()),
+            normalizer: RefCell::new(self.normalizer.borrow().clone()),
             default_fuel: self.default_fuel,
             programs: Cell::new(self.programs.get()),
+            tree_builds: Cell::new(self.tree_builds.get()),
         }
     }
 
@@ -1322,15 +1516,16 @@ mod tests {
         assert!(program.lambda_s_materialized());
         // The decompiled tree is exactly what the old eager path
         // stored: the tree-level λC → λS translation.
-        assert_eq!(tree, bc_translate::term_c_to_s(&program.lambda_c));
+        assert_eq!(tree, bc_translate::term_c_to_s(&session.lambda_c(&program)));
         // Cached: the second access is a handle clone of the same tree.
         assert_eq!(session.lambda_s(&program), tree);
-        // The λS small-step engine materialises it on demand too.
+        // The λS small-step engine runs the compiled IR directly —
+        // even it no longer materialises the tree.
         let fresh = session.compile(LOOP_32).expect("compiles");
         assert!(!fresh.lambda_s_materialized());
         let report = session.run(&fresh, Engine::LambdaS).expect("runs");
         assert_eq!(report.observation.to_string(), "true");
-        assert!(fresh.lambda_s_materialized());
+        assert!(!fresh.lambda_s_materialized());
     }
 
     #[test]

@@ -139,6 +139,104 @@ fn warmed_pool_workers_intern_nothing_past_the_base() {
 }
 
 #[test]
+fn warmed_jobs_travel_compiled_and_are_equivalent_to_source_jobs() {
+    // The compiled-job satellite: a warmed pool ships warmup sources
+    // as interned λB terms (`submit` auto-upgrades on exact source
+    // match), the serving workers never parse, and the outcomes are
+    // observationally identical to a cold pool compiling the same
+    // text from scratch.
+    let warmed = SessionPool::builder()
+        .workers(3)
+        .default_fuel(FUEL)
+        .warmup(sources::shapes())
+        .build()
+        .expect("warmup compiles");
+    let cold = SessionPool::builder()
+        .workers(3)
+        .default_fuel(FUEL)
+        .build()
+        .expect("builds");
+    assert_eq!(warmed.compiled_sources().count(), sources::SHAPES);
+    assert_eq!(cold.compiled_sources().count(), 0);
+
+    // A mixed batch of repeated warmup sources, alternating engines.
+    let batch: Vec<(String, Engine)> = sources::shapes()
+        .into_iter()
+        .cycle()
+        .take(24)
+        .zip([Engine::MachineS, Engine::LambdaS].into_iter().cycle())
+        .collect();
+    let from_warmed: Vec<_> = batch
+        .iter()
+        .map(|(s, e)| warmed.submit_with_fuel(s.as_str(), *e, FUEL))
+        .collect();
+    let from_cold: Vec<_> = batch
+        .iter()
+        .map(|(s, e)| cold.submit_with_fuel(s.as_str(), *e, FUEL))
+        .collect();
+    for ((source, engine), (warm_handle, cold_handle)) in
+        batch.iter().zip(from_warmed.into_iter().zip(from_cold))
+    {
+        let warm_out = warm_handle.wait();
+        let cold_out = cold_handle.wait();
+        if let Ok(out) = &warm_out {
+            assert!(
+                out.compiled,
+                "warmed pool must serve {engine} compiled: {source}"
+            );
+        }
+        if let Ok(out) = &cold_out {
+            assert!(!out.compiled, "cold pool has nothing compiled to ship");
+        }
+        assert_eq!(
+            job_fingerprint(warm_out),
+            job_fingerprint(cold_out),
+            "compiled and source paths diverged on {engine}: {source}"
+        );
+    }
+
+    // The warmed pool's workers parsed nothing and lowered each
+    // distinct program at most once: across 24 jobs over 6 shapes and
+    // 3 workers, at most 18 programs exist pool-wide (the worker-local
+    // cache served every repeat).
+    let stats = warmed.shutdown();
+    assert_eq!(stats.jobs(), 24);
+    let lowered: usize = stats
+        .workers
+        .iter()
+        .filter_map(|w| w.session.map(|s| s.programs))
+        .sum();
+    assert!(
+        lowered <= sources::SHAPES * 3,
+        "workers must cache programs across repeated jobs, lowered {lowered}"
+    );
+    cold.shutdown();
+
+    // submit_compiled is the explicit form of the same upgrade — and
+    // honestly refuses sources the warmup never compiled.
+    let pool = SessionPool::builder()
+        .workers(1)
+        .default_fuel(FUEL)
+        .warmup(["let inc = fun x => x + 1 in (inc 41 : Int)"])
+        .build()
+        .expect("warmup compiles");
+    let out = pool
+        .submit_compiled(
+            "let inc = fun x => x + 1 in (inc 41 : Int)",
+            Engine::MachineS,
+        )
+        .expect("was warmed")
+        .wait()
+        .expect("runs");
+    assert!(out.compiled);
+    assert_eq!(out.observation.to_string(), "42");
+    assert!(
+        pool.submit_compiled("1 + 1", Engine::MachineS).is_none(),
+        "an unwarmed source has no compiled program to ship"
+    );
+}
+
+#[test]
 fn cold_pool_still_serves_correctly() {
     // Without warmup each worker interns its own working set — more
     // memory, same answers.
@@ -236,4 +334,64 @@ fn shutdown_drains_already_submitted_jobs() {
 #[should_panic(expected = "at least 1 worker")]
 fn zero_worker_pools_are_rejected() {
     let _ = SessionPool::builder().workers(0).build();
+}
+
+/// Satellite regression guard for the `pool/lifecycle64` inversion:
+/// with jobs travelling pre-compiled (λB *and* λS shipped from
+/// warmup) and warmup runs bounded by their own small fuel, the
+/// warmed lifecycle must not be slower than the cold one beyond
+/// timing noise. The two medians are interleaved sample-by-sample so
+/// machine-load drift hits both sides equally. The tolerance is wide
+/// on purpose — this is a tripwire for the systematic regressions we
+/// actually saw (warmup burning job fuel at build: +55%; workers
+/// re-lowering every compiled job), not a microbenchmark; the tight
+/// numbers live in BENCH_6.json behind `bench_diff`.
+#[test]
+fn warmed_lifecycle_is_not_slower_than_cold() {
+    use std::time::Instant;
+
+    const JOB_FUEL: u64 = 5_000;
+    const REPS: usize = 9;
+
+    let batch = sources::mixed(42, 256);
+    let jobs: Vec<String> = batch.iter().take(64).cloned().collect();
+    let mut warmup: Vec<String> = jobs.clone();
+    warmup.sort();
+    warmup.dedup();
+
+    let lifecycle = |warmed: bool| {
+        let mut builder = SessionPool::builder().workers(4).default_fuel(JOB_FUEL);
+        if warmed {
+            builder = builder.warmup(warmup.iter().cloned());
+        }
+        let pool = builder.build().expect("warmup compiles");
+        for handle in pool.submit_batch(jobs.iter().map(String::as_str), Engine::MachineS) {
+            // Fuel exhaustion (the divergent shape) is workload, not
+            // failure; `Lost` would fail the fingerprint tests above.
+            let _ = std::hint::black_box(handle.wait());
+        }
+    };
+
+    let mut cold: Vec<u128> = Vec::with_capacity(REPS);
+    let mut warmed: Vec<u128> = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        lifecycle(false);
+        cold.push(t0.elapsed().as_nanos());
+        let t0 = Instant::now();
+        lifecycle(true);
+        warmed.push(t0.elapsed().as_nanos());
+    }
+    cold.sort_unstable();
+    warmed.sort_unstable();
+    let (cold, warmed) = (cold[REPS / 2], warmed[REPS / 2]);
+
+    // Debug builds skew the ratio (the warmup's extra interpreted
+    // work is relatively pricier), so give them more headroom.
+    let tolerance = if cfg!(debug_assertions) { 1.5 } else { 1.25 };
+    assert!(
+        (warmed as f64) <= (cold as f64) * tolerance,
+        "warmed lifecycle regressed past cold: warmed {warmed} ns vs cold {cold} ns \
+         (tolerance x{tolerance})"
+    );
 }
