@@ -21,11 +21,24 @@
 //!   (`warmed_lifecycle_is_not_slower_than_cold`) and in the `report`
 //!   binary.
 //!
+//! A third question arrived with live base promotion:
+//!
+//! * `drift256/{frozen,promoting}` — a 256-program **drifting** batch
+//!   (the hot type rotates every 64 jobs; see
+//!   `bc_testkit::sources::drifting`) through a warmed 4-worker pool
+//!   with promotion disabled versus enabled. The frozen pool
+//!   re-interns every rotation's nodes once per worker forever; the
+//!   promoting pool freezes the drifted overlay into a new base epoch
+//!   and returns to pure base hits. The pair quantifies what the
+//!   epoch hot-swap costs (freeze + republish) against what it saves
+//!   (per-worker re-interning) — the memory side is asserted by
+//!   counters in `tests/pool.rs`.
+//!
 //! Wall-clock per iteration is the whole batch, so the reported time
 //! is batch latency; divide by the batch size for per-job throughput.
 
 use bc_testkit::sources;
-use blame_coercion::{Engine, SessionPool};
+use blame_coercion::{Engine, PromotionPolicy, SessionPool};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -100,5 +113,44 @@ fn bench_pool_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pool_throughput);
+fn bench_pool_drift(c: &mut Criterion) {
+    // Each iteration is a full lifecycle (build, serve, shut down):
+    // promotion permanently mutates the pool's base, so reusing one
+    // pool across iterations would only exercise the hot-swap on the
+    // first pass.
+    let batch = sources::drifting(7, BATCH, 64);
+    let mut group = c.benchmark_group("pool_drift");
+    group.sample_size(10);
+    for (name, promoting) in [("frozen", false), ("promoting", true)] {
+        group.bench_function(format!("drift256/{name}"), |b| {
+            b.iter(|| {
+                let builder = SessionPool::builder()
+                    .workers(4)
+                    .default_fuel(FUEL)
+                    .warmup(sources::shapes());
+                let builder = if promoting {
+                    // Tighter than the production default so each
+                    // 64-job rotation actually promotes within the
+                    // 256-job batch.
+                    builder.promotion(PromotionPolicy {
+                        min_local_nodes: 8,
+                        min_miss_rate: 0.0,
+                        min_interval_jobs: 16,
+                    })
+                } else {
+                    builder.no_promotion()
+                };
+                let pool = builder.build().expect("warmup compiles");
+                for handle in pool.submit_batch(batch.iter().map(String::as_str), Engine::MachineS)
+                {
+                    let _ = black_box(handle.wait());
+                }
+                black_box(pool.shutdown())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pool_throughput, bench_pool_drift);
 criterion_main!(benches);

@@ -1,10 +1,10 @@
 //! Regenerates the measurement tables recorded in EXPERIMENTS.md, and
-//! emits the machine-readable `BENCH_6.json` (per-bench medians,
-//! including the end-to-end compile+run, pool-throughput, and
+//! emits the machine-readable `BENCH_7.json` (per-bench medians,
+//! including the end-to-end compile+run, pool-throughput, drift, and
 //! tier-overhead numbers) alongside the human output. CI diffs the
-//! checked-in `BENCH_6.json` against its predecessor with the
-//! `bench_diff` binary and fails on >25% regression of any shared
-//! timing key.
+//! checked-in `BENCH_7.json` against its predecessor `BENCH_6.json`
+//! with the `bench_diff` binary and fails on >25% regression of any
+//! shared timing key.
 //!
 //! ```sh
 //! cargo run -p bc-bench --bin report --release
@@ -28,7 +28,7 @@ use bc_syntax::TypeArena;
 use bc_testkit::sources;
 use bc_translate::bisim::{aligned_cs, lockstep_bc};
 use bc_translate::{term_b_to_c, term_c_to_s};
-use blame_coercion::{Engine, Session, SessionPool};
+use blame_coercion::{Engine, PromotionPolicy, Session, SessionPool};
 
 /// Collected `(key, value)` measurements for `BENCH_6.json`.
 type Metrics = Vec<(String, f64)>;
@@ -44,8 +44,9 @@ fn main() {
     end_to_end_table(&mut metrics);
     compile_run_table(&mut metrics);
     pool_table(&mut metrics);
+    drift_table(&mut metrics);
     tier_table(&mut metrics);
-    write_json("BENCH_6.json", &metrics);
+    write_json("BENCH_7.json", &metrics);
 }
 
 /// Median wall-clock of `reps` runs of `f`, in nanoseconds.
@@ -70,7 +71,7 @@ fn write_json(path: &str, metrics: &Metrics) {
         out.push_str(&format!("  \"{key}\": {value:.1}{sep}\n"));
     }
     out.push_str("}\n");
-    std::fs::write(path, out).expect("write BENCH_6.json");
+    std::fs::write(path, out).expect("write bench json");
     println!("wrote {path}");
 }
 
@@ -222,6 +223,80 @@ fn pool_table(metrics: &mut Metrics) {
     );
     metrics.push(("pool/lifecycle64/cold_ns".into(), cold));
     metrics.push(("pool/lifecycle64/warmed_ns".into(), warmed));
+    println!();
+}
+
+/// E26: the drifting workload — what live base promotion buys. The
+/// same 256-program drifting batch (the hot type rotates every 64
+/// jobs; see `bc_testkit::sources::drifting`) through a warmed
+/// 4-worker pool with promotion disabled versus enabled. The frozen
+/// pool re-interns every rotation's nodes once per worker, forever;
+/// the promoting pool hot-swaps the drifted overlay in as a new base
+/// epoch and returns to pure base hits. Latency quantifies what the
+/// freeze+republish costs; the overlay-node column is the memory the
+/// epochs reclaim (the hard assertion on it lives in `tests/pool.rs`,
+/// on counters, where scheduling noise can't touch it).
+fn drift_table(metrics: &mut Metrics) {
+    println!("## E26 — drifting workload: frozen base vs live promotion (256 jobs, rotate 64)");
+    println!();
+    const FUEL: u64 = 5_000;
+    let batch = sources::drifting(7, 256, 64);
+    println!("| pool | batch ms | jobs/s | overlay nodes interned | steals | promotions |");
+    println!("|------|----------|--------|------------------------|--------|------------|");
+    let mut overlays = Vec::new();
+    for (name, promoting) in [("frozen", false), ("promoting", true)] {
+        // Each rep is a full lifecycle: promotion permanently mutates
+        // the pool's base, so a reused pool would only hot-swap on
+        // the first rep.
+        let mut last_stats = None;
+        let median = median_ns(9, || {
+            let builder = SessionPool::builder()
+                .workers(4)
+                .default_fuel(FUEL)
+                .warmup(sources::shapes());
+            let builder = if promoting {
+                // Tighter than the production default so every 64-job
+                // rotation promotes within the 256-job batch.
+                builder.promotion(PromotionPolicy {
+                    min_local_nodes: 8,
+                    min_miss_rate: 0.0,
+                    min_interval_jobs: 16,
+                })
+            } else {
+                builder.no_promotion()
+            };
+            let pool = builder.build().expect("warmup compiles");
+            for handle in pool.submit_batch(batch.iter().map(String::as_str), Engine::MachineS) {
+                let _ = std::hint::black_box(handle.wait());
+            }
+            last_stats = Some(pool.shutdown());
+        });
+        let stats = last_stats.expect("at least one rep ran");
+        let overlay = stats.local_coercion_nodes() + stats.local_type_nodes();
+        println!(
+            "| {name} | {:.1} | {:.0} | {overlay} | {} | {} |",
+            median / 1e6,
+            batch.len() as f64 / (median / 1e9),
+            stats.steals(),
+            stats.promotions,
+        );
+        metrics.push((format!("pool/drift256/{name}_ns"), median));
+        metrics.push((
+            format!("pool/drift256/{name}_overlay_nodes"),
+            overlay as f64,
+        ));
+        metrics.push((
+            format!("pool/drift256/{name}_steals"),
+            stats.steals() as f64,
+        ));
+        overlays.push(overlay);
+    }
+    assert!(
+        overlays[1] < overlays[0],
+        "promotion must cut total overlay interning: promoting {} vs frozen {}",
+        overlays[1],
+        overlays[0]
+    );
     println!();
 }
 

@@ -196,6 +196,17 @@ impl FrozenCoercions {
     pub fn pairs_len(&self) -> usize {
         self.pairs.len()
     }
+
+    /// Whether this snapshot *extends* `other`: every node of `other`
+    /// appears here, at the same id, in the same order — the
+    /// id-stability condition for hot-swapping one base for another.
+    /// A snapshot produced by freezing an overlay built over `other`
+    /// extends it by construction ([`CoercionArena::freeze`] flattens
+    /// base-then-local, preserving base ids verbatim). O(`other.len()`)
+    /// node comparisons — promotion-time validation, not a hot path.
+    pub fn extends(&self, other: &FrozenCoercions) -> bool {
+        other.nodes.len() <= self.nodes.len() && self.nodes[..other.nodes.len()] == other.nodes[..]
+    }
 }
 
 /// A hash-consing interner for λS coercions.
@@ -1484,6 +1495,31 @@ mod tests {
             composed
         );
         assert_eq!(second_cache.stats().base_hits, 1);
+    }
+
+    #[test]
+    fn refreezing_an_overlay_extends_its_base() {
+        let base = warm_base();
+        let mut overlay = CoercionArena::with_base(Arc::clone(&base));
+        let cache = ComposeCache::with_base(Arc::clone(&base), 1 << 10);
+        overlay.proj_ground(gb(), p(11));
+        let refrozen = overlay.freeze(&cache);
+        // Flattening preserves every base id verbatim, so the new
+        // snapshot extends the old one (and trivially itself) — the
+        // condition that lets a serving pool hot-swap `base` for
+        // `refrozen` without invalidating a single outstanding id.
+        assert!(refrozen.extends(&base));
+        assert!(refrozen.extends(&refrozen));
+        assert!(!base.extends(&refrozen), "extension is strictly larger");
+        // A sibling overlay that interned something *different* at the
+        // same first local id is not extended by `refrozen`.
+        let mut sibling = CoercionArena::with_base(Arc::clone(&base));
+        let sibling_cache = ComposeCache::with_base(Arc::clone(&base), 1 << 10);
+        sibling.proj_ground(gb(), p(12));
+        let other = sibling.freeze(&sibling_cache);
+        assert!(other.extends(&base));
+        assert!(!refrozen.extends(&other));
+        assert!(!other.extends(&refrozen));
     }
 
     #[test]

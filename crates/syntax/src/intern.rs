@@ -199,6 +199,18 @@ impl FrozenTypes {
     pub fn verdicts_len(&self) -> usize {
         self.verdicts.len()
     }
+
+    /// Whether this snapshot *extends* `other`: every node of `other`
+    /// appears here, at the same id, in the same order. This is the
+    /// id-stability condition for hot-swapping bases: a snapshot
+    /// produced by freezing an overlay built over `other` extends it
+    /// by construction (freezing flattens base-then-local, preserving
+    /// base ids verbatim), so any id valid against `other` denotes the
+    /// identical node against the extension. O(`other.len()`) node
+    /// comparisons — promotion-time validation, not a hot path.
+    pub fn extends(&self, other: &FrozenTypes) -> bool {
+        other.nodes.len() <= self.nodes.len() && self.nodes[..other.nodes.len()] == other.nodes[..]
+    }
 }
 
 /// A hash-consing interner for types, with memoized `compatible` and
@@ -1157,6 +1169,30 @@ mod tests {
         second.subtype(ii, novel_id);
         assert!(second.query_stats().base_hits > 0);
         assert_eq!(second.query_stats().misses, 0);
+    }
+
+    #[test]
+    fn refreezing_an_overlay_extends_its_base() {
+        let mut warm = TypeArena::new();
+        warm.intern(&Type::fun(Type::INT, Type::INT));
+        let base = Arc::new(warm.freeze());
+        let mut overlay = TypeArena::with_base(Arc::clone(&base), 1 << 10);
+        overlay.intern(&Type::fun(Type::BOOL, Type::BOOL));
+        let refrozen = overlay.freeze();
+        // Flattening preserves base ids verbatim: the new snapshot
+        // extends the old (and itself), which is what lets a pool
+        // hot-swap bases without invalidating outstanding ids.
+        assert!(refrozen.extends(&base));
+        assert!(refrozen.extends(&refrozen));
+        assert!(!base.extends(&refrozen), "extension is strictly larger");
+        // A sibling that interned a *different* node at the same first
+        // local id is not extended by (and does not extend) refrozen.
+        let mut sibling = TypeArena::with_base(Arc::clone(&base), 1 << 10);
+        sibling.intern(&Type::fun(Type::DYN, Type::BOOL));
+        let other = sibling.freeze();
+        assert!(other.extends(&base));
+        assert!(!refrozen.extends(&other));
+        assert!(!other.extends(&refrozen));
     }
 
     #[test]

@@ -388,7 +388,9 @@ impl Gen {
 /// never change the set of types or coercions a shape interns, so a
 /// pool warmed on [`sources::shapes`] serves any [`sources::mixed`]
 /// batch with **zero** local interning (the base-sharing acceptance
-/// criterion).
+/// criterion). [`sources::drifting`] is the adversarial counterpart:
+/// its hot set *rotates*, introducing new type structure every K
+/// jobs — the workload live base promotion is measured against.
 pub mod sources {
     /// Number of distinct program shapes in the mix.
     pub const SHAPES: usize = 6;
@@ -413,6 +415,80 @@ pub mod sources {
                 render(i % SHAPES, k)
             })
             .collect()
+    }
+
+    /// A *drifting* workload: `n` sources whose hot set rotates every
+    /// `rotate_every` jobs.
+    ///
+    /// Where [`sources::mixed`](mixed) varies only constants (so a
+    /// one-shot warmup covers it forever), `drifting` models the
+    /// traffic a long-lived pool actually sees: every `rotate_every`
+    /// jobs the *type structure* of the hot programs changes. Jobs
+    /// cycle through three shapes — a stable boundary loop (always
+    /// warmup-covered, so base hits never go to zero) and two
+    /// cast-heavy shapes built around a phase-specific arrow tower
+    /// (`drift_type`) — so each rotation forces genuinely new type
+    /// *and* coercion nodes into whichever arena serves it. The
+    /// three-shape cycle is deliberately coprime with the usual
+    /// 2/4-worker pool sizes: round-robin dispatch cannot pin a shape
+    /// to a worker, so *every* worker meets every phase's new nodes —
+    /// exactly the "duplicated N ways" cost that live base promotion
+    /// exists to collapse.
+    ///
+    /// Deterministic in `(seed, n, rotate_every)`; constants still
+    /// come from the same SplitMix64 scramble as [`mixed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rotate_every` is zero.
+    pub fn drifting(seed: u64, n: usize, rotate_every: usize) -> Vec<String> {
+        assert!(rotate_every > 0, "rotate_every must be positive");
+        (0..n)
+            .map(|i| {
+                let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1));
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                let k = ((z >> 33) % 24) as i64 + 1;
+                let phase = i / rotate_every;
+                let ty = drift_type(phase);
+                match i % 3 {
+                    // The stable resident: phase-independent, covered
+                    // by the `shapes()` warmup.
+                    0 => render(0, k),
+                    // A dynamic value cast *into* the phase type: the
+                    // `?` ⇒ tower projection interns one coercion
+                    // spine per phase.
+                    1 => format!("let f = ((fun x => x) : ?) in let g = (f : {ty}) in {k}"),
+                    // A tower-typed identity pushed through `?` and
+                    // back at the *function* type over the tower: a
+                    // deeper coercion spine sharing the phase's type
+                    // nodes.
+                    _ => format!(
+                        "let poly = fun (x : {ty}) => x in \
+                         let d = ((poly : ?) : ({ty}) -> ({ty})) in {k}"
+                    ),
+                }
+            })
+            .collect()
+    }
+
+    /// The phase-`p` hot type: a depth-5 arrow tower whose `Int`/`Bool`
+    /// leaves encode `p + 1` in binary, so consecutive phases (any two
+    /// phases below 63, in fact) differ in at least one leaf — and
+    /// every spine node above a changed leaf is a genuinely new node
+    /// to an arena warmed on earlier phases.
+    fn drift_type(phase: usize) -> String {
+        let bits = phase as u64 + 1;
+        let mut ty = String::from(if bits & 1 == 0 { "Int" } else { "Bool" });
+        for j in 1..=5u64 {
+            let leaf = if (bits >> (j % 6)) & 1 == 0 {
+                "Int"
+            } else {
+                "Bool"
+            };
+            ty = format!("{leaf} -> ({ty})");
+        }
+        ty
     }
 
     /// Renders shape `shape` with loop-bound/offset constant `k`

@@ -2,9 +2,10 @@
 //!
 //! Builds a [`SessionPool`] warmed on one representative per program
 //! shape, serves a 128-program mixed workload across the workers, and
-//! prints what the two-tier sharing model bought: every worker's
-//! arenas stay at **zero** locally interned nodes — the whole warm
-//! working set lives in the `Arc`-shared read-only base — while
+//! prints what the epoch lifecycle's serve phase bought: every
+//! worker's arenas stay at **zero** locally interned nodes — the
+//! whole warm working set lives in the `Arc`-shared read-only base,
+//! and the base never needs to move past its warmup epoch — while
 //! outcomes (values, blame, fuel exhaustion) are exactly what a
 //! single-threaded session would produce.
 //!
@@ -73,8 +74,12 @@ fn main() {
     println!("{stats}");
     assert_eq!(stats.local_coercion_nodes(), 0);
     assert_eq!(stats.local_type_nodes(), 0);
+    // Covered traffic never trips the promoter: the pool serves its
+    // warmup epoch for its whole life.
+    assert_eq!(stats.epoch, 1);
+    assert_eq!(stats.promotions, 0);
     println!(
         "zero nodes interned past the base by any worker — the warm working set \
-         is shared, not copied."
+         is shared, not copied — and the base never left epoch 1."
     );
 }

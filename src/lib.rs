@@ -89,7 +89,8 @@ pub mod pool;
 pub mod session;
 
 pub use pool::{
-    CompiledProgram, JobError, JobHandle, JobOutput, PoolStats, SessionPool, SessionPoolBuilder,
+    CompiledProgram, JobError, JobHandle, JobOutput, PoolStats, PromotionPolicy, SessionPool,
+    SessionPoolBuilder, WorkerStats,
 };
 pub use session::{
     AdoptError, Engine, FrozenBase, Program, RunError, RunReport, Session, SessionBuilder,

@@ -1,5 +1,5 @@
-//! Parallel serving: a multi-threaded [`SessionPool`] over a shared
-//! [`FrozenBase`].
+//! Parallel serving: a multi-threaded [`SessionPool`] over an
+//! epoch-managed [`FrozenBase`].
 //!
 //! Everything below the session layer is deliberately
 //! single-threaded — `Rc` trees, `RefCell` arenas, `&mut` caches —
@@ -17,23 +17,56 @@
 //!   worker thread owns a private, completely unsynchronised
 //!   [`Session`] layered over the base. Lookups consult the base
 //!   first; only genuinely new nodes are interned locally, with ids
-//!   offset past the base.
+//!   offset past the base;
+//! * **live base promotion** ([`PromotionPolicy`]): when traffic
+//!   *drifts* past what the warmup predicted, the base does not stay
+//!   stale forever — the fattest overlay is re-frozen (freezing
+//!   flattens base + overlay, preserving every base id verbatim) and
+//!   published as a new **epoch** that every worker adopts at its next
+//!   job boundary.
 //!
-//! The measured warm working set is tiny (report E22: ≤ 16 type
-//! nodes, ≤ 10 compose pairs at ≥ 0.999 hit rates), so the base tier
-//! captures nearly everything structurally-similar traffic needs:
-//! a warmed pool's workers intern **zero** local nodes on such
-//! workloads (asserted by test), and every worker starts as warm as
-//! the session that served the warmup.
+//! # The epoch lifecycle
 //!
-//! # When to freeze
+//! A pool's base moves through five phases:
 //!
-//! Freeze once, after warmup, before spawning workers —
-//! [`SessionPoolBuilder::warmup`] does exactly this (compile each
-//! warmup source, run it on the λS machine to warm the compose pairs,
-//! then freeze). Re-freezing is how the base *evolves*: build a new
-//! pool over `Session::freeze` of a session warmed on yesterday's
-//! traffic. The base never mutates while workers hold it.
+//! 1. **warmup** — [`SessionPoolBuilder::warmup`] compiles (and
+//!    briefly runs) representative sources into one session, then
+//!    freezes it: epoch 1.
+//! 2. **serve** — workers run private overlay sessions over the
+//!    current epoch's base. Traffic the base covers interns nothing;
+//!    drifted traffic interns into per-worker overlays, duplicated
+//!    once per worker that meets it.
+//! 3. **promote** — each worker, at job boundaries, checks its own
+//!    overlay against the pool's [`PromotionPolicy`] (overlay size,
+//!    base-miss rate, a job interval). The worker holding the
+//!    *fattest* overlay re-freezes its session — base ids are
+//!    preserved verbatim, so the new snapshot [`FrozenBase::extends`]
+//!    the old one and every outstanding id and compiled payload stays
+//!    valid. The warmup's [`CompiledProgram`]s are re-validated
+//!    against the new snapshot's watermarks before it is published.
+//! 4. **hot-swap** — the new epoch is published through an
+//!    `ArcSwap`-shaped cell (`EpochBase`): an atomic epoch counter
+//!    over a mutex-guarded `Arc<FrozenBase>`. Readers pay one atomic
+//!    load per job; only an actual epoch change takes the lock (for
+//!    one `Arc` clone — never a torn base). Publication never pauses
+//!    job intake: [`SessionPool::submit`] touches only its target
+//!    queue.
+//! 5. **drain** — workers pick the new epoch up at their next job
+//!    boundary, rebuilding their overlays over the fatter base (the
+//!    nodes they had interned locally are now base nodes). The old
+//!    epoch's `Arc` drops reference by reference and frees itself;
+//!    nothing blocks on it.
+//!
+//! # Work-stealing queues
+//!
+//! Jobs are dispatched round-robin to **per-worker deques**; an idle
+//! worker first drains its own queue, then steals from the back of
+//! the longest sibling queue. There is no global queue lock on the
+//! per-job hot path — the deque mutexes are held for a push or a pop,
+//! and contention only appears when a thief and its victim touch the
+//! same deque. [`PoolStats`] reports `steals` and live
+//! [`queue depths`](SessionPool::queue_depths) (the backpressure
+//! signal for load-shedding callers).
 //!
 //! # Id-offset contract
 //!
@@ -44,19 +77,31 @@
 //! local ids must never travel between workers — which the API
 //! enforces by keeping [`Program`](crate::Program) handles inside the
 //! worker that compiled them and returning only `Send` observations.
+//! Promotion respects the contract by construction: an epoch N+1 base
+//! is always an *extension* of epoch N (checked by
+//! [`FrozenBase::extends`] in debug builds before every publish).
 //!
 //! # Compiled jobs
 //!
 //! The one payload that *may* travel is a [`CompiledProgram`]: the
 //! warmup's interned λB term plus its type id, compiled **before**
 //! the freeze, so every id it references is below the base watermarks
-//! and denotes the same node in every worker. [`SessionPool::submit`]
-//! upgrades any submission whose source text exactly matches a warmup
-//! source to this path automatically ([`SessionPool::submit_compiled`]
-//! is the explicit form); the serving worker
-//! [`Session::load_compiled`]s the term — no lexing, no parsing, no
-//! elaboration — and caches the lowered program locally, so repeats
-//! are pure lookups.
+//! and denotes the same node in every worker — in epoch 1 and, by the
+//! extension property, in every later epoch (each serve re-checks the
+//! payload's watermarks against its epoch's ancestry before taking
+//! the no-recheck load path). [`SessionPool::submit`] upgrades any
+//! submission whose source text exactly matches a warmup source to
+//! this path automatically ([`SessionPool::submit_compiled`] is the
+//! explicit form).
+//!
+//! # Worker failure
+//!
+//! A panic while serving a job is caught in the worker loop: the job
+//! resolves to [`JobError::WorkerPanicked`], the worker's session is
+//! retired (its counters fold into [`PoolStats`], so accounting stays
+//! monotone), and the worker respawns itself over the **current**
+//! epoch. Jobs already queued behind the panic are either stolen by
+//! siblings or served by the replacement.
 //!
 //! # Example
 //!
@@ -78,16 +123,21 @@
 //! let stats = pool.shutdown();
 //! assert_eq!(stats.jobs(), 8);
 //! // The warmup covered the workload's shapes: no worker interned
-//! // a single coercion or type past the shared base.
+//! // a single coercion or type past the shared base, and the base
+//! // never needed to move past its warmup epoch.
 //! assert_eq!(stats.local_coercion_nodes(), 0);
 //! assert_eq!(stats.local_type_nodes(), 0);
+//! assert_eq!(stats.epoch, 1);
+//! assert_eq!(stats.promotions, 0);
 //! ```
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
-use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use bc_gtlc::Diagnostic;
 use bc_lambda_b::BTerm;
@@ -96,6 +146,16 @@ use bc_syntax::TypeId;
 use bc_translate::bisim::Observation;
 
 use crate::session::{Engine, FrozenBase, RunError, Session, SessionBuilder, SessionStats};
+
+/// Locks a mutex, shrugging off poisoning: every structure the pool
+/// guards this way (slots, queues, the epoch cell, join handles) is
+/// valid after any panic — panics are caught at the serve boundary and
+/// the panicking worker's state is retired wholesale.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// What a completed pool job returns: the observation plus the run
 /// accounting, all `Send` (no arena ids, no term trees).
@@ -108,8 +168,8 @@ pub struct JobOutput {
     /// Machine space metrics (machine engines only).
     pub metrics: Option<Metrics>,
     /// Index of the worker that served the job (for observability;
-    /// jobs are claimed from a shared queue, so the assignment is
-    /// load-dependent).
+    /// jobs are dispatched round-robin and stolen by idle workers, so
+    /// the assignment is load-dependent).
     pub worker: usize,
     /// Whether the job travelled as a compiled program (the warmup's
     /// interned λB term) rather than source text — `true` means the
@@ -127,11 +187,24 @@ pub struct JobOutput {
 /// not travel: its `Rc` spine is `!Send` because atomic refcounts
 /// would tax every machine step; see `bc_core::sterm`.) `Send + Sync`
 /// by construction: the λB spine is `Arc`, the ids plain integers.
+///
+/// The payload also carries its *provenance* — the warmup session's
+/// identity and the arena watermarks at compile time — which is what
+/// keeps the no-recheck path honest across base promotions: before
+/// trusting the ids, a serving worker asks its current epoch's base
+/// whether it inherits that provenance (epoch N+1 extends epoch N, so
+/// the answer stays yes; a `false` falls back to compiling the
+/// bundled source).
 #[derive(Debug, Clone)]
 pub struct CompiledProgram {
     source: String,
     term: BTerm,
     ty: TypeId,
+    /// Compiling session id + (coercion, type) watermarks — the
+    /// [`FrozenBase::inherits`] query key.
+    session: u64,
+    coercion_watermark: usize,
+    type_watermark: usize,
 }
 
 impl CompiledProgram {
@@ -139,6 +212,13 @@ impl CompiledProgram {
     /// [`SessionPool::submit`] uses to upgrade matching submissions).
     pub fn source(&self) -> &str {
         &self.source
+    }
+
+    /// Whether a base snapshot carries every id this payload
+    /// references — true for the epoch the warmup froze and, because
+    /// promotion only extends bases, for every epoch after it.
+    fn valid_against(&self, base: &FrozenBase) -> bool {
+        base.inherits(self.session, self.coercion_watermark, self.type_watermark)
     }
 }
 
@@ -150,6 +230,10 @@ pub enum JobError {
     /// The program compiled but the run errored (fuel exhaustion or a
     /// loaded term's type lie) — same payload as [`Session::run`].
     Run(RunError),
+    /// The worker serving this job panicked mid-serve. The panic was
+    /// caught, the worker retired and respawned over the current
+    /// epoch, and the pool keeps serving — only this job is affected.
+    WorkerPanicked,
     /// The pool shut down (or a worker died) before answering; the
     /// job may or may not have executed.
     Lost,
@@ -160,6 +244,9 @@ impl fmt::Display for JobError {
         match self {
             JobError::Compile(d) => write!(f, "compile error: {}", d.message),
             JobError::Run(e) => write!(f, "run error: {e}"),
+            JobError::WorkerPanicked => {
+                f.write_str("worker panicked while serving the job (worker respawned)")
+            }
             JobError::Lost => f.write_str("job lost: the pool shut down before answering"),
         }
     }
@@ -198,6 +285,7 @@ impl JobHandle {
 /// What a job asks a worker to execute: source text (parsed and
 /// elaborated by the worker) or an already-compiled program (loaded
 /// straight into the worker's session — the no-re-parse path).
+#[derive(Debug)]
 enum JobSpec {
     /// Source text; the worker compiles it (consulting its local
     /// program cache first, so a repeated source parses once per
@@ -206,6 +294,10 @@ enum JobSpec {
     /// A warmup-compiled program shipped by reference; the worker
     /// loads the interned term without ever seeing the source.
     Compiled(Arc<CompiledProgram>),
+    /// Deliberate fault injection: serving this job panics inside the
+    /// worker. Test-only ([`SessionPool::submit_poison`]); exercises
+    /// the catch-unwind + respawn path.
+    Poison,
 }
 
 impl JobSpec {
@@ -215,12 +307,14 @@ impl JobSpec {
         match self {
             JobSpec::Source(s) => s,
             JobSpec::Compiled(p) => &p.source,
+            JobSpec::Poison => "\u{22a5}poison",
         }
     }
 }
 
-/// A unit of work travelling the queue: the spec plus run options,
-/// with the reply channel riding along.
+/// A unit of work travelling a queue: the spec plus run options, with
+/// the reply channel riding along.
+#[derive(Debug)]
 struct Job {
     spec: JobSpec,
     engine: Engine,
@@ -228,31 +322,267 @@ struct Job {
     reply: mpsc::Sender<Result<JobOutput, JobError>>,
 }
 
+/// When (if ever) a pool promotes a worker overlay into a new base
+/// epoch. All three gates must pass on the *same* worker at a job
+/// boundary; the worker must also hold the fattest overlay in the
+/// pool at that moment (promotion freezes *one* overlay — freezing
+/// the fattest one retires the most duplicated-interning debt at
+/// once).
+///
+/// # Default rationale (measured)
+///
+/// * `min_local_nodes` = **64**: the *entire* warm working set of the
+///   six-shape bench workload freezes to well under this (report E22
+///   measures ≤ 16 type nodes and ≤ 10 compose pairs live at ≥ 0.999
+///   hit rates; the full warmup base is ~100 nodes of each kind).
+///   An overlay that has grown 64 nodes past such a base is not
+///   noise — the hot set has structurally moved.
+/// * `min_miss_rate` = **0.02**: the pool's steady-state acceptance
+///   bar is a ≥ 0.99 coercion base-hit rate (E23 asserts 1.000 on
+///   covered traffic), so a session-lifetime miss rate of 2% is twice
+///   the healthy ceiling — drift, not jitter.
+/// * `min_interval_jobs` = **256**: a freeze clones both frozen
+///   tables — O(base) work, sub-millisecond at measured base sizes
+///   but not free — and a fresh epoch needs traffic to prove itself
+///   before being re-judged. 256 jobs amortises the freeze below the
+///   cost of one job's parse and keeps a pathological workload (a hot
+///   set rotating every job) from thrashing epochs.
+///
+/// Promotion is enabled by default with these settings; they are
+/// deliberately conservative — a pool whose warmup covers its traffic
+/// never promotes (the bench-suite pools all stay at epoch 1).
+/// Tighten them (or promote on an interval of 1) in tests and drills;
+/// disable promotion entirely with
+/// [`SessionPoolBuilder::no_promotion`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PromotionPolicy {
+    /// Minimum nodes (coercion + type) a worker's overlay must hold.
+    pub min_local_nodes: usize,
+    /// Minimum fraction of the worker session's coercion-intern
+    /// probes *not* answered by the base (`1 - base hit rate`).
+    pub min_miss_rate: f64,
+    /// Minimum jobs served pool-wide since the last promotion (or
+    /// since startup).
+    pub min_interval_jobs: u64,
+}
+
+impl Default for PromotionPolicy {
+    fn default() -> PromotionPolicy {
+        PromotionPolicy {
+            min_local_nodes: 64,
+            min_miss_rate: 0.02,
+            min_interval_jobs: 256,
+        }
+    }
+}
+
+/// The hot-swap cell: an `ArcSwap`-shaped pairing of an atomic epoch
+/// counter with a mutex-guarded `Arc<FrozenBase>` (hand-rolled — the
+/// build is offline and the pool needs exactly one operation pattern:
+/// read-mostly, swap-rarely).
+///
+/// Readers cache the `(epoch, Arc)` pair and pay **one atomic load**
+/// per job boundary ([`EpochBase::refresh`]); only an actual epoch
+/// change takes the lock, for the duration of one `Arc` clone. The
+/// epoch counter is only ever advanced while the lock is held and the
+/// pair is only ever read together under the same lock, so a reader
+/// can never observe a torn base (an epoch number paired with some
+/// other epoch's snapshot). Old epochs are not tracked: when the last
+/// worker session over a superseded base is rebuilt, the `Arc` count
+/// reaches zero and the snapshot frees itself — the drain phase costs
+/// nothing.
+#[derive(Debug)]
+struct EpochBase {
+    /// Monotone epoch number; starts at 1 for the warmup base.
+    epoch: AtomicU64,
+    current: Mutex<Arc<FrozenBase>>,
+}
+
+impl EpochBase {
+    fn new(base: Arc<FrozenBase>) -> EpochBase {
+        EpochBase {
+            epoch: AtomicU64::new(1),
+            current: Mutex::new(base),
+        }
+    }
+
+    /// The current epoch number (one atomic load).
+    fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// The current `(epoch, base)` pair, read consistently under the
+    /// cell's lock.
+    fn load(&self) -> (u64, Arc<FrozenBase>) {
+        let guard = lock(&self.current);
+        (self.epoch.load(Ordering::Acquire), Arc::clone(&guard))
+    }
+
+    /// `Some((epoch, base))` if the epoch has moved past `seen`; the
+    /// no-change fast path is a single atomic load, no lock.
+    fn refresh(&self, seen: u64) -> Option<(u64, Arc<FrozenBase>)> {
+        if self.epoch.load(Ordering::Acquire) == seen {
+            return None;
+        }
+        Some(self.load())
+    }
+
+    /// Publishes `base` as the next epoch, returning its number.
+    fn publish(&self, base: Arc<FrozenBase>) -> u64 {
+        let mut guard = lock(&self.current);
+        *guard = base;
+        let next = self.epoch.load(Ordering::Relaxed) + 1;
+        self.epoch.store(next, Ordering::Release);
+        next
+    }
+}
+
+/// One worker's job deque plus the condvar its owner parks on.
+#[derive(Debug, Default)]
+struct WorkerQueue {
+    deque: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+}
+
+/// Counters that outlive a worker's current session: every time a
+/// session is retired (epoch adoption or panic recovery) its tier and
+/// probe counters are folded in here, so the pool's accounting stays
+/// monotone across rebuilds — "total overlay nodes interned" means
+/// exactly that, not "nodes the *current* sessions happen to hold".
+#[derive(Debug, Clone, Copy, Default)]
+struct RetiredTotals {
+    sessions: u64,
+    local_coercion_nodes: u64,
+    local_type_nodes: u64,
+    coercion_base_hits: u64,
+    coercion_probes: u64,
+    compose_base_hits: u64,
+    compose_probes: u64,
+    programs: u64,
+}
+
+impl RetiredTotals {
+    fn absorb(&mut self, stats: &SessionStats) {
+        self.sessions += 1;
+        self.local_coercion_nodes += stats.tier.local_coercion_nodes as u64;
+        self.local_type_nodes += stats.tier.local_type_nodes as u64;
+        self.coercion_base_hits += stats.coercions.base_hits;
+        self.coercion_probes += stats.coercions.node_hits + stats.coercions.node_misses;
+        self.compose_base_hits += stats.compose.base_hits;
+        self.compose_probes += stats.compose.hits + stats.compose.misses;
+        self.programs += stats.programs as u64;
+    }
+}
+
 /// One worker's published counters (refreshed after every job).
 #[derive(Debug, Clone, Copy, Default)]
 struct WorkerSlot {
     jobs: u64,
+    steals: u64,
+    panics: u64,
+    dead: bool,
     stats: Option<SessionStats>,
+    retired: RetiredTotals,
 }
 
 /// A snapshot of one worker's accounting.
 #[derive(Debug, Clone, Copy)]
 pub struct WorkerStats {
-    /// The worker's index (stable for the pool's lifetime).
+    /// The worker's index (stable for the pool's lifetime, across
+    /// respawns).
     pub worker: usize,
-    /// Jobs this worker has completed.
+    /// Jobs this worker has completed (including jobs that resolved
+    /// to [`JobError::WorkerPanicked`]).
     pub jobs: u64,
-    /// The worker session's consolidated stats — including
-    /// [`SessionStats::tier`], which proves (or disproves) base-tier
-    /// sharing per worker. `None` until the worker serves its first
-    /// job.
+    /// Jobs this worker claimed from a sibling's queue.
+    pub steals: u64,
+    /// Serve panics caught on this worker (each retired the session
+    /// and respawned the worker).
+    pub panics: u64,
+    /// Whether the worker is currently dead (its thread exited after
+    /// a panic and no replacement has started yet — transiently true
+    /// during a respawn, or permanently if the pool is shutting
+    /// down).
+    pub dead: bool,
+    /// Jobs waiting in this worker's queue at snapshot time.
+    pub queue_depth: usize,
+    /// The worker's *current* session's consolidated stats — `None`
+    /// until the session serves its first job (including right after
+    /// an epoch adoption rebuilds it). Counters for retired sessions
+    /// live on in the accessor methods below.
     pub session: Option<SessionStats>,
+    retired: RetiredTotals,
+}
+
+impl WorkerStats {
+    /// Sessions this worker has retired (epoch adoptions + panic
+    /// recoveries).
+    pub fn sessions_retired(&self) -> u64 {
+        self.retired.sessions
+    }
+
+    /// Coercion nodes this worker has interned past its base,
+    /// cumulative across every session it has run.
+    pub fn local_coercion_nodes(&self) -> u64 {
+        self.retired.local_coercion_nodes
+            + self
+                .session
+                .map_or(0, |s| s.tier.local_coercion_nodes as u64)
+    }
+
+    /// Type nodes this worker has interned past its base, cumulative
+    /// across every session it has run.
+    pub fn local_type_nodes(&self) -> u64 {
+        self.retired.local_type_nodes + self.session.map_or(0, |s| s.tier.local_type_nodes as u64)
+    }
+
+    /// Cumulative coercion-intern probes answered by a frozen base.
+    pub fn coercion_base_hits(&self) -> u64 {
+        self.retired.coercion_base_hits + self.session.map_or(0, |s| s.coercions.base_hits)
+    }
+
+    /// Cumulative coercion-intern probes (hits + misses, either
+    /// tier).
+    pub fn coercion_probes(&self) -> u64 {
+        self.retired.coercion_probes
+            + self
+                .session
+                .map_or(0, |s| s.coercions.node_hits + s.coercions.node_misses)
+    }
+
+    /// Cumulative compositions answered by a frozen pair table.
+    pub fn compose_base_hits(&self) -> u64 {
+        self.retired.compose_base_hits + self.session.map_or(0, |s| s.compose.base_hits)
+    }
+
+    /// Cumulative composition lookups (hits + misses).
+    pub fn compose_probes(&self) -> u64 {
+        self.retired.compose_probes
+            + self
+                .session
+                .map_or(0, |s| s.compose.hits + s.compose.misses)
+    }
+
+    /// Programs lowered on this worker, cumulative across sessions.
+    pub fn programs_lowered(&self) -> u64 {
+        self.retired.programs + self.session.map_or(0, |s| s.programs as u64)
+    }
 }
 
 /// Aggregated pool accounting: per-worker stats plus the sharing
-/// roll-ups the acceptance tests assert on.
+/// roll-ups the acceptance tests assert on. All counters are
+/// *cumulative across epochs*: retiring a session (promotion
+/// adoption, panic recovery) folds its counters into its worker's
+/// totals rather than dropping them.
 #[derive(Debug, Clone)]
 pub struct PoolStats {
+    /// The current base epoch (1 = the warmup base; +1 per
+    /// promotion).
+    pub epoch: u64,
+    /// Overlay-to-base promotions published so far.
+    pub promotions: u64,
+    /// Workers respawned after a caught serve panic.
+    pub respawns: u64,
     /// Per-worker snapshots, indexed by worker.
     pub workers: Vec<WorkerStats>,
 }
@@ -263,42 +593,55 @@ impl PoolStats {
         self.workers.iter().map(|w| w.jobs).sum()
     }
 
-    /// Coercion nodes interned *past the base*, summed over workers.
-    /// Zero means the frozen base absorbed every coercion the whole
-    /// pool ever needed.
-    pub fn local_coercion_nodes(&self) -> usize {
-        self.sessions().map(|s| s.tier.local_coercion_nodes).sum()
+    /// Jobs claimed from a sibling's queue, summed over workers.
+    pub fn steals(&self) -> u64 {
+        self.workers.iter().map(|w| w.steals).sum()
     }
 
-    /// Type nodes interned past the base, summed over workers.
-    pub fn local_type_nodes(&self) -> usize {
-        self.sessions().map(|s| s.tier.local_type_nodes).sum()
+    /// Per-worker queue depths at snapshot time (same order as
+    /// [`PoolStats::workers`]).
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.workers.iter().map(|w| w.queue_depth).collect()
+    }
+
+    /// Coercion nodes interned *past the base*, summed over workers
+    /// and cumulative across epochs. Zero means the frozen base
+    /// absorbed every coercion the whole pool ever needed.
+    pub fn local_coercion_nodes(&self) -> u64 {
+        self.workers.iter().map(|w| w.local_coercion_nodes()).sum()
+    }
+
+    /// Type nodes interned past the base, summed over workers and
+    /// cumulative across epochs.
+    pub fn local_type_nodes(&self) -> u64 {
+        self.workers.iter().map(|w| w.local_type_nodes()).sum()
+    }
+
+    /// Coercion-intern probes answered by a frozen base, summed over
+    /// workers (cumulative across epochs).
+    pub fn coercion_base_hits(&self) -> u64 {
+        self.workers.iter().map(|w| w.coercion_base_hits()).sum()
+    }
+
+    /// Coercion-intern probes issued, summed over workers (cumulative
+    /// across epochs).
+    pub fn coercion_probes(&self) -> u64 {
+        self.workers.iter().map(|w| w.coercion_probes()).sum()
     }
 
     /// Fraction of coercion-intern probes answered by the frozen base
-    /// index, across all workers (1.0 = every probe hit the base).
+    /// index, across all workers and epochs (1.0 = every probe hit a
+    /// base).
     pub fn coercion_base_hit_rate(&self) -> f64 {
-        let base: u64 = self.sessions().map(|s| s.coercions.base_hits).sum();
-        let total: u64 = self
-            .sessions()
-            .map(|s| s.coercions.node_hits + s.coercions.node_misses)
-            .sum();
-        base as f64 / total.max(1) as f64
+        self.coercion_base_hits() as f64 / self.coercion_probes().max(1) as f64
     }
 
-    /// Fraction of compositions answered by the frozen pair table,
-    /// across all workers.
+    /// Fraction of compositions answered by a frozen pair table,
+    /// across all workers and epochs.
     pub fn compose_base_hit_rate(&self) -> f64 {
-        let base: u64 = self.sessions().map(|s| s.compose.base_hits).sum();
-        let total: u64 = self
-            .sessions()
-            .map(|s| s.compose.hits + s.compose.misses)
-            .sum();
+        let base: u64 = self.workers.iter().map(|w| w.compose_base_hits()).sum();
+        let total: u64 = self.workers.iter().map(|w| w.compose_probes()).sum();
         base as f64 / total.max(1) as f64
-    }
-
-    fn sessions(&self) -> impl Iterator<Item = &SessionStats> {
-        self.workers.iter().filter_map(|w| w.session.as_ref())
     }
 }
 
@@ -306,29 +649,35 @@ impl fmt::Display for PoolStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{} jobs across {} workers; {} local coercion nodes, {} local type nodes; \
+            "{} jobs across {} workers (epoch {}, {} promotions, {} steals, \
+             {} respawns); {} local coercion nodes, {} local type nodes; \
              base hit rates: {:.3} interning / {:.3} compose",
             self.jobs(),
             self.workers.len(),
+            self.epoch,
+            self.promotions,
+            self.steals(),
+            self.respawns,
             self.local_coercion_nodes(),
             self.local_type_nodes(),
             self.coercion_base_hit_rate(),
             self.compose_base_hit_rate(),
         )?;
         for w in &self.workers {
-            match &w.session {
-                Some(s) => writeln!(
-                    f,
-                    "  worker {}: {} jobs, {} local coercions, {} local types, \
-                     {} base intern hits",
-                    w.worker,
-                    w.jobs,
-                    s.tier.local_coercion_nodes,
-                    s.tier.local_type_nodes,
-                    s.tier.coercion_base_hits + s.tier.type_base_hits,
-                )?,
-                None => writeln!(f, "  worker {}: idle", w.worker)?,
-            }
+            writeln!(
+                f,
+                "  worker {}: {} jobs ({} stolen), {} local coercions, {} local types, \
+                 {} base intern hits, {} sessions retired, queue {}{}",
+                w.worker,
+                w.jobs,
+                w.steals,
+                w.local_coercion_nodes(),
+                w.local_type_nodes(),
+                w.coercion_base_hits(),
+                w.sessions_retired(),
+                w.queue_depth,
+                if w.dead { " [dead]" } else { "" },
+            )?;
         }
         Ok(())
     }
@@ -343,6 +692,7 @@ pub struct SessionPoolBuilder {
     default_fuel: u64,
     warmup: Vec<String>,
     base: Option<Arc<FrozenBase>>,
+    promotion: Option<PromotionPolicy>,
 }
 
 impl Default for SessionPoolBuilder {
@@ -354,6 +704,7 @@ impl Default for SessionPoolBuilder {
             default_fuel: SessionBuilder::DEFAULT_FUEL,
             warmup: Vec::new(),
             base: None,
+            promotion: Some(PromotionPolicy::default()),
         }
     }
 }
@@ -394,9 +745,9 @@ impl SessionPoolBuilder {
 
     /// Sources compiled — and run on the λS machine, to warm the
     /// composition pairs — into the warmup session whose frozen state
-    /// becomes the workers' shared base. Pick representatives of the
-    /// traffic the pool will serve: shapes the warmup covered cost
-    /// the workers zero local interning.
+    /// becomes the workers' shared base (epoch 1). Pick
+    /// representatives of the traffic the pool will serve: shapes the
+    /// warmup covered cost the workers zero local interning.
     pub fn warmup<I, S>(mut self, sources: I) -> SessionPoolBuilder
     where
         I: IntoIterator<Item = S>,
@@ -412,6 +763,22 @@ impl SessionPoolBuilder {
     /// warm state.
     pub fn base(mut self, base: Arc<FrozenBase>) -> SessionPoolBuilder {
         self.base = Some(base);
+        self
+    }
+
+    /// Sets the live-promotion policy (see [`PromotionPolicy`] for
+    /// the default and its rationale).
+    pub fn promotion(mut self, policy: PromotionPolicy) -> SessionPoolBuilder {
+        self.promotion = Some(policy);
+        self
+    }
+
+    /// Disables live base promotion: the pool serves its warmup epoch
+    /// forever, and drifted traffic interns per worker, duplicated —
+    /// the pre-promotion behaviour, kept for comparison benches and
+    /// for bases managed externally.
+    pub fn no_promotion(mut self) -> SessionPoolBuilder {
+        self.promotion = None;
         self
     }
 
@@ -462,97 +829,347 @@ impl SessionPoolBuilder {
             // Keep the compiled form: every id it references is about
             // to be frozen into the base, so workers can load it
             // without re-parsing (`SessionPool::submit_compiled`).
+            let (session, coercion_watermark, type_watermark) = program.provenance();
             compiled.insert(
                 source.clone(),
                 Arc::new(CompiledProgram {
                     source: source.clone(),
                     term: program.lambda_b_compiled().clone(),
                     ty: program.ty_id(),
+                    session,
+                    coercion_watermark,
+                    type_watermark,
                 }),
             );
         }
         let base = warm.freeze();
+        debug_assert!(
+            compiled.values().all(|p| p.valid_against(&base)),
+            "warmup payloads must be carried by the warmup's own freeze"
+        );
 
-        let (tx, rx) = mpsc::channel::<Job>();
-        let rx = Arc::new(Mutex::new(rx));
-        let slots: Arc<Vec<Mutex<WorkerSlot>>> = Arc::new(
-            (0..self.workers)
+        let shared = Arc::new(PoolShared {
+            epoch: EpochBase::new(base),
+            queues: (0..self.workers).map(|_| WorkerQueue::default()).collect(),
+            slots: (0..self.workers)
                 .map(|_| Mutex::new(WorkerSlot::default()))
                 .collect(),
-        );
-        let handles = (0..self.workers)
-            .map(|index| {
-                let rx = Arc::clone(&rx);
-                let slots = Arc::clone(&slots);
-                let base = Arc::clone(&base);
-                let (compose, memo, fuel) = (
-                    self.compose_cache_capacity,
-                    self.type_memo_capacity,
-                    self.default_fuel,
-                );
-                std::thread::Builder::new()
-                    .name(format!("bc-pool-worker-{index}"))
-                    .spawn(move || worker_loop(index, rx, slots, base, compose, memo, fuel))
-                    .expect("spawn pool worker")
-            })
-            .collect();
+            handles: Mutex::new((0..self.workers).map(|_| None).collect()),
+            open: AtomicBool::new(true),
+            promoting: AtomicBool::new(false),
+            promotions: AtomicU64::new(0),
+            respawns: AtomicU64::new(0),
+            jobs_since_promotion: AtomicU64::new(0),
+            policy: self.promotion,
+            compiled_provenance: compiled
+                .values()
+                .map(|p| (p.session, p.coercion_watermark, p.type_watermark))
+                .collect(),
+            compose_cache_capacity: self.compose_cache_capacity,
+            type_memo_capacity: self.type_memo_capacity,
+            default_fuel: self.default_fuel,
+        });
+        for index in 0..self.workers {
+            let handle = shared.spawn_worker(index);
+            lock(&shared.handles)[index] = Some(handle);
+        }
         Ok(SessionPool {
-            tx: Some(tx),
-            handles,
-            slots,
-            base,
+            shared,
+            next: AtomicUsize::new(0),
             compiled,
             default_fuel: self.default_fuel,
         })
     }
 }
 
-/// One worker: a private overlay [`Session`] over the shared base,
-/// draining the common queue until the pool closes it.
-fn worker_loop(
-    index: usize,
-    rx: Arc<Mutex<mpsc::Receiver<Job>>>,
-    slots: Arc<Vec<Mutex<WorkerSlot>>>,
-    base: Arc<FrozenBase>,
+/// Everything the workers and the pool handle share: the epoch cell,
+/// the per-worker queues and slots, the promotion machinery, and the
+/// session configuration respawns and rebuilds need.
+#[derive(Debug)]
+struct PoolShared {
+    epoch: EpochBase,
+    queues: Vec<WorkerQueue>,
+    slots: Vec<Mutex<WorkerSlot>>,
+    /// Worker join handles, indexed by worker; a dying worker writes
+    /// its replacement's handle over its own before exiting.
+    handles: Mutex<Vec<Option<JoinHandle<()>>>>,
+    /// False once shutdown starts: no new jobs, no respawns; workers
+    /// drain every queue and exit.
+    open: AtomicBool,
+    /// Serialises promotions (freeze + validate + publish); never
+    /// blocks submit or serving — a worker that loses the race just
+    /// keeps serving and adopts the winner's epoch.
+    promoting: AtomicBool,
+    promotions: AtomicU64,
+    respawns: AtomicU64,
+    jobs_since_promotion: AtomicU64,
+    policy: Option<PromotionPolicy>,
+    /// Provenance of every warmup [`CompiledProgram`], re-validated
+    /// against each candidate epoch before it is published.
+    compiled_provenance: Vec<(u64, usize, usize)>,
     compose_cache_capacity: usize,
     type_memo_capacity: usize,
     default_fuel: u64,
-) {
-    let session = Session::builder()
-        .base(base)
-        .compose_cache_capacity(compose_cache_capacity)
-        .type_memo_capacity(type_memo_capacity)
-        .default_fuel(default_fuel)
-        .build();
+}
+
+/// How long an idle worker parks before re-scanning sibling queues —
+/// the steal-latency and lost-wakeup backstop (submits notify the
+/// target worker directly; the timeout only matters when work lands
+/// on a *busy* worker's queue while this one sleeps).
+const IDLE_PARK: Duration = Duration::from_millis(1);
+
+impl PoolShared {
+    fn build_session(&self, base: Arc<FrozenBase>) -> Session {
+        Session::builder()
+            .base(base)
+            .compose_cache_capacity(self.compose_cache_capacity)
+            .type_memo_capacity(self.type_memo_capacity)
+            .default_fuel(self.default_fuel)
+            .build()
+    }
+
+    fn spawn_worker(self: &Arc<Self>, index: usize) -> JoinHandle<()> {
+        let shared = Arc::clone(self);
+        std::thread::Builder::new()
+            .name(format!("bc-pool-worker-{index}"))
+            .spawn(move || worker_loop(index, shared))
+            .expect("spawn pool worker")
+    }
+
+    /// Claims the next job for `index`: own queue front, else steal
+    /// from the back of the longest sibling queue, else park. `None`
+    /// means the pool is closed and every queue has drained.
+    fn next_job(&self, index: usize) -> Option<Job> {
+        let mine = &self.queues[index];
+        loop {
+            if let Some(job) = lock(&mine.deque).pop_front() {
+                return Some(job);
+            }
+            if let Some(job) = self.steal(index) {
+                return Some(job);
+            }
+            if !self.open.load(Ordering::Acquire) {
+                // Drain semantics: exit only once nothing is claimable
+                // anywhere (a sibling may still be *serving*, but its
+                // unclaimed jobs are visible in its queue).
+                if self.queues.iter().all(|q| lock(&q.deque).is_empty()) {
+                    return None;
+                }
+                continue;
+            }
+            let guard = lock(&mine.deque);
+            if !guard.is_empty() {
+                continue;
+            }
+            let (mut guard, _) = mine
+                .ready
+                .wait_timeout(guard, IDLE_PARK)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            if let Some(job) = guard.pop_front() {
+                return Some(job);
+            }
+        }
+    }
+
+    /// Steals one job from the back of the longest sibling queue.
+    fn steal(&self, thief: usize) -> Option<Job> {
+        let mut victim: Option<(usize, usize)> = None;
+        for (i, q) in self.queues.iter().enumerate() {
+            if i == thief {
+                continue;
+            }
+            let depth = lock(&q.deque).len();
+            if depth > 0 && victim.is_none_or(|(_, best)| depth > best) {
+                victim = Some((i, depth));
+            }
+        }
+        let (victim, _) = victim?;
+        let job = lock(&self.queues[victim].deque).pop_back();
+        if job.is_some() {
+            lock(&self.slots[thief]).steals += 1;
+        }
+        job
+    }
+
+    /// Publishes a completed job into the worker's slot — *before*
+    /// the reply, so a caller that observes a job as complete via its
+    /// handle finds it counted in [`SessionPool::stats`] too.
+    fn count_job(&self, index: usize, session: &Session) {
+        self.jobs_since_promotion.fetch_add(1, Ordering::Relaxed);
+        let mut slot = lock(&self.slots[index]);
+        slot.jobs += 1;
+        slot.stats = Some(session.stats());
+    }
+
+    /// Folds the session's counters into the worker's retired totals
+    /// (called before the session is replaced or abandoned).
+    fn retire(&self, index: usize, session: &Session) {
+        let stats = session.stats();
+        let mut slot = lock(&self.slots[index]);
+        slot.retired.absorb(&stats);
+        slot.stats = None;
+    }
+
+    /// The cheap per-job promotion gate: policy thresholds on this
+    /// worker's own session, then the fattest-overlay check against
+    /// the other workers' published slots.
+    fn should_promote(&self, index: usize, session: &Session) -> bool {
+        let Some(policy) = &self.policy else {
+            return false;
+        };
+        if self.jobs_since_promotion.load(Ordering::Relaxed) < policy.min_interval_jobs {
+            return false;
+        }
+        let stats = session.stats();
+        let local = stats.tier.local_coercion_nodes + stats.tier.local_type_nodes;
+        if local < policy.min_local_nodes {
+            return false;
+        }
+        let probes = stats.coercions.node_hits + stats.coercions.node_misses;
+        let miss_rate = 1.0 - stats.coercions.base_hits as f64 / probes.max(1) as f64;
+        if probes > 0 && miss_rate < policy.min_miss_rate {
+            return false;
+        }
+        // Freeze the fattest overlay: if some other worker's published
+        // overlay is fatter, leave promotion to it (its next job
+        // boundary will get here). Published slots lag by at most one
+        // job per worker, so a fatter-looking-but-stale slot delays
+        // promotion by a bounded number of jobs, never blocks it.
+        self.slots.iter().enumerate().all(|(i, s)| {
+            i == index
+                || lock(s).stats.is_none_or(|other| {
+                    other.tier.local_coercion_nodes + other.tier.local_type_nodes <= local
+                })
+        })
+    }
+
+    /// Freezes `session` and publishes it as the next epoch, unless a
+    /// concurrent promotion got there first. Returns the new epoch
+    /// pair for the promoting worker to adopt. Job intake is never
+    /// paused: only the promoting worker spends time here, and
+    /// submits/steals proceed against the per-worker queues
+    /// throughout.
+    fn promote(
+        &self,
+        epoch_seen: u64,
+        old: &Arc<FrozenBase>,
+        session: &Session,
+    ) -> Option<(u64, Arc<FrozenBase>)> {
+        if self.promoting.swap(true, Ordering::AcqRel) {
+            return None;
+        }
+        let published = (|| {
+            // Lost the race: someone published while this worker was
+            // deciding; adopt theirs instead of stacking a promotion
+            // from a stale overlay.
+            if self.epoch.epoch() != epoch_seen {
+                return None;
+            }
+            let next = session.freeze();
+            debug_assert!(
+                next.extends(old),
+                "a promoted epoch must extend the epoch it was grown over"
+            );
+            // Re-validate the warmup's compiled payloads: the new
+            // base must carry every id they reference, or the
+            // no-recheck adopt path would be unsound after the swap.
+            // Guaranteed by the extension property; checked for real
+            // because publishing an invalid base is the one mistake
+            // the pool could never recover from.
+            if !self
+                .compiled_provenance
+                .iter()
+                .all(|&(s, c, t)| next.inherits(s, c, t))
+            {
+                return None;
+            }
+            let epoch = self.epoch.publish(Arc::clone(&next));
+            self.promotions.fetch_add(1, Ordering::Relaxed);
+            self.jobs_since_promotion.store(0, Ordering::Relaxed);
+            Some((epoch, next))
+        })();
+        self.promoting.store(false, Ordering::Release);
+        published
+    }
+
+    /// Spawns a replacement worker after a caught panic (unless the
+    /// pool is shutting down, in which case siblings drain the dead
+    /// worker's queue).
+    fn respawn(self: &Arc<Self>, index: usize) {
+        if !self.open.load(Ordering::Acquire) {
+            return;
+        }
+        let handle = self.spawn_worker(index);
+        self.respawns.fetch_add(1, Ordering::Relaxed);
+        // Overwrites the dying worker's own handle: it is past
+        // everything observable and exits right after this call, so
+        // nothing is lost by detaching it.
+        lock(&self.handles)[index] = Some(handle);
+    }
+}
+
+/// One worker: a private overlay [`Session`] over the current epoch's
+/// base, draining its own deque (and stealing from siblings) until
+/// the pool closes and every queue is empty.
+fn worker_loop(index: usize, shared: Arc<PoolShared>) {
+    lock(&shared.slots[index]).dead = false;
+    let (mut epoch, mut base) = shared.epoch.load();
+    let mut session = shared.build_session(Arc::clone(&base));
     // The worker-local program cache: one lowered Program per distinct
     // job key. Programs hold session-bound ids, so the cache lives and
-    // dies with this worker; it is what makes a repeated job (compiled
-    // or source) a pure lookup — zero parsing, zero lowering.
+    // dies with the current session; it is what makes a repeated job
+    // (compiled or source) a pure lookup — zero parsing, zero
+    // lowering.
     let mut programs: HashMap<String, crate::session::Program> = HashMap::new();
-    loop {
-        // Hold the queue lock only for the claim, never during a job.
-        let job = {
-            let queue = rx.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
-            match queue.recv() {
-                Ok(job) => job,
-                // Channel closed and drained: graceful shutdown.
-                Err(mpsc::RecvError) => break,
-            }
-        };
-        let result = serve(&session, &mut programs, index, &job);
-        // Publish the slot *before* replying: a caller that observes
-        // a job as complete via its handle must find it counted in
-        // `SessionPool::stats` too.
-        {
-            let mut slot = slots[index]
-                .lock()
-                .unwrap_or_else(|poisoned| poisoned.into_inner());
-            slot.jobs += 1;
-            slot.stats = Some(session.stats());
+    while let Some(job) = shared.next_job(index) {
+        // Job boundary: adopt a newer epoch if one was published. The
+        // old base's Arc drops with the retired session — epochs
+        // drain, they are never collected.
+        if let Some((e, b)) = shared.epoch.refresh(epoch) {
+            shared.retire(index, &session);
+            (epoch, base) = (e, b);
+            session = shared.build_session(Arc::clone(&base));
+            programs.clear();
         }
-        // The submitter may have dropped its handle; that is not an
-        // error for the pool.
-        let _ = job.reply.send(result);
+        // The serve is the only pool code that runs job-determined
+        // work, so it is the unwind boundary: a panicking job kills
+        // neither the pool nor its queue. AssertUnwindSafe is sound
+        // because everything the closure touches is discarded on
+        // panic (session and program cache die with this worker; the
+        // replacement starts fresh over the current epoch).
+        let served = catch_unwind(AssertUnwindSafe(|| {
+            serve(&session, &mut programs, index, &base, &job)
+        }));
+        match served {
+            Ok(result) => {
+                shared.count_job(index, &session);
+                if shared.should_promote(index, &session) {
+                    if let Some((e, b)) = shared.promote(epoch, &base, &session) {
+                        // The promoting worker adopts its own epoch at
+                        // once — its overlay *is* the new base.
+                        shared.retire(index, &session);
+                        (epoch, base) = (e, b);
+                        session = shared.build_session(Arc::clone(&base));
+                        programs.clear();
+                    }
+                }
+                // The submitter may have dropped its handle; that is
+                // not an error for the pool.
+                let _ = job.reply.send(result);
+            }
+            Err(_) => {
+                shared.retire(index, &session);
+                {
+                    let mut slot = lock(&shared.slots[index]);
+                    slot.jobs += 1;
+                    slot.panics += 1;
+                    slot.dead = true;
+                }
+                let _ = job.reply.send(Err(JobError::WorkerPanicked));
+                shared.respawn(index);
+                return;
+            }
+        }
     }
 }
 
@@ -567,9 +1184,13 @@ fn serve(
     session: &Session,
     programs: &mut HashMap<String, crate::session::Program>,
     worker: usize,
+    base: &Arc<FrozenBase>,
     job: &Job,
 ) -> Result<JobOutput, JobError> {
-    let compiled = matches!(job.spec, JobSpec::Compiled(_));
+    if matches!(job.spec, JobSpec::Poison) {
+        panic!("deliberate pool fault injection (JobSpec::Poison)");
+    }
+    let mut compiled = false;
     let key = job.spec.key();
     if !programs.contains_key(key) {
         let program = match &job.spec {
@@ -578,13 +1199,23 @@ fn serve(
             // the λB re-check and goes straight to lowering — every
             // intern, normalisation, and compose a base-covered term
             // needs is already frozen, so this is memo lookups only.
-            JobSpec::Compiled(p) => session.load_compiled_trusted(p.term.clone(), p.ty),
+            // The provenance check keeps the trust honest across
+            // epoch swaps (promotion preserves it by extension; a
+            // mismatch falls back to the bundled source).
+            JobSpec::Compiled(p) if p.valid_against(base) => {
+                compiled = true;
+                session.load_compiled_trusted(p.term.clone(), p.ty)
+            }
+            JobSpec::Compiled(p) => session.compile(&p.source).map_err(JobError::Compile)?,
             JobSpec::Source(source) => session.compile(source).map_err(JobError::Compile)?,
+            JobSpec::Poison => unreachable!("poison panics before program resolution"),
         };
         if programs.len() >= WORKER_PROGRAM_CACHE_CAP {
             programs.clear();
         }
         programs.insert(key.to_owned(), program);
+    } else {
+        compiled = matches!(job.spec, JobSpec::Compiled(_));
     }
     let program = &programs[key];
     let fuel = job.fuel.unwrap_or_else(|| session.default_fuel());
@@ -601,17 +1232,16 @@ fn serve(
 }
 
 /// A multi-threaded serving pool: N worker threads, each with a
-/// private overlay [`Session`] over one shared [`FrozenBase`],
-/// draining a common job queue.
+/// private overlay [`Session`] over the current epoch's shared
+/// [`FrozenBase`], each draining its own work-stealing deque.
 ///
-/// See the [module docs](self) for the sharing model and an example.
+/// See the [module docs](self) for the epoch lifecycle and an
+/// example.
 #[derive(Debug)]
 pub struct SessionPool {
-    /// The job queue's sending half; dropped to initiate shutdown.
-    tx: Option<mpsc::Sender<Job>>,
-    handles: Vec<JoinHandle<()>>,
-    slots: Arc<Vec<Mutex<WorkerSlot>>>,
-    base: Arc<FrozenBase>,
+    shared: Arc<PoolShared>,
+    /// Round-robin dispatch cursor.
+    next: AtomicUsize,
     /// The warmup's compiled programs, keyed by their source text:
     /// the payloads [`SessionPool::submit_compiled`] ships and
     /// [`SessionPool::submit`] upgrades matching submissions to.
@@ -627,12 +1257,20 @@ impl SessionPool {
 
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
-        self.handles.len()
+        self.shared.queues.len()
     }
 
-    /// The frozen base all workers share.
-    pub fn base(&self) -> &Arc<FrozenBase> {
-        &self.base
+    /// The current epoch's frozen base (a fresh `Arc` clone: the pool
+    /// may publish a newer epoch at any time, so the base is a
+    /// snapshot, not a stable reference).
+    pub fn base(&self) -> Arc<FrozenBase> {
+        self.shared.epoch.load().1
+    }
+
+    /// The current base epoch (1 = the warmup base; +1 per
+    /// promotion).
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch.epoch()
     }
 
     /// The step bound applied to jobs submitted without explicit
@@ -641,7 +1279,32 @@ impl SessionPool {
         self.default_fuel
     }
 
-    /// Submits one compile+run job; any idle worker claims it.
+    /// Total jobs currently waiting in worker queues (excludes jobs
+    /// being served right now). This is the load-shedding signal: a
+    /// caller that would rather reject than queue checks it *before*
+    /// submitting — the groundwork for the async front end's typed
+    /// backpressure (`Rejected { queue_depth }`).
+    pub fn queue_depth(&self) -> usize {
+        self.shared
+            .queues
+            .iter()
+            .map(|q| lock(&q.deque).len())
+            .sum()
+    }
+
+    /// Per-worker queue depths (index = worker). Imbalance here is
+    /// what the work-stealing path erases; sustained imbalance means
+    /// one worker is pinned by a long job.
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.shared
+            .queues
+            .iter()
+            .map(|q| lock(&q.deque).len())
+            .collect()
+    }
+
+    /// Submits one compile+run job, dispatched round-robin (idle
+    /// workers steal it if its assigned worker is busy).
     ///
     /// If `source` is byte-for-byte one of the warmup sources, the job
     /// is upgraded to the compiled path automatically: the worker
@@ -698,6 +1361,15 @@ impl SessionPool {
         Some(self.submit_job(JobSpec::Compiled(Arc::clone(program)), engine, Some(fuel)))
     }
 
+    /// Test-only fault injection: submits a job whose serve panics
+    /// inside the worker, exercising the catch-unwind, dead-marking,
+    /// and respawn path end to end. Hidden rather than `cfg(test)`
+    /// so integration tests and fault-injection drills can reach it.
+    #[doc(hidden)]
+    pub fn submit_poison(&self) -> JobHandle {
+        self.submit_job(JobSpec::Poison, Engine::MachineS, None)
+    }
+
     /// The warmup sources with a compiled program ready to ship
     /// (the keys [`SessionPool::submit_compiled`] accepts).
     pub fn compiled_sources(&self) -> impl Iterator<Item = &str> {
@@ -721,63 +1393,192 @@ impl SessionPool {
             fuel,
             reply,
         };
-        if let Some(tx) = &self.tx {
-            // A send only fails if every worker died; the handle then
-            // reports Lost, which is the honest answer.
-            let _ = tx.send(job);
+        // A closed pool drops the job, and with it the reply sender —
+        // the handle then reports Lost, which is the honest answer.
+        if self.shared.open.load(Ordering::Acquire) {
+            let target = self.next.fetch_add(1, Ordering::Relaxed) % self.shared.queues.len();
+            let queue = &self.shared.queues[target];
+            lock(&queue.deque).push_back(job);
+            queue.ready.notify_one();
         }
         JobHandle { rx }
     }
 
-    /// A live snapshot of the per-worker accounting (each worker
+    /// A live snapshot of the pool accounting (each worker
     /// republishes after every job, so in-flight jobs are not yet
     /// counted).
     pub fn stats(&self) -> PoolStats {
         PoolStats {
+            epoch: self.shared.epoch.epoch(),
+            promotions: self.shared.promotions.load(Ordering::Relaxed),
+            respawns: self.shared.respawns.load(Ordering::Relaxed),
             workers: self
+                .shared
                 .slots
                 .iter()
                 .enumerate()
                 .map(|(worker, slot)| {
-                    let slot = slot.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+                    let queue_depth = lock(&self.shared.queues[worker].deque).len();
+                    let slot = lock(slot);
                     WorkerStats {
                         worker,
                         jobs: slot.jobs,
+                        steals: slot.steals,
+                        panics: slot.panics,
+                        dead: slot.dead,
+                        queue_depth,
                         session: slot.stats,
+                        retired: slot.retired,
                     }
                 })
                 .collect(),
         }
     }
 
-    /// Graceful shutdown: closes the queue, lets the workers drain
-    /// every already-submitted job, joins them, and returns the final
-    /// accounting.
+    /// Graceful shutdown: closes intake, lets the workers drain every
+    /// already-submitted job (stealing covers queues whose owner
+    /// died), joins them, and returns the final accounting.
     ///
     /// # Panics
     ///
-    /// Propagates a worker thread's panic (a worker only panics on
-    /// internal bugs; job-level failures are typed [`JobError`]s).
-    pub fn shutdown(mut self) -> PoolStats {
-        drop(self.tx.take());
-        for handle in self.handles.drain(..) {
-            if let Err(panic) = handle.join() {
-                std::panic::resume_unwind(panic);
-            }
+    /// Propagates a worker thread's panic (job-level panics are
+    /// caught and typed as [`JobError::WorkerPanicked`]; a panic that
+    /// escapes the worker loop itself is an internal bug).
+    pub fn shutdown(self) -> PoolStats {
+        if let Some(panic) = self.close_and_join() {
+            std::panic::resume_unwind(panic);
         }
         self.stats()
+    }
+
+    /// Closes intake and joins every worker thread — looping, because
+    /// a worker dying mid-drain may have installed a replacement
+    /// handle while we were joining. Returns the first join panic.
+    fn close_and_join(&self) -> Option<Box<dyn std::any::Any + Send + 'static>> {
+        self.shared.open.store(false, Ordering::Release);
+        for queue in &self.shared.queues {
+            queue.ready.notify_all();
+        }
+        let mut first_panic = None;
+        loop {
+            let batch: Vec<JoinHandle<()>> = lock(&self.shared.handles)
+                .iter_mut()
+                .filter_map(Option::take)
+                .collect();
+            if batch.is_empty() {
+                return first_panic;
+            }
+            for handle in batch {
+                if let Err(panic) = handle.join() {
+                    first_panic.get_or_insert(panic);
+                }
+            }
+        }
     }
 }
 
 impl Drop for SessionPool {
-    /// Dropping the pool shuts it down gracefully too (close the
-    /// queue, join the workers), minus the final stats; worker panics
+    /// Dropping the pool shuts it down gracefully too (close intake,
+    /// drain, join the workers), minus the final stats; worker panics
     /// are swallowed here — use [`SessionPool::shutdown`] to surface
     /// them.
     fn drop(&mut self) {
-        drop(self.tx.take());
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
+        let _ = self.close_and_join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A source whose ascription tower grows with `depth`, so each
+    /// deeper compile interns strictly more type and coercion nodes.
+    fn tower(depth: usize) -> String {
+        let mut ty = String::from("Int");
+        for _ in 0..depth {
+            ty = format!("Int -> ({ty})");
         }
+        format!("let f = ((fun x => x) : ?) in let g = (f : {ty}) in 1")
+    }
+
+    /// The torn-base unit test: concurrent readers doing epoch-cached
+    /// `refresh` loops against a publisher hot-swapping bases must
+    /// only ever see (epoch, base) pairs that belong together, with
+    /// epochs observed in monotone order.
+    #[test]
+    fn epoch_reads_are_never_torn() {
+        // One growing session, frozen after each tower: base i+1
+        // strictly extends base i, and node counts identify epochs.
+        let session = Session::builder().build();
+        let mut bases = Vec::new();
+        for depth in 1..=6 {
+            session.compile(&tower(depth)).expect("tower compiles");
+            bases.push(session.freeze());
+        }
+        // expected[e] = the node counts of the base published as
+        // epoch e (epoch 1 = bases[0]).
+        let expected: Vec<(usize, usize)> = bases
+            .iter()
+            .map(|b| (b.coercion_nodes(), b.type_nodes()))
+            .collect();
+
+        let cell = Arc::new(EpochBase::new(Arc::clone(&bases[0])));
+        let done = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                let done = Arc::clone(&done);
+                let expected = expected.clone();
+                std::thread::spawn(move || {
+                    let (mut seen, mut base) = cell.load();
+                    let mut observed = 1usize;
+                    while !done.load(Ordering::Acquire) {
+                        if let Some((epoch, next)) = cell.refresh(seen) {
+                            assert!(epoch > seen, "epochs must advance monotonically");
+                            seen = epoch;
+                            base = next;
+                            observed += 1;
+                        }
+                        // The pair must always belong together — a
+                        // torn read would pair a new epoch number
+                        // with an old snapshot (or vice versa).
+                        assert_eq!(
+                            (base.coercion_nodes(), base.type_nodes()),
+                            expected[(seen - 1) as usize],
+                            "epoch {seen} paired with the wrong base"
+                        );
+                    }
+                    observed
+                })
+            })
+            .collect();
+        for next in &bases[1..] {
+            std::thread::sleep(Duration::from_millis(2));
+            cell.publish(Arc::clone(next));
+        }
+        // Let the readers observe the final epoch before stopping.
+        std::thread::sleep(Duration::from_millis(5));
+        done.store(true, Ordering::Release);
+        for reader in readers {
+            let observed = reader.join().expect("reader panics are test failures");
+            assert!(observed >= 1);
+        }
+        assert_eq!(cell.epoch(), bases.len() as u64);
+    }
+
+    #[test]
+    fn refresh_is_a_no_op_on_the_current_epoch() {
+        let session = Session::builder().build();
+        session.compile(&tower(1)).expect("compiles");
+        let cell = EpochBase::new(session.freeze());
+        let (epoch, _) = cell.load();
+        assert_eq!(epoch, 1);
+        assert!(cell.refresh(epoch).is_none());
+        session.compile(&tower(2)).expect("compiles");
+        let published = cell.publish(session.freeze());
+        assert_eq!(published, 2);
+        let (epoch, base) = cell.refresh(1).expect("epoch moved");
+        assert_eq!(epoch, 2);
+        assert!(base.type_nodes() > 0);
     }
 }

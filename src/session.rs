@@ -240,6 +240,34 @@ impl FrozenBase {
     pub fn verdicts(&self) -> usize {
         self.types.verdicts_len()
     }
+
+    /// Whether this base *extends* `other`: every node `other` holds
+    /// appears here at the same id (both arenas check prefix equality
+    /// node by node), and this base's ancestry begins with `other`'s.
+    /// This is the hot-swap soundness condition: any id or compiled
+    /// program valid against `other` is valid, unchanged, against an
+    /// extension — which a [`Session::freeze`] of a session built over
+    /// `other` produces by construction (freezing flattens base then
+    /// overlay, preserving base ids verbatim). O(nodes of `other`);
+    /// meant for promotion-time validation, not per-job checks.
+    pub fn extends(&self, other: &FrozenBase) -> bool {
+        self.types.extends(&other.types)
+            && self.coercions.extends(&other.coercions)
+            && self.ancestry.starts_with(&other.ancestry)
+    }
+
+    /// Whether a program compiled by `session` at the given watermarks
+    /// references only state frozen into this base — the per-program
+    /// form of the [`Session::adopt`] soundness condition, answered
+    /// from the ancestry chain without building a session. The pool
+    /// uses it to re-validate its warmup-compiled payloads against
+    /// each newly promoted epoch before trusting the no-recheck load
+    /// path.
+    pub(crate) fn inherits(&self, session: u64, coercions: usize, types: usize) -> bool {
+        self.ancestry
+            .iter()
+            .any(|e| e.session == session && coercions <= e.coercions && types <= e.types)
+    }
 }
 
 /// Why [`Session::adopt`] refused to re-bind a program — the typed
@@ -668,6 +696,13 @@ impl Program {
     /// it empty).
     pub fn lambda_s_materialized(&self) -> bool {
         self.lambda_s.get().is_some()
+    }
+
+    /// The compiling session's identity plus the arena watermarks at
+    /// compile time — everything [`FrozenBase::inherits`] needs to
+    /// decide whether a frozen snapshot carries this program's ids.
+    pub(crate) fn provenance(&self) -> (u64, usize, usize) {
+        (self.session, self.coercion_watermark, self.type_watermark)
     }
 
     /// Explains a blame label as a source-level diagnostic, when the

@@ -6,9 +6,21 @@
 //! traffic.
 
 use bc_testkit::sources;
-use blame_coercion::{Engine, JobError, RunError, Session, SessionPool};
+use blame_coercion::{Engine, JobError, PromotionPolicy, RunError, Session, SessionPool};
 
 const FUEL: u64 = 50_000;
+
+/// A promotion policy with every gate floored: any worker holding any
+/// overlay growth promotes at its next job boundary. Tests use it so
+/// drift workloads exercise many epochs in few jobs; production uses
+/// the measured [`PromotionPolicy::default`].
+fn eager_promotion() -> PromotionPolicy {
+    PromotionPolicy {
+        min_local_nodes: 1,
+        min_miss_rate: 0.0,
+        min_interval_jobs: 1,
+    }
+}
 
 /// The outcome fingerprint shared by pool jobs and sequential runs:
 /// observation (including blame labels), step count, and typed
@@ -23,6 +35,7 @@ fn job_fingerprint(result: Result<blame_coercion::JobOutput, JobError>) -> Strin
             format!("fuel exhausted at {steps}")
         }
         Err(JobError::Run(RunError::IllTyped(d))) => format!("ill typed: {}", d.message),
+        Err(JobError::WorkerPanicked) => "worker panicked".to_owned(),
         Err(JobError::Lost) => "lost".to_owned(),
     }
 }
@@ -90,7 +103,7 @@ fn warmed_pool_workers_intern_nothing_past_the_base() {
         .warmup(sources::shapes())
         .build()
         .expect("warmup compiles");
-    let base = std::sync::Arc::clone(pool.base());
+    let base = pool.base();
     assert!(base.coercion_nodes() > 0);
     assert!(base.compose_pairs() > 0);
 
@@ -334,6 +347,244 @@ fn shutdown_drains_already_submitted_jobs() {
 #[should_panic(expected = "at least 1 worker")]
 fn zero_worker_pools_are_rejected() {
     let _ = SessionPool::builder().workers(0).build();
+}
+
+#[test]
+fn promoting_pool_is_observationally_identical_under_drift() {
+    // Promotion-determinism acceptance: a drifting 256-program batch
+    // through a promoting pool is observationally identical to the
+    // same batch through a non-promoting pool AND to a sequential
+    // warm session. All jobs are in flight at once, so submits and
+    // steals race the hot-swaps — a submit landing mid-promotion must
+    // never observe a torn base (the epoch cell's unit tests check
+    // the pair invariant directly; this checks it observationally).
+    let batch = sources::drifting(0xD21F7, 256, 32);
+    let promoting = SessionPool::builder()
+        .workers(4)
+        .default_fuel(FUEL)
+        .promotion(eager_promotion())
+        .build()
+        .expect("builds");
+    let frozen = SessionPool::builder()
+        .workers(4)
+        .default_fuel(FUEL)
+        .no_promotion()
+        .build()
+        .expect("builds");
+
+    let promoting_handles =
+        promoting.submit_batch(batch.iter().map(String::as_str), Engine::MachineS);
+    let frozen_handles = frozen.submit_batch(batch.iter().map(String::as_str), Engine::MachineS);
+    let from_promoting: Vec<String> = promoting_handles
+        .into_iter()
+        .map(|h| job_fingerprint(h.wait()))
+        .collect();
+    let from_frozen: Vec<String> = frozen_handles
+        .into_iter()
+        .map(|h| job_fingerprint(h.wait()))
+        .collect();
+    let sequential = Session::builder().default_fuel(FUEL).build();
+    let from_session: Vec<String> = batch
+        .iter()
+        .map(|s| session_fingerprint(&sequential, s, Engine::MachineS))
+        .collect();
+
+    // The drifting generator must produce real programs, not parse
+    // errors agreeing with themselves.
+    assert!(
+        from_session.iter().all(|f| !f.contains("compile error")),
+        "drifting sources must compile: {from_session:?}"
+    );
+    assert_eq!(from_promoting, from_session);
+    assert_eq!(from_frozen, from_session);
+
+    let stats = promoting.shutdown();
+    assert!(
+        stats.promotions >= 1,
+        "an eager policy under drift must promote: {stats}"
+    );
+    assert_eq!(stats.epoch, stats.promotions + 1);
+    let frozen_stats = frozen.shutdown();
+    assert_eq!(frozen_stats.epoch, 1);
+    assert_eq!(frozen_stats.promotions, 0);
+}
+
+#[test]
+fn promotion_recovers_the_base_hit_rate_and_cuts_overlay_interning() {
+    // The drift acceptance criterion, on counters rather than timing:
+    // after each rotation of a drifting workload, a promoting pool's
+    // base-hit rate must return to >= 0.99 within the first half of
+    // the phase (measured over the second half), and its cumulative
+    // overlay interning must come out strictly below the same batch
+    // through a non-promoting pool (which re-interns every drifted
+    // node once per worker, forever). Jobs are submitted one at a
+    // time so the phase boundaries in the counters are exact.
+    const ROTATE: usize = 64;
+    let batch = sources::drifting(0x5EED, 256, ROTATE);
+    let promoting = SessionPool::builder()
+        .workers(4)
+        .default_fuel(FUEL)
+        .promotion(eager_promotion())
+        .build()
+        .expect("builds");
+    let frozen = SessionPool::builder()
+        .workers(4)
+        .default_fuel(FUEL)
+        .no_promotion()
+        .build()
+        .expect("builds");
+
+    // (cumulative base hits, cumulative probes, cumulative overlay
+    // nodes) captured at every half-phase mark:
+    // [phase 0 mid, phase 0 end, phase 1 mid, ...].
+    let mut marks: Vec<(u64, u64, u64)> = Vec::new();
+    for (i, source) in batch.iter().enumerate() {
+        let result = promoting.submit(source.as_str(), Engine::MachineS).wait();
+        assert!(
+            !matches!(result, Err(JobError::Compile(_)) | Err(JobError::Lost)),
+            "job {i} failed: {result:?}"
+        );
+        if (i + 1) % (ROTATE / 2) == 0 {
+            let stats = promoting.stats();
+            marks.push((
+                stats.coercion_base_hits(),
+                stats.coercion_probes(),
+                stats.local_coercion_nodes() + stats.local_type_nodes(),
+            ));
+        }
+    }
+    for source in &batch {
+        let _ = frozen.submit(source.as_str(), Engine::MachineS).wait();
+    }
+
+    let promoting_stats = promoting.shutdown();
+    let frozen_stats = frozen.shutdown();
+    assert!(promoting_stats.promotions >= 1, "{promoting_stats}");
+
+    // Steady state after every rotation: by the second half of each
+    // phase the rotated shapes live in the (freshly promoted) base,
+    // so workers intern nothing past it — and any intern probes the
+    // second half does issue are answered by the base. (A fully warm
+    // second half may issue *zero* probes: coercion construction is
+    // memoized per type pair, so repeat shapes never reach the arena.
+    // Zero probes is the strongest form of "no misses".)
+    for phase in 0..batch.len() / ROTATE {
+        let (mid_hits, mid_probes, mid_local) = marks[2 * phase];
+        let (end_hits, end_probes, end_local) = marks[2 * phase + 1];
+        assert_eq!(
+            end_local - mid_local,
+            0,
+            "phase {phase}: the second half interned past the promoted base\n{promoting_stats}"
+        );
+        let probes = end_probes - mid_probes;
+        let rate = if probes == 0 {
+            1.0
+        } else {
+            (end_hits - mid_hits) as f64 / probes as f64
+        };
+        assert!(
+            rate >= 0.99,
+            "phase {phase}: second-half base-hit rate {rate:.4} \
+             (promotion did not catch the rotation)\n{promoting_stats}"
+        );
+    }
+
+    // Promotion pays for itself in memory: the drifted nodes land in
+    // the shared base once instead of in every worker's overlay, so
+    // total overlay interning across the pool's lifetime is strictly
+    // lower. (Cumulative counters: retired sessions are folded in,
+    // not forgotten.)
+    let promoted_overlay =
+        promoting_stats.local_coercion_nodes() + promoting_stats.local_type_nodes();
+    let frozen_overlay = frozen_stats.local_coercion_nodes() + frozen_stats.local_type_nodes();
+    assert!(
+        promoted_overlay < frozen_overlay,
+        "promoting pool interned {promoted_overlay} overlay nodes, \
+         non-promoting {frozen_overlay}"
+    );
+}
+
+#[test]
+fn a_panicking_job_is_typed_and_the_worker_respawns() {
+    // Worker-failure satellite: a deliberately panicking job resolves
+    // to JobError::WorkerPanicked, the pool survives, and — on a
+    // ONE-worker pool, the hardest case — the respawned worker drains
+    // every job queued behind the panic.
+    let pool = SessionPool::builder()
+        .workers(1)
+        .default_fuel(FUEL)
+        .build()
+        .expect("builds");
+    let before = pool.submit("1 + 1", Engine::MachineS);
+    assert_eq!(before.wait().expect("runs").observation.to_string(), "2");
+
+    let poison = pool.submit_poison();
+    let after: Vec<_> = (0..8)
+        .map(|k| {
+            pool.submit(
+                format!("let inc = fun x => x + {k} in (inc 1 : Int)"),
+                Engine::MachineS,
+            )
+        })
+        .collect();
+    assert!(
+        matches!(poison.wait(), Err(JobError::WorkerPanicked)),
+        "poison must resolve to the typed panic error"
+    );
+    for (k, handle) in after.into_iter().enumerate() {
+        let out = handle.wait().expect("the replacement serves queued jobs");
+        assert_eq!(out.observation.to_string(), (k as i64 + 1).to_string());
+    }
+    let stats = pool.shutdown();
+    assert_eq!(stats.jobs(), 10, "panicked jobs count too: {stats}");
+    assert_eq!(stats.respawns, 1);
+    assert_eq!(stats.workers[0].panics, 1);
+    assert!(
+        !stats.workers[0].dead,
+        "the replacement must clear the dead flag: {stats}"
+    );
+}
+
+#[test]
+fn idle_workers_steal_from_busy_queues() {
+    // Work-stealing satellite: pin worker 0 behind a long spinner,
+    // round-robin quick jobs into both queues, and the idle worker
+    // must steal the quick jobs stranded behind the spinner. Also the
+    // queue-depth accessors: zero when quiescent, one entry per
+    // worker.
+    let pool = SessionPool::builder()
+        .workers(2)
+        .default_fuel(FUEL)
+        .build()
+        .expect("builds");
+    assert_eq!(pool.queue_depth(), 0);
+    assert_eq!(pool.queue_depths(), vec![0, 0]);
+
+    let spin = "letrec spin (n : Int) : Int = spin (n + 1) in spin 0";
+    let long = pool.submit_with_fuel(spin, Engine::MachineS, 3_000_000);
+    let quick: Vec<_> = (0..12)
+        .map(|k| {
+            pool.submit(
+                format!("let inc = fun x => x + {k} in (inc 1 : Int)"),
+                Engine::MachineS,
+            )
+        })
+        .collect();
+    for (k, handle) in quick.into_iter().enumerate() {
+        let out = handle.wait().expect("quick jobs run");
+        assert_eq!(out.observation.to_string(), (k as i64 + 1).to_string());
+    }
+    assert!(matches!(
+        long.wait(),
+        Err(JobError::Run(RunError::FuelExhausted { .. }))
+    ));
+    let stats = pool.shutdown();
+    assert_eq!(stats.jobs(), 13);
+    assert!(
+        stats.steals() >= 1,
+        "the idle worker must steal jobs stranded behind the spinner: {stats}"
+    );
+    assert_eq!(stats.queue_depths(), vec![0, 0], "drained pool: {stats}");
 }
 
 /// Satellite regression guard for the `pool/lifecycle64` inversion:
