@@ -1,10 +1,10 @@
 //! Regenerates the measurement tables recorded in EXPERIMENTS.md, and
-//! emits the machine-readable `BENCH_7.json` (per-bench medians,
-//! including the end-to-end compile+run, pool-throughput, drift, and
-//! tier-overhead numbers) alongside the human output. CI diffs the
-//! checked-in `BENCH_7.json` against its predecessor `BENCH_6.json`
-//! with the `bench_diff` binary and fails on >25% regression of any
-//! shared timing key.
+//! emits the machine-readable `BENCH_8.json` (per-bench medians,
+//! including the end-to-end compile+run, pool-throughput, drift,
+//! tier-overhead, and scheduler-fairness numbers) alongside the human
+//! output. CI diffs the checked-in `BENCH_8.json` against its
+//! predecessor `BENCH_7.json` with the `bench_diff` binary and fails
+//! on >25% regression of any shared timing key.
 //!
 //! ```sh
 //! cargo run -p bc-bench --bin report --release
@@ -30,7 +30,7 @@ use bc_translate::bisim::{aligned_cs, lockstep_bc};
 use bc_translate::{term_b_to_c, term_c_to_s};
 use blame_coercion::{Engine, PromotionPolicy, Session, SessionPool};
 
-/// Collected `(key, value)` measurements for `BENCH_6.json`.
+/// Collected `(key, value)` measurements for the JSON report.
 type Metrics = Vec<(String, f64)>;
 
 fn main() {
@@ -45,8 +45,9 @@ fn main() {
     compile_run_table(&mut metrics);
     pool_table(&mut metrics);
     drift_table(&mut metrics);
+    fairness_table(&mut metrics);
     tier_table(&mut metrics);
-    write_json("BENCH_7.json", &metrics);
+    write_json("BENCH_8.json", &metrics);
 }
 
 /// Median wall-clock of `reps` runs of `f`, in nanoseconds.
@@ -297,6 +298,100 @@ fn drift_table(metrics: &mut Metrics) {
         overlays[1],
         overlays[0]
     );
+    println!();
+}
+
+/// E27: scheduler fairness — what preemptive timeslicing buys the
+/// convergent jobs that share a worker with divergent spinners. A
+/// single-worker pool serves a 64-job batch whose first 0/1/4 jobs
+/// are million-step spinners (submitted *ahead* of everything else,
+/// so head-of-line blocking is maximal), sliced (the default
+/// `SliceBudget`) versus unsliced (`no_slicing()`). The columns are
+/// the p50/p99 submit-to-completion latency of the *convergent* jobs
+/// only: unsliced, each spinner runs its full fuel before the next
+/// job starts, so every convergent p-level inherits the spinners'
+/// whole runtime; sliced, a spinner costs its neighbours one
+/// round-robin slice per turn. `tests/sched.rs` asserts the ordering
+/// property exactly (every convergent job beats every spinner); this
+/// table prices it.
+fn fairness_table(metrics: &mut Metrics) {
+    println!(
+        "## E27 — scheduler fairness: convergent-job latency beside spinners (1 worker, 64 jobs)"
+    );
+    println!();
+    const SPIN_FUEL: u64 = 1_000_000;
+    const SPINNER: &str = "letrec spin (n : Int) : Int = spin (n + 1) in spin 0";
+    const REPS: usize = 5;
+    // Convergent companions: the mixed workload minus its divergent
+    // shape (which would just be more spinners).
+    let convergent: Vec<String> = sources::mixed(5, 96)
+        .into_iter()
+        .filter(|s| !s.contains("letrec spin"))
+        .take(60)
+        .collect();
+    println!("| spinners | mode | p50 ms | p99 ms |");
+    println!("|----------|------|--------|--------|");
+    let mut p99s = std::collections::HashMap::new();
+    for spinners in [0usize, 1, 4] {
+        for (mode, sliced) in [("sliced", true), ("unsliced", false)] {
+            let mut latencies_ns: Vec<f64> = Vec::new();
+            for _ in 0..REPS {
+                let builder = SessionPool::builder()
+                    .workers(1)
+                    .default_fuel(5_000)
+                    .warmup(sources::shapes());
+                let builder = if sliced {
+                    builder
+                } else {
+                    builder.no_slicing()
+                };
+                let pool = builder.build().expect("warmup compiles");
+                let mut handles = Vec::new();
+                for _ in 0..spinners {
+                    handles.push(pool.submit_with_fuel(SPINNER, Engine::MachineS, SPIN_FUEL));
+                }
+                let done = Arc::new(std::sync::Mutex::new(Vec::new()));
+                for source in &convergent {
+                    let handle = pool.submit(source.as_str(), Engine::MachineS);
+                    let submitted = Instant::now();
+                    let done = Arc::clone(&done);
+                    handle.on_ready(move |_| {
+                        done.lock()
+                            .expect("latency log")
+                            .push(submitted.elapsed().as_nanos() as f64);
+                    });
+                    handles.push(handle);
+                }
+                for handle in handles {
+                    let _ = std::hint::black_box(handle.wait());
+                }
+                latencies_ns.extend(done.lock().expect("latency log").iter().copied());
+            }
+            latencies_ns.sort_by(f64::total_cmp);
+            let p50 = latencies_ns[latencies_ns.len() / 2];
+            let p99 = latencies_ns[(latencies_ns.len() * 99 / 100).min(latencies_ns.len() - 1)];
+            println!(
+                "| {spinners} | {mode} | {:.2} | {:.2} |",
+                p50 / 1e6,
+                p99 / 1e6
+            );
+            metrics.push((format!("sched/fairness/spin{spinners}_{mode}_p50_ns"), p50));
+            metrics.push((format!("sched/fairness/spin{spinners}_{mode}_p99_ns"), p99));
+            p99s.insert((spinners, mode), p99);
+        }
+    }
+    // The load-bearing comparison: with spinners in front, slicing
+    // must beat head-of-line blocking outright — unsliced p99 carries
+    // at least one full million-step spinner run.
+    for spinners in [1usize, 4] {
+        assert!(
+            p99s[&(spinners, "sliced")] < p99s[&(spinners, "unsliced")],
+            "timeslicing must cut convergent p99 under {spinners} spinner(s): sliced {:.0} ns \
+             vs unsliced {:.0} ns",
+            p99s[&(spinners, "sliced")],
+            p99s[&(spinners, "unsliced")]
+        );
+    }
     println!();
 }
 

@@ -523,40 +523,147 @@ pub fn run_compiled(
     cache: &mut ComposeCache,
     types: &mut TypeArena,
 ) -> Result<RunC, RunError> {
+    let paused = start_compiled(term, fuel, arena, types)?;
+    match resume_compiled(paused, fuel, arena, cache) {
+        SliceC::Done(r) => r,
+        SliceC::Parked(_) => unreachable!("a slice of the whole fuel cannot park"),
+    }
+}
+
+/// A preempted compiled small-step run, parked between fuel slices.
+///
+/// Small-step state is just the current term plus counters: the term
+/// is its own continuation, so parking holds no stack at all. The
+/// program type is interned once at [`start_compiled`] and reused by
+/// every slice, exactly as the unsliced [`run_compiled`] computes it
+/// once up front. The `STerm` spine is `Rc`-shared, so a parked run
+/// is deliberately **not** `Send` (see the machine crate's `Paused`
+/// types for the measured rationale).
+#[derive(Debug, Clone)]
+pub struct PausedC {
+    current: STerm,
+    ty: TypeId,
+    steps: u64,
+    peak_size: usize,
+    peak_coercion_size: usize,
+    fuel: u64,
+}
+
+impl PausedC {
+    /// Reduction steps taken so far, across all slices.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+}
+
+/// Result of driving a compiled run for one fuel slice.
+#[derive(Debug)]
+pub enum SliceC {
+    /// The run finished — value, blame, or fuel exhaustion.
+    Done(Result<RunC, RunError>),
+    /// Preempted between steps; resume to continue.
+    Parked(PausedC),
+}
+
+/// Begins a resumable compiled run: interns the program type (the
+/// once-per-run cost the unsliced engine also pays up front) and
+/// parks before the first step.
+///
+/// # Errors
+///
+/// Returns [`RunError::IllTyped`] if the term is not closed and well
+/// typed.
+pub fn start_compiled(
+    term: &STerm,
+    fuel: u64,
+    arena: &mut CoercionArena,
+    types: &mut TypeArena,
+) -> Result<PausedC, RunError> {
     let ty = type_of_interned(term, arena, types)?;
-    let mut current = term.clone();
-    let mut steps = 0u64;
+    let current = term.clone();
     // Tree-equivalent measures: node count includes each coercion's
     // implicit tree size, matching `Term::size`/`Term::coercion_size`.
-    let mut peak_coercion_size = current.coercion_size(arena);
-    let mut peak_size = current.size() + peak_coercion_size;
+    let peak_coercion_size = current.coercion_size(arena);
+    let peak_size = current.size() + peak_coercion_size;
+    Ok(PausedC {
+        current,
+        ty,
+        steps: 0,
+        peak_size,
+        peak_coercion_size,
+        fuel,
+    })
+}
+
+/// Runs a parked compiled run for at most `slice` further steps.
+///
+/// Fuel and slices count the same unit (one reduction step, charged
+/// before the step commits), and the park check yields to the final
+/// fuel/value decision once the fuel line is reached — so a slice at
+/// least as large as the remaining fuel can never park, and
+/// `resume_compiled(start_compiled(t, f, ..)?, f, ..)` is exactly
+/// [`run_compiled`]`(t, f, ..)`, step counts and peaks included.
+///
+/// # Panics
+///
+/// Panics if the term is open or ill-typed (checked by
+/// [`start_compiled`]) or its ids are foreign to `arena`.
+pub fn resume_compiled(
+    paused: PausedC,
+    slice: u64,
+    arena: &mut CoercionArena,
+    cache: &mut ComposeCache,
+) -> SliceC {
+    let PausedC {
+        mut current,
+        ty,
+        mut steps,
+        mut peak_size,
+        mut peak_coercion_size,
+        fuel,
+    } = paused;
+    let until = steps.saturating_add(slice);
     loop {
+        // Park only strictly below the fuel line: at `steps == fuel`
+        // the unsliced engine still distinguishes a value (completes)
+        // from a pending step (FuelExhausted), so let the step
+        // dispatch below make that call.
+        if steps >= until && steps < fuel {
+            return SliceC::Parked(PausedC {
+                current,
+                ty,
+                steps,
+                peak_size,
+                peak_coercion_size,
+                fuel,
+            });
+        }
         match step_compiled(arena, cache, &current, ty) {
             StepC::Value => {
-                return Ok(RunC {
+                return SliceC::Done(Ok(RunC {
                     outcome: OutcomeC::Value(current),
                     steps,
                     peak_size,
                     peak_coercion_size,
-                })
+                }))
             }
             StepC::Blame(p) => {
-                return Ok(RunC {
+                return SliceC::Done(Ok(RunC {
                     outcome: OutcomeC::Blame(p),
                     steps,
                     peak_size,
                     peak_coercion_size,
-                })
+                }))
             }
             StepC::Next(next) => {
                 // Charge fuel *before* committing the step, exactly as
                 // the tree engine does.
                 if steps >= fuel {
-                    return Err(RunError::FuelExhausted {
+                    return SliceC::Done(Err(RunError::FuelExhausted {
                         steps,
                         peak_size,
                         peak_coercion_size,
-                    });
+                    }));
                 }
                 steps += 1;
                 let coercion_size = next.coercion_size(arena);
@@ -770,6 +877,70 @@ mod tests {
                 tree.peak_coercion_size, compiled.peak_coercion_size,
                 "peak coercion size of {m}"
             );
+        }
+    }
+
+    #[test]
+    fn sliced_compiled_run_is_identical_to_unsliced() {
+        use crate::sterm::compile_term;
+
+        let inc = Term::lam(
+            "x",
+            Type::INT,
+            Term::op2(Op::Add, Term::var("x"), Term::int(1)),
+        );
+        let s = SpaceCoercion::proj(gi(), p(0), Intermediate::Ground(id_int()));
+        let t = SpaceCoercion::inj(id_int(), gi());
+        let samples = [
+            inc.clone()
+                .coerce(SpaceCoercion::fun(s.clone(), t.clone()))
+                .app(Term::int(1).coerce(SpaceCoercion::inj(id_int(), gi()))),
+            Term::int(7)
+                .coerce(SpaceCoercion::inj(id_int(), gi()))
+                .coerce(SpaceCoercion::proj(
+                    gb(),
+                    p(1),
+                    Intermediate::Ground(GroundCoercion::IdBase(BaseType::Bool)),
+                )),
+        ];
+        // Fuel bounds chosen to exercise completion *and* exhaustion
+        // (tiny fuels make even short runs time out), so the slice
+        // loop must reproduce both outcomes and their step accounting.
+        for fuel in [1u64, 2, 3, 10_000] {
+            for m in &samples {
+                let unsliced = {
+                    let mut arena = CoercionArena::new();
+                    let mut cache = ComposeCache::new();
+                    let mut types = TypeArena::new();
+                    let st = compile_term(m, &mut arena, &mut types);
+                    run_compiled(&st, fuel, &mut arena, &mut cache, &mut types)
+                };
+                for slice in [1u64, 2, 7, fuel] {
+                    let mut arena = CoercionArena::new();
+                    let mut cache = ComposeCache::new();
+                    let mut types = TypeArena::new();
+                    let st = compile_term(m, &mut arena, &mut types);
+                    let mut paused = start_compiled(&st, fuel, &mut arena, &mut types)
+                        .expect("samples are well typed");
+                    let mut last_steps = 0;
+                    let sliced = loop {
+                        match resume_compiled(paused, slice, &mut arena, &mut cache) {
+                            SliceC::Done(result) => break result,
+                            SliceC::Parked(next) => {
+                                assert!(
+                                    next.steps() >= last_steps && next.steps() < fuel,
+                                    "parked runs advance and stay below the fuel line"
+                                );
+                                last_steps = next.steps();
+                                paused = next;
+                            }
+                        }
+                    };
+                    // Identical to the letter: outcome, step count,
+                    // fuel-exhaustion accounting, and space peaks.
+                    assert_eq!(unsliced, sliced, "slice {slice}, fuel {fuel} of {m}");
+                }
+            }
         }
     }
 

@@ -12,7 +12,7 @@ use bc_lambda_c::term::Term;
 use bc_syntax::{Constant, Label, Name, Op};
 use bc_translate::bisim::Observation;
 
-use crate::metrics::{MachineOutcome, MachineRun, Metrics};
+use crate::metrics::{MachineOutcome, MachineRun, Metrics, SliceResult};
 
 /// Run-time values of the λC machine.
 #[derive(Debug, Clone)]
@@ -192,25 +192,66 @@ fn coerce_value(v: Value, c: &Coercion) -> Result<Value, Label> {
     }
 }
 
-/// Runs a closed, well-typed λC term on the CEK machine.
+/// A preempted λC machine run, parked between fuel slices.
+///
+/// Same contract as [`crate::cek_b::Paused`]: resuming is
+/// observationally identical to never having parked, and the state is
+/// deliberately worker-local (`Rc`-shared values, not `Send`).
+pub struct Paused {
+    machine: Machine,
+    control: Control,
+    fuel: u64,
+}
+
+impl Paused {
+    /// Machine transitions taken so far, across all slices.
+    pub fn steps(&self) -> u64 {
+        self.machine.metrics.steps
+    }
+}
+
+/// Begins a resumable run of a closed, well-typed λC term. No steps
+/// are taken; drive the machine with [`resume`].
+pub fn start(term: &Term, fuel: u64) -> Paused {
+    Paused {
+        machine: Machine {
+            stack: Vec::new(),
+            metrics: Metrics::default(),
+            coercion_frames: 0,
+            coercion_size: 0,
+        },
+        control: Control::Eval(term.clone(), Env::new()),
+        fuel,
+    }
+}
+
+/// Runs a parked machine for at most `slice` further transitions.
+/// Fuel is checked before the slice budget, so `resume(start(t, f),
+/// f)` is exactly [`run`]`(t, f)`.
 ///
 /// # Panics
 ///
 /// Panics on open or ill-typed input.
-pub fn run(term: &Term, fuel: u64) -> MachineRun {
-    let mut m = Machine {
-        stack: Vec::new(),
-        metrics: Metrics::default(),
-        coercion_frames: 0,
-        coercion_size: 0,
-    };
-    let mut control = Control::Eval(term.clone(), Env::new());
+pub fn resume(paused: Paused, slice: u64) -> SliceResult<Paused> {
+    let Paused {
+        machine: mut m,
+        mut control,
+        fuel,
+    } = paused;
+    let until = m.metrics.steps.saturating_add(slice);
     loop {
         if m.metrics.steps >= fuel {
-            return MachineRun {
+            return SliceResult::Done(MachineRun {
                 outcome: MachineOutcome::Timeout,
                 metrics: m.metrics,
-            };
+            });
+        }
+        if m.metrics.steps >= until {
+            return SliceResult::Parked(Paused {
+                machine: m,
+                control,
+                fuel,
+            });
         }
         m.metrics.steps += 1;
         control = match control {
@@ -251,10 +292,10 @@ pub fn run(term: &Term, fuel: u64) -> MachineRun {
                     Control::Eval((*inner).clone(), env)
                 }
                 Term::Blame(p, _) => {
-                    return MachineRun {
+                    return SliceResult::Done(MachineRun {
                         outcome: MachineOutcome::Blame(p),
                         metrics: m.metrics,
-                    }
+                    })
                 }
                 Term::If(c, t2, e) => {
                     m.push(Frame::If {
@@ -275,10 +316,10 @@ pub fn run(term: &Term, fuel: u64) -> MachineRun {
             },
             Control::Ret(v) => match m.pop() {
                 None => {
-                    return MachineRun {
+                    return SliceResult::Done(MachineRun {
                         outcome: MachineOutcome::Value(v.observe()),
                         metrics: m.metrics,
-                    }
+                    })
                 }
                 Some(Frame::AppArg { arg, env }) => {
                     m.push(Frame::AppCall { fun: v });
@@ -287,10 +328,10 @@ pub fn run(term: &Term, fuel: u64) -> MachineRun {
                 Some(Frame::AppCall { fun }) => match apply(&mut m, fun, v) {
                     Ok(c) => c,
                     Err(p) => {
-                        return MachineRun {
+                        return SliceResult::Done(MachineRun {
                             outcome: MachineOutcome::Blame(p),
                             metrics: m.metrics,
-                        }
+                        })
                     }
                 },
                 Some(Frame::OpFrame {
@@ -332,14 +373,26 @@ pub fn run(term: &Term, fuel: u64) -> MachineRun {
                 Some(Frame::CoerceFrame(c)) => match coerce_value(v, &c) {
                     Ok(v2) => Control::Ret(v2),
                     Err(p) => {
-                        return MachineRun {
+                        return SliceResult::Done(MachineRun {
                             outcome: MachineOutcome::Blame(p),
                             metrics: m.metrics,
-                        }
+                        })
                     }
                 },
             },
         };
+    }
+}
+
+/// Runs a closed, well-typed λC term on the CEK machine in one slice.
+///
+/// # Panics
+///
+/// Panics on open or ill-typed input.
+pub fn run(term: &Term, fuel: u64) -> MachineRun {
+    match resume(start(term, fuel), fuel) {
+        SliceResult::Done(r) => r,
+        SliceResult::Parked(_) => unreachable!("a slice of the whole fuel cannot park"),
     }
 }
 

@@ -42,7 +42,7 @@ use bc_core::term::Term;
 use bc_syntax::{Constant, Label, Name, Op, TypeArena};
 use bc_translate::bisim::Observation;
 
-use crate::metrics::{MachineOutcome, MachineRun, Metrics, ReuseStats};
+use crate::metrics::{MachineOutcome, MachineRun, Metrics, ReuseStats, SliceResult};
 
 /// Run-time values of the λS machine.
 #[derive(Debug, Clone)]
@@ -300,9 +300,13 @@ pub fn run_in(
     // run_compiled_in with their own TypeArena.
     let mut types = TypeArena::new();
     let compiled = compile_term(term, arena, &mut types);
-    let mut run = exec(&compiled, arena, cache, fuel);
-    run.metrics.reuse = reuse_delta(arena, cache, arena_before, cache_before);
-    run
+    // The before-stats predate the compile, so the reported reuse
+    // *includes* the compile-time interning (see the doc above).
+    let paused = fresh_paused(&compiled, fuel, arena_before, cache_before);
+    match resume_compiled_in(paused, arena, cache, fuel) {
+        SliceResult::Done(run) => run,
+        SliceResult::Parked(_) => unreachable!("a slice of the whole fuel cannot park"),
+    }
 }
 
 /// Runs an already-compiled term against the arena and cache it was
@@ -327,11 +331,141 @@ pub fn run_compiled_in(
     cache: &mut ComposeCache,
     fuel: u64,
 ) -> MachineRun {
-    let arena_before = arena.stats();
-    let cache_before = cache.stats();
-    let mut run = exec(term, arena, cache, fuel);
-    run.metrics.reuse = reuse_delta(arena, cache, arena_before, cache_before);
-    run
+    let paused = start_compiled_in(term, arena, cache, fuel);
+    match resume_compiled_in(paused, arena, cache, fuel) {
+        SliceResult::Done(run) => run,
+        SliceResult::Parked(_) => unreachable!("a slice of the whole fuel cannot park"),
+    }
+}
+
+/// A preempted λS machine run, parked between fuel slices.
+///
+/// Unlike the machine itself, the parked state holds **no arena or
+/// cache borrows** — only the continuation stack, control, metrics,
+/// and the arena/cache counters captured at [`start_compiled_in`]
+/// (so the final [`ReuseStats`] delta spans all slices, exactly as an
+/// unsliced run would report). Each [`resume_compiled_in`] call
+/// re-borrows the arena/cache pair the term was compiled into; pass a
+/// different pair and the ids mean something else entirely (the same
+/// foreign-id caveat as [`run_compiled_in`]).
+///
+/// Values, environments, and the `STerm` spine are `Rc`-shared, so a
+/// parked run is deliberately **not** `Send`: it stays on the worker
+/// that started it (an `Arc` spine costs this machine ~30% end to
+/// end, measured in PR 6, so the scheduler parks per worker instead
+/// of migrating machine state across threads).
+pub struct Paused {
+    stack: Vec<Frame>,
+    metrics: Metrics,
+    coercion_frames: usize,
+    coercion_size: usize,
+    control: Control,
+    fuel: u64,
+    arena_before: bc_core::arena::ArenaStats,
+    cache_before: bc_core::arena::CacheStats,
+}
+
+impl Paused {
+    /// Machine transitions taken so far, across all slices.
+    pub fn steps(&self) -> u64 {
+        self.metrics.steps
+    }
+}
+
+fn fresh_paused(
+    term: &STerm,
+    fuel: u64,
+    arena_before: bc_core::arena::ArenaStats,
+    cache_before: bc_core::arena::CacheStats,
+) -> Paused {
+    Paused {
+        stack: Vec::new(),
+        metrics: Metrics::default(),
+        coercion_frames: 0,
+        coercion_size: 0,
+        control: Control::Eval(term.clone(), Env::new()),
+        fuel,
+        arena_before,
+        cache_before,
+    }
+}
+
+/// Begins a resumable run of an already-compiled term. No steps are
+/// taken; drive the machine with [`resume_compiled_in`], passing the
+/// same arena/cache pair the term was compiled into.
+pub fn start_compiled_in(
+    term: &STerm,
+    arena: &CoercionArena,
+    cache: &ComposeCache,
+    fuel: u64,
+) -> Paused {
+    fresh_paused(term, fuel, arena.stats(), cache.stats())
+}
+
+/// Runs a parked machine for at most `slice` further transitions
+/// against the arena/cache pair its term was compiled into.
+///
+/// Fuel exhaustion is checked before the slice budget (both count
+/// machine transitions), so a slice at least as large as the
+/// remaining fuel can never park:
+/// `resume_compiled_in(start_compiled_in(t, a, c, f), a, c, f)` is
+/// exactly [`run_compiled_in`]`(t, a, c, f)`.
+///
+/// # Panics
+///
+/// Panics on open or ill-typed input, or if the term's ids are out of
+/// bounds for `arena`.
+pub fn resume_compiled_in(
+    paused: Paused,
+    arena: &mut CoercionArena,
+    cache: &mut ComposeCache,
+    slice: u64,
+) -> SliceResult<Paused> {
+    let Paused {
+        stack,
+        metrics,
+        coercion_frames,
+        coercion_size,
+        control,
+        fuel,
+        arena_before,
+        cache_before,
+    } = paused;
+    let mut m = Machine {
+        stack,
+        metrics,
+        coercion_frames,
+        coercion_size,
+        arena,
+        cache,
+    };
+    let until = m.metrics.steps.saturating_add(slice);
+    match exec_slice(&mut m, control, fuel, until) {
+        Stepped::Done(mut run) => {
+            run.metrics.reuse = reuse_delta(m.arena, m.cache, arena_before, cache_before);
+            SliceResult::Done(run)
+        }
+        Stepped::Parked(control) => {
+            let Machine {
+                stack,
+                metrics,
+                coercion_frames,
+                coercion_size,
+                arena: _,
+                cache: _,
+            } = m;
+            SliceResult::Parked(Paused {
+                stack,
+                metrics,
+                coercion_frames,
+                coercion_size,
+                control,
+                fuel,
+                arena_before,
+                cache_before,
+            })
+        }
+    }
 }
 
 fn reuse_delta(
@@ -353,27 +487,30 @@ fn reuse_delta(
     }
 }
 
-fn exec(
-    term: &STerm,
-    arena: &mut CoercionArena,
-    cache: &mut ComposeCache,
-    fuel: u64,
-) -> MachineRun {
-    let mut m = Machine {
-        stack: Vec::new(),
-        metrics: Metrics::default(),
-        coercion_frames: 0,
-        coercion_size: 0,
-        arena,
-        cache,
-    };
-    let mut control = Control::Eval(term.clone(), Env::new());
+/// What one slice of the exec loop produced: a finished run (reuse
+/// stats not yet filled in) or the control to park with.
+enum Stepped {
+    Done(MachineRun),
+    Parked(Control),
+}
+
+fn exec_slice(m: &mut Machine<'_>, mut control: Control, fuel: u64, until: u64) -> Stepped {
     loop {
+        // THE fuel-unit invariant: fuel, slice budgets, and
+        // `Metrics::steps` all count the same unit — one machine
+        // transition — and the check happens before a transition
+        // commits. Everything above (the pool's WARMUP_RUN_FUEL cap,
+        // the scheduler's SliceBudget, FuelExhausted step reports)
+        // relies on this 1:1 accounting; the λB/λC machines and the
+        // small-step engines enforce the same order.
         if m.metrics.steps >= fuel {
-            return MachineRun {
+            return Stepped::Done(MachineRun {
                 outcome: MachineOutcome::Timeout,
-                metrics: m.metrics,
-            };
+                metrics: m.metrics.clone(),
+            });
+        }
+        if m.metrics.steps >= until {
+            return Stepped::Parked(control);
         }
         m.metrics.steps += 1;
         control = match control {
@@ -417,10 +554,10 @@ fn exec(
                     Control::Eval((*inner).clone(), env)
                 }
                 STerm::Blame(p, _) => {
-                    return MachineRun {
+                    return Stepped::Done(MachineRun {
                         outcome: MachineOutcome::Blame(p),
-                        metrics: m.metrics,
-                    }
+                        metrics: m.metrics.clone(),
+                    })
                 }
                 STerm::If(c, t2, e) => {
                     m.push(Frame::If {
@@ -442,22 +579,22 @@ fn exec(
             Control::Ret(v) => match m.pop() {
                 None => {
                     let observation = v.observe(m.arena);
-                    return MachineRun {
+                    return Stepped::Done(MachineRun {
                         outcome: MachineOutcome::Value(observation),
-                        metrics: m.metrics,
-                    };
+                        metrics: m.metrics.clone(),
+                    });
                 }
                 Some(Frame::AppArg { arg, env }) => {
                     m.push(Frame::AppCall { fun: v });
                     Control::Eval(arg, env)
                 }
-                Some(Frame::AppCall { fun }) => match apply(&mut m, fun, v) {
+                Some(Frame::AppCall { fun }) => match apply(m, fun, v) {
                     Ok(c) => c,
                     Err(p) => {
-                        return MachineRun {
+                        return Stepped::Done(MachineRun {
                             outcome: MachineOutcome::Blame(p),
-                            metrics: m.metrics,
-                        }
+                            metrics: m.metrics.clone(),
+                        })
                     }
                 },
                 Some(Frame::OpFrame {
@@ -499,10 +636,10 @@ fn exec(
                 Some(Frame::CoerceFrame(s)) => match m.coerce_value(v, s) {
                     Ok(v2) => Control::Ret(v2),
                     Err(p) => {
-                        return MachineRun {
+                        return Stepped::Done(MachineRun {
                             outcome: MachineOutcome::Blame(p),
-                            metrics: m.metrics,
-                        }
+                            metrics: m.metrics.clone(),
+                        })
                     }
                 },
             },

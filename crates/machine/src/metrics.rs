@@ -92,3 +92,22 @@ pub struct MachineRun {
     /// The collected metrics.
     pub metrics: Metrics,
 }
+
+/// Result of driving a resumable machine for one fuel slice: either
+/// the run finished (value, blame, or fuel exhaustion — a final
+/// [`MachineRun`]) or the slice budget ran out first and the machine
+/// parked itself for a later `resume`.
+///
+/// Every machine checks **fuel before slice**: a slice at least as
+/// large as the remaining fuel can never park, so `resume(start(t,
+/// fuel), fuel)` is exactly the unsliced run. Slicing only chooses
+/// where the loop returns — steps, peaks, and outcomes are identical
+/// to an unsliced run by construction (and property-tested in
+/// `tests/sched.rs`).
+#[derive(Debug)]
+pub enum SliceResult<P> {
+    /// The run finished; no machine state remains.
+    Done(MachineRun),
+    /// Preempted: the parked state resumes where it left off.
+    Parked(P),
+}

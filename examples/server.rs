@@ -1,22 +1,31 @@
-//! A worker-pool serving demo: N threads, one shared frozen base.
+//! A worker-pool serving demo: N threads, one shared frozen base,
+//! preemptive timeslicing.
 //!
-//! Builds a [`SessionPool`] warmed on one representative per program
-//! shape, serves a 128-program mixed workload across the workers, and
-//! prints what the epoch lifecycle's serve phase bought: every
-//! worker's arenas stay at **zero** locally interned nodes — the
-//! whole warm working set lives in the `Arc`-shared read-only base,
-//! and the base never needs to move past its warmup epoch — while
-//! outcomes (values, blame, fuel exhaustion) are exactly what a
-//! single-threaded session would produce.
+//! Act 1 builds a [`SessionPool`] warmed on one representative per
+//! program shape, serves a 128-program mixed workload across the
+//! workers, and prints what the epoch lifecycle's serve phase bought:
+//! every worker's arenas stay at **zero** locally interned nodes —
+//! the whole warm working set lives in the `Arc`-shared read-only
+//! base — while outcomes (values, blame, fuel exhaustion) are exactly
+//! what a single-threaded session would produce.
+//!
+//! Act 2 drives the scheduler's job lifecycle (submit → slice → park
+//! → resume → resolve) on the same pool: million-step spinners are
+//! submitted *ahead* of convergent jobs, yet the convergent jobs all
+//! beat their wall-clock deadlines because each spinner is preempted
+//! every `SliceBudget` steps; one spinner is canceled mid-flight and
+//! the rest burn their fuel in round-robin slices.
 //!
 //! ```sh
 //! cargo run --example server --release -- [workers]
 //! ```
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use bc_testkit::sources;
-use blame_coercion::{Engine, JobError, RunError, SessionPool};
+use blame_coercion::{Deadline, Engine, JobError, RunError, SessionPool};
+
+const SPINNER: &str = "letrec spin (n : Int) : Int = spin (n + 1) in spin 0";
 
 fn main() {
     let workers: usize = std::env::args()
@@ -69,6 +78,48 @@ fn main() {
         batch.len() as f64 / served.as_secs_f64(),
     );
 
+    // Act 2: preemptive scheduling. Spinners go in *first* — without
+    // timeslicing they would pin their workers for a million steps
+    // each, and every job behind them would inherit that latency.
+    let t2 = Instant::now();
+    let spinners: Vec<_> = (0..workers + 1)
+        .map(|_| pool.submit_with_fuel(SPINNER, Engine::MachineS, 1_000_000))
+        .collect();
+    let canceled = pool.submit_with_fuel(SPINNER, Engine::MachineS, u64::MAX);
+    let convergent: Vec<_> = batch
+        .iter()
+        .filter(|s| !s.contains("letrec spin"))
+        .take(32)
+        .map(|s| {
+            pool.submit_with_deadline(
+                s.as_str(),
+                Engine::MachineS,
+                Deadline::after(Duration::from_secs(30)),
+            )
+        })
+        .collect();
+    let mut met = 0usize;
+    for handle in convergent {
+        match handle.wait() {
+            Ok(_) | Err(JobError::Run(RunError::FuelExhausted { .. })) => met += 1,
+            Err(e) => panic!("convergent jobs must beat a 30 s deadline beside spinners: {e}"),
+        }
+    }
+    canceled.cancel();
+    assert!(matches!(canceled.wait(), Err(JobError::Canceled)));
+    for spinner in spinners {
+        assert!(matches!(
+            spinner.wait(),
+            Err(JobError::Run(RunError::FuelExhausted { .. }))
+        ));
+    }
+    println!(
+        "sliced serving: {met} convergent jobs met their deadlines beside {} \
+         million-step spinners (one canceled mid-flight) in {:?}",
+        workers + 1,
+        t2.elapsed(),
+    );
+
     let stats = pool.shutdown();
     println!();
     println!("{stats}");
@@ -78,8 +129,14 @@ fn main() {
     // warmup epoch for its whole life.
     assert_eq!(stats.epoch, 1);
     assert_eq!(stats.promotions, 0);
+    // The spinners were preempted, not served whole: each one burned
+    // its fuel across ~244 slices of the default budget.
+    assert!(stats.preemptions() >= 244 * (workers as u64 + 1));
+    assert_eq!(stats.cancellations(), 1);
     println!(
         "zero nodes interned past the base by any worker — the warm working set \
-         is shared, not copied — and the base never left epoch 1."
+         is shared, not copied — and the scheduler preempted divergent jobs {} \
+         times instead of letting any of them pin a worker.",
+        stats.preemptions(),
     );
 }

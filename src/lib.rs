@@ -71,7 +71,12 @@
 //! warmup source travel as [`CompiledProgram`]s — interned λB plus the
 //! lowered λS, both `Arc`-spined with ids below the frozen
 //! watermarks — so workers adopt them without parsing, elaborating,
-//! or re-lowering anything.
+//! or re-lowering anything. The [`sched`] module makes the serving
+//! preemptive: every machine is resumable, so workers run jobs in
+//! deterministic step-counted slices ([`SliceBudget`]) with
+//! round-robin fairness, wall-clock [`Deadline`]s, cooperative
+//! cancellation, and bounded-queue backpressure — a divergent job
+//! costs its neighbours one slice of latency, never a whole worker.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -86,13 +91,15 @@ pub use bc_syntax as syntax;
 pub use bc_translate as translate;
 
 pub mod pool;
+pub mod sched;
 pub mod session;
 
 pub use pool::{
     CompiledProgram, JobError, JobHandle, JobOutput, PoolStats, PromotionPolicy, SessionPool,
     SessionPoolBuilder, WorkerStats,
 };
+pub use sched::{Deadline, SliceBudget};
 pub use session::{
-    AdoptError, Engine, FrozenBase, Program, RunError, RunReport, Session, SessionBuilder,
-    SessionStats, TierStats,
+    AdoptError, Engine, FrozenBase, PausedRun, Program, RunError, RunReport, Session,
+    SessionBuilder, SessionStats, SliceOutcome, TierStats,
 };

@@ -68,6 +68,37 @@
 //! [`queue depths`](SessionPool::queue_depths) (the backpressure
 //! signal for load-shedding callers).
 //!
+//! # Timeslicing, deadlines, cancellation
+//!
+//! Workers serve **preemptively**: a job runs for a
+//! [`SliceBudget`] worth of machine steps,
+//! then parks its machine state (`Session::resume_slice`) into its
+//! worker's run queue behind the worker's other in-flight jobs —
+//! round-robin, so a divergent spinner costs its queue-mates one
+//! slice of latency per turn instead of its whole fuel bound. Slices
+//! are counted in steps, not wall-clock, so slicing is deterministic
+//! and observationally invisible: sliced and unsliced runs produce
+//! identical observations, step counts, fuel-exhaustion accounting,
+//! and space metrics (property-tested in `tests/sched.rs`). Parked
+//! state is worker-local by design — machine values share `Rc` spines
+//! (an `Arc` spine taxes every step; see `bc_core::sterm`) — so a
+//! parked job resumes on the worker that started it; only its
+//! *result* travels.
+//!
+//! On top of the slice boundaries the front end gets three controls:
+//!
+//! * **deadlines** — [`SessionPool::submit_with_deadline`] bounds a
+//!   job in wall-clock time, enforced cooperatively before each slice
+//!   ([`JobError::DeadlineExceeded`] reports the steps and time
+//!   actually spent);
+//! * **cancellation** — [`JobHandle::cancel`] resolves the handle to
+//!   [`JobError::Canceled`] immediately; the serving worker discards
+//!   its side at the next queue pop or slice boundary;
+//! * **bounded queues** — [`SessionPoolBuilder::queue_capacity`]
+//!   bounds each worker's standing work (queued + parked + running);
+//!   submissions past the bound resolve to [`JobError::Rejected`]
+//!   instead of queueing without bound.
+//!
 //! # Id-offset contract
 //!
 //! Ids below the base lengths ([`FrozenBase::coercion_nodes`],
@@ -135,9 +166,9 @@ use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bc_gtlc::Diagnostic;
 use bc_lambda_b::BTerm;
@@ -145,7 +176,10 @@ use bc_machine::metrics::Metrics;
 use bc_syntax::TypeId;
 use bc_translate::bisim::Observation;
 
-use crate::session::{Engine, FrozenBase, RunError, Session, SessionBuilder, SessionStats};
+use crate::sched::{Deadline, JobState, ReplySlot, SliceBudget};
+use crate::session::{
+    Engine, FrozenBase, PausedRun, RunError, Session, SessionBuilder, SessionStats, SliceOutcome,
+};
 
 /// Locks a mutex, shrugging off poisoning: every structure the pool
 /// guards this way (slots, queues, the epoch cell, join handles) is
@@ -234,6 +268,31 @@ pub enum JobError {
     /// caught, the worker retired and respawned over the current
     /// epoch, and the pool keeps serving — only this job is affected.
     WorkerPanicked,
+    /// The job's [`Deadline`] passed before
+    /// it finished. Enforced cooperatively at scheduling boundaries
+    /// (queue pop, slice start), so the job reports the steps it
+    /// actually executed and the wall-clock time since submission —
+    /// both useful for choosing a better deadline or fuel bound.
+    DeadlineExceeded {
+        /// Machine steps the job had executed when the miss was
+        /// detected (zero if the deadline passed while still queued).
+        steps: u64,
+        /// Wall-clock time from submission to detection.
+        elapsed: Duration,
+    },
+    /// The submitter called [`JobHandle::cancel`] before the job
+    /// finished. Queued and parked jobs are discarded at the next
+    /// scheduling boundary; a running job stops at its next slice
+    /// boundary — cancellation is cooperative, never mid-step.
+    Canceled,
+    /// The submission was refused up front: the target worker already
+    /// holds [`SessionPoolBuilder::queue_capacity`] jobs in flight
+    /// (queued, parked, or running). The job never entered a queue —
+    /// shed load or retry later.
+    Rejected {
+        /// The target worker's in-flight job count at rejection time.
+        queue_depth: usize,
+    },
     /// The pool shut down (or a worker died) before answering; the
     /// job may or may not have executed.
     Lost,
@@ -247,6 +306,16 @@ impl fmt::Display for JobError {
             JobError::WorkerPanicked => {
                 f.write_str("worker panicked while serving the job (worker respawned)")
             }
+            JobError::DeadlineExceeded { steps, elapsed } => write!(
+                f,
+                "deadline exceeded after {steps} steps ({:.1} ms elapsed)",
+                elapsed.as_secs_f64() * 1e3
+            ),
+            JobError::Canceled => f.write_str("job canceled by its submitter"),
+            JobError::Rejected { queue_depth } => write!(
+                f,
+                "job rejected: target worker already holds {queue_depth} jobs in flight"
+            ),
             JobError::Lost => f.write_str("job lost: the pool shut down before answering"),
         }
     }
@@ -254,11 +323,17 @@ impl fmt::Display for JobError {
 
 impl std::error::Error for JobError {}
 
-/// A handle to a submitted job; [`JobHandle::wait`] blocks until the
-/// serving worker replies.
+/// A handle to a submitted job: wait (with or without a timeout),
+/// poll, register a completion callback, or cancel.
+///
+/// The handle and the serving worker share one completion cell
+/// (`sched::JobState`); every job resolves exactly once — a worker
+/// reply, a deadline miss, a cancellation, a rejection, or the
+/// lost-on-shutdown backstop — and every waiter sees that one
+/// resolution.
 #[derive(Debug)]
 pub struct JobHandle {
-    rx: mpsc::Receiver<Result<JobOutput, JobError>>,
+    state: Arc<JobState>,
 }
 
 impl JobHandle {
@@ -266,19 +341,45 @@ impl JobHandle {
     /// typed error). Returns [`JobError::Lost`] if the pool shut down
     /// without answering.
     pub fn wait(self) -> Result<JobOutput, JobError> {
-        self.rx.recv().unwrap_or(Err(JobError::Lost))
+        self.state.wait()
     }
 
-    /// Non-blocking probe: `Some` once the job has completed (or been
-    /// lost to a shutdown — pollers see [`JobError::Lost`] exactly
-    /// like [`JobHandle::wait`] callers, rather than spinning on
-    /// `None` forever).
+    /// Blocks for at most `timeout`: `Some` with the result if the
+    /// job completed in time, `None` on timeout. Timing out does
+    /// **not** lose or cancel the job — it stays in flight and a
+    /// later [`JobHandle::wait`], [`JobHandle::wait_timeout`], or
+    /// [`JobHandle::try_wait`] can still collect it.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<JobOutput, JobError>> {
+        self.state.wait_timeout(timeout)
+    }
+
+    /// Non-blocking probe: `Some` once the job has resolved (pollers
+    /// see [`JobError::Lost`] on a shutdown exactly like
+    /// [`JobHandle::wait`] callers, rather than spinning on `None`
+    /// forever).
     pub fn try_wait(&self) -> Option<Result<JobOutput, JobError>> {
-        match self.rx.try_recv() {
-            Ok(result) => Some(result),
-            Err(mpsc::TryRecvError::Empty) => None,
-            Err(mpsc::TryRecvError::Disconnected) => Some(Err(JobError::Lost)),
-        }
+        self.state.try_wait()
+    }
+
+    /// Registers a callback fired exactly once, when the job
+    /// resolves — immediately (on this thread) if it already has,
+    /// otherwise on the resolving thread (usually the serving
+    /// worker). One callback per job: registering again replaces an
+    /// unfired predecessor. Keep it quick — it runs inline on the
+    /// worker's serving path.
+    pub fn on_ready(&self, callback: impl FnOnce(&Result<JobOutput, JobError>) + Send + 'static) {
+        self.state.on_ready(Box::new(callback));
+    }
+
+    /// Cancels the job cooperatively: the handle resolves to
+    /// [`JobError::Canceled`] immediately (any waiter unblocks now),
+    /// and the serving worker discards its side at the next
+    /// scheduling boundary — a queued or parked job is dropped there;
+    /// a running job stops at its next slice boundary. Canceling a
+    /// job that already resolved is a no-op (the original result
+    /// stands).
+    pub fn cancel(&self) {
+        self.state.cancel();
     }
 }
 
@@ -313,13 +414,44 @@ impl JobSpec {
 }
 
 /// A unit of work travelling a queue: the spec plus run options, with
-/// the reply channel riding along.
+/// the reply slot (the worker's half of the completion cell) riding
+/// along. Dropping an unresolved job resolves it to
+/// [`JobError::Lost`] — the backstop that keeps every handle
+/// answerable no matter how the job dies.
 #[derive(Debug)]
 struct Job {
     spec: JobSpec,
     engine: Engine,
     fuel: Option<u64>,
-    reply: mpsc::Sender<Result<JobOutput, JobError>>,
+    reply: ReplySlot,
+    deadline: Option<Deadline>,
+    submitted: Instant,
+}
+
+impl Job {
+    /// Whether the job's deadline (if any) has passed.
+    fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| d.expired())
+    }
+}
+
+/// A job mid-run on a worker: the parked machine state plus the job
+/// it belongs to, waiting in the worker's run queue for its next
+/// slice. Worker-local by design (the run holds `Rc`-shared machine
+/// state and session-bound ids); if the worker dies, the run dies
+/// with it and [`Job::spec`] restarts from step zero elsewhere.
+struct ParkedEntry {
+    job: Job,
+    run: PausedRun,
+    compiled: bool,
+}
+
+/// How a job left its worker (for the slot counters).
+#[derive(Clone, Copy)]
+enum Disposition {
+    Completed,
+    Canceled,
+    DeadlineMissed,
 }
 
 /// When (if ever) a pool promotes a worker overlay into a new base
@@ -480,6 +612,11 @@ struct WorkerSlot {
     jobs: u64,
     steals: u64,
     panics: u64,
+    slices: u64,
+    preemptions: u64,
+    deadline_misses: u64,
+    cancellations: u64,
+    parked_depth: usize,
     dead: bool,
     stats: Option<SessionStats>,
     retired: RetiredTotals,
@@ -499,6 +636,23 @@ pub struct WorkerStats {
     /// Serve panics caught on this worker (each retired the session
     /// and respawned the worker).
     pub panics: u64,
+    /// Scheduling turns executed: each ran one job for up to one
+    /// slice budget of steps. Monotone across epoch rebuilds and
+    /// respawns (slot-level, not session-level).
+    pub slices: u64,
+    /// Slices that ended with the job parked (preempted) rather than
+    /// finished; `slices - preemptions` is the number of jobs whose
+    /// final slice ran here. Monotone.
+    pub preemptions: u64,
+    /// Jobs resolved to [`JobError::DeadlineExceeded`] on this
+    /// worker. Monotone.
+    pub deadline_misses: u64,
+    /// Canceled jobs whose worker-side state this worker discarded at
+    /// a scheduling boundary. Monotone.
+    pub cancellations: u64,
+    /// Jobs parked mid-run in this worker's run queue at snapshot
+    /// time (a gauge, like `queue_depth`).
+    pub parked_depth: usize,
     /// Whether the worker is currently dead (its thread exited after
     /// a panic and no replacement has started yet — transiently true
     /// during a respawn, or permanently if the pool is shutting
@@ -604,6 +758,36 @@ impl PoolStats {
         self.workers.iter().map(|w| w.queue_depth).collect()
     }
 
+    /// Scheduling turns executed across all workers (each ran one job
+    /// for up to one slice budget of steps). Monotone across epoch
+    /// rebuilds, promotions, and respawns.
+    pub fn slices(&self) -> u64 {
+        self.workers.iter().map(|w| w.slices).sum()
+    }
+
+    /// Slices that ended parked (preempted) rather than finished,
+    /// summed over workers. Monotone.
+    pub fn preemptions(&self) -> u64 {
+        self.workers.iter().map(|w| w.preemptions).sum()
+    }
+
+    /// Jobs that missed their deadline, summed over workers.
+    /// Monotone.
+    pub fn deadline_misses(&self) -> u64 {
+        self.workers.iter().map(|w| w.deadline_misses).sum()
+    }
+
+    /// Canceled jobs discarded by workers, summed. Monotone.
+    pub fn cancellations(&self) -> u64 {
+        self.workers.iter().map(|w| w.cancellations).sum()
+    }
+
+    /// Per-worker parked-run-queue depths at snapshot time (same
+    /// order as [`PoolStats::workers`]).
+    pub fn parked_depths(&self) -> Vec<usize> {
+        self.workers.iter().map(|w| w.parked_depth).collect()
+    }
+
     /// Coercion nodes interned *past the base*, summed over workers
     /// and cumulative across epochs. Zero means the frozen base
     /// absorbed every coercion the whole pool ever needed.
@@ -650,7 +834,8 @@ impl fmt::Display for PoolStats {
         writeln!(
             f,
             "{} jobs across {} workers (epoch {}, {} promotions, {} steals, \
-             {} respawns); {} local coercion nodes, {} local type nodes; \
+             {} respawns); {} slices ({} preemptions, {} deadline misses, \
+             {} cancellations); {} local coercion nodes, {} local type nodes; \
              base hit rates: {:.3} interning / {:.3} compose",
             self.jobs(),
             self.workers.len(),
@@ -658,6 +843,10 @@ impl fmt::Display for PoolStats {
             self.promotions,
             self.steals(),
             self.respawns,
+            self.slices(),
+            self.preemptions(),
+            self.deadline_misses(),
+            self.cancellations(),
             self.local_coercion_nodes(),
             self.local_type_nodes(),
             self.coercion_base_hit_rate(),
@@ -693,6 +882,8 @@ pub struct SessionPoolBuilder {
     warmup: Vec<String>,
     base: Option<Arc<FrozenBase>>,
     promotion: Option<PromotionPolicy>,
+    slice: Option<SliceBudget>,
+    queue_capacity: usize,
 }
 
 impl Default for SessionPoolBuilder {
@@ -705,6 +896,8 @@ impl Default for SessionPoolBuilder {
             warmup: Vec::new(),
             base: None,
             promotion: Some(PromotionPolicy::default()),
+            slice: Some(SliceBudget::default()),
+            queue_capacity: usize::MAX,
         }
     }
 }
@@ -782,6 +975,38 @@ impl SessionPoolBuilder {
         self
     }
 
+    /// Sets the per-turn step budget workers run each job for before
+    /// preempting it (see [`SliceBudget`]
+    /// for the default and its measured rationale). Smaller budgets
+    /// tighten latency fairness under divergent jobs; larger ones
+    /// approach unsliced behaviour.
+    pub fn slice_budget(mut self, budget: SliceBudget) -> SessionPoolBuilder {
+        self.slice = Some(budget);
+        self
+    }
+
+    /// Disables timeslicing: every job runs to completion (or fuel
+    /// exhaustion) in a single turn, pinning its worker — the
+    /// pre-scheduler behaviour, kept for comparison benches.
+    /// Deadlines and cancellation still work but are only checked
+    /// when a job starts.
+    pub fn no_slicing(mut self) -> SessionPoolBuilder {
+        self.slice = None;
+        self
+    }
+
+    /// Bounds each worker's standing work: a submission targeting a
+    /// worker that already holds `capacity` unresolved jobs (queued,
+    /// parked, or running) resolves immediately to
+    /// [`JobError::Rejected`] with the observed depth. The check is
+    /// an atomic reserve, so concurrent submitters cannot overshoot
+    /// the bound. Default: unbounded (`usize::MAX`), the
+    /// pre-backpressure behaviour.
+    pub fn queue_capacity(mut self, capacity: usize) -> SessionPoolBuilder {
+        self.queue_capacity = capacity;
+        self
+    }
+
     /// Builds the base (compiling and running the warmup sources) and
     /// spawns the workers.
     ///
@@ -812,6 +1037,12 @@ impl SessionPoolBuilder {
         // working set within its first iterations — so the bound is
         // small and *independent* of the pool's job fuel: a divergent
         // warmup source must not burn `default_fuel` at build time.
+        // The unit here is machine *steps* — the same unit job fuel,
+        // `SliceBudget`, and `Metrics::steps` count, one transition
+        // each (the engines enforce the 1:1 accounting at their fuel
+        // checks; see the invariant note in `bc_machine::cek_s`) — so
+        // this cap, slice accounting, and fuel-exhaustion reports are
+        // all directly comparable numbers.
         const WARMUP_RUN_FUEL: u64 = 64;
         for source in &self.warmup {
             let program = warm.compile(source)?;
@@ -854,6 +1085,9 @@ impl SessionPoolBuilder {
             slots: (0..self.workers)
                 .map(|_| Mutex::new(WorkerSlot::default()))
                 .collect(),
+            inflight: (0..self.workers)
+                .map(|_| Arc::new(AtomicUsize::new(0)))
+                .collect(),
             handles: Mutex::new((0..self.workers).map(|_| None).collect()),
             open: AtomicBool::new(true),
             promoting: AtomicBool::new(false),
@@ -868,6 +1102,10 @@ impl SessionPoolBuilder {
             compose_cache_capacity: self.compose_cache_capacity,
             type_memo_capacity: self.type_memo_capacity,
             default_fuel: self.default_fuel,
+            // No slicing = a slice the fuel bound can never exceed:
+            // `resume_slice` then finishes every job in one turn.
+            slice_steps: self.slice.map_or(u64::MAX, SliceBudget::steps),
+            queue_capacity: self.queue_capacity,
         });
         for index in 0..self.workers {
             let handle = shared.spawn_worker(index);
@@ -890,6 +1128,12 @@ struct PoolShared {
     epoch: EpochBase,
     queues: Vec<WorkerQueue>,
     slots: Vec<Mutex<WorkerSlot>>,
+    /// Per-worker in-flight job counts (accepted but unresolved:
+    /// queued + parked + running) — the bounded-backpressure gauge.
+    /// `Arc`ed so each job's completion cell can decrement its
+    /// worker's counter exactly once, at resolution, wherever that
+    /// happens.
+    inflight: Vec<Arc<AtomicUsize>>,
     /// Worker join handles, indexed by worker; a dying worker writes
     /// its replacement's handle over its own before exiting.
     handles: Mutex<Vec<Option<JoinHandle<()>>>>,
@@ -910,6 +1154,10 @@ struct PoolShared {
     compose_cache_capacity: usize,
     type_memo_capacity: usize,
     default_fuel: u64,
+    /// Steps per scheduling turn (`u64::MAX` when slicing is off).
+    slice_steps: u64,
+    /// Max unresolved jobs per worker before submissions reject.
+    queue_capacity: usize,
 }
 
 /// How long an idle worker parks before re-scanning sibling queues —
@@ -991,13 +1239,31 @@ impl PoolShared {
         job
     }
 
-    /// Publishes a completed job into the worker's slot — *before*
-    /// the reply, so a caller that observes a job as complete via its
-    /// handle finds it counted in [`SessionPool::stats`] too.
-    fn count_job(&self, index: usize, session: &Session) {
+    /// Non-blocking claim (own queue front, else a steal): how a
+    /// worker with parked jobs checks for new intake without ever
+    /// waiting — if nothing is immediately available it has slices to
+    /// run instead.
+    fn try_claim(&self, index: usize) -> Option<Job> {
+        if let Some(job) = lock(&self.queues[index].deque).pop_front() {
+            return Some(job);
+        }
+        self.steal(index)
+    }
+
+    /// Publishes a finished job into the worker's slot — *before* the
+    /// reply, so a caller that observes a job as complete via its
+    /// handle finds it counted in [`SessionPool::stats`] too. Every
+    /// disposition counts as a job; misses and cancellations bump
+    /// their own monotone counters on top.
+    fn count_job(&self, index: usize, session: &Session, disposition: Disposition) {
         self.jobs_since_promotion.fetch_add(1, Ordering::Relaxed);
         let mut slot = lock(&self.slots[index]);
         slot.jobs += 1;
+        match disposition {
+            Disposition::Completed => {}
+            Disposition::Canceled => slot.cancellations += 1,
+            Disposition::DeadlineMissed => slot.deadline_misses += 1,
+        }
         slot.stats = Some(session.stats());
     }
 
@@ -1109,8 +1375,16 @@ impl PoolShared {
 }
 
 /// One worker: a private overlay [`Session`] over the current epoch's
-/// base, draining its own deque (and stealing from siblings) until
-/// the pool closes and every queue is empty.
+/// base, a run queue of parked jobs, and a scheduling loop that
+/// interleaves intake with round-robin timeslicing until the pool
+/// closes, every queue drains, and every parked job finishes.
+///
+/// Each loop turn does at most one intake claim (blocking only when
+/// nothing is parked — an idle worker parks on its condvar exactly
+/// like the pre-slicing loop) and one slice of the run queue's head.
+/// A 64-job batch with divergent spinners therefore finishes its
+/// convergent jobs in a bounded number of turns: a spinner gets one
+/// slice per rotation, never the whole worker.
 fn worker_loop(index: usize, shared: Arc<PoolShared>) {
     lock(&shared.slots[index]).dead = false;
     let (mut epoch, mut base) = shared.epoch.load();
@@ -1121,54 +1395,196 @@ fn worker_loop(index: usize, shared: Arc<PoolShared>) {
     // (compiled or source) a pure lookup — zero parsing, zero
     // lowering.
     let mut programs: HashMap<String, crate::session::Program> = HashMap::new();
-    while let Some(job) = shared.next_job(index) {
-        // Job boundary: adopt a newer epoch if one was published. The
-        // old base's Arc drops with the retired session — epochs
-        // drain, they are never collected.
-        if let Some((e, b)) = shared.epoch.refresh(epoch) {
-            shared.retire(index, &session);
-            (epoch, base) = (e, b);
-            session = shared.build_session(Arc::clone(&base));
-            programs.clear();
-        }
-        // The serve is the only pool code that runs job-determined
-        // work, so it is the unwind boundary: a panicking job kills
-        // neither the pool nor its queue. AssertUnwindSafe is sound
-        // because everything the closure touches is discarded on
-        // panic (session and program cache die with this worker; the
-        // replacement starts fresh over the current epoch).
-        let served = catch_unwind(AssertUnwindSafe(|| {
-            serve(&session, &mut programs, index, &base, &job)
-        }));
-        match served {
-            Ok(result) => {
-                shared.count_job(index, &session);
-                if shared.should_promote(index, &session) {
-                    if let Some((e, b)) = shared.promote(epoch, &base, &session) {
-                        // The promoting worker adopts its own epoch at
-                        // once — its overlay *is* the new base.
-                        shared.retire(index, &session);
-                        (epoch, base) = (e, b);
-                        session = shared.build_session(Arc::clone(&base));
-                        programs.clear();
+    let mut run_queue: VecDeque<ParkedEntry> = VecDeque::new();
+    loop {
+        let incoming = if run_queue.is_empty() {
+            match shared.next_job(index) {
+                Some(job) => Some(job),
+                // Closed, every queue drained, nothing parked: done.
+                None => return,
+            }
+        } else {
+            shared.try_claim(index)
+        };
+        if let Some(job) = incoming {
+            // Epoch adoption happens only with an empty run queue:
+            // parked runs hold ids interned in the current session,
+            // which an adoption would rebuild. A parked spinner thus
+            // delays its worker's adoption until it finishes or
+            // exhausts its fuel — bounded by the fuel bound, never
+            // forever. The old base's Arc drops with the retired
+            // session — epochs drain, they are never collected.
+            if run_queue.is_empty() {
+                if let Some((e, b)) = shared.epoch.refresh(epoch) {
+                    shared.retire(index, &session);
+                    (epoch, base) = (e, b);
+                    session = shared.build_session(Arc::clone(&base));
+                    programs.clear();
+                }
+            }
+            if job.reply.is_canceled() {
+                // Canceled while queued: the handle resolved when the
+                // submitter canceled; drop the worker's side here.
+                shared.count_job(index, &session, Disposition::Canceled);
+            } else if job.expired() {
+                shared.count_job(index, &session, Disposition::DeadlineMissed);
+                job.reply.resolve(Err(JobError::DeadlineExceeded {
+                    steps: 0,
+                    elapsed: job.submitted.elapsed(),
+                }));
+            } else {
+                // Admission is the first unwind boundary: it runs
+                // job-determined work (parsing, elaboration,
+                // lowering). AssertUnwindSafe is sound because
+                // everything the closure touches is discarded on
+                // panic (session, program cache, and parked runs die
+                // with this worker; the replacement starts fresh over
+                // the current epoch).
+                let admitted = catch_unwind(AssertUnwindSafe(|| {
+                    admit(&session, &mut programs, &base, &job)
+                }));
+                match admitted {
+                    Ok(Ok((run, compiled))) => {
+                        run_queue.push_back(ParkedEntry { job, run, compiled })
+                    }
+                    Ok(Err(err)) => {
+                        shared.count_job(index, &session, Disposition::Completed);
+                        job.reply.resolve(Err(err));
+                        if run_queue.is_empty() {
+                            adopt_if_promoted(
+                                &shared,
+                                index,
+                                &mut epoch,
+                                &mut base,
+                                &mut session,
+                                &mut programs,
+                            );
+                        }
+                    }
+                    Err(_) => {
+                        die(&shared, index, &session, job, run_queue);
+                        return;
                     }
                 }
-                // The submitter may have dropped its handle; that is
-                // not an error for the pool.
-                let _ = job.reply.send(result);
             }
-            Err(_) => {
-                shared.retire(index, &session);
-                {
-                    let mut slot = lock(&shared.slots[index]);
-                    slot.jobs += 1;
-                    slot.panics += 1;
-                    slot.dead = true;
+        }
+        // One scheduling turn: slice the head of the run queue; a job
+        // parked again goes to the back (round-robin — every parked
+        // job advances one slice per rotation).
+        if let Some(entry) = run_queue.pop_front() {
+            let ParkedEntry { job, run, compiled } = entry;
+            if job.reply.is_canceled() {
+                shared.count_job(index, &session, Disposition::Canceled);
+            } else if job.expired() {
+                let steps = run.steps();
+                shared.count_job(index, &session, Disposition::DeadlineMissed);
+                job.reply.resolve(Err(JobError::DeadlineExceeded {
+                    steps,
+                    elapsed: job.submitted.elapsed(),
+                }));
+            } else {
+                // The slice is the other unwind boundary (machine
+                // steps run job-determined work too).
+                let sliced = catch_unwind(AssertUnwindSafe(|| {
+                    session.resume_slice(run, shared.slice_steps)
+                }));
+                match sliced {
+                    Ok(SliceOutcome::Done(result)) => {
+                        lock(&shared.slots[index]).slices += 1;
+                        shared.count_job(index, &session, Disposition::Completed);
+                        let result = result
+                            .map(|report| JobOutput {
+                                observation: report.observation,
+                                steps: report.steps,
+                                metrics: report.metrics,
+                                worker: index,
+                                compiled,
+                            })
+                            .map_err(JobError::Run);
+                        job.reply.resolve(result);
+                        if run_queue.is_empty() {
+                            adopt_if_promoted(
+                                &shared,
+                                index,
+                                &mut epoch,
+                                &mut base,
+                                &mut session,
+                                &mut programs,
+                            );
+                        }
+                    }
+                    Ok(SliceOutcome::Parked(run)) => {
+                        {
+                            let mut slot = lock(&shared.slots[index]);
+                            slot.slices += 1;
+                            slot.preemptions += 1;
+                        }
+                        run_queue.push_back(ParkedEntry { job, run, compiled });
+                    }
+                    Err(_) => {
+                        die(&shared, index, &session, job, run_queue);
+                        return;
+                    }
                 }
-                let _ = job.reply.send(Err(JobError::WorkerPanicked));
-                shared.respawn(index);
-                return;
             }
+        }
+        lock(&shared.slots[index]).parked_depth = run_queue.len();
+    }
+}
+
+/// The caught-panic exit path: types the panicking job, retires the
+/// session, hands the surviving parked jobs back to the queue (their
+/// runs died with the session — the replacement restarts them from
+/// step zero by spec, at-least-once for a language with no side
+/// effects to repeat), and respawns.
+fn die(
+    shared: &Arc<PoolShared>,
+    index: usize,
+    session: &Session,
+    job: Job,
+    run_queue: VecDeque<ParkedEntry>,
+) {
+    shared.retire(index, session);
+    {
+        let mut slot = lock(&shared.slots[index]);
+        slot.jobs += 1;
+        slot.panics += 1;
+        slot.dead = true;
+        slot.parked_depth = 0;
+    }
+    job.reply.resolve(Err(JobError::WorkerPanicked));
+    if !run_queue.is_empty() {
+        let queue = &shared.queues[index];
+        {
+            let mut deque = lock(&queue.deque);
+            for entry in run_queue {
+                deque.push_back(entry.job);
+            }
+        }
+        queue.ready.notify_one();
+    }
+    shared.respawn(index);
+}
+
+/// The promotion gate + adoption, shared by every completion site.
+/// Callers only reach here with an empty run queue (adoption rebuilds
+/// the session that parked runs reference).
+fn adopt_if_promoted(
+    shared: &PoolShared,
+    index: usize,
+    epoch: &mut u64,
+    base: &mut Arc<FrozenBase>,
+    session: &mut Session,
+    programs: &mut HashMap<String, crate::session::Program>,
+) {
+    if shared.should_promote(index, session) {
+        if let Some((e, b)) = shared.promote(*epoch, base, session) {
+            // The promoting worker adopts its own epoch at once — its
+            // overlay *is* the new base.
+            shared.retire(index, session);
+            (*epoch, *base) = (e, b);
+            *session = shared.build_session(Arc::clone(base));
+            programs.clear();
         }
     }
 }
@@ -1178,15 +1594,16 @@ fn worker_loop(index: usize, shared: Arc<PoolShared>) {
 /// warm, so a re-lower interns nothing).
 const WORKER_PROGRAM_CACHE_CAP: usize = 1024;
 
-/// Serves one job in the worker's session: resolve the program
-/// (worker cache → compiled payload → source compile), run, observe.
-fn serve(
+/// Admits one job: resolves the program (worker cache → compiled
+/// payload → source compile) and starts a resumable run parked at
+/// step zero — no machine steps run here; the scheduling loop doles
+/// those out in slices.
+fn admit(
     session: &Session,
     programs: &mut HashMap<String, crate::session::Program>,
-    worker: usize,
     base: &Arc<FrozenBase>,
     job: &Job,
-) -> Result<JobOutput, JobError> {
+) -> Result<(PausedRun, bool), JobError> {
     if matches!(job.spec, JobSpec::Poison) {
         panic!("deliberate pool fault injection (JobSpec::Poison)");
     }
@@ -1219,16 +1636,10 @@ fn serve(
     }
     let program = &programs[key];
     let fuel = job.fuel.unwrap_or_else(|| session.default_fuel());
-    let report = session
-        .run_with_fuel(program, job.engine, fuel)
+    let run = session
+        .start_run(program, job.engine, fuel)
         .map_err(JobError::Run)?;
-    Ok(JobOutput {
-        observation: report.observation,
-        steps: report.steps,
-        metrics: report.metrics,
-        worker,
-        compiled,
-    })
+    Ok((run, compiled))
 }
 
 /// A multi-threaded serving pool: N worker threads, each with a
@@ -1280,10 +1691,10 @@ impl SessionPool {
     }
 
     /// Total jobs currently waiting in worker queues (excludes jobs
-    /// being served right now). This is the load-shedding signal: a
-    /// caller that would rather reject than queue checks it *before*
-    /// submitting — the groundwork for the async front end's typed
-    /// backpressure (`Rejected { queue_depth }`).
+    /// parked in run queues or being served right now — for the full
+    /// standing-work signal, the pool enforces
+    /// [`SessionPoolBuilder::queue_capacity`] against the per-worker
+    /// in-flight counts and rejects with [`JobError::Rejected`]).
     pub fn queue_depth(&self) -> usize {
         self.shared
             .queues
@@ -1310,7 +1721,7 @@ impl SessionPool {
     /// is upgraded to the compiled path automatically: the worker
     /// receives the warmup's interned λB term and never re-parses.
     pub fn submit(&self, source: impl Into<String>, engine: Engine) -> JobHandle {
-        self.submit_job(self.spec_for(source.into()), engine, None)
+        self.submit_job(self.spec_for(source.into()), engine, None, None)
     }
 
     /// [`SessionPool::submit`] with an explicit step bound.
@@ -1320,7 +1731,32 @@ impl SessionPool {
         engine: Engine,
         fuel: u64,
     ) -> JobHandle {
-        self.submit_job(self.spec_for(source.into()), engine, Some(fuel))
+        self.submit_job(self.spec_for(source.into()), engine, Some(fuel), None)
+    }
+
+    /// [`SessionPool::submit`] with a wall-clock deadline: a job that
+    /// has not finished when it passes resolves to
+    /// [`JobError::DeadlineExceeded`] at its next scheduling boundary
+    /// (so enforcement lags the deadline by at most one slice plus
+    /// queueing on the worker's run queue).
+    pub fn submit_with_deadline(
+        &self,
+        source: impl Into<String>,
+        engine: Engine,
+        deadline: Deadline,
+    ) -> JobHandle {
+        self.submit_job(self.spec_for(source.into()), engine, None, Some(deadline))
+    }
+
+    /// The fully-explicit submission: step bound and/or deadline.
+    pub fn submit_with_options(
+        &self,
+        source: impl Into<String>,
+        engine: Engine,
+        fuel: Option<u64>,
+        deadline: Option<Deadline>,
+    ) -> JobHandle {
+        self.submit_job(self.spec_for(source.into()), engine, fuel, deadline)
     }
 
     /// Submits a batch of jobs, returning one handle per source (in
@@ -1334,7 +1770,7 @@ impl SessionPool {
     {
         sources
             .into_iter()
-            .map(|s| self.submit_job(self.spec_for(s.into()), engine, None))
+            .map(|s| self.submit_job(self.spec_for(s.into()), engine, None, None))
             .collect()
     }
 
@@ -1347,7 +1783,7 @@ impl SessionPool {
     /// compiles on the worker).
     pub fn submit_compiled(&self, source: &str, engine: Engine) -> Option<JobHandle> {
         let program = self.compiled.get(source)?;
-        Some(self.submit_job(JobSpec::Compiled(Arc::clone(program)), engine, None))
+        Some(self.submit_job(JobSpec::Compiled(Arc::clone(program)), engine, None, None))
     }
 
     /// [`SessionPool::submit_compiled`] with an explicit step bound.
@@ -1358,7 +1794,12 @@ impl SessionPool {
         fuel: u64,
     ) -> Option<JobHandle> {
         let program = self.compiled.get(source)?;
-        Some(self.submit_job(JobSpec::Compiled(Arc::clone(program)), engine, Some(fuel)))
+        Some(self.submit_job(
+            JobSpec::Compiled(Arc::clone(program)),
+            engine,
+            Some(fuel),
+            None,
+        ))
     }
 
     /// Test-only fault injection: submits a job whose serve panics
@@ -1367,7 +1808,7 @@ impl SessionPool {
     /// so integration tests and fault-injection drills can reach it.
     #[doc(hidden)]
     pub fn submit_poison(&self) -> JobHandle {
-        self.submit_job(JobSpec::Poison, Engine::MachineS, None)
+        self.submit_job(JobSpec::Poison, Engine::MachineS, None, None)
     }
 
     /// The warmup sources with a compiled program ready to ship
@@ -1385,23 +1826,48 @@ impl SessionPool {
         }
     }
 
-    fn submit_job(&self, spec: JobSpec, engine: Engine, fuel: Option<u64>) -> JobHandle {
-        let (reply, rx) = mpsc::channel();
+    fn submit_job(
+        &self,
+        spec: JobSpec,
+        engine: Engine,
+        fuel: Option<u64>,
+        deadline: Option<Deadline>,
+    ) -> JobHandle {
+        // A closed pool answers Lost immediately — the honest answer.
+        if !self.shared.open.load(Ordering::Acquire) {
+            return JobHandle {
+                state: JobState::resolved(Err(JobError::Lost)),
+            };
+        }
+        let target = self.next.fetch_add(1, Ordering::Relaxed) % self.shared.queues.len();
+        // Bounded backpressure: atomically reserve a slot in the
+        // target worker's in-flight count (queued + parked + running)
+        // or reject without ever touching a queue. The reservation is
+        // released exactly once, when the job's completion cell
+        // resolves — wherever and however that happens.
+        let inflight = &self.shared.inflight[target];
+        let capacity = self.shared.queue_capacity;
+        let reserved = inflight.fetch_update(Ordering::AcqRel, Ordering::Acquire, |depth| {
+            (depth < capacity).then_some(depth + 1)
+        });
+        if let Err(depth) = reserved {
+            return JobHandle {
+                state: JobState::resolved(Err(JobError::Rejected { queue_depth: depth })),
+            };
+        }
+        let state = JobState::new(Some(Arc::clone(inflight)));
         let job = Job {
             spec,
             engine,
             fuel,
-            reply,
+            reply: ReplySlot::new(Arc::clone(&state)),
+            deadline,
+            submitted: Instant::now(),
         };
-        // A closed pool drops the job, and with it the reply sender —
-        // the handle then reports Lost, which is the honest answer.
-        if self.shared.open.load(Ordering::Acquire) {
-            let target = self.next.fetch_add(1, Ordering::Relaxed) % self.shared.queues.len();
-            let queue = &self.shared.queues[target];
-            lock(&queue.deque).push_back(job);
-            queue.ready.notify_one();
-        }
-        JobHandle { rx }
+        let queue = &self.shared.queues[target];
+        lock(&queue.deque).push_back(job);
+        queue.ready.notify_one();
+        JobHandle { state }
     }
 
     /// A live snapshot of the pool accounting (each worker
@@ -1425,6 +1891,11 @@ impl SessionPool {
                         jobs: slot.jobs,
                         steals: slot.steals,
                         panics: slot.panics,
+                        slices: slot.slices,
+                        preemptions: slot.preemptions,
+                        deadline_misses: slot.deadline_misses,
+                        cancellations: slot.cancellations,
+                        parked_depth: slot.parked_depth,
                         dead: slot.dead,
                         queue_depth,
                         session: slot.stats,

@@ -1079,6 +1079,143 @@ impl Session {
         }
     }
 
+    /// Begins a preemptible run: like [`Session::run_with_fuel`], but
+    /// instead of running to completion it parks immediately, and the
+    /// caller drives the engine in bounded fuel slices with
+    /// [`Session::resume_slice`] — the primitive under the pool's
+    /// timeslicing scheduler.
+    ///
+    /// Slicing is observationally invisible (property-tested in
+    /// `tests/sched.rs`): the final report — observation, step count,
+    /// space peaks, fuel-exhaustion accounting — is identical to the
+    /// unsliced run, because every engine checks fuel before each step
+    /// in both modes and the slice bound only chooses where control
+    /// returns. The four compiled/machine engines
+    /// ([`Engine::MachineB`], [`Engine::MachineC`], [`Engine::MachineS`],
+    /// [`Engine::LambdaS`]) park for real; the two tree small-step
+    /// oracles ([`Engine::LambdaB`], [`Engine::LambdaC`]) have no
+    /// resumable state worth building and run to completion inside
+    /// their first slice (documented, deliberate — they exist as
+    /// property-test oracles, not serving engines).
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::IllTyped`] if a loaded term lied about its type
+    /// (checked up front, exactly as the unsliced entry does).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `program` was compiled by a different session.
+    pub fn start_run(
+        &self,
+        program: &Program,
+        engine: Engine,
+        fuel: u64,
+    ) -> Result<PausedRun, RunError> {
+        assert_eq!(
+            program.session, self.id,
+            "program was compiled by a different Session: \
+             its ids belong to another arena id-space"
+        );
+        let inner = match engine {
+            Engine::MachineB => {
+                PausedInner::MachineB(bc_machine::cek_b::start(&self.lambda_b(program), fuel))
+            }
+            Engine::MachineC => {
+                PausedInner::MachineC(bc_machine::cek_c::start(&self.lambda_c(program), fuel))
+            }
+            Engine::MachineS => PausedInner::MachineS(bc_machine::cek_s::start_compiled_in(
+                &program.lambda_s_compiled,
+                &self.arena.borrow(),
+                &self.cache.borrow(),
+                fuel,
+            )),
+            Engine::LambdaS => {
+                let mut arena = self.arena.borrow_mut();
+                let mut types = self.types.borrow_mut();
+                PausedInner::LambdaS(
+                    bc_core::eval::start_compiled(
+                        &program.lambda_s_compiled,
+                        fuel,
+                        &mut arena,
+                        &mut types,
+                    )
+                    .map_err(small_step_run_error!(bc_core))?,
+                )
+            }
+            // The tree oracles rewrite whole terms with no separable
+            // machine state: they run unsliced inside the first
+            // resume_slice call.
+            Engine::LambdaB | Engine::LambdaC => PausedInner::Unsliced {
+                program: Box::new(program.clone()),
+                engine,
+                fuel,
+            },
+        };
+        Ok(PausedRun {
+            inner,
+            session: self.id,
+        })
+    }
+
+    /// Runs a parked run for at most `slice` further steps against
+    /// this session's arenas; fuel is checked before the slice budget,
+    /// so a slice covering the remaining fuel finishes the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `paused` was started by a different session (its ids
+    /// would denote the wrong coercions here).
+    pub fn resume_slice(&self, paused: PausedRun, slice: u64) -> SliceOutcome {
+        assert_eq!(
+            paused.session, self.id,
+            "parked run belongs to a different Session"
+        );
+        let session = paused.session;
+        let parked = |inner| SliceOutcome::Parked(PausedRun { inner, session });
+        match paused.inner {
+            PausedInner::MachineB(p) => match bc_machine::cek_b::resume(p, slice) {
+                bc_machine::metrics::SliceResult::Done(r) => SliceOutcome::Done(machine_report(r)),
+                bc_machine::metrics::SliceResult::Parked(p) => parked(PausedInner::MachineB(p)),
+            },
+            PausedInner::MachineC(p) => match bc_machine::cek_c::resume(p, slice) {
+                bc_machine::metrics::SliceResult::Done(r) => SliceOutcome::Done(machine_report(r)),
+                bc_machine::metrics::SliceResult::Parked(p) => parked(PausedInner::MachineC(p)),
+            },
+            PausedInner::MachineS(p) => {
+                let mut arena = self.arena.borrow_mut();
+                let mut cache = self.cache.borrow_mut();
+                match bc_machine::cek_s::resume_compiled_in(p, &mut arena, &mut cache, slice) {
+                    bc_machine::metrics::SliceResult::Done(r) => {
+                        SliceOutcome::Done(machine_report(r))
+                    }
+                    bc_machine::metrics::SliceResult::Parked(p) => parked(PausedInner::MachineS(p)),
+                }
+            }
+            PausedInner::LambdaS(p) => {
+                let mut arena = self.arena.borrow_mut();
+                let mut cache = self.cache.borrow_mut();
+                match bc_core::eval::resume_compiled(p, slice, &mut arena, &mut cache) {
+                    bc_core::eval::SliceC::Done(r) => {
+                        SliceOutcome::Done(r.map_err(small_step_run_error!(bc_core)).map(|r| {
+                            RunReport {
+                                observation: observe_s_compiled(&r.outcome, &arena),
+                                steps: r.steps,
+                                metrics: None,
+                            }
+                        }))
+                    }
+                    bc_core::eval::SliceC::Parked(p) => parked(PausedInner::LambdaS(p)),
+                }
+            }
+            PausedInner::Unsliced {
+                program,
+                engine,
+                fuel,
+            } => SliceOutcome::Done(self.run_with_fuel(&program, engine, fuel)),
+        }
+    }
+
     /// A consolidated snapshot of the session's shared state.
     pub fn stats(&self) -> SessionStats {
         let arena = self.arena.borrow();
@@ -1211,6 +1348,57 @@ impl Session {
             })
         }
     }
+}
+
+/// A run preempted at a slice boundary, created by
+/// [`Session::start_run`] and driven by [`Session::resume_slice`].
+///
+/// The parked state references ids interned in the session that
+/// started it, and machine values are `Rc`-shared, so a parked run is
+/// worker-local by design — **not** `Send` — and must be resumed by
+/// the same session (asserted). The pool's scheduler therefore parks
+/// runs in per-worker run queues rather than migrating them.
+pub struct PausedRun {
+    inner: PausedInner,
+    session: u64,
+}
+
+impl PausedRun {
+    /// Steps taken so far across all slices — what a deadline miss
+    /// reports without waiting for the run to finish.
+    pub fn steps(&self) -> u64 {
+        match &self.inner {
+            PausedInner::MachineB(p) => p.steps(),
+            PausedInner::MachineC(p) => p.steps(),
+            PausedInner::MachineS(p) => p.steps(),
+            PausedInner::LambdaS(p) => p.steps(),
+            PausedInner::Unsliced { .. } => 0,
+        }
+    }
+}
+
+enum PausedInner {
+    MachineB(bc_machine::cek_b::Paused),
+    MachineC(bc_machine::cek_c::Paused),
+    MachineS(bc_machine::cek_s::Paused),
+    LambdaS(bc_core::eval::PausedC),
+    /// Tree small-step oracles: no resumable state, run unsliced on
+    /// the first resume. The `Program` handle is boxed so the cold
+    /// oracle path doesn't inflate every parked machine state.
+    Unsliced {
+        program: Box<Program>,
+        engine: Engine,
+        fuel: u64,
+    },
+}
+
+/// What one [`Session::resume_slice`] call produced.
+pub enum SliceOutcome {
+    /// The run finished with the exact report an unsliced
+    /// [`Session::run_with_fuel`] would have produced.
+    Done(Result<RunReport, RunError>),
+    /// The slice budget ran out first; resume to continue.
+    Parked(PausedRun),
 }
 
 /// Maps a machine run to the session-level result: fuel exhaustion is

@@ -36,6 +36,9 @@ fn job_fingerprint(result: Result<blame_coercion::JobOutput, JobError>) -> Strin
         }
         Err(JobError::Run(RunError::IllTyped(d))) => format!("ill typed: {}", d.message),
         Err(JobError::WorkerPanicked) => "worker panicked".to_owned(),
+        Err(JobError::DeadlineExceeded { steps, .. }) => format!("deadline missed at {steps}"),
+        Err(JobError::Canceled) => "canceled".to_owned(),
+        Err(JobError::Rejected { queue_depth }) => format!("rejected at depth {queue_depth}"),
         Err(JobError::Lost) => "lost".to_owned(),
     }
 }
