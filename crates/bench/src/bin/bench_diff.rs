@@ -10,9 +10,12 @@
 //! shared timing key whose new value exceeds the old by more than the
 //! threshold (default 25%, container-noise-tolerant) is a regression
 //! and the process exits non-zero. Non-timing keys (capacity counts,
-//! speedup ratios, core counts) and keys present in only one file are
-//! reported but never fail the diff — benches come and go between
-//! PRs; regressions on what both measured are what CI guards.
+//! speedup ratios, core counts) are informational. Keys present in
+//! only one file never fail the diff — benches come and go between
+//! PRs; regressions on what both measured are what CI guards — but
+//! they are *summarised explicitly* (counted lists of added and
+//! removed keys) so a silently dropped table is visible in the log
+//! instead of vanishing from the comparison.
 //!
 //! The JSON parsing is hand-rolled on purpose: the files are flat
 //! `"key": number` objects emitted by `report`, and the container
@@ -47,11 +50,12 @@ fn main() -> ExitCode {
     );
 
     let mut regressions = Vec::new();
+    let mut removed: Vec<&str> = Vec::new();
     let mut improved = 0usize;
     let mut shared = 0usize;
     for (key, old_value) in &old {
         let Some((_, new_value)) = new.iter().find(|(k, _)| k == key) else {
-            println!("  (dropped)  {key}");
+            removed.push(key);
             continue;
         };
         if !key.ends_with("_ns") {
@@ -72,17 +76,42 @@ fn main() -> ExitCode {
             );
         }
     }
-    for (key, _) in &new {
-        if !old.iter().any(|(k, _)| k == key) {
-            println!("  (new)      {key}");
+    let added: Vec<&str> = new
+        .iter()
+        .filter(|(k, _)| !old.iter().any(|(ok, _)| ok == k))
+        .map(|(k, _)| k.as_str())
+        .collect();
+
+    // Coverage drift is never a failure, but it must be loud: a table
+    // that silently stops being emitted would otherwise pass the gate
+    // by not being compared at all.
+    if !removed.is_empty() {
+        println!(
+            "  {} key(s) removed (present in {old_path} only):",
+            removed.len()
+        );
+        for key in &removed {
+            println!("    - {key}");
+        }
+    }
+    if !added.is_empty() {
+        println!(
+            "  {} key(s) added (present in {new_path} only):",
+            added.len()
+        );
+        for key in &added {
+            println!("    + {key}");
         }
     }
 
     println!(
-        "{shared} shared timing keys: {improved} improved >{:.0}%, {} regressed >{:.0}%",
+        "{shared} shared timing keys: {improved} improved >{:.0}%, {} regressed >{:.0}%; \
+         {} added, {} removed",
         threshold * 100.0,
         regressions.len(),
-        threshold * 100.0
+        threshold * 100.0,
+        added.len(),
+        removed.len()
     );
     if regressions.is_empty() {
         ExitCode::SUCCESS

@@ -1,10 +1,10 @@
 //! Regenerates the measurement tables recorded in EXPERIMENTS.md, and
-//! emits the machine-readable `BENCH_8.json` (per-bench medians,
+//! emits the machine-readable `BENCH_9.json` (per-bench medians,
 //! including the end-to-end compile+run, pool-throughput, drift,
-//! tier-overhead, and scheduler-fairness numbers) alongside the human
-//! output. CI diffs the checked-in `BENCH_8.json` against its
-//! predecessor `BENCH_7.json` with the `bench_diff` binary and fails
-//! on >25% regression of any shared timing key.
+//! promotion-cost, tier-overhead, and scheduler-fairness numbers)
+//! alongside the human output. CI diffs the checked-in `BENCH_9.json`
+//! against its predecessor `BENCH_8.json` with the `bench_diff`
+//! binary and fails on >25% regression of any shared timing key.
 //!
 //! ```sh
 //! cargo run -p bc-bench --bin report --release
@@ -45,9 +45,10 @@ fn main() {
     compile_run_table(&mut metrics);
     pool_table(&mut metrics);
     drift_table(&mut metrics);
+    promotion_cost_table(&mut metrics);
     fairness_table(&mut metrics);
     tier_table(&mut metrics);
-    write_json("BENCH_8.json", &metrics);
+    write_json("BENCH_9.json", &metrics);
 }
 
 /// Median wall-clock of `reps` runs of `f`, in nanoseconds.
@@ -297,6 +298,140 @@ fn drift_table(metrics: &mut Metrics) {
         "promotion must cut total overlay interning: promoting {} vs frozen {}",
         overlays[1],
         overlays[0]
+    );
+    println!();
+}
+
+/// A type distinct per `i` (the tower's leaf sequence spells `i` in
+/// binary), so compiling `drift_source(i)` over disjoint index ranges
+/// interns genuinely new type *and* coercion nodes — unlike
+/// `sources::drifting`, whose phase type cycles after 64 phases. E28
+/// uses it to grow bases of arbitrary size and to keep every
+/// measured append honest (fresh rows, not dedup hits).
+fn nested_type(i: usize) -> String {
+    let mut ty = String::from("Int");
+    let mut n = i + 2;
+    while n > 0 {
+        let leaf = if n & 1 == 0 { "Int" } else { "Bool" };
+        ty = format!("{leaf} -> ({ty})");
+        n >>= 1;
+    }
+    ty
+}
+
+/// A dynamic value projected into `nested_type(i)`: one coercion
+/// spine plus one type tower per distinct `i`.
+fn drift_source(i: usize) -> String {
+    format!(
+        "let f = ((fun x => x) : ?) in let g = (f : {}) in 1",
+        nested_type(i)
+    )
+}
+
+/// Median of raw nanosecond samples.
+fn median_of(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// E28: what the append-only slab base buys promotion — the cost of
+/// freezing a fixed-size overlay over bases of growing size, slab
+/// append ([`Session::freeze`]) versus detached rebuild
+/// ([`Session::freeze_detached`], the old clone-on-promote
+/// semantics). Each rep compiles a *distinct* overlay (disjoint
+/// `drift_source` index ranges) so every append pushes real rows;
+/// the overlay is identical across base scales so the append column
+/// isolates base-size dependence. The in-table asserts are the
+/// tentpole acceptance criterion: append stays flat (< 1.5×) from 1×
+/// to 64× base while the clone grows ≥ 8×.
+fn promotion_cost_table(metrics: &mut Metrics) {
+    println!("## E28 — promotion cost by base size: slab append vs detached clone");
+    println!();
+    const BASE_UNIT: usize = 64; // base programs at 1× scale
+    const OVERLAY: usize = 16; // overlay programs per promotion
+    const REPS: usize = 15;
+    println!("| base scale | base nodes (coercion + type) | append µs | detached clone µs |");
+    println!("|------------|------------------------------|-----------|-------------------|");
+    let mut appends = Vec::new();
+    let mut clones = Vec::new();
+    for (label, scale) in [("1x", 1usize), ("8x", 8), ("64x", 64)] {
+        let warm = Session::builder().default_fuel(u64::MAX).build();
+        for i in 0..scale * BASE_UNIT {
+            let _ = warm
+                .compile(&drift_source(i))
+                .expect("base source compiles");
+        }
+        let base = warm.freeze();
+        let base_nodes = base.coercion_nodes() + base.type_nodes();
+        let mut append_ns = Vec::new();
+        let mut clone_ns = Vec::new();
+        for rep in 0..REPS {
+            let session = Session::builder()
+                .default_fuel(u64::MAX)
+                .base(Arc::clone(&base))
+                .build();
+            for i in 0..OVERLAY {
+                let source = drift_source(1_000_000 + rep * OVERLAY + i);
+                let _ = session.compile(&source).expect("overlay source compiles");
+            }
+            let t0 = Instant::now();
+            let appended = std::hint::black_box(session.freeze());
+            append_ns.push(t0.elapsed().as_nanos() as f64);
+            let t1 = Instant::now();
+            let detached = std::hint::black_box(session.freeze_detached());
+            clone_ns.push(t1.elapsed().as_nanos() as f64);
+            assert!(
+                appended.extends(&base),
+                "an append-freeze must extend its base"
+            );
+            // Rep 0 is the only rep whose slab holds exactly base +
+            // this overlay; later reps' appended views also publish
+            // the earlier reps' rows (they sit below the new
+            // watermark), so only the first freeze pair is
+            // content-identical. `tests/epoch.rs` asserts the full
+            // equivalence on single-lineage chains.
+            if rep == 0 {
+                assert_eq!(
+                    detached.coercion_nodes() + detached.type_nodes(),
+                    appended.coercion_nodes() + appended.type_nodes(),
+                    "append and detached freezes must agree on content"
+                );
+            }
+        }
+        let append = median_of(append_ns);
+        let clone = median_of(clone_ns);
+        println!(
+            "| {label} | {base_nodes} | {:.1} | {:.1} |",
+            append / 1e3,
+            clone / 1e3
+        );
+        metrics.push((format!("promote/base{label}/nodes"), base_nodes as f64));
+        metrics.push((format!("promote/base{label}/append_ns"), append));
+        metrics.push((format!("promote/base{label}/clone_ns"), clone));
+        appends.push(append);
+        clones.push(clone);
+    }
+    println!();
+    // The tentpole criterion, asserted where the numbers are made:
+    // promotion cost is O(overlay) under append — flat as the base
+    // grows 64× — while the old clone semantics scale with the base.
+    assert!(
+        appends[2] < appends[0] * 1.5,
+        "append-promotion must stay flat in base size: 1x {:.0} ns vs 64x {:.0} ns",
+        appends[0],
+        appends[2]
+    );
+    assert!(
+        clones[2] >= clones[0] * 8.0,
+        "clone-promotion must scale with base size (or the append column is measuring nothing): \
+         1x {:.0} ns vs 64x {:.0} ns",
+        clones[0],
+        clones[2]
+    );
+    println!(
+        "append 64x/1x: {:.2}×; clone 64x/1x: {:.2}×",
+        appends[2] / appends[0],
+        clones[2] / clones[0]
     );
     println!();
 }

@@ -62,10 +62,14 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::BuildHasher;
 use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use bc_syntax::{BaseType, ClockMap, Ground, Label, TNode, Type, TypeArena, TypeId};
+use bc_syntax::{
+    AppendLog, AtomicIndex, BaseType, ClockMap, FxBuildHasher, Ground, Label, TNode, Type,
+    TypeArena, TypeId,
+};
 
 use crate::coercion::{GroundCoercion, Intermediate, SpaceCoercion};
 
@@ -153,15 +157,128 @@ pub struct ArenaStats {
     pub base_hits: u64,
 }
 
-/// A frozen, read-only snapshot of a [`CoercionArena`] *and* the
+/// The append-only concurrent storage behind every [`FrozenCoercions`]
+/// view: coercion nodes, their metadata, the hash-cons index, and the
+/// frozen composition pairs, in [`AppendLog`]s probed through
+/// [`AtomicIndex`]es (the same primitives as the type slab in
+/// `bc_syntax::slab`).
+///
+/// One slab serves an entire epoch lineage: freezing an overlay over a
+/// view of this slab appends only the overlay's genuinely new rows
+/// (O(overlay)) and returns a view with higher watermarks. Entries
+/// below a published watermark are immutable and pointer-stable
+/// forever; readers never lock, and the `writer` mutex only serializes
+/// appenders.
+struct CoercionSlab {
+    nodes: AppendLog<SNode>,
+    meta: AppendLog<NodeMeta>,
+    node_index: AtomicIndex,
+    /// The frozen composition table, as append-ordered
+    /// `((s, t), s # t)` rows: eviction-free (the base tier never
+    /// evicts, only grows).
+    pairs: AppendLog<((CoercionId, CoercionId), CoercionId)>,
+    pair_index: AtomicIndex,
+    hasher: FxBuildHasher,
+    /// Serializes appenders (freezes of overlays over this slab).
+    writer: Mutex<()>,
+}
+
+impl CoercionSlab {
+    fn new() -> CoercionSlab {
+        CoercionSlab {
+            nodes: AppendLog::new(),
+            meta: AppendLog::new(),
+            node_index: AtomicIndex::new(),
+            pairs: AppendLog::new(),
+            pair_index: AtomicIndex::new(),
+            hasher: FxBuildHasher::default(),
+            writer: Mutex::new(()),
+        }
+    }
+
+    /// Lock-free hash-cons probe among slab ids below `below` (a view
+    /// watermark, or `usize::MAX` for writer-side probes).
+    fn probe_node(&self, node: &SNode, below: usize) -> Option<CoercionId> {
+        let hash = self.hasher.hash_one(node);
+        self.node_index
+            .get(hash, |id| {
+                (id as usize) < below && *self.nodes.get(id as usize) == *node
+            })
+            .map(CoercionId)
+    }
+
+    /// Lock-free composition-pair probe among rows below `below`.
+    fn probe_pair(&self, key: &(CoercionId, CoercionId), below: usize) -> Option<CoercionId> {
+        let hash = self.hasher.hash_one(key);
+        self.pair_index
+            .get(hash, |row| {
+                (row as usize) < below && self.pairs.get(row as usize).0 == *key
+            })
+            .map(|row| self.pairs.get(row as usize).1)
+    }
+
+    /// Appends a node known to be absent (writer lock held, or slab
+    /// not yet shared).
+    fn append_node(&self, node: SNode, meta: NodeMeta) -> CoercionId {
+        let id = self.nodes.push(node);
+        self.meta.push(meta);
+        self.node_index
+            .insert(self.hasher.hash_one(node), id as u32);
+        CoercionId(id as u32)
+    }
+
+    /// Appends a composition pair known to be absent (writer lock
+    /// held, or slab not yet shared).
+    fn append_pair(&self, key: (CoercionId, CoercionId), result: CoercionId) {
+        let row = self.pairs.push((key, result));
+        self.pair_index
+            .insert(self.hasher.hash_one(key), row as u32);
+    }
+}
+
+/// Maps a freezing overlay's id into slab coordinates: base ids are
+/// already slab ids; local ids go through the remap table built as
+/// the overlay's nodes are appended.
+fn map_id(id: CoercionId, base_len: usize, remap: &[CoercionId]) -> CoercionId {
+    let i = id.index();
+    if i < base_len {
+        id
+    } else {
+        remap[i - base_len]
+    }
+}
+
+/// [`map_id`] pushed through a node's structure (only
+/// [`GNode::Fun`] holds child ids).
+fn map_node(node: SNode, base_len: usize, remap: &[CoercionId]) -> SNode {
+    let mg = |g: GNode| match g {
+        GNode::Fun(s, t) => GNode::Fun(map_id(s, base_len, remap), map_id(t, base_len, remap)),
+        leaf => leaf,
+    };
+    let mi = |i: INode| match i {
+        INode::Inj(g, ground) => INode::Inj(mg(g), ground),
+        INode::Ground(g) => INode::Ground(mg(g)),
+        fail => fail,
+    };
+    match node {
+        SNode::IdDyn => SNode::IdDyn,
+        SNode::Proj(g, p, i) => SNode::Proj(g, p, mi(i)),
+        SNode::Mid(i) => SNode::Mid(mi(i)),
+    }
+}
+
+/// A frozen, read-only view of a [`CoercionArena`] *and* the
 /// composition pairs its [`ComposeCache`] had memoized — the shared
 /// base tier of the two-tier interning scheme.
 ///
-/// Produced by [`CoercionArena::freeze`]; `Send + Sync` (only `Copy`
-/// node data behind plain collections), so an `Arc<FrozenCoercions>`
-/// can back any number of per-worker overlay arenas
-/// ([`CoercionArena::with_base`]) and caches
-/// ([`ComposeCache::with_base`]).
+/// A view is a pair of **watermarks** (nodes, pair rows) over an
+/// append-only concurrent slab. Freezing a flat arena
+/// ([`CoercionArena::freeze`]) builds a fresh slab; freezing an
+/// *overlay* **appends** its genuinely new nodes and pairs to the
+/// base's slab — O(overlay), not O(base) — so the result
+/// [`extends`](FrozenCoercions::extends) the base by construction and
+/// superseded views stay valid forever. `Send + Sync`; readers below
+/// the watermark are wait-free.
 ///
 /// # Id-offset contract
 ///
@@ -170,42 +287,90 @@ pub struct ArenaStats {
 /// private to the overlay that minted them. Every frozen compose pair
 /// maps base ids to a base id (compositions were interned before the
 /// freeze), so the pair table is sound in every overlay.
-#[derive(Debug)]
+#[derive(Clone)]
 pub struct FrozenCoercions {
-    nodes: Vec<SNode>,
-    meta: Vec<NodeMeta>,
-    index: HashMap<SNode, CoercionId, bc_syntax::FxBuildHasher>,
-    /// The frozen composition table: eviction-free (the base never
-    /// grows).
-    pairs: HashMap<(CoercionId, CoercionId), CoercionId, bc_syntax::FxBuildHasher>,
+    slab: Arc<CoercionSlab>,
+    /// Nodes visible to this view: slab ids `0..nodes_mark`.
+    nodes_mark: usize,
+    /// Pair rows visible to this view: rows `0..pairs_mark`.
+    pairs_mark: usize,
+    /// Slab node count when this view's freeze began appending (zero
+    /// for a flat build); see [`FrozenCoercions::contiguous_over`].
+    appended_from: usize,
+}
+
+impl fmt::Debug for FrozenCoercions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FrozenCoercions")
+            .field("nodes", &self.nodes_mark)
+            .field("pairs", &self.pairs_mark)
+            .finish()
+    }
 }
 
 impl FrozenCoercions {
     /// Number of frozen coercion nodes (the id offset of every
     /// overlay built over this base).
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.nodes_mark
     }
 
     /// Whether the snapshot holds no nodes.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.nodes_mark == 0
     }
 
     /// Number of frozen composition pairs.
     pub fn pairs_len(&self) -> usize {
-        self.pairs.len()
+        self.pairs_mark
     }
 
     /// Whether this snapshot *extends* `other`: every node of `other`
-    /// appears here, at the same id, in the same order — the
-    /// id-stability condition for hot-swapping one base for another.
-    /// A snapshot produced by freezing an overlay built over `other`
-    /// extends it by construction ([`CoercionArena::freeze`] flattens
-    /// base-then-local, preserving base ids verbatim). O(`other.len()`)
-    /// node comparisons — promotion-time validation, not a hot path.
+    /// appears here, at the same id — the id-stability condition for
+    /// hot-swapping one base for another. Freezing an overlay appends
+    /// to its base's slab and never re-assigns ids, so a re-frozen
+    /// overlay extends its base **by construction** and the check is
+    /// O(1) (same slab, watermarks at least as high). Views over
+    /// different slabs never extend each other.
     pub fn extends(&self, other: &FrozenCoercions) -> bool {
-        other.nodes.len() <= self.nodes.len() && self.nodes[..other.nodes.len()] == other.nodes[..]
+        Arc::ptr_eq(&self.slab, &other.slab)
+            && other.nodes_mark <= self.nodes_mark
+            && other.pairs_mark <= self.pairs_mark
+    }
+
+    /// Whether this view's freeze appended *contiguously* over
+    /// `other` (same slab, no sibling freeze in between): when true,
+    /// the freezing overlay's local ids were assigned verbatim, so
+    /// ids minted by the frozen session stay valid against this view.
+    /// See `FrozenTypes::contiguous_over` in `bc_syntax` for the full
+    /// contract; the pool's serialized promotions always satisfy it.
+    pub fn contiguous_over(&self, other: &FrozenCoercions) -> bool {
+        Arc::ptr_eq(&self.slab, &other.slab) && self.appended_from == other.nodes_mark
+    }
+
+    /// The node behind a visible id (callers stay below `len()`).
+    fn node_at(&self, i: usize) -> SNode {
+        debug_assert!(i < self.nodes_mark, "read past the view watermark");
+        *self.slab.nodes.get(i)
+    }
+
+    /// The metadata behind a visible id.
+    fn meta_at(&self, i: usize) -> NodeMeta {
+        debug_assert!(i < self.nodes_mark, "read past the view watermark");
+        *self.slab.meta.get(i)
+    }
+
+    /// Hash-cons probe filtered to this view's watermark: nodes that
+    /// only exist above it (appended by later freezes) read as absent,
+    /// so over-watermark slab ids never leak into sessions keyed to
+    /// this view.
+    fn lookup_node(&self, node: &SNode) -> Option<CoercionId> {
+        self.slab.probe_node(node, self.nodes_mark)
+    }
+
+    /// Composition-pair probe filtered to this view's watermark.
+    fn lookup_pair(&self, key: &(CoercionId, CoercionId)) -> Option<CoercionId> {
+        self.slab.probe_pair(key, self.pairs_mark)
     }
 }
 
@@ -424,7 +589,7 @@ impl CoercionArena {
     /// Pair it with a cache from [`ComposeCache::with_base`] over the
     /// same snapshot.
     pub fn with_base(base: Arc<FrozenCoercions>) -> CoercionArena {
-        let base_len = base.nodes.len();
+        let base_len = base.len();
         CoercionArena {
             base: Some(base),
             base_len,
@@ -434,44 +599,132 @@ impl CoercionArena {
 
     /// Freezes the arena's nodes, metadata, and index — together with
     /// every composition pair `cache` has memoized — into an
-    /// immutable, thread-shareable snapshot. Freezing an overlay
-    /// flattens both tiers, so a base can be re-frozen after further
-    /// warmup.
+    /// immutable, thread-shareable view.
+    ///
+    /// A flat arena builds a fresh slab. An **overlay** arena
+    /// *appends* its genuinely new rows to its base's slab —
+    /// O(overlay), regardless of base size — and returns a view with
+    /// higher watermarks; the result
+    /// [`extends`](FrozenCoercions::extends) the base by construction.
+    /// Appenders over one slab serialize on its writer lock; a freeze
+    /// racing a sibling's dedups against the sibling's rows. For a
+    /// freeze into fresh, independent storage see
+    /// [`CoercionArena::freeze_flat`].
     ///
     /// # Panics
     ///
     /// Panics if `cache` is bound to a *different* arena (its pairs
     /// would freeze foreign ids into the snapshot).
     pub fn freeze(&self, cache: &ComposeCache) -> FrozenCoercions {
+        self.assert_cache_owner(cache, "freeze");
+        match &self.base {
+            None => self.freeze_flat(cache),
+            Some(base) => self.freeze_append(base, cache),
+        }
+    }
+
+    /// Freezes into a **fresh, independent slab**, flattening both
+    /// tiers with ids preserved verbatim — the clone-on-promote
+    /// semantics the append path replaced: O(base + overlay), no
+    /// sharing with the base's lineage. The oracle the append path is
+    /// property-tested against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache` is bound to a different arena.
+    pub fn freeze_flat(&self, cache: &ComposeCache) -> FrozenCoercions {
+        self.assert_cache_owner(cache, "freeze_flat");
+        let slab = CoercionSlab::new();
+        if let Some(base) = &self.base {
+            for i in 0..base.nodes_mark {
+                slab.append_node(base.node_at(i), base.meta_at(i));
+            }
+            for row in 0..base.pairs_mark {
+                let (key, result) = *base.slab.pairs.get(row);
+                slab.append_pair(key, result);
+            }
+        }
+        for (k, node) in self.nodes.iter().enumerate() {
+            let id = slab.append_node(*node, self.meta[k]);
+            debug_assert_eq!(
+                id.index(),
+                self.base_len + k,
+                "flat freeze re-assigned an id"
+            );
+        }
+        // Local cache pairs are disjoint from the copied base rows: a
+        // base-answered composition returns before it can be cached
+        // locally.
+        for (&key, &result) in cache.pairs.iter() {
+            debug_assert!(slab.probe_pair(&key, usize::MAX).is_none());
+            slab.append_pair(key, result);
+        }
+        let nodes_mark = slab.nodes.len();
+        let pairs_mark = slab.pairs.len();
+        FrozenCoercions {
+            slab: Arc::new(slab),
+            nodes_mark,
+            pairs_mark,
+            appended_from: 0,
+        }
+    }
+
+    /// The O(overlay) freeze: appends local nodes and memoized pairs
+    /// to the base's slab under its writer lock. Local ids append
+    /// verbatim when no sibling froze first (the promotion path);
+    /// otherwise they are remapped bottom-up (children precede
+    /// parents in the local tier) and deduped against sibling rows.
+    fn freeze_append(&self, base: &FrozenCoercions, cache: &ComposeCache) -> FrozenCoercions {
+        let slab = &base.slab;
+        let _writer = slab
+            .writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let appended_from = slab.nodes.len();
+        let mut remap: Vec<CoercionId> = Vec::with_capacity(self.nodes.len());
+        for (k, node) in self.nodes.iter().enumerate() {
+            let mapped = map_node(*node, self.base_len, &remap);
+            // Writer-side probe: unfiltered, so sibling-appended rows
+            // above our base watermark dedup instead of duplicating.
+            let id = match slab.probe_node(&mapped, usize::MAX) {
+                Some(id) => id,
+                // Metadata is id-free (heights and sizes), so the
+                // session's copy is valid for the remapped node.
+                None => slab.append_node(mapped, self.meta[k]),
+            };
+            remap.push(id);
+        }
+        for (&(a, b), &r) in cache.pairs.iter() {
+            let key = (
+                map_id(a, self.base_len, &remap),
+                map_id(b, self.base_len, &remap),
+            );
+            let result = map_id(r, self.base_len, &remap);
+            match slab.probe_pair(&key, usize::MAX) {
+                // Hash-consing makes the composite's id a function of
+                // the operands' structure, so a sibling's row for the
+                // same pair must agree.
+                Some(prev) => debug_assert_eq!(
+                    prev, result,
+                    "conflicting composition for {key:?}: composition is pure"
+                ),
+                None => slab.append_pair(key, result),
+            }
+        }
+        FrozenCoercions {
+            slab: Arc::clone(&base.slab),
+            nodes_mark: slab.nodes.len(),
+            pairs_mark: slab.pairs.len(),
+            appended_from,
+        }
+    }
+
+    /// The shared owner guard of the freeze entry points.
+    fn assert_cache_owner(&self, cache: &ComposeCache, what: &str) {
         assert!(
             cache.owner.is_none() || cache.owner == Some(self.generation),
-            "CoercionArena::freeze called with a ComposeCache bound to a different arena"
+            "CoercionArena::{what} called with a ComposeCache bound to a different arena"
         );
-        let (mut nodes, mut meta, mut index, mut pairs) = match &self.base {
-            Some(base) => (
-                base.nodes.clone(),
-                base.meta.clone(),
-                base.index.clone(),
-                base.pairs.clone(),
-            ),
-            None => (
-                Vec::new(),
-                Vec::new(),
-                HashMap::default(),
-                HashMap::default(),
-            ),
-        };
-        nodes.extend(self.nodes.iter().copied());
-        meta.extend(self.meta.iter().copied());
-        // Local index entries already carry global (offset) ids.
-        index.extend(self.index.iter().map(|(&k, &v)| (k, v)));
-        pairs.extend(cache.pairs.iter().map(|(&k, &v)| (k, v)));
-        FrozenCoercions {
-            nodes,
-            meta,
-            index,
-            pairs,
-        }
     }
 
     /// Number of nodes in the frozen base tier (zero for a flat
@@ -485,6 +738,14 @@ impl CoercionArena {
     /// zero is the base-sharing guarantee.
     pub fn local_len(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// The frozen base view this arena overlays (`None` for a flat
+    /// arena). Compare a fresh [`CoercionArena::freeze`] result
+    /// against it with [`FrozenCoercions::contiguous_over`] to learn
+    /// whether the freeze appended this arena's local ids verbatim.
+    pub fn base_view(&self) -> Option<&Arc<FrozenCoercions>> {
+        self.base.as_ref()
     }
 
     /// Clones this arena *together with* a cache bound to it,
@@ -535,7 +796,7 @@ impl CoercionArena {
     /// the node is already there, locally otherwise.
     pub fn intern_node(&mut self, node: SNode) -> CoercionId {
         if let Some(base) = &self.base {
-            if let Some(&id) = base.index.get(&node) {
+            if let Some(id) = base.lookup_node(&node) {
                 self.stats.node_hits += 1;
                 self.stats.base_hits += 1;
                 return id;
@@ -561,7 +822,10 @@ impl CoercionArena {
     fn meta_of(&self, id: CoercionId) -> NodeMeta {
         let i = id.index();
         if i < self.base_len {
-            self.base.as_ref().expect("base ids imply a base").meta[i]
+            self.base
+                .as_ref()
+                .expect("base ids imply a base")
+                .meta_at(i)
         } else {
             self.meta[i - self.base_len]
         }
@@ -643,7 +907,10 @@ impl CoercionArena {
     pub fn node(&self, id: CoercionId) -> SNode {
         let i = id.index();
         if i < self.base_len {
-            self.base.as_ref().expect("base ids imply a base").nodes[i]
+            self.base
+                .as_ref()
+                .expect("base ids imply a base")
+                .node_at(i)
         } else {
             self.nodes[i - self.base_len]
         }
@@ -841,7 +1108,7 @@ impl CoercionArena {
             ),
         }
         if let Some(base) = &cache.base {
-            if let Some(&r) = base.pairs.get(&(a, b)) {
+            if let Some(r) = base.lookup_pair(&(a, b)) {
                 cache.stats.hits += 1;
                 cache.stats.base_hits += 1;
                 return r;
@@ -1504,22 +1771,33 @@ mod tests {
         let cache = ComposeCache::with_base(Arc::clone(&base), 1 << 10);
         overlay.proj_ground(gb(), p(11));
         let refrozen = overlay.freeze(&cache);
-        // Flattening preserves every base id verbatim, so the new
+        // Appending preserves every base id verbatim, so the new
         // snapshot extends the old one (and trivially itself) — the
         // condition that lets a serving pool hot-swap `base` for
         // `refrozen` without invalidating a single outstanding id.
         assert!(refrozen.extends(&base));
         assert!(refrozen.extends(&refrozen));
         assert!(!base.extends(&refrozen), "extension is strictly larger");
-        // A sibling overlay that interned something *different* at the
-        // same first local id is not extended by `refrozen`.
+        assert!(refrozen.contiguous_over(&base), "no sibling froze first");
+        // A sibling freezing *after* refrozen appends onto the same
+        // slab: freezes over one base serialize into one id space, so
+        // the later view subsumes the earlier one (but not vice
+        // versa), and it is not contiguous over the base (refrozen's
+        // rows landed first, so the sibling's local ids were
+        // remapped).
         let mut sibling = CoercionArena::with_base(Arc::clone(&base));
         let sibling_cache = ComposeCache::with_base(Arc::clone(&base), 1 << 10);
         sibling.proj_ground(gb(), p(12));
         let other = sibling.freeze(&sibling_cache);
         assert!(other.extends(&base));
+        assert!(other.extends(&refrozen), "later sibling subsumes earlier");
         assert!(!refrozen.extends(&other));
-        assert!(!other.extends(&refrozen));
+        assert!(!other.contiguous_over(&base));
+        // An independent lineage (fresh flat freeze) never extends.
+        let detached = overlay.freeze_flat(&cache);
+        assert_eq!(detached.len(), overlay.len());
+        assert!(!detached.extends(&base), "different slab, no extension");
+        assert!(!detached.contiguous_over(&base));
     }
 
     #[test]

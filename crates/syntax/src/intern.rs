@@ -70,11 +70,13 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::hash::BuildHasher;
+use std::sync::{Arc, Mutex};
 
 use crate::clock::ClockMap;
 use crate::fxhash::FxBuildHasher;
 use crate::label::Label;
+use crate::slab::{AppendLog, AtomicIndex};
 use crate::types::{BaseType, Ground, Type};
 
 /// A handle to an interned type: a dense index into a [`TypeArena`].
@@ -152,16 +154,103 @@ enum Rel {
     Naive,
 }
 
-/// A frozen, read-only snapshot of a [`TypeArena`] — the shared base
-/// tier of the two-tier interning scheme.
+/// The append-only concurrent storage behind every [`FrozenTypes`]
+/// view: type nodes, their metadata, the hash-cons index, and the
+/// consolidated verdict table, all in [`AppendLog`]s probed through
+/// [`AtomicIndex`]es.
 ///
-/// Freezing a warm arena ([`TypeArena::freeze`]) captures its nodes,
-/// precomputed metadata, hash-consing index, and every memoized
-/// relational verdict into one immutable value. The snapshot is
-/// `Send + Sync` (it holds only `Copy` node data behind plain
-/// collections), so an `Arc<FrozenTypes>` can be shared across any
-/// number of worker threads; each worker layers a cheap private
-/// overlay arena on top via [`TypeArena::with_base`].
+/// One slab is shared by an entire epoch *lineage*: freezing an
+/// overlay built over a view of this slab **appends** the overlay's
+/// genuinely new rows (O(overlay)) instead of copying the base
+/// (O(base)), and the resulting view is just a pair of larger
+/// watermarks over the same storage. Entries below a published
+/// watermark are immutable and pointer-stable forever, so superseded
+/// views stay valid while newer ones grow past them. Readers never
+/// lock; the `writer` mutex only serializes appenders.
+struct TypeSlab {
+    nodes: AppendLog<TNode>,
+    meta: AppendLog<TypeMeta>,
+    node_index: AtomicIndex,
+    /// The consolidated verdict table, as append-ordered rows (the
+    /// base tier never evicts, so it needs no clock — only an index).
+    verdicts: AppendLog<((Rel, TypeId, TypeId), bool)>,
+    verdict_index: AtomicIndex,
+    hasher: FxBuildHasher,
+    /// Serializes appenders (freezes of overlays over this slab).
+    /// Readers never take it.
+    writer: Mutex<()>,
+}
+
+impl TypeSlab {
+    fn new() -> TypeSlab {
+        TypeSlab {
+            nodes: AppendLog::new(),
+            meta: AppendLog::new(),
+            node_index: AtomicIndex::new(),
+            verdicts: AppendLog::new(),
+            verdict_index: AtomicIndex::new(),
+            hasher: FxBuildHasher::default(),
+            writer: Mutex::new(()),
+        }
+    }
+
+    /// Lock-free hash-cons probe for `node` among slab ids below
+    /// `below` (a watermark, or `usize::MAX` for a writer-side probe
+    /// that must see everything).
+    fn probe_node(&self, node: &TNode, below: usize) -> Option<TypeId> {
+        let hash = self.hasher.hash_one(node);
+        self.node_index
+            .get(hash, |id| {
+                (id as usize) < below && *self.nodes.get(id as usize) == *node
+            })
+            .map(TypeId)
+    }
+
+    /// Lock-free verdict probe among rows below `below`.
+    fn probe_verdict(&self, key: &(Rel, TypeId, TypeId), below: usize) -> Option<bool> {
+        let hash = self.hasher.hash_one(key);
+        self.verdict_index
+            .get(hash, |row| {
+                (row as usize) < below && self.verdicts.get(row as usize).0 == *key
+            })
+            .map(|row| self.verdicts.get(row as usize).1)
+    }
+
+    /// Appends a node known to be absent (writer lock held, or slab
+    /// not yet shared). The entry is fully written before its index
+    /// slot publishes, per the [`crate::slab`] ordering contract.
+    fn append_node(&self, node: TNode, meta: TypeMeta) -> TypeId {
+        let id = self.nodes.push(node);
+        self.meta.push(meta);
+        self.node_index
+            .insert(self.hasher.hash_one(node), id as u32);
+        TypeId(id as u32)
+    }
+
+    /// Appends a verdict row known to be absent (writer lock held, or
+    /// slab not yet shared).
+    fn append_verdict(&self, key: (Rel, TypeId, TypeId), verdict: bool) {
+        let row = self.verdicts.push((key, verdict));
+        self.verdict_index
+            .insert(self.hasher.hash_one(key), row as u32);
+    }
+}
+
+/// A frozen, read-only view of a [`TypeArena`] — the shared base tier
+/// of the two-tier interning scheme.
+///
+/// A view is a pair of **watermarks** (nodes, verdict rows) over an
+/// append-only concurrent slab. Freezing a warm flat arena
+/// ([`TypeArena::freeze`]) builds a fresh slab; freezing an *overlay*
+/// **appends** the overlay's genuinely new nodes and verdicts to its
+/// base's slab — O(overlay), not O(base) — and returns a view with
+/// higher watermarks over the same storage. Ids are never re-assigned,
+/// so the new view [`extends`](FrozenTypes::extends) the old one by
+/// construction, and views superseded by later freezes stay valid
+/// forever (their entries are immutable and pointer-stable below their
+/// watermarks). The view is `Send + Sync`; readers below the watermark
+/// are wait-free (no locks — an atomic-word index probe plus a chunked
+/// log load).
 ///
 /// # Id-offset contract
 ///
@@ -171,45 +260,96 @@ enum Rel {
 /// own, so they are only meaningful within the overlay that created
 /// them — exactly the pre-existing "ids are not meaningful across
 /// arenas" rule, restricted to the local tier.
-#[derive(Debug)]
+#[derive(Clone)]
 pub struct FrozenTypes {
-    nodes: Vec<TNode>,
-    meta: Vec<TypeMeta>,
-    index: HashMap<TNode, TypeId, FxBuildHasher>,
-    /// Every verdict the frozen arena had memoized, as a plain
-    /// (eviction-free) table: the base tier never grows, so it needs
-    /// no clock.
-    verdicts: HashMap<(Rel, TypeId, TypeId), bool, FxBuildHasher>,
+    slab: Arc<TypeSlab>,
+    /// Nodes visible to this view: slab ids `0..nodes_mark`.
+    nodes_mark: usize,
+    /// Verdict rows visible to this view: rows `0..verdicts_mark`.
+    verdicts_mark: usize,
+    /// The slab node count when this view's freeze began appending
+    /// (zero for a flat build): the receipt for
+    /// [`FrozenTypes::contiguous_over`].
+    appended_from: usize,
+}
+
+impl fmt::Debug for FrozenTypes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FrozenTypes")
+            .field("nodes", &self.nodes_mark)
+            .field("verdicts", &self.verdicts_mark)
+            .finish()
+    }
 }
 
 impl FrozenTypes {
     /// Number of frozen type nodes (the id-offset of every overlay
     /// built over this base).
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.nodes_mark
     }
 
     /// Whether the snapshot holds no nodes (never true: the leaf
     /// types are pre-interned in every arena).
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.nodes_mark == 0
     }
 
     /// Number of frozen relational verdicts.
     pub fn verdicts_len(&self) -> usize {
-        self.verdicts.len()
+        self.verdicts_mark
     }
 
     /// Whether this snapshot *extends* `other`: every node of `other`
-    /// appears here, at the same id, in the same order. This is the
-    /// id-stability condition for hot-swapping bases: a snapshot
-    /// produced by freezing an overlay built over `other` extends it
-    /// by construction (freezing flattens base-then-local, preserving
-    /// base ids verbatim), so any id valid against `other` denotes the
-    /// identical node against the extension. O(`other.len()`) node
-    /// comparisons — promotion-time validation, not a hot path.
+    /// appears here, at the same id. This is the id-stability
+    /// condition for hot-swapping bases. Because freezing an overlay
+    /// appends to its base's slab and ids are never re-assigned, a
+    /// re-frozen overlay extends its base **by construction**; the
+    /// check is O(1) — same slab, watermarks at least as high —
+    /// instead of the prefix comparison the clone-based design needed.
+    /// Views over different slabs (independent freeze lineages) never
+    /// extend each other.
     pub fn extends(&self, other: &FrozenTypes) -> bool {
-        other.nodes.len() <= self.nodes.len() && self.nodes[..other.nodes.len()] == other.nodes[..]
+        Arc::ptr_eq(&self.slab, &other.slab)
+            && other.nodes_mark <= self.nodes_mark
+            && other.verdicts_mark <= self.verdicts_mark
+    }
+
+    /// Whether this view's freeze appended *contiguously* over
+    /// `other`: same slab, and no sibling freeze had grown the slab
+    /// past `other`'s watermark when this one started. When true, the
+    /// freezing overlay's local ids were assigned verbatim (its id
+    /// `other.len() + k` is slab id `other.len() + k`), so ids minted
+    /// by the frozen session — not just inherited base ids — remain
+    /// valid against this view. Promotion relies on this: the pool
+    /// serializes promoters, so its freezes are always contiguous.
+    pub fn contiguous_over(&self, other: &FrozenTypes) -> bool {
+        Arc::ptr_eq(&self.slab, &other.slab) && self.appended_from == other.nodes_mark
+    }
+
+    /// The node behind a visible id (callers stay below `len()`).
+    fn node_at(&self, i: usize) -> TNode {
+        debug_assert!(i < self.nodes_mark, "read past the view watermark");
+        *self.slab.nodes.get(i)
+    }
+
+    /// The metadata behind a visible id.
+    fn meta_at(&self, i: usize) -> TypeMeta {
+        debug_assert!(i < self.nodes_mark, "read past the view watermark");
+        *self.slab.meta.get(i)
+    }
+
+    /// Hash-cons probe filtered to this view's watermark: a node that
+    /// only exists above it (appended by a later freeze) reads as
+    /// absent, so overlays intern it locally — over-watermark slab
+    /// ids must never leak into a session keyed to this view.
+    fn lookup_node(&self, node: &TNode) -> Option<TypeId> {
+        self.slab.probe_node(node, self.nodes_mark)
+    }
+
+    /// Verdict probe filtered to this view's watermark.
+    fn lookup_verdict(&self, key: &(Rel, TypeId, TypeId)) -> Option<bool> {
+        self.slab.probe_verdict(key, self.verdicts_mark)
     }
 }
 
@@ -324,7 +464,7 @@ impl TypeArena {
     ///
     /// Panics if `memo_capacity` is zero.
     pub fn with_base(base: Arc<FrozenTypes>, memo_capacity: usize) -> TypeArena {
-        let base_len = base.nodes.len();
+        let base_len = base.len();
         TypeArena {
             base: Some(base),
             base_len,
@@ -340,33 +480,134 @@ impl TypeArena {
 
     /// Freezes the arena's current state — nodes, metadata, index,
     /// and every memoized verdict — into an immutable, thread-shareable
-    /// snapshot. Freezing an overlay flattens both tiers, so bases
-    /// can be re-frozen after further warmup.
+    /// view.
+    ///
+    /// A flat arena builds a fresh slab. An **overlay** arena
+    /// *appends* its genuinely new rows to its base's slab —
+    /// O(overlay), regardless of base size — and returns a view with
+    /// higher watermarks over the same storage; the result
+    /// [`extends`](FrozenTypes::extends) the base by construction.
+    /// Appenders over one slab serialize on the slab's writer lock;
+    /// if a sibling overlay froze first, this freeze dedups against
+    /// the sibling's rows (the slab stays hash-consed), and the
+    /// resulting view subsumes both. For a freeze guaranteed to share
+    /// nothing with its base's lineage, see
+    /// [`TypeArena::freeze_flat`].
     pub fn freeze(&self) -> FrozenTypes {
-        let (mut nodes, mut meta, mut index, mut verdicts) = match &self.base {
-            Some(base) => (
-                base.nodes.clone(),
-                base.meta.clone(),
-                base.index.clone(),
-                base.verdicts.clone(),
-            ),
-            None => (
-                Vec::new(),
-                Vec::new(),
-                HashMap::default(),
-                HashMap::default(),
-            ),
-        };
-        nodes.extend(self.nodes.iter().copied());
-        meta.extend(self.meta.iter().copied());
-        // Local index entries already carry global (offset) ids.
-        index.extend(self.index.iter().map(|(&k, &v)| (k, v)));
-        verdicts.extend(self.memo.iter().map(|(&k, &v)| (k, v)));
+        match &self.base {
+            None => self.freeze_flat(),
+            Some(base) => self.freeze_append(base),
+        }
+    }
+
+    /// Freezes into a **fresh, independent slab**, flattening both
+    /// tiers with ids preserved verbatim — the clone-on-promote
+    /// semantics the append path replaced: O(base + overlay) time and
+    /// space, no sharing with the base's slab. This is the oracle the
+    /// append path is property-tested against, and the right tool
+    /// when a snapshot must not keep its ancestor lineage's storage
+    /// alive.
+    pub fn freeze_flat(&self) -> FrozenTypes {
+        let slab = TypeSlab::new();
+        if let Some(base) = &self.base {
+            for i in 0..base.nodes_mark {
+                slab.append_node(base.node_at(i), base.meta_at(i));
+            }
+            for row in 0..base.verdicts_mark {
+                let (key, verdict) = *base.slab.verdicts.get(row);
+                slab.append_verdict(key, verdict);
+            }
+        }
+        for (k, node) in self.nodes.iter().enumerate() {
+            let id = slab.append_node(*node, self.meta[k]);
+            debug_assert_eq!(
+                id.index(),
+                self.base_len + k,
+                "flat freeze re-assigned an id"
+            );
+        }
+        // Local memo keys are disjoint from the base rows copied
+        // above: a base-answered query returns before it can be
+        // memoized locally.
+        for (&key, &verdict) in self.memo.iter() {
+            debug_assert!(slab.probe_verdict(&key, usize::MAX).is_none());
+            slab.append_verdict(key, verdict);
+        }
+        let nodes_mark = slab.nodes.len();
+        let verdicts_mark = slab.verdicts.len();
         FrozenTypes {
-            nodes,
-            meta,
-            index,
-            verdicts,
+            slab: Arc::new(slab),
+            nodes_mark,
+            verdicts_mark,
+            appended_from: 0,
+        }
+    }
+
+    /// The O(overlay) freeze: appends this overlay's local nodes and
+    /// memoized verdicts to the base's slab (holding its writer lock)
+    /// and returns a view whose watermarks cover the appended rows.
+    ///
+    /// If no sibling grew the slab first, local ids are appended
+    /// verbatim (the common, promotion path — see
+    /// [`FrozenTypes::contiguous_over`]). Otherwise local rows are
+    /// *remapped*: children rewritten through the ids their own
+    /// append produced (locals intern bottom-up, so children precede
+    /// parents), nodes deduped against rows a sibling already
+    /// appended, and symmetric compatibility keys re-canonicalized
+    /// under the new ids.
+    fn freeze_append(&self, base: &FrozenTypes) -> FrozenTypes {
+        let slab = &base.slab;
+        let _writer = slab
+            .writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let appended_from = slab.nodes.len();
+        let mut remap: Vec<TypeId> = Vec::with_capacity(self.nodes.len());
+        let map = |id: TypeId, remap: &[TypeId]| -> TypeId {
+            let i = id.index();
+            if i < self.base_len {
+                id
+            } else {
+                remap[i - self.base_len]
+            }
+        };
+        for (k, node) in self.nodes.iter().enumerate() {
+            let mapped = match *node {
+                TNode::Fun(a, b) => TNode::Fun(map(a, &remap), map(b, &remap)),
+                leaf => leaf,
+            };
+            // Writer-side probe: unfiltered, so sibling-appended rows
+            // above our base watermark dedup instead of duplicating.
+            let id = match slab.probe_node(&mapped, usize::MAX) {
+                Some(id) => id,
+                // Metadata is id-free (heights, sizes, groundings), so
+                // the session's copy is valid for the remapped node.
+                None => slab.append_node(mapped, self.meta[k]),
+            };
+            remap.push(id);
+        }
+        for (&(rel, a, b), &verdict) in self.memo.iter() {
+            let (ma, mb) = (map(a, &remap), map(b, &remap));
+            // Compatibility keys are stored canonically ordered; the
+            // remap can flip the order of a mixed-tier pair.
+            let key = if rel == Rel::Compat && ma > mb {
+                (rel, mb, ma)
+            } else {
+                (rel, ma, mb)
+            };
+            match slab.probe_verdict(&key, usize::MAX) {
+                Some(prev) => debug_assert_eq!(
+                    prev, verdict,
+                    "conflicting verdict for {key:?}: relations are pure"
+                ),
+                None => slab.append_verdict(key, verdict),
+            }
+        }
+        FrozenTypes {
+            slab: Arc::clone(&base.slab),
+            nodes_mark: slab.nodes.len(),
+            verdicts_mark: slab.verdicts.len(),
+            appended_from,
         }
     }
 
@@ -391,6 +632,14 @@ impl TypeArena {
     /// Node interns answered by the frozen base index.
     pub fn base_node_hits(&self) -> u64 {
         self.base_node_hits
+    }
+
+    /// The frozen base view this arena overlays (`None` for a flat
+    /// arena). Compare a fresh [`TypeArena::freeze`] result against it
+    /// with [`FrozenTypes::contiguous_over`] to learn whether the
+    /// freeze appended this arena's local ids verbatim.
+    pub fn base_view(&self) -> Option<&Arc<FrozenTypes>> {
+        self.base.as_ref()
     }
 
     /// Whether nothing has been interned (never true: the leaf types
@@ -422,7 +671,7 @@ impl TypeArena {
     /// the node is already there, locally otherwise.
     pub fn intern_node(&mut self, node: TNode) -> TypeId {
         if let Some(base) = &self.base {
-            if let Some(&id) = base.index.get(&node) {
+            if let Some(id) = base.lookup_node(&node) {
                 self.base_node_hits += 1;
                 return id;
             }
@@ -446,7 +695,10 @@ impl TypeArena {
     fn meta_of(&self, id: TypeId) -> TypeMeta {
         let i = id.index();
         if i < self.base_len {
-            self.base.as_ref().expect("base ids imply a base").meta[i]
+            self.base
+                .as_ref()
+                .expect("base ids imply a base")
+                .meta_at(i)
         } else {
             self.meta[i - self.base_len]
         }
@@ -507,7 +759,10 @@ impl TypeArena {
     pub fn node(&self, id: TypeId) -> TNode {
         let i = id.index();
         if i < self.base_len {
-            self.base.as_ref().expect("base ids imply a base").nodes[i]
+            self.base
+                .as_ref()
+                .expect("base ids imply a base")
+                .node_at(i)
         } else {
             self.nodes[i - self.base_len]
         }
@@ -707,7 +962,7 @@ impl TypeArena {
     /// A verdict answered by the frozen base tier, if there is one
     /// (counting it as a hit).
     fn base_verdict(&mut self, key: &(Rel, TypeId, TypeId)) -> Option<bool> {
-        let r = *self.base.as_ref()?.verdicts.get(key)?;
+        let r = self.base.as_ref()?.lookup_verdict(key)?;
         self.stats.hits += 1;
         self.stats.base_hits += 1;
         Some(r)
@@ -1179,20 +1434,32 @@ mod tests {
         let mut overlay = TypeArena::with_base(Arc::clone(&base), 1 << 10);
         overlay.intern(&Type::fun(Type::BOOL, Type::BOOL));
         let refrozen = overlay.freeze();
-        // Flattening preserves base ids verbatim: the new snapshot
+        // Appending preserves base ids verbatim: the new snapshot
         // extends the old (and itself), which is what lets a pool
         // hot-swap bases without invalidating outstanding ids.
         assert!(refrozen.extends(&base));
         assert!(refrozen.extends(&refrozen));
         assert!(!base.extends(&refrozen), "extension is strictly larger");
-        // A sibling that interned a *different* node at the same first
-        // local id is not extended by (and does not extend) refrozen.
+        // No sibling froze first, so the overlay's local ids were
+        // appended verbatim.
+        assert!(refrozen.contiguous_over(&base));
+        // A sibling freezing *after* refrozen appends onto the same
+        // slab: freezes over one base serialize into one id space, so
+        // the later view subsumes the earlier one (but not vice
+        // versa) — and it is *not* contiguous over the base, because
+        // refrozen's rows landed first (its local ids were remapped).
         let mut sibling = TypeArena::with_base(Arc::clone(&base), 1 << 10);
         sibling.intern(&Type::fun(Type::DYN, Type::BOOL));
         let other = sibling.freeze();
         assert!(other.extends(&base));
+        assert!(other.extends(&refrozen), "later sibling subsumes earlier");
         assert!(!refrozen.extends(&other));
-        assert!(!other.extends(&refrozen));
+        assert!(!other.contiguous_over(&base));
+        // An independent lineage (fresh flat freeze) never extends.
+        let detached = overlay.freeze_flat();
+        assert_eq!(detached.len(), overlay.len());
+        assert!(!detached.extends(&base), "different slab, no extension");
+        assert!(!detached.contiguous_over(&base));
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod intern;
 pub mod label;
 pub mod op;
 pub mod pointed;
+pub mod slab;
 pub mod subtype;
 pub mod types;
 pub mod untyped;
@@ -57,6 +58,7 @@ pub use intern::{FrozenTypes, TNode, TypeArena, TypeId};
 pub use label::{Label, LabelSupply};
 pub use op::Op;
 pub use pointed::{meet, PointedType};
+pub use slab::{AppendLog, AtomicIndex};
 pub use subtype::{naive_subtype, neg_subtype, pos_subtype, subtype};
 pub use types::{BaseType, Ground, Type};
 

@@ -473,12 +473,16 @@ enum Disposition {
 ///   bar is a ≥ 0.99 coercion base-hit rate (E23 asserts 1.000 on
 ///   covered traffic), so a session-lifetime miss rate of 2% is twice
 ///   the healthy ceiling — drift, not jitter.
-/// * `min_interval_jobs` = **256**: a freeze clones both frozen
-///   tables — O(base) work, sub-millisecond at measured base sizes
-///   but not free — and a fresh epoch needs traffic to prove itself
-///   before being re-judged. 256 jobs amortises the freeze below the
-///   cost of one job's parse and keeps a pathological workload (a hot
-///   set rotating every job) from thrashing epochs.
+/// * `min_interval_jobs` = **256**: a freeze *appends* the promoting
+///   worker's overlay to the shared slab — O(overlay) work, flat in
+///   base size (E28 measures it staying within 1.5× from a 1× to a
+///   64× base while the old clone path grows with the base) — so the
+///   charge to the promoting worker's job is small and stays small as
+///   the base grows. The interval gate is therefore less about freeze
+///   cost than about churn: a fresh epoch needs traffic to prove
+///   itself before being re-judged, and respawning workers onto a new
+///   epoch re-warms their overlays. 256 jobs keeps a pathological
+///   workload (a hot set rotating every job) from thrashing epochs.
 ///
 /// Promotion is enabled by default with these settings; they are
 /// deliberately conservative — a pool whose warmup covers its traffic
@@ -519,10 +523,17 @@ impl Default for PromotionPolicy {
 /// epoch counter is only ever advanced while the lock is held and the
 /// pair is only ever read together under the same lock, so a reader
 /// can never observe a torn base (an epoch number paired with some
-/// other epoch's snapshot). Old epochs are not tracked: when the last
-/// worker session over a superseded base is rebuilt, the `Arc` count
-/// reaches zero and the snapshot frees itself — the drain phase costs
-/// nothing.
+/// other epoch's snapshot). Since the slab rework the `Arc` being
+/// swapped is a thin *watermark view* — a pointer to the shared
+/// append-only slab plus published lengths — not a copy of the base:
+/// publishing an epoch appends the overlay rows (done inside
+/// [`Session::freeze`], under the slab's writer mutex) and then swaps
+/// this small view, so promotion moves O(overlay) bytes regardless of
+/// base size. Old epochs are not tracked and never invalidated:
+/// superseded views read below their own watermark out of the same
+/// slab forever (append-only storage is never moved or re-assigned),
+/// so draining a replaced epoch costs nothing and the view `Arc`
+/// frees itself when its last worker session is rebuilt.
 #[derive(Debug)]
 struct EpochBase {
     /// Monotone epoch number; starts at 1 for the warmup base.
@@ -735,6 +746,16 @@ pub struct PoolStats {
     pub epoch: u64,
     /// Overlay-to-base promotions published so far.
     pub promotions: u64,
+    /// Cumulative wall-clock nanoseconds spent inside promotion
+    /// (freeze-append + validation + publish), across every promotion
+    /// since pool startup. Monotone across epoch rebuilds and
+    /// respawns, like every other pool counter; divide by
+    /// [`PoolStats::promotions`] for the mean cost of a hot-swap.
+    pub promotion_ns: u64,
+    /// Wall-clock nanoseconds of the most recent promotion (0 until
+    /// the first one). With append-based freezing this should stay
+    /// flat as the base grows — the E28 bench table asserts it.
+    pub last_promotion_ns: u64,
     /// Workers respawned after a caught serve panic.
     pub respawns: u64,
     /// Per-worker snapshots, indexed by worker.
@@ -1092,6 +1113,8 @@ impl SessionPoolBuilder {
             open: AtomicBool::new(true),
             promoting: AtomicBool::new(false),
             promotions: AtomicU64::new(0),
+            promotion_ns: AtomicU64::new(0),
+            last_promotion_ns: AtomicU64::new(0),
             respawns: AtomicU64::new(0),
             jobs_since_promotion: AtomicU64::new(0),
             policy: self.promotion,
@@ -1145,6 +1168,11 @@ struct PoolShared {
     /// keeps serving and adopts the winner's epoch.
     promoting: AtomicBool,
     promotions: AtomicU64,
+    /// Cumulative / most-recent promotion wall-clock cost (ns);
+    /// snapshot into [`PoolStats::promotion_ns`] /
+    /// [`PoolStats::last_promotion_ns`].
+    promotion_ns: AtomicU64,
+    last_promotion_ns: AtomicU64,
     respawns: AtomicU64,
     jobs_since_promotion: AtomicU64,
     policy: Option<PromotionPolicy>,
@@ -1324,6 +1352,7 @@ impl PoolShared {
         if self.promoting.swap(true, Ordering::AcqRel) {
             return None;
         }
+        let started = Instant::now();
         let published = (|| {
             // Lost the race: someone published while this worker was
             // deciding; adopt theirs instead of stacking a promotion
@@ -1350,6 +1379,9 @@ impl PoolShared {
                 return None;
             }
             let epoch = self.epoch.publish(Arc::clone(&next));
+            let elapsed = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.promotion_ns.fetch_add(elapsed, Ordering::Relaxed);
+            self.last_promotion_ns.store(elapsed, Ordering::Relaxed);
             self.promotions.fetch_add(1, Ordering::Relaxed);
             self.jobs_since_promotion.store(0, Ordering::Relaxed);
             Some((epoch, next))
@@ -1877,6 +1909,8 @@ impl SessionPool {
         PoolStats {
             epoch: self.shared.epoch.epoch(),
             promotions: self.shared.promotions.load(Ordering::Relaxed),
+            promotion_ns: self.shared.promotion_ns.load(Ordering::Relaxed),
+            last_promotion_ns: self.shared.last_promotion_ns.load(Ordering::Relaxed),
             respawns: self.shared.respawns.load(Ordering::Relaxed),
             workers: self
                 .shared

@@ -202,8 +202,15 @@ struct AncestryEntry {
 /// **When to freeze**: after compiling (and ideally running) a
 /// representative warmup workload, so the snapshot holds the types,
 /// coercions, verdicts, and compositions the real traffic repeats.
-/// Freezing is cheap but not free (it clones the warm tables); treat
-/// a base as a deployment artifact, not a per-request step.
+/// The first freeze builds an append-only slab; every later freeze of
+/// a session built over that slab merely *appends* the overlay — cost
+/// proportional to what the session interned locally, independent of
+/// base size — and returns a new watermark view over the same shared
+/// storage. Snapshots taken over one base therefore share memory and
+/// stay cheap to take even as the base grows, but a base is still a
+/// deployment artifact: freeze at traffic boundaries, not per
+/// request. Use [`Session::freeze_detached`] for a fully independent
+/// copy.
 ///
 /// **Id-offset contract**: ids below the frozen lengths denote
 /// snapshot nodes and mean the same thing in every session built over
@@ -241,15 +248,20 @@ impl FrozenBase {
         self.types.verdicts_len()
     }
 
-    /// Whether this base *extends* `other`: every node `other` holds
-    /// appears here at the same id (both arenas check prefix equality
-    /// node by node), and this base's ancestry begins with `other`'s.
-    /// This is the hot-swap soundness condition: any id or compiled
-    /// program valid against `other` is valid, unchanged, against an
-    /// extension — which a [`Session::freeze`] of a session built over
-    /// `other` produces by construction (freezing flattens base then
-    /// overlay, preserving base ids verbatim). O(nodes of `other`);
-    /// meant for promotion-time validation, not per-job checks.
+    /// Whether this base *extends* `other`: both frozen tiers are
+    /// views over the *same* append-only slab with this base's
+    /// watermarks at or past `other`'s, and this base's ancestry
+    /// begins with `other`'s. Because slab ids are never re-assigned,
+    /// the watermark comparison alone proves every node `other` holds
+    /// appears here at the same id — the hot-swap soundness
+    /// condition: any id or compiled program valid against `other` is
+    /// valid, unchanged, against an extension, which a
+    /// [`Session::freeze`] of a session built over `other` produces
+    /// by construction (freezing appends the overlay above the base
+    /// watermark, leaving base ids untouched). O(1) — three pointer
+    /// identities and a handful of integer compares plus the ancestry
+    /// prefix — cheap enough for promotion-time validation on every
+    /// swap.
     pub fn extends(&self, other: &FrozenBase) -> bool {
         self.types.extends(&other.types)
             && self.coercions.extends(&other.coercions)
@@ -1254,9 +1266,64 @@ impl Session {
     /// session keeps working unchanged; programs it compiled *before*
     /// the freeze can be [`Session::adopt`]ed by sessions built over
     /// the snapshot.
+    ///
+    /// A session built over a base freezes by **appending** its
+    /// overlay to the base's shared slab — O(overlay) work, flat in
+    /// base size — and the result [`FrozenBase::extends`] the base by
+    /// construction. When this session is the *first* to freeze over
+    /// its base (the promotion path), its local ids land in the slab
+    /// verbatim and programs it compiled remain adoptable at full
+    /// watermarks; if a sibling session froze over the same base
+    /// first, local ids may be re-numbered during the append, so the
+    /// ancestry entry conservatively admits only programs compiled
+    /// before this session interned anything local.
     pub fn freeze(&self) -> Arc<FrozenBase> {
-        let types = Arc::new(self.types.borrow().freeze());
-        let coercions = Arc::new(self.arena.borrow().freeze(&self.cache.borrow()));
+        let types_arena = self.types.borrow();
+        let coercion_arena = self.arena.borrow();
+        let types = Arc::new(types_arena.freeze());
+        let coercions = Arc::new(coercion_arena.freeze(&self.cache.borrow()));
+        let verbatim = match (types_arena.base_view(), coercion_arena.base_view()) {
+            (None, None) => true,
+            (Some(tb), Some(cb)) => types.contiguous_over(tb) && coercions.contiguous_over(cb),
+            _ => unreachable!("SessionBuilder wires both arenas to the same base"),
+        };
+        let entry = if verbatim {
+            AncestryEntry {
+                session: self.id,
+                coercions: coercions.len(),
+                types: types.len(),
+            }
+        } else {
+            AncestryEntry {
+                session: self.id,
+                coercions: coercion_arena.base_len(),
+                types: types_arena.base_len(),
+            }
+        };
+        let mut ancestry = self.ancestry.clone();
+        ancestry.push(entry);
+        Arc::new(FrozenBase {
+            types,
+            coercions,
+            ancestry,
+        })
+    }
+
+    /// Like [`Session::freeze`], but always builds a **fresh,
+    /// detached slab** — base rows copied, local rows appended
+    /// verbatim — sharing no storage with the session's own base.
+    ///
+    /// This is the clone-semantics snapshot: O(base + overlay) work,
+    /// useful when the original base's slab must remain untouched (a
+    /// golden baseline, a bench control) or to cap a long append
+    /// chain's memory at exactly the live rows. The result does *not*
+    /// [`FrozenBase::extends`] the session's base — it is a new
+    /// id-space root — but programs this session compiled remain
+    /// adoptable by sessions built over it, because detached freezing
+    /// preserves every id verbatim.
+    pub fn freeze_detached(&self) -> Arc<FrozenBase> {
+        let types = Arc::new(self.types.borrow().freeze_flat());
+        let coercions = Arc::new(self.arena.borrow().freeze_flat(&self.cache.borrow()));
         let mut ancestry = self.ancestry.clone();
         ancestry.push(AncestryEntry {
             session: self.id,
