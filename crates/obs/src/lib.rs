@@ -1,0 +1,35 @@
+//! Observability substrate for the blame-coercion serving stack.
+//!
+//! Everything the pool's internal counters know — job outcomes, blame
+//! labels, cast-frame peaks, queue and latency behaviour — is only
+//! useful to an operator (or a researcher) if it can leave the
+//! process. This crate is the dependency-free layer that gets it out,
+//! in three pieces:
+//!
+//! * [`metrics`] — lock-free [`Counter`]/[`Gauge`] primitives over
+//!   `AtomicU64`, a fixed-bucket log2 [`Histogram`] (wait-free record,
+//!   mergeable snapshots), and a [`Registry`] that names instruments
+//!   and renders a Prometheus-style text exposition;
+//! * [`audit`] — a bounded, non-blocking [`AuditSink`] ring buffer
+//!   emitting one machine-parseable [`AuditRecord`] per resolved job,
+//!   with deterministic dropped-record accounting under overload;
+//! * [`analytics`] — [`BlameAnalytics`], a deterministic fold of audit
+//!   records into a [`BlameReport`]: top-K failing blame labels,
+//!   per-source-shape cast-frame peak distributions (the λB-vs-λS
+//!   space story, measured across a corpus), and fuel/deadline
+//!   breakdowns.
+//!
+//! The crate deliberately depends on nothing — not even the syntax
+//! crates: records carry strings and integers, so the substrate can be
+//! reused by any layer (and never pulls arena ids across threads).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analytics;
+pub mod audit;
+pub mod metrics;
+
+pub use analytics::{shape_key, BlameAnalytics, BlameReport};
+pub use audit::{AuditOutcome, AuditRecord, AuditSink};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};

@@ -1,0 +1,99 @@
+//! Blame analytics over a 10 000-job audit stream.
+//!
+//! A warmed [`SessionPool`] serves the full `bc_testkit::sources`
+//! mix — terminating cast loops, runtime-blame shapes, divergent
+//! spinners — with the audit ring sized to keep every record. The
+//! drained stream is folded through [`BlameAnalytics`] into a
+//! [`BlameReport`](blame_coercion::BlameReport): outcomes, the
+//! hottest blame labels with their cast sites, fuel exhaustion by
+//! source shape, and peak-cast-frame distributions per (shape,
+//! engine).
+//!
+//! The fold is then checked against ground truth: a fresh
+//! single-threaded [`Session`] runs the identical corpus and counts
+//! blame observations per label directly. The two tallies must agree
+//! *exactly* — the observability layer reports what actually
+//! happened, across workers, steals, preemptions, and epochs.
+//!
+//! ```sh
+//! cargo run --release --example analytics
+//! ```
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use bc_testkit::sources;
+use blame_coercion::translate::bisim::Observation;
+use blame_coercion::{BlameAnalytics, Engine, JobError, Session, SessionPool};
+
+const JOBS: usize = 10_000;
+const FUEL: u64 = 2_000;
+
+fn main() {
+    let corpus = sources::mixed(2026, JOBS);
+
+    // Serve the corpus through the pool, auditing every job.
+    let pool = SessionPool::builder()
+        .workers(4)
+        .warmup(sources::shapes())
+        .default_fuel(FUEL)
+        .audit_capacity(JOBS + 64)
+        .build()
+        .expect("warmup compiles");
+    let start = Instant::now();
+    let handles: Vec<_> = corpus
+        .iter()
+        .map(|src| pool.submit(src.as_str(), Engine::MachineS))
+        .collect();
+    for handle in handles {
+        match handle.wait() {
+            Ok(_) | Err(JobError::Run(_)) => {}
+            Err(e) => panic!("the mix resolves to values, blame, or exhaustion: {e}"),
+        }
+    }
+    let served = start.elapsed();
+
+    let records = pool.audit_records();
+    assert_eq!(records.len(), JOBS, "the ring was sized to keep everything");
+    assert_eq!(pool.audit_dropped(), 0);
+
+    let mut analytics = BlameAnalytics::new();
+    analytics.observe_all(&records);
+    println!("{}", analytics.report(5));
+    println!(
+        "served {JOBS} jobs in {served:.2?} ({:.0} jobs/s) on {} workers",
+        JOBS as f64 / served.as_secs_f64(),
+        pool.workers(),
+    );
+
+    // Ground truth: replay the corpus sequentially and tally blame
+    // per label straight off the observations.
+    let start = Instant::now();
+    let session = Session::new();
+    let mut oracle: BTreeMap<String, u64> = BTreeMap::new();
+    for src in &corpus {
+        let program = session.compile(src).expect("corpus compiles");
+        match session.run_with_fuel(&program, Engine::MachineS, FUEL) {
+            Ok(report) => {
+                if let Observation::Blame(label) = report.observation {
+                    *oracle.entry(label.to_string()).or_insert(0) += 1;
+                }
+            }
+            Err(e) => assert!(
+                matches!(e, blame_coercion::RunError::FuelExhausted { .. }),
+                "only the spinners exhaust fuel: {e}"
+            ),
+        }
+    }
+    assert_eq!(
+        analytics.blame_counts(),
+        oracle,
+        "the audited blame tally must match the sequential replay exactly"
+    );
+    println!(
+        "oracle replay agrees exactly: {} blamed labels, {} blamed runs (replayed in {:.2?})",
+        oracle.len(),
+        oracle.values().sum::<u64>(),
+        start.elapsed(),
+    );
+}

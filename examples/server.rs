@@ -120,9 +120,12 @@ fn main() {
         t2.elapsed(),
     );
 
-    let stats = pool.shutdown();
+    // What a scrape endpoint would serve: the full text exposition —
+    // outcome counters, latency/queue-wait histograms, scheduler and
+    // promotion counters, polled gauges — one coherent snapshot.
     println!();
-    println!("{stats}");
+    println!("{}", pool.metrics_text());
+    let stats = pool.shutdown();
     assert_eq!(stats.local_coercion_nodes(), 0);
     assert_eq!(stats.local_type_nodes(), 0);
     // Covered traffic never trips the promoter: the pool serves its

@@ -90,10 +90,15 @@ pub use bc_machine as machine;
 pub use bc_syntax as syntax;
 pub use bc_translate as translate;
 
+mod obs;
 pub mod pool;
 pub mod sched;
 pub mod session;
 
+pub use bc_obs::{
+    shape_key, AuditOutcome, AuditRecord, BlameAnalytics, BlameReport, Counter, Gauge, Histogram,
+    HistogramSnapshot, Registry,
+};
 pub use pool::{
     CompiledProgram, JobError, JobHandle, JobOutput, PoolStats, PromotionPolicy, SessionPool,
     SessionPoolBuilder, WorkerStats,

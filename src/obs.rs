@@ -1,0 +1,208 @@
+//! The pool's observability bundle: every instrument the
+//! [`SessionPool`](crate::SessionPool) exports, wired to one
+//! [`Registry`], plus the bounded [`AuditSink`] the workers emit
+//! per-job records into.
+//!
+//! The bundle is built once at pool construction (unless
+//! [`SessionPoolBuilder::no_observability`] turned it off) and shared
+//! by reference through `PoolShared`; the hot path touches only
+//! wait-free cells — counter `fetch_add`s, histogram `fetch_add`s,
+//! and the audit ring's short push-only mutex. Gauges (queue depths,
+//! epoch, base hit rates) are *polled*: they are refreshed from a
+//! coherent [`PoolStats`](crate::PoolStats) snapshot at render time
+//! rather than written on the job path, so a gauge read costs serving
+//! nothing.
+//!
+//! [`SessionPoolBuilder::no_observability`]:
+//! crate::SessionPoolBuilder::no_observability
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bc_obs::{AuditOutcome, AuditRecord, AuditSink, Counter, Gauge, Histogram, Registry};
+
+use crate::pool::PoolStats;
+
+/// Default retention of the audit ring (records, not bytes): deep
+/// enough that a drain cadence of "every few thousand jobs" loses
+/// nothing, small enough (~a few hundred KiB of flat records) to be
+/// an always-on default.
+pub(crate) const DEFAULT_AUDIT_CAPACITY: usize = 8192;
+
+/// Saturating nanosecond conversion (a `Duration` past `u64::MAX`
+/// nanoseconds is ~585 years; clamping is academic but total).
+pub(crate) fn ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// All pool instruments plus the audit sink. Counters are incremented
+/// at the same sites as the `WorkerSlot` accounting they mirror, so
+/// they are monotone across epoch rebuilds, session retirements, and
+/// worker respawns by construction — nothing is re-derived from a
+/// session that could be retired out from under it.
+#[derive(Debug)]
+pub(crate) struct PoolObs {
+    registry: Registry,
+    /// One series per [`AuditOutcome`], indexed by
+    /// [`AuditOutcome::index`].
+    jobs: Vec<Arc<Counter>>,
+    /// End-to-end latency (submission → resolution), nanoseconds.
+    pub(crate) latency: Arc<Histogram>,
+    /// Time queued before a worker first claimed the job,
+    /// nanoseconds.
+    pub(crate) queue_wait: Arc<Histogram>,
+    pub(crate) slices: Arc<Counter>,
+    pub(crate) preemptions: Arc<Counter>,
+    pub(crate) steals: Arc<Counter>,
+    pub(crate) promotions: Arc<Counter>,
+    pub(crate) respawns: Arc<Counter>,
+    pub(crate) sessions_retired: Arc<Counter>,
+    epoch: Arc<Gauge>,
+    workers: Arc<Gauge>,
+    base_hit_rate: Arc<Gauge>,
+    compose_base_hit_rate: Arc<Gauge>,
+    queue_depth: Vec<Arc<Gauge>>,
+    parked_depth: Vec<Arc<Gauge>>,
+    sink: AuditSink,
+}
+
+impl PoolObs {
+    pub(crate) fn new(workers: usize, audit_capacity: usize) -> PoolObs {
+        let registry = Registry::new();
+        let jobs = AuditOutcome::ALL
+            .iter()
+            .map(|outcome| {
+                registry.counter(
+                    "bc_jobs_total",
+                    "Jobs resolved, by outcome.",
+                    &[("outcome", outcome.as_str())],
+                )
+            })
+            .collect();
+        let latency = registry.histogram(
+            "bc_job_latency_ns",
+            "End-to-end job latency (submission to resolution), nanoseconds.",
+            &[],
+        );
+        let queue_wait = registry.histogram(
+            "bc_job_queue_wait_ns",
+            "Time a job waited in a queue before a worker claimed it, nanoseconds.",
+            &[],
+        );
+        let slices = registry.counter(
+            "bc_slices_total",
+            "Scheduling turns executed (one job, up to one slice budget of steps).",
+            &[],
+        );
+        let preemptions = registry.counter(
+            "bc_preemptions_total",
+            "Slices that ended with the job parked rather than finished.",
+            &[],
+        );
+        let steals = registry.counter(
+            "bc_steals_total",
+            "Jobs claimed from a sibling worker's queue.",
+            &[],
+        );
+        let promotions = registry.counter(
+            "bc_promotions_total",
+            "Overlay-to-base promotions published.",
+            &[],
+        );
+        let respawns = registry.counter(
+            "bc_respawns_total",
+            "Workers respawned after a caught serve panic.",
+            &[],
+        );
+        let sessions_retired = registry.counter(
+            "bc_sessions_retired_total",
+            "Worker sessions retired (epoch adoptions + panic recoveries).",
+            &[],
+        );
+        let sink = AuditSink::new(audit_capacity);
+        registry.attach_counter(
+            "bc_audit_dropped_total",
+            "Audit records evicted from the ring without being drained.",
+            &[],
+            &sink.dropped_cell(),
+        );
+        let epoch = registry.gauge("bc_epoch", "Current base epoch (1 = warmup).", &[]);
+        let workers_gauge = registry.gauge("bc_workers", "Worker threads.", &[]);
+        let base_hit_rate = registry.gauge(
+            "bc_coercion_base_hit_rate",
+            "Fraction of coercion-intern probes answered by the frozen base, \
+             cumulative across epochs.",
+            &[],
+        );
+        let compose_base_hit_rate = registry.gauge(
+            "bc_compose_base_hit_rate",
+            "Fraction of compositions answered by a frozen pair table, \
+             cumulative across epochs.",
+            &[],
+        );
+        let per_worker_gauge = |name: &str, help: &str| -> Vec<Arc<Gauge>> {
+            (0..workers)
+                .map(|i| registry.gauge(name, help, &[("worker", &i.to_string())]))
+                .collect()
+        };
+        let queue_depth = per_worker_gauge(
+            "bc_queue_depth",
+            "Jobs waiting in this worker's intake queue.",
+        );
+        let parked_depth = per_worker_gauge(
+            "bc_parked_depth",
+            "Jobs parked mid-run in this worker's run queue.",
+        );
+        PoolObs {
+            registry,
+            jobs,
+            latency,
+            queue_wait,
+            slices,
+            preemptions,
+            steals,
+            promotions,
+            respawns,
+            sessions_retired,
+            epoch,
+            workers: workers_gauge,
+            base_hit_rate,
+            compose_base_hit_rate,
+            queue_depth,
+            parked_depth,
+            sink,
+        }
+    }
+
+    /// Records one job resolution: its outcome series, the latency
+    /// histogram (every resolved job lands here exactly once — the
+    /// histogram's `_count` equals jobs resolved), and one audit
+    /// record. Wait-free except for the audit ring's push mutex.
+    pub(crate) fn resolved(&self, record: AuditRecord) {
+        self.jobs[record.outcome.index()].inc();
+        self.latency.record(record.latency_ns);
+        self.sink.emit(record);
+    }
+
+    /// The audit stream.
+    pub(crate) fn sink(&self) -> &AuditSink {
+        &self.sink
+    }
+
+    /// Refreshes the polled gauges from a coherent stats snapshot,
+    /// then renders the full text exposition.
+    pub(crate) fn render(&self, stats: &PoolStats) -> String {
+        self.epoch.set(stats.epoch as f64);
+        self.workers.set(stats.workers.len() as f64);
+        self.base_hit_rate.set(stats.coercion_base_hit_rate());
+        self.compose_base_hit_rate
+            .set(stats.compose_base_hit_rate());
+        for (gauge, w) in self.queue_depth.iter().zip(&stats.workers) {
+            gauge.set(w.queue_depth as f64);
+        }
+        for (gauge, w) in self.parked_depth.iter().zip(&stats.workers) {
+            gauge.set(w.parked_depth as f64);
+        }
+        self.registry.render()
+    }
+}

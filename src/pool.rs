@@ -173,9 +173,11 @@ use std::time::{Duration, Instant};
 use bc_gtlc::Diagnostic;
 use bc_lambda_b::BTerm;
 use bc_machine::metrics::Metrics;
+use bc_obs::{AuditOutcome, AuditRecord};
 use bc_syntax::TypeId;
 use bc_translate::bisim::Observation;
 
+use crate::obs::{ns, PoolObs, DEFAULT_AUDIT_CAPACITY};
 use crate::sched::{Deadline, JobState, ReplySlot, SliceBudget};
 use crate::session::{
     Engine, FrozenBase, PausedRun, RunError, Session, SessionBuilder, SessionStats, SliceOutcome,
@@ -209,6 +211,13 @@ pub struct JobOutput {
     /// interned λB term) rather than source text — `true` means the
     /// serving worker never touched the parser or the elaborator.
     pub compiled: bool,
+    /// End-to-end wall-clock time from submission to resolution —
+    /// queueing, any parked turns, and execution together. For the
+    /// execution time alone see
+    /// [`RunReport::elapsed`](crate::RunReport::elapsed); the gap
+    /// between the two is scheduling (queue wait + time parked behind
+    /// run-queue siblings).
+    pub elapsed: Duration,
 }
 
 /// A program compiled once at warmup and shipped to workers by id:
@@ -444,6 +453,10 @@ struct ParkedEntry {
     job: Job,
     run: PausedRun,
     compiled: bool,
+    /// How long the job sat queued before this worker admitted it
+    /// (already recorded in the queue-wait histogram; kept for the
+    /// job's eventual audit record).
+    queue_wait: Duration,
 }
 
 /// How a job left its worker (for the slot counters).
@@ -739,6 +752,22 @@ impl WorkerStats {
 /// *cumulative across epochs*: retiring a session (promotion
 /// adoption, panic recovery) folds its counters into its worker's
 /// totals rather than dropping them.
+///
+/// # Consistency contract
+///
+/// [`SessionPool::stats`] takes one **coherent snapshot per call**:
+/// every worker's slot is locked simultaneously before any counter is
+/// read, and the queue depths are sampled while those locks are still
+/// held — so the rows in [`PoolStats::workers`] describe the pool at
+/// a single instant. In particular, a sum over workers (e.g.
+/// [`PoolStats::jobs`]) can never mix one worker's pre-job state with
+/// another's post-job state for jobs that were counted before the
+/// call began. What the snapshot does *not* include is work in
+/// flight: each worker publishes its counters at job boundaries, so a
+/// job being served right now appears only in the in-flight depth
+/// gauges, not yet in `jobs`. Two snapshots are ordered — every
+/// monotone counter in the later one is ≥ its value in the earlier
+/// one (asserted across promotions and respawns in `tests/obs.rs`).
 #[derive(Debug, Clone)]
 pub struct PoolStats {
     /// The current base epoch (1 = the warmup base; +1 per
@@ -905,6 +934,8 @@ pub struct SessionPoolBuilder {
     promotion: Option<PromotionPolicy>,
     slice: Option<SliceBudget>,
     queue_capacity: usize,
+    observability: bool,
+    audit_capacity: usize,
 }
 
 impl Default for SessionPoolBuilder {
@@ -919,6 +950,8 @@ impl Default for SessionPoolBuilder {
             promotion: Some(PromotionPolicy::default()),
             slice: Some(SliceBudget::default()),
             queue_capacity: usize::MAX,
+            observability: true,
+            audit_capacity: DEFAULT_AUDIT_CAPACITY,
         }
     }
 }
@@ -1028,6 +1061,29 @@ impl SessionPoolBuilder {
         self
     }
 
+    /// Disables the observability layer entirely: no metric
+    /// registry, no per-job instrument updates, no audit records.
+    /// [`SessionPool::metrics_text`] renders a one-line comment and
+    /// [`SessionPool::audit_records`] returns nothing. Observability
+    /// is **on by default** — its measured cost is ≤ 2% of mixed-batch
+    /// throughput (bench table E29) — so this switch exists for
+    /// overhead comparisons and for embedders running their own
+    /// telemetry.
+    pub fn no_observability(mut self) -> SessionPoolBuilder {
+        self.observability = false;
+        self
+    }
+
+    /// Bounds the audit ring: at most `capacity` undrained
+    /// [`AuditRecord`]s are retained; beyond that the oldest is
+    /// evicted (counted exactly — `bc_audit_dropped_total` in the
+    /// exposition, [`SessionPool::audit_dropped`] in the API) and the
+    /// emitting worker never blocks. Default: 8192. Clamped to ≥ 1.
+    pub fn audit_capacity(mut self, capacity: usize) -> SessionPoolBuilder {
+        self.audit_capacity = capacity;
+        self
+    }
+
     /// Builds the base (compiling and running the warmup sources) and
     /// spawns the workers.
     ///
@@ -1129,6 +1185,9 @@ impl SessionPoolBuilder {
             // `resume_slice` then finishes every job in one turn.
             slice_steps: self.slice.map_or(u64::MAX, SliceBudget::steps),
             queue_capacity: self.queue_capacity,
+            obs: self
+                .observability
+                .then(|| PoolObs::new(self.workers, self.audit_capacity)),
         });
         for index in 0..self.workers {
             let handle = shared.spawn_worker(index);
@@ -1186,6 +1245,52 @@ struct PoolShared {
     slice_steps: u64,
     /// Max unresolved jobs per worker before submissions reject.
     queue_capacity: usize,
+    /// The observability bundle (`None` when the builder disabled
+    /// it): instruments incremented at the same sites as the slot
+    /// counters, plus the audit ring.
+    obs: Option<PoolObs>,
+}
+
+/// The engine's audit-stream name, without a per-job `format!`
+/// allocation pass (records are built once per job on the serving
+/// path).
+fn engine_name(engine: Engine) -> &'static str {
+    match engine {
+        Engine::LambdaB => "LambdaB",
+        Engine::LambdaC => "LambdaC",
+        Engine::LambdaS => "LambdaS",
+        Engine::MachineB => "MachineB",
+        Engine::MachineC => "MachineC",
+        Engine::MachineS => "MachineS",
+    }
+}
+
+/// The skeleton of a job's audit record, filled at a resolution site:
+/// identity, timing, and shape are known here; steps, peaks, and
+/// blame are patched in by the site that has them.
+fn base_record(
+    worker: usize,
+    epoch: u64,
+    job: &Job,
+    queue_wait: Duration,
+    outcome: AuditOutcome,
+) -> AuditRecord {
+    AuditRecord {
+        seq: 0, // stamped by the sink
+        worker,
+        epoch,
+        engine: engine_name(job.engine),
+        outcome,
+        blame_label: None,
+        cast_site: None,
+        steps: 0,
+        peak_frames: 0,
+        peak_cast_frames: 0,
+        compiled: matches!(job.spec, JobSpec::Compiled(_)),
+        latency_ns: ns(job.submitted.elapsed()),
+        queue_wait_ns: ns(queue_wait),
+        shape: bc_obs::shape_key(job.spec.key()),
+    }
 }
 
 /// How long an idle worker parks before re-scanning sibling queues —
@@ -1263,6 +1368,9 @@ impl PoolShared {
         let job = lock(&self.queues[victim].deque).pop_back();
         if job.is_some() {
             lock(&self.slots[thief]).steals += 1;
+            if let Some(obs) = &self.obs {
+                obs.steals.inc();
+            }
         }
         job
     }
@@ -1302,6 +1410,10 @@ impl PoolShared {
         let mut slot = lock(&self.slots[index]);
         slot.retired.absorb(&stats);
         slot.stats = None;
+        drop(slot);
+        if let Some(obs) = &self.obs {
+            obs.sessions_retired.inc();
+        }
     }
 
     /// The cheap per-job promotion gate: policy thresholds on this
@@ -1384,6 +1496,9 @@ impl PoolShared {
             self.last_promotion_ns.store(elapsed, Ordering::Relaxed);
             self.promotions.fetch_add(1, Ordering::Relaxed);
             self.jobs_since_promotion.store(0, Ordering::Relaxed);
+            if let Some(obs) = &self.obs {
+                obs.promotions.inc();
+            }
             Some((epoch, next))
         })();
         self.promoting.store(false, Ordering::Release);
@@ -1399,10 +1514,43 @@ impl PoolShared {
         }
         let handle = self.spawn_worker(index);
         self.respawns.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = &self.obs {
+            obs.respawns.inc();
+        }
         // Overwrites the dying worker's own handle: it is past
         // everything observable and exits right after this call, so
         // nothing is lost by detaching it.
         lock(&self.handles)[index] = Some(handle);
+    }
+}
+
+/// Overwrites an audit record's default (`CompileError`) outcome with
+/// the one a [`JobError`] actually denotes, plus whatever accounting
+/// the error carries.
+fn patch_error(record: &mut AuditRecord, err: &JobError) {
+    match err {
+        JobError::Compile(_) => record.outcome = AuditOutcome::CompileError,
+        JobError::Run(e) => patch_run_error(record, e),
+        // The remaining variants never reach a worker's resolution
+        // sites (they resolve on the submitter's side or in `die`).
+        _ => {}
+    }
+}
+
+/// Fills an audit record from a run error: fuel exhaustion carries
+/// real step and peak-frame accounting (the cutoff metrics are what
+/// make λB/λC space leaks measurable on diverging programs).
+fn patch_run_error(record: &mut AuditRecord, err: &RunError) {
+    match err {
+        RunError::FuelExhausted { steps, metrics } => {
+            record.outcome = AuditOutcome::FuelExhausted;
+            record.steps = *steps;
+            if let Some(m) = metrics {
+                record.peak_frames = m.peak_frames as u64;
+                record.peak_cast_frames = m.peak_cast_frames as u64;
+            }
+        }
+        RunError::IllTyped(_) => record.outcome = AuditOutcome::IllTyped,
     }
 }
 
@@ -1439,6 +1587,12 @@ fn worker_loop(index: usize, shared: Arc<PoolShared>) {
             shared.try_claim(index)
         };
         if let Some(job) = incoming {
+            // The job is claimed: everything before this instant was
+            // queueing (dispatch, standing in a deque, being stolen).
+            let queue_wait = job.submitted.elapsed();
+            if let Some(obs) = &shared.obs {
+                obs.queue_wait.record(ns(queue_wait));
+            }
             // Epoch adoption happens only with an empty run queue:
             // parked runs hold ids interned in the current session,
             // which an adoption would rebuild. A parked spinner thus
@@ -1458,8 +1612,26 @@ fn worker_loop(index: usize, shared: Arc<PoolShared>) {
                 // Canceled while queued: the handle resolved when the
                 // submitter canceled; drop the worker's side here.
                 shared.count_job(index, &session, Disposition::Canceled);
+                if let Some(obs) = &shared.obs {
+                    obs.resolved(base_record(
+                        index,
+                        epoch,
+                        &job,
+                        queue_wait,
+                        AuditOutcome::Canceled,
+                    ));
+                }
             } else if job.expired() {
                 shared.count_job(index, &session, Disposition::DeadlineMissed);
+                if let Some(obs) = &shared.obs {
+                    obs.resolved(base_record(
+                        index,
+                        epoch,
+                        &job,
+                        queue_wait,
+                        AuditOutcome::DeadlineExceeded,
+                    ));
+                }
                 job.reply.resolve(Err(JobError::DeadlineExceeded {
                     steps: 0,
                     elapsed: job.submitted.elapsed(),
@@ -1476,11 +1648,25 @@ fn worker_loop(index: usize, shared: Arc<PoolShared>) {
                     admit(&session, &mut programs, &base, &job)
                 }));
                 match admitted {
-                    Ok(Ok((run, compiled))) => {
-                        run_queue.push_back(ParkedEntry { job, run, compiled })
-                    }
+                    Ok(Ok((run, compiled))) => run_queue.push_back(ParkedEntry {
+                        job,
+                        run,
+                        compiled,
+                        queue_wait,
+                    }),
                     Ok(Err(err)) => {
                         shared.count_job(index, &session, Disposition::Completed);
+                        if let Some(obs) = &shared.obs {
+                            let mut record = base_record(
+                                index,
+                                epoch,
+                                &job,
+                                queue_wait,
+                                AuditOutcome::CompileError,
+                            );
+                            patch_error(&mut record, &err);
+                            obs.resolved(record);
+                        }
                         job.reply.resolve(Err(err));
                         if run_queue.is_empty() {
                             adopt_if_promoted(
@@ -1494,7 +1680,7 @@ fn worker_loop(index: usize, shared: Arc<PoolShared>) {
                         }
                     }
                     Err(_) => {
-                        die(&shared, index, &session, job, run_queue);
+                        die(&shared, index, &session, job, queue_wait, run_queue);
                         return;
                     }
                 }
@@ -1504,12 +1690,34 @@ fn worker_loop(index: usize, shared: Arc<PoolShared>) {
         // parked again goes to the back (round-robin — every parked
         // job advances one slice per rotation).
         if let Some(entry) = run_queue.pop_front() {
-            let ParkedEntry { job, run, compiled } = entry;
+            let ParkedEntry {
+                job,
+                run,
+                compiled,
+                queue_wait,
+            } = entry;
             if job.reply.is_canceled() {
                 shared.count_job(index, &session, Disposition::Canceled);
+                if let Some(obs) = &shared.obs {
+                    let mut record =
+                        base_record(index, epoch, &job, queue_wait, AuditOutcome::Canceled);
+                    record.steps = run.steps();
+                    obs.resolved(record);
+                }
             } else if job.expired() {
                 let steps = run.steps();
                 shared.count_job(index, &session, Disposition::DeadlineMissed);
+                if let Some(obs) = &shared.obs {
+                    let mut record = base_record(
+                        index,
+                        epoch,
+                        &job,
+                        queue_wait,
+                        AuditOutcome::DeadlineExceeded,
+                    );
+                    record.steps = steps;
+                    obs.resolved(record);
+                }
                 job.reply.resolve(Err(JobError::DeadlineExceeded {
                     steps,
                     elapsed: job.submitted.elapsed(),
@@ -1524,6 +1732,29 @@ fn worker_loop(index: usize, shared: Arc<PoolShared>) {
                     Ok(SliceOutcome::Done(result)) => {
                         lock(&shared.slots[index]).slices += 1;
                         shared.count_job(index, &session, Disposition::Completed);
+                        let elapsed = job.submitted.elapsed();
+                        if let Some(obs) = &shared.obs {
+                            obs.slices.inc();
+                            let mut record =
+                                base_record(index, epoch, &job, queue_wait, AuditOutcome::Value);
+                            record.compiled = compiled;
+                            match &result {
+                                Ok(report) => {
+                                    record.steps = report.steps;
+                                    if let Some(m) = &report.metrics {
+                                        record.peak_frames = m.peak_frames as u64;
+                                        record.peak_cast_frames = m.peak_cast_frames as u64;
+                                    }
+                                    if let Observation::Blame(label) = &report.observation {
+                                        record.outcome = AuditOutcome::Blame;
+                                        record.blame_label = Some(label.to_string());
+                                        record.cast_site = Some(label.id());
+                                    }
+                                }
+                                Err(err) => patch_run_error(&mut record, err),
+                            }
+                            obs.resolved(record);
+                        }
                         let result = result
                             .map(|report| JobOutput {
                                 observation: report.observation,
@@ -1531,6 +1762,7 @@ fn worker_loop(index: usize, shared: Arc<PoolShared>) {
                                 metrics: report.metrics,
                                 worker: index,
                                 compiled,
+                                elapsed,
                             })
                             .map_err(JobError::Run);
                         job.reply.resolve(result);
@@ -1551,10 +1783,19 @@ fn worker_loop(index: usize, shared: Arc<PoolShared>) {
                             slot.slices += 1;
                             slot.preemptions += 1;
                         }
-                        run_queue.push_back(ParkedEntry { job, run, compiled });
+                        if let Some(obs) = &shared.obs {
+                            obs.slices.inc();
+                            obs.preemptions.inc();
+                        }
+                        run_queue.push_back(ParkedEntry {
+                            job,
+                            run,
+                            compiled,
+                            queue_wait,
+                        });
                     }
                     Err(_) => {
-                        die(&shared, index, &session, job, run_queue);
+                        die(&shared, index, &session, job, queue_wait, run_queue);
                         return;
                     }
                 }
@@ -1574,6 +1815,7 @@ fn die(
     index: usize,
     session: &Session,
     job: Job,
+    queue_wait: Duration,
     run_queue: VecDeque<ParkedEntry>,
 ) {
     shared.retire(index, session);
@@ -1583,6 +1825,15 @@ fn die(
         slot.panics += 1;
         slot.dead = true;
         slot.parked_depth = 0;
+    }
+    if let Some(obs) = &shared.obs {
+        obs.resolved(base_record(
+            index,
+            shared.epoch.epoch(),
+            &job,
+            queue_wait,
+            AuditOutcome::WorkerPanicked,
+        ));
     }
     job.reply.resolve(Err(JobError::WorkerPanicked));
     if !run_queue.is_empty() {
@@ -1883,6 +2134,27 @@ impl SessionPool {
             (depth < capacity).then_some(depth + 1)
         });
         if let Err(depth) = reserved {
+            if let Some(obs) = &self.shared.obs {
+                // Rejected jobs never became a `Job`; audit them here
+                // (zero steps, zero waits — they were refused at the
+                // door), so `bc_jobs_total` sums to submissions.
+                obs.resolved(AuditRecord {
+                    seq: 0,
+                    worker: target,
+                    epoch: self.shared.epoch.epoch(),
+                    engine: engine_name(engine),
+                    outcome: AuditOutcome::Rejected,
+                    blame_label: None,
+                    cast_site: None,
+                    steps: 0,
+                    peak_frames: 0,
+                    peak_cast_frames: 0,
+                    compiled: matches!(spec, JobSpec::Compiled(_)),
+                    latency_ns: 0,
+                    queue_wait_ns: 0,
+                    shape: bc_obs::shape_key(spec.key()),
+                });
+            }
             return JobHandle {
                 state: JobState::resolved(Err(JobError::Rejected { queue_depth: depth })),
             };
@@ -1902,42 +2174,109 @@ impl SessionPool {
         JobHandle { state }
     }
 
-    /// A live snapshot of the pool accounting (each worker
-    /// republishes after every job, so in-flight jobs are not yet
-    /// counted).
+    /// A coherent snapshot of the pool accounting — see the
+    /// [consistency contract](PoolStats#consistency-contract) on
+    /// [`PoolStats`]. Each worker republishes its counters after
+    /// every job, so in-flight jobs are not yet counted.
+    ///
+    /// The snapshot holds every worker slot's lock at once for the
+    /// read (deadlock-free: no worker-side path acquires a second
+    /// pool lock while holding a slot or deque lock), so calling this
+    /// stalls each worker's *accounting* publish for the duration of
+    /// one copy per worker, never its serving.
     pub fn stats(&self) -> PoolStats {
+        let slots: Vec<MutexGuard<'_, WorkerSlot>> = self.shared.slots.iter().map(lock).collect();
+        let queue_depths: Vec<usize> = self
+            .shared
+            .queues
+            .iter()
+            .map(|q| lock(&q.deque).len())
+            .collect();
         PoolStats {
             epoch: self.shared.epoch.epoch(),
             promotions: self.shared.promotions.load(Ordering::Relaxed),
             promotion_ns: self.shared.promotion_ns.load(Ordering::Relaxed),
             last_promotion_ns: self.shared.last_promotion_ns.load(Ordering::Relaxed),
             respawns: self.shared.respawns.load(Ordering::Relaxed),
-            workers: self
-                .shared
-                .slots
+            workers: slots
                 .iter()
+                .zip(queue_depths)
                 .enumerate()
-                .map(|(worker, slot)| {
-                    let queue_depth = lock(&self.shared.queues[worker].deque).len();
-                    let slot = lock(slot);
-                    WorkerStats {
-                        worker,
-                        jobs: slot.jobs,
-                        steals: slot.steals,
-                        panics: slot.panics,
-                        slices: slot.slices,
-                        preemptions: slot.preemptions,
-                        deadline_misses: slot.deadline_misses,
-                        cancellations: slot.cancellations,
-                        parked_depth: slot.parked_depth,
-                        dead: slot.dead,
-                        queue_depth,
-                        session: slot.stats,
-                        retired: slot.retired,
-                    }
+                .map(|(worker, (slot, queue_depth))| WorkerStats {
+                    worker,
+                    jobs: slot.jobs,
+                    steals: slot.steals,
+                    panics: slot.panics,
+                    slices: slot.slices,
+                    preemptions: slot.preemptions,
+                    deadline_misses: slot.deadline_misses,
+                    cancellations: slot.cancellations,
+                    parked_depth: slot.parked_depth,
+                    dead: slot.dead,
+                    queue_depth,
+                    session: slot.stats,
+                    retired: slot.retired,
                 })
                 .collect(),
         }
+    }
+
+    /// Renders the pool's metrics as a Prometheus-style text
+    /// exposition: `bc_jobs_total{outcome="…"}`, the
+    /// `bc_job_latency_ns` and `bc_job_queue_wait_ns` histograms, the
+    /// scheduler counters (`bc_slices_total`, `bc_preemptions_total`,
+    /// `bc_steals_total`, `bc_promotions_total`, `bc_respawns_total`,
+    /// `bc_sessions_retired_total`, `bc_audit_dropped_total`), and the
+    /// polled gauges (`bc_epoch`, `bc_workers`, per-worker
+    /// `bc_queue_depth` / `bc_parked_depth`, and the cumulative
+    /// `bc_coercion_base_hit_rate` / `bc_compose_base_hit_rate`).
+    /// Gauges are refreshed from one coherent [`SessionPool::stats`]
+    /// snapshot at render time; counters and histograms read their
+    /// live cells.
+    ///
+    /// With [`SessionPoolBuilder::no_observability`] the exposition
+    /// is a single comment line.
+    pub fn metrics_text(&self) -> String {
+        match &self.shared.obs {
+            Some(obs) => obs.render(&self.stats()),
+            None => "# observability disabled (SessionPoolBuilder::no_observability)\n".to_owned(),
+        }
+    }
+
+    /// Drains the audit stream: every buffered [`AuditRecord`]
+    /// (oldest first), leaving the ring empty. Records evicted
+    /// between drains are counted by [`SessionPool::audit_dropped`],
+    /// never silently lost. Empty when observability is off.
+    pub fn audit_records(&self) -> Vec<AuditRecord> {
+        self.shared
+            .obs
+            .as_ref()
+            .map_or_else(Vec::new, |obs| obs.sink().drain())
+    }
+
+    /// Audit records evicted from the ring without being drained
+    /// (exact — the overload accounting is deterministic: emitted =
+    /// drained + buffered + dropped).
+    pub fn audit_dropped(&self) -> u64 {
+        self.shared
+            .obs
+            .as_ref()
+            .map_or(0, |obs| obs.sink().dropped())
+    }
+
+    /// Drains the audit stream into `out` as JSON lines, returning
+    /// how many records were written (0, without touching `out`, when
+    /// observability is off).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the writer's error (see
+    /// [`AuditSink::drain_to`](bc_obs::AuditSink::drain_to)).
+    pub fn drain_audit_to(&self, out: &mut dyn std::io::Write) -> std::io::Result<usize> {
+        self.shared
+            .obs
+            .as_ref()
+            .map_or(Ok(0), |obs| obs.sink().drain_to(out))
     }
 
     /// Graceful shutdown: closes intake, lets the workers drain every

@@ -41,6 +41,7 @@
 use std::cell::{Cell, OnceCell, RefCell};
 use std::fmt;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use bc_core::arena::{CoercionArena, ComposeCache, FrozenCoercions};
 use bc_core::sterm::{decompile_term, STerm};
@@ -107,6 +108,14 @@ pub struct RunReport {
     pub steps: u64,
     /// Machine space metrics (machines only).
     pub metrics: Option<Metrics>,
+    /// Wall-clock time spent *executing* the run. For a sliced run
+    /// this accumulates only the active slices — time parked in a run
+    /// queue is scheduling, not execution (the pool reports
+    /// end-to-end latency separately, on `JobOutput::elapsed`).
+    /// Unlike every other field it is timing, not semantics: sliced
+    /// and unsliced runs agree on observation/steps/metrics exactly
+    /// (property-tested) while their `elapsed` naturally differs.
+    pub elapsed: Duration,
 }
 
 /// Why a run produced no [`RunReport`] — the typed error for the whole
@@ -1022,6 +1031,7 @@ impl Session {
             "program was compiled by a different Session: \
              its ids belong to another arena id-space"
         );
+        let started = Instant::now();
         match engine {
             Engine::LambdaB => {
                 // The λB small-step engine rewrites trees; materialise
@@ -1033,6 +1043,7 @@ impl Session {
                     observation: observe_b(&r.outcome),
                     steps: r.steps,
                     metrics: None,
+                    elapsed: started.elapsed(),
                 })
             }
             Engine::LambdaC => {
@@ -1043,6 +1054,7 @@ impl Session {
                     observation: observe_c(&r.outcome),
                     steps: r.steps,
                     metrics: None,
+                    elapsed: started.elapsed(),
                 })
             }
             Engine::LambdaS => {
@@ -1066,14 +1078,17 @@ impl Session {
                     observation: observe_s_compiled(&r.outcome, &arena),
                     steps: r.steps,
                     metrics: None,
+                    elapsed: started.elapsed(),
                 })
             }
-            Engine::MachineB => {
-                machine_report(bc_machine::cek_b::run(&self.lambda_b(program), fuel))
-            }
-            Engine::MachineC => {
-                machine_report(bc_machine::cek_c::run(&self.lambda_c(program), fuel))
-            }
+            Engine::MachineB => machine_report(
+                bc_machine::cek_b::run(&self.lambda_b(program), fuel),
+                started.elapsed(),
+            ),
+            Engine::MachineC => machine_report(
+                bc_machine::cek_c::run(&self.lambda_c(program), fuel),
+                started.elapsed(),
+            ),
             Engine::MachineS => {
                 // The compiled fast path: the IR's coercions are
                 // already interned in the shared arena, so each run
@@ -1081,12 +1096,13 @@ impl Session {
                 // session-wide compose cache.
                 let mut arena = self.arena.borrow_mut();
                 let mut cache = self.cache.borrow_mut();
-                machine_report(bc_machine::cek_s::run_compiled_in(
+                let r = bc_machine::cek_s::run_compiled_in(
                     &program.lambda_s_compiled,
                     &mut arena,
                     &mut cache,
                     fuel,
-                ))
+                );
+                machine_report(r, started.elapsed())
             }
         }
     }
@@ -1167,6 +1183,7 @@ impl Session {
         Ok(PausedRun {
             inner,
             session: self.id,
+            active: Duration::ZERO,
         })
     }
 
@@ -1184,14 +1201,29 @@ impl Session {
             "parked run belongs to a different Session"
         );
         let session = paused.session;
-        let parked = |inner| SliceOutcome::Parked(PausedRun { inner, session });
+        let active = paused.active;
+        let slice_started = Instant::now();
+        // Both exits tally this slice's wall-clock onto the run's
+        // accumulated active time: a park carries it forward, a finish
+        // stamps it on the report.
+        let parked = |inner| {
+            SliceOutcome::Parked(PausedRun {
+                inner,
+                session,
+                active: active + slice_started.elapsed(),
+            })
+        };
         match paused.inner {
             PausedInner::MachineB(p) => match bc_machine::cek_b::resume(p, slice) {
-                bc_machine::metrics::SliceResult::Done(r) => SliceOutcome::Done(machine_report(r)),
+                bc_machine::metrics::SliceResult::Done(r) => {
+                    SliceOutcome::Done(machine_report(r, active + slice_started.elapsed()))
+                }
                 bc_machine::metrics::SliceResult::Parked(p) => parked(PausedInner::MachineB(p)),
             },
             PausedInner::MachineC(p) => match bc_machine::cek_c::resume(p, slice) {
-                bc_machine::metrics::SliceResult::Done(r) => SliceOutcome::Done(machine_report(r)),
+                bc_machine::metrics::SliceResult::Done(r) => {
+                    SliceOutcome::Done(machine_report(r, active + slice_started.elapsed()))
+                }
                 bc_machine::metrics::SliceResult::Parked(p) => parked(PausedInner::MachineC(p)),
             },
             PausedInner::MachineS(p) => {
@@ -1199,7 +1231,7 @@ impl Session {
                 let mut cache = self.cache.borrow_mut();
                 match bc_machine::cek_s::resume_compiled_in(p, &mut arena, &mut cache, slice) {
                     bc_machine::metrics::SliceResult::Done(r) => {
-                        SliceOutcome::Done(machine_report(r))
+                        SliceOutcome::Done(machine_report(r, active + slice_started.elapsed()))
                     }
                     bc_machine::metrics::SliceResult::Parked(p) => parked(PausedInner::MachineS(p)),
                 }
@@ -1214,6 +1246,7 @@ impl Session {
                                 observation: observe_s_compiled(&r.outcome, &arena),
                                 steps: r.steps,
                                 metrics: None,
+                                elapsed: active + slice_started.elapsed(),
                             }
                         }))
                     }
@@ -1224,6 +1257,8 @@ impl Session {
                 program,
                 engine,
                 fuel,
+                // The unsliced oracles run whole inside this slice, so
+                // run_with_fuel's own measurement is the active time.
             } => SliceOutcome::Done(self.run_with_fuel(&program, engine, fuel)),
         }
     }
@@ -1428,6 +1463,10 @@ impl Session {
 pub struct PausedRun {
     inner: PausedInner,
     session: u64,
+    /// Wall-clock time spent inside completed slices — what the final
+    /// report's [`RunReport::elapsed`] accumulates (parked time is
+    /// excluded: it is the scheduler's, not the run's).
+    active: Duration,
 }
 
 impl PausedRun {
@@ -1471,7 +1510,10 @@ pub enum SliceOutcome {
 /// Maps a machine run to the session-level result: fuel exhaustion is
 /// surfaced as [`RunError::FuelExhausted`] carrying the transition
 /// count the machine actually took.
-fn machine_report(r: bc_machine::metrics::MachineRun) -> Result<RunReport, RunError> {
+fn machine_report(
+    r: bc_machine::metrics::MachineRun,
+    elapsed: Duration,
+) -> Result<RunReport, RunError> {
     match r.outcome {
         bc_machine::MachineOutcome::Timeout => Err(RunError::FuelExhausted {
             steps: r.metrics.steps,
@@ -1481,6 +1523,7 @@ fn machine_report(r: bc_machine::metrics::MachineRun) -> Result<RunReport, RunEr
             observation: outcome.to_observation(),
             steps: r.metrics.steps,
             metrics: Some(r.metrics),
+            elapsed,
         }),
     }
 }

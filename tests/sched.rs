@@ -18,10 +18,23 @@ use std::time::Duration;
 
 use bc_testkit::sources;
 use blame_coercion::{
-    Deadline, Engine, JobError, PoolStats, RunError, Session, SessionPool, SliceOutcome,
+    Deadline, Engine, JobError, PoolStats, RunError, RunReport, Session, SessionPool, SliceOutcome,
 };
 
 const FUEL: u64 = 300;
+
+/// The semantic fingerprint of a run result: observation, steps, and
+/// the full machine metrics (space peaks, reuse accounting) or the
+/// typed error with its step count — everything slicing must
+/// preserve. `RunReport::elapsed` is deliberately excluded: it is a
+/// wall-clock measurement, the one field two otherwise-identical runs
+/// never agree on.
+fn result_fingerprint(result: &Result<RunReport, RunError>) -> String {
+    match result {
+        Ok(r) => format!("{:?} / {} steps / {:?}", r.observation, r.steps, r.metrics),
+        Err(e) => format!("{e:?}"),
+    }
+}
 
 /// A divergent λ-term: always exhausts whatever fuel it is given.
 const SPINNER: &str = "letrec spin (n : Int) : Int = spin (n + 1) in spin 0";
@@ -56,10 +69,7 @@ fn sliced_fingerprint(source: &str, engine: Engine, slice: u64) -> String {
             }
         }
     };
-    // The Debug form carries everything: observation, steps, and the
-    // full machine metrics (space peaks, reuse accounting) or the
-    // typed error with its step count.
-    format!("{result:?}")
+    result_fingerprint(&result)
 }
 
 /// Reference: the ordinary unsliced run in its own fresh session
@@ -68,7 +78,7 @@ fn sliced_fingerprint(source: &str, engine: Engine, slice: u64) -> String {
 fn unsliced_fingerprint(source: &str, engine: Engine) -> String {
     let session = Session::new();
     let program = session.compile(source).expect("testkit sources compile");
-    format!("{:?}", session.run_with_fuel(&program, engine, FUEL))
+    result_fingerprint(&session.run_with_fuel(&program, engine, FUEL))
 }
 
 /// The tentpole property: sliced ≡ unsliced, for every engine, over
